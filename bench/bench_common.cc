@@ -1,0 +1,78 @@
+#include "bench_common.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qgpu
+{
+namespace bench
+{
+
+int
+sweepMaxQubits()
+{
+    if (const char *env = std::getenv("QGPU_BENCH_QUBITS")) {
+        const int n = std::atoi(env);
+        if (n >= 8 && n <= 26)
+            return n;
+    }
+    return 14;
+}
+
+std::vector<int>
+sweepQubits()
+{
+    const int max = sweepMaxQubits();
+    return {max - 4, max - 3, max - 2, max - 1, max};
+}
+
+int
+paperQubits(int n)
+{
+    return n + (34 - sweepMaxQubits());
+}
+
+Machine
+machineFor(int n, DeviceSpec gpu, int num_gpus)
+{
+    // Fixed absolute device memory across the sweep: 1/16 of the
+    // largest state, i.e. "16 GB against a 256 GB 34-qubit state".
+    const int max = sweepMaxQubits();
+    const double fraction =
+        static_cast<double>(Index{1} << (max - n)) / 16.0;
+    return machines::makeScaled(n, gpu, fraction, num_gpus,
+                                paperQubits(n));
+}
+
+ExecOptions
+benchOptions()
+{
+    ExecOptions o;
+    o.keepState = false;
+    o.codecSampleChunks = 4;
+    return o;
+}
+
+RunResult
+run(const std::string &which, const std::string &family, int n,
+    Machine &machine)
+{
+    return harness::runOn(which, machine,
+                          circuits::makeBenchmark(family, n),
+                          benchOptions());
+}
+
+void
+banner(const std::string &title, const std::string &paper_ref,
+       const std::string &expectation)
+{
+    std::printf("=== %s ===\n", title.c_str());
+    std::printf("reproduces: %s\n", paper_ref.c_str());
+    std::printf("expected shape: %s\n", expectation.c_str());
+    std::printf("(sweep point n stands for the paper's n+%d qubits; "
+                "set QGPU_BENCH_QUBITS to rescale)\n\n",
+                34 - sweepMaxQubits());
+}
+
+} // namespace bench
+} // namespace qgpu

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared scaffolding for the table/figure bench binaries: the scaled
+ * qubit sweep (our n maps to the paper's n + offset), machine
+ * construction with a fixed device memory across the sweep (the paper
+ * holds the 16 GB P100 fixed while growing the circuit), and output
+ * helpers.
+ */
+
+#ifndef QGPU_BENCH_COMMON_HH
+#define QGPU_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "harness/experiment.hh"
+
+namespace qgpu
+{
+namespace bench
+{
+
+/**
+ * Largest state size simulated functionally, overridable with the
+ * QGPU_BENCH_QUBITS environment variable (default 14). Our largest
+ * sweep point stands for the paper's 34-qubit run.
+ */
+int sweepMaxQubits();
+
+/** The five sweep points, mirroring the paper's 30..34. */
+std::vector<int> sweepQubits();
+
+/** The paper-equivalent qubit count of sweep point @p n. */
+int paperQubits(int n);
+
+/**
+ * Machine for sweep point @p n: device memory fixed at 1/16 of the
+ * largest sweep state (so small points fit fully on the GPU, exactly
+ * like 30-qubit circuits fit a 16 GB P100), rates scaled to
+ * paper-equivalent size.
+ */
+Machine machineFor(int n, DeviceSpec gpu = machines::p100(),
+                   int num_gpus = 1);
+
+/** Bench-default options (no state retention, sampled codec). */
+ExecOptions benchOptions();
+
+/** Run engine @p which on family @p family at sweep point @p n. */
+RunResult run(const std::string &which, const std::string &family,
+              int n, Machine &machine);
+
+/** Print the standard bench banner. */
+void banner(const std::string &title, const std::string &paper_ref,
+            const std::string &expectation);
+
+} // namespace bench
+} // namespace qgpu
+
+#endif // QGPU_BENCH_COMMON_HH

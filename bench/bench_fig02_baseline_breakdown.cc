@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 2: execution-time breakdown of the QISKit-Aer-style baseline
+ * at the largest sweep size. The paper reports on average 88.89% of
+ * time on the CPU, 10.29% on amplitude exchange + synchronization,
+ * and 0.82% on the GPU.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace qgpu;
+
+int
+main()
+{
+    bench::banner("Figure 2: baseline execution time breakdown",
+                  "Fig. 2 (baseline characterization, P100)",
+                  "CPU share dominates (>70%); GPU share tiny (<5%)");
+
+    const int n = bench::sweepMaxQubits();
+    TextTable table({"circuit", "cpu_%", "exchange_sync_%", "gpu_%",
+                     "total_s"});
+
+    double cpu_sum = 0.0, xfer_sum = 0.0, gpu_sum = 0.0;
+    for (const auto &family : circuits::benchmarkNames()) {
+        Machine m = bench::machineFor(n);
+        const RunResult r = bench::run("baseline", family, n, m);
+        const double cpu = r.stats.get(statkeys::hostCompute);
+        const double xfer = r.stats.get(statkeys::h2d) +
+                            r.stats.get(statkeys::d2h) +
+                            r.stats.get(statkeys::sync);
+        const double gpu = r.stats.get(statkeys::deviceCompute);
+        const double sum = cpu + xfer + gpu;
+        table.addRow({family + "_" +
+                          std::to_string(bench::paperQubits(n)),
+                      TextTable::num(100.0 * cpu / sum, 2),
+                      TextTable::num(100.0 * xfer / sum, 2),
+                      TextTable::num(100.0 * gpu / sum, 2),
+                      TextTable::num(r.totalTime, 1)});
+        cpu_sum += cpu / sum;
+        xfer_sum += xfer / sum;
+        gpu_sum += gpu / sum;
+    }
+    const double k = circuits::benchmarkNames().size();
+    table.addRow({"average", TextTable::num(100.0 * cpu_sum / k, 2),
+                  TextTable::num(100.0 * xfer_sum / k, 2),
+                  TextTable::num(100.0 * gpu_sum / k, 2), "-"});
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("paper average: cpu 88.89%%, exchange+sync 10.29%%, "
+                "gpu 0.82%%\n");
+    return 0;
+}

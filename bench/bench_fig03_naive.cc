@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Figure 3: execution time of the naive dynamic-allocation version
+ * normalized to the baseline. The paper's key negative result: naive
+ * dynamic allocation helps on no circuit (every bar >= 1).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace qgpu;
+
+int
+main()
+{
+    bench::banner("Figure 3: naive dynamic allocation, normalized",
+                  "Fig. 3 (naive vs baseline)",
+                  "every circuit >= 1.0x (naive never wins)");
+
+    const int n = bench::sweepMaxQubits();
+    TextTable table({"circuit", "naive/baseline"});
+    for (const auto &family : circuits::benchmarkNames()) {
+        Machine m1 = bench::machineFor(n);
+        Machine m2 = bench::machineFor(n);
+        const double base =
+            bench::run("baseline", family, n, m1).totalTime;
+        const double naive =
+            bench::run("naive", family, n, m2).totalTime;
+        table.addRow({family + "_" +
+                          std::to_string(bench::paperQubits(n)),
+                      TextTable::num(naive / base, 2)});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 4: execution-time breakdown of the naive version. Data
+ * movement dominates: the GPU is underutilized waiting for chunks.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace qgpu;
+
+int
+main()
+{
+    bench::banner("Figure 4: naive version breakdown",
+                  "Fig. 4 (naive characterization)",
+                  "data movement >50% everywhere; GPU compute small");
+
+    const int n = bench::sweepMaxQubits();
+    TextTable table({"circuit", "transfer_%", "gpu_compute_%",
+                     "sync_%", "total_s"});
+    for (const auto &family : circuits::benchmarkNames()) {
+        Machine m = bench::machineFor(n);
+        const RunResult r = bench::run("naive", family, n, m);
+        const double xfer = r.stats.get(statkeys::transfer);
+        const double gpu = r.stats.get(statkeys::deviceCompute);
+        const double sync = r.stats.get(statkeys::sync);
+        const double sum = xfer + gpu + sync;
+        table.addRow({family + "_" +
+                          std::to_string(bench::paperQubits(n)),
+                      TextTable::num(100.0 * xfer / sum, 2),
+                      TextTable::num(100.0 * gpu / sum, 2),
+                      TextTable::num(100.0 * sync / sum, 2),
+                      TextTable::num(r.totalTime, 1)});
+    }
+    std::printf("%s\n", table.toString().c_str());
+    return 0;
+}

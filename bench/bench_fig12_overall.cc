@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 12: overall normalized execution time for the six versions
+ * plus the CPU-OpenMP comparator, across all nine circuits and five
+ * state sizes (our sweep stands for the paper's 30..34 qubits; the
+ * device memory is held fixed so the smallest size fits on the GPU).
+ *
+ * This is the headline result: Q-GPU reduces execution time by
+ * ~72% (3.55x) over the baseline at the largest size in the paper.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hh"
+
+using namespace qgpu;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 12: overall performance (normalized to Baseline)",
+        "Fig. 12 (six versions x nine circuits x five sizes + CPU)",
+        "Naive >= 1; Overlap < Naive; Pruning <= Overlap; Reorder <= "
+        "Pruning; Q-GPU lowest; big wins on gs/qft/iqp/bv, small on "
+        "hchain/rqc");
+
+    const std::vector<std::string> engines = {
+        "baseline", "naive",   "overlap", "pruning",
+        "reorder",  "qgpu",    "cpu"};
+
+    std::map<std::string, double> sum_at_max;
+    for (const auto &family : circuits::benchmarkNames()) {
+        TextTable table({"circuit", "baseline", "naive", "overlap",
+                         "pruning", "reorder", "qgpu(full)", "cpu"});
+        for (const int n : bench::sweepQubits()) {
+            std::vector<std::string> row = {
+                family + "_" + std::to_string(bench::paperQubits(n))};
+            double base = 0.0;
+            for (const auto &engine : engines) {
+                Machine m = bench::machineFor(n);
+                const double t =
+                    bench::run(engine, family, n, m).totalTime;
+                if (engine == "baseline")
+                    base = t;
+                row.push_back(TextTable::num(t / base, 3));
+                if (n == bench::sweepMaxQubits())
+                    sum_at_max[engine] += t / base;
+            }
+            table.addRow(std::move(row));
+        }
+        std::printf("%s\n", table.toString().c_str());
+    }
+
+    const double k =
+        static_cast<double>(circuits::benchmarkNames().size());
+    std::printf("averages at the largest size "
+                "(paper: Q-GPU 0.281x = 3.55x speedup; CPU-OpenMP "
+                "0.67x of Q-GPU):\n");
+    for (const auto &engine : engines)
+        std::printf("  %-9s %.3f\n", engine.c_str(),
+                    sum_at_max[engine] / k);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 14: compression and decompression overhead as a percentage
+ * of total Q-GPU execution time. The paper reports 3.31% and 2.84%
+ * on average; with the adaptive raw fallback, incompressible
+ * circuits pay only the sampling cost.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace qgpu;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 14: compression/decompression overheads",
+        "Fig. 14 (codec overhead in Q-GPU)",
+        "single-digit percentages on average; zero-ish where the "
+        "bypass ships raw");
+
+    const int n = bench::sweepMaxQubits();
+    TextTable table({"circuit", "compress_%", "decompress_%",
+                     "measured_ratio"});
+    double c_sum = 0.0, d_sum = 0.0;
+    for (const auto &family : circuits::benchmarkNames()) {
+        Machine m = bench::machineFor(n);
+        const RunResult r = bench::run("qgpu", family, n, m);
+        const double c =
+            100.0 * r.stats.get(statkeys::compressTime) /
+            r.totalTime;
+        const double d =
+            100.0 * r.stats.get(statkeys::decompressTime) /
+            r.totalTime;
+        const double in = r.stats.get(statkeys::compressIn);
+        const double out = r.stats.get(statkeys::compressOut);
+        table.addRow({family + "_" +
+                          std::to_string(bench::paperQubits(n)),
+                      TextTable::num(c, 2), TextTable::num(d, 2),
+                      TextTable::num(out > 0 ? in / out : 1.0, 3)});
+        c_sum += c;
+        d_sum += d;
+    }
+    const double k =
+        static_cast<double>(circuits::benchmarkNames().size());
+    table.addRow({"average", TextTable::num(c_sum / k, 2),
+                  TextTable::num(d_sum / k, 2), "-"});
+    std::printf("%s\n", table.toString().c_str());
+    std::printf("paper average: compression 3.31%%, decompression "
+                "2.84%%\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 15: roofline analysis of qft and iqp on a V100. Arithmetic
+ * intensity (flops per device-memory byte) and achieved FLOPS for the
+ * baseline, naive, and Q-GPU versions across sizes. QCS is memory
+ * bound: all points sit under the bandwidth roof; the baseline's
+ * achieved FLOPS collapses once the state exceeds device memory,
+ * while Q-GPU stays well above baseline and naive.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace qgpu;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 15: roofline (V100, qft and iqp)",
+        "Fig. 15 (arithmetic intensity vs achieved FLOPS)",
+        "memory bound everywhere; baseline FLOPS collapses past "
+        "device capacity; Q-GPU highest");
+
+    // Work per byte is scaled with the machine: report achieved
+    // rates relative to the device's (scaled) peak so the numbers
+    // read like the paper's absolute plot.
+    TextTable table({"circuit", "version", "arith_intensity",
+                     "achieved/peak_flops_%", "achieved/peak_bw_%"});
+    for (const auto &family : {"qft", "iqp"}) {
+        for (const int n : bench::sweepQubits()) {
+            if (n != bench::sweepMaxQubits() &&
+                n != bench::sweepMaxQubits() - 4) {
+                continue; // the fits-in-memory and the largest point
+            }
+            for (const auto &engine : {"baseline", "naive", "qgpu"}) {
+                Machine m =
+                    bench::machineFor(n, machines::v100Pcie());
+                const RunResult r =
+                    bench::run(engine, family, n, m);
+                const double flops =
+                    r.stats.get(statkeys::flopsDevice);
+                const double bytes =
+                    r.stats.get(statkeys::deviceMemBytes);
+                const double ai = bytes > 0 ? flops / bytes : 0.0;
+                const auto &spec = m.device(0).spec();
+                const double achieved = flops / r.totalTime;
+                const double bw = bytes / r.totalTime;
+                table.addRow(
+                    {std::string(family) + "_" +
+                         std::to_string(bench::paperQubits(n)),
+                     engine, TextTable::num(ai, 3),
+                     TextTable::num(100.0 * achieved / spec.flops,
+                                    2),
+                     TextTable::num(100.0 * bw / spec.memBandwidth,
+                                    2)});
+            }
+        }
+    }
+    std::printf("%s\n", table.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 16: comparison with the Google Qsim-Cirq-style and Microsoft
+ * QDK-style comparators. The paper could only convert gs and hlf for
+ * Qsim-Cirq, and qft, iqp, hlf, gs for QDK; we report the same
+ * subsets. Expected: ~2x over qsim, ~10x over QDK.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace qgpu;
+
+int
+main()
+{
+    bench::banner(
+        "Figure 16: comparison with Qsim-Cirq and QDK",
+        "Fig. 16a (gs, hlf vs Qsim-Cirq), Fig. 16b (qft, iqp, hlf, "
+        "gs vs QDK)",
+        "Q-GPU ~2x over qsim-like, ~10x over QDK-like");
+
+    const int n = bench::sweepMaxQubits();
+
+    TextTable qsim_table({"circuit", "qsim/qgpu"});
+    double qsim_sum = 0.0;
+    for (const auto &family : {"gs", "hlf"}) {
+        Machine m1 = bench::machineFor(n);
+        Machine m2 = bench::machineFor(n);
+        const double qgpu =
+            bench::run("qgpu", family, n, m1).totalTime;
+        const double qsim =
+            bench::run("qsim", family, n, m2).totalTime;
+        qsim_table.addRow({std::string(family) + "_" +
+                               std::to_string(bench::paperQubits(n)),
+                           TextTable::num(qsim / qgpu, 2)});
+        qsim_sum += qsim / qgpu;
+    }
+    std::printf("%s\n", qsim_table.toString().c_str());
+    std::printf("average speedup over qsim-like: %.2fx "
+                "(paper: 2.02x)\n\n",
+                qsim_sum / 2.0);
+
+    TextTable qdk_table({"circuit", "qdk/qgpu"});
+    double qdk_sum = 0.0;
+    for (const auto &family : {"qft", "iqp", "hlf", "gs"}) {
+        Machine m1 = bench::machineFor(n);
+        Machine m2 = bench::machineFor(n);
+        const double qgpu =
+            bench::run("qgpu", family, n, m1).totalTime;
+        const double qdk =
+            bench::run("qdk", family, n, m2).totalTime;
+        qdk_table.addRow({std::string(family) + "_" +
+                              std::to_string(bench::paperQubits(n)),
+                          TextTable::num(qdk / qgpu, 2)});
+        qdk_sum += qdk / qgpu;
+    }
+    std::printf("%s\n", qdk_table.toString().c_str());
+    std::printf("average speedup over QDK-like: %.2fx "
+                "(paper: 10.82x)\n",
+                qdk_sum / 4.0);
+    return 0;
+}

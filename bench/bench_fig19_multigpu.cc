@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 19: multi-GPU evaluation. Server-1: four P4 GPUs over PCIe;
+ * Server-2: four V100 GPUs over NVLink. Q-GPU's round-robin group
+ * streaming vs the static multi-GPU baseline. The paper reports
+ * 66.38% and 66.46% average reductions (~3x).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+
+using namespace qgpu;
+
+namespace
+{
+
+void
+server(const char *name, const DeviceSpec &gpu,
+       double total_fraction, double paper_reduction)
+{
+    const int n = bench::sweepMaxQubits();
+    TextTable table({"circuit", "qgpu/multi-gpu-baseline"});
+    double sum = 0.0;
+    int count = 0;
+    for (const auto &family : circuits::benchmarkNames()) {
+        Machine m1 = machines::makeScaled(n, gpu, total_fraction, 4,
+                                          bench::paperQubits(n));
+        Machine m2 = machines::makeScaled(n, gpu, total_fraction, 4,
+                                          bench::paperQubits(n));
+        const double base =
+            bench::run("baseline", family, n, m1).totalTime;
+        const double qgpu =
+            bench::run("qgpu", family, n, m2).totalTime;
+        table.addRow({family + "_" +
+                          std::to_string(bench::paperQubits(n)),
+                      TextTable::num(qgpu / base, 3)});
+        sum += qgpu / base;
+        ++count;
+    }
+    std::printf("--- %s ---\n%s", name, table.toString().c_str());
+    std::printf("average reduction: %.2f%% (paper: %.2f%%)\n\n",
+                100.0 * (1.0 - sum / count), paper_reduction);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Figure 19: multi-GPU platforms",
+        "Fig. 19 (4x P4 PCIe server and 4x V100 NVLink server)",
+        "~3x over the static multi-GPU baseline on both servers");
+
+    // Server-1: 4 x P4 (8 GB each = 32 GB total against 256 GB).
+    server("server-1: 4x P4, PCIe", machines::p4(), 4.0 / 32.0,
+           66.38);
+    // Server-2: 4 x V100 (16 GB each = 64 GB total against 256 GB).
+    server("server-2: 4x V100, NVLink", machines::v100Nvlink(),
+           4.0 / 16.0, 66.46);
+    return 0;
+}

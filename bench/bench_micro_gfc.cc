@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the GFC codec: compression and
+ * decompression throughput on smooth, quantum-state, and random
+ * payloads.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuits/circuits.hh"
+#include "common/rng.hh"
+#include "compress/gfc.hh"
+#include "statevec/state_vector.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+std::vector<double>
+payload(const std::string &kind, std::size_t count)
+{
+    std::vector<double> data(count);
+    if (kind == "smooth") {
+        for (std::size_t i = 0; i < count; ++i)
+            data[i] = 0.125;
+    } else if (kind == "random") {
+        Rng rng(99);
+        for (auto &v : data)
+            v = rng.nextDouble() - 0.5;
+    } else { // quantum state (gs)
+        const StateVector s = simulateReference(
+            circuits::graphState(16));
+        for (std::size_t i = 0; i < count; ++i)
+            data[i] = reinterpret_cast<const double *>(
+                s.amplitudes().data())[i % (2 * s.size())];
+    }
+    return data;
+}
+
+void
+BM_GfcCompress(benchmark::State &state, const std::string &kind)
+{
+    GfcCodec codec;
+    const auto data = payload(kind, 1 << 16);
+    for (auto _ : state) {
+        const CompressedBlock block =
+            codec.compress(data.data(), data.size());
+        benchmark::DoNotOptimize(block.bytes.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(data.size() * sizeof(double)));
+}
+BENCHMARK_CAPTURE(BM_GfcCompress, smooth, std::string("smooth"));
+BENCHMARK_CAPTURE(BM_GfcCompress, state, std::string("state"));
+BENCHMARK_CAPTURE(BM_GfcCompress, random, std::string("random"));
+
+void
+BM_GfcDecompress(benchmark::State &state, const std::string &kind)
+{
+    GfcCodec codec;
+    const auto data = payload(kind, 1 << 16);
+    const CompressedBlock block =
+        codec.compress(data.data(), data.size());
+    std::vector<double> out(data.size());
+    for (auto _ : state) {
+        codec.decompress(block, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(data.size() * sizeof(double)));
+}
+BENCHMARK_CAPTURE(BM_GfcDecompress, smooth, std::string("smooth"));
+BENCHMARK_CAPTURE(BM_GfcDecompress, random, std::string("random"));
+
+void
+BM_GfcSizeOnly(benchmark::State &state)
+{
+    GfcCodec codec(32, 1);
+    const auto data = payload("state", 1 << 16);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            codec.compressedPayloadSize(data.data(), data.size()));
+    }
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(data.size() * sizeof(double)));
+}
+BENCHMARK(BM_GfcSizeOnly);
+
+} // namespace
+} // namespace qgpu
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the gate-application kernels:
+ * the actual (wall-clock) cost of the functional simulation layer on
+ * this machine, per gate shape and state size.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "statevec/state_vector.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+void
+BM_Apply1q(benchmark::State &bench_state)
+{
+    const int n = static_cast<int>(bench_state.range(0));
+    StateVector state(n);
+    const Gate h(GateKind::H, {n / 2});
+    for (auto _ : bench_state) {
+        state.apply(h);
+        benchmark::DoNotOptimize(state.amplitudes().data());
+    }
+    bench_state.SetItemsProcessed(
+        static_cast<std::int64_t>(bench_state.iterations()) *
+        static_cast<std::int64_t>(state.size()));
+}
+BENCHMARK(BM_Apply1q)->Arg(12)->Arg(16)->Arg(20);
+
+void
+BM_ApplyDiag(benchmark::State &bench_state)
+{
+    const int n = static_cast<int>(bench_state.range(0));
+    StateVector state(n);
+    const Gate cp(GateKind::CP, {0, n - 1}, {0.37});
+    for (auto _ : bench_state) {
+        state.apply(cp);
+        benchmark::DoNotOptimize(state.amplitudes().data());
+    }
+    bench_state.SetItemsProcessed(
+        static_cast<std::int64_t>(bench_state.iterations()) *
+        static_cast<std::int64_t>(state.size()));
+}
+BENCHMARK(BM_ApplyDiag)->Arg(12)->Arg(16)->Arg(20);
+
+void
+BM_Apply2q(benchmark::State &bench_state)
+{
+    const int n = static_cast<int>(bench_state.range(0));
+    StateVector state(n);
+    const Gate cx(GateKind::CX, {1, n - 2});
+    for (auto _ : bench_state) {
+        state.apply(cx);
+        benchmark::DoNotOptimize(state.amplitudes().data());
+    }
+    bench_state.SetItemsProcessed(
+        static_cast<std::int64_t>(bench_state.iterations()) *
+        static_cast<std::int64_t>(state.size()));
+}
+BENCHMARK(BM_Apply2q)->Arg(12)->Arg(16)->Arg(20);
+
+void
+BM_ApplyFused4q(benchmark::State &bench_state)
+{
+    const int n = static_cast<int>(bench_state.range(0));
+    StateVector state(n);
+    // A dense 4-qubit custom gate, as fusion produces.
+    const GateMatrix m = GateMatrix::identity(16);
+    const Gate g = Gate::makeCustom({0, 1, n - 2, n - 1}, m.data());
+    for (auto _ : bench_state) {
+        state.apply(g);
+        benchmark::DoNotOptimize(state.amplitudes().data());
+    }
+    bench_state.SetItemsProcessed(
+        static_cast<std::int64_t>(bench_state.iterations()) *
+        static_cast<std::int64_t>(state.size()));
+}
+BENCHMARK(BM_ApplyFused4q)->Arg(12)->Arg(16);
+
+} // namespace
+} // namespace qgpu
+
+BENCHMARK_MAIN();

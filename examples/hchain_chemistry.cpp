@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Chemistry workload walkthrough: simulate a Trotterized linear
+ * hydrogen chain (the paper's hchain benchmark) through every
+ * execution version and compare their virtual times — the per-circuit
+ * story behind Fig. 12 — then measure site occupation probabilities
+ * from the final state.
+ *
+ * Run:  ./hchain_chemistry [num_qubits] [layers]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hh"
+#include "statevec/measure.hh"
+
+using namespace qgpu;
+
+int
+main(int argc, char **argv)
+{
+    const int n = argc > 1 ? std::atoi(argv[1]) : 12;
+    const int layers = argc > 2 ? std::atoi(argv[2]) : 6;
+    if (n < 2 || n > 22 || layers < 1) {
+        std::fprintf(stderr, "usage: %s [qubits 2..22] [layers]\n",
+                     argv[0]);
+        return 1;
+    }
+
+    const Circuit chain = circuits::hchain(n, layers);
+    std::printf("circuit: %s, %zu gates, depth %d\n\n",
+                chain.name().c_str(), chain.numGates(),
+                chain.depth());
+
+    std::printf("%-10s %14s %10s\n", "version", "virtual time",
+                "speedup");
+    double baseline_time = 0.0;
+    StateVector final_state(1);
+    for (const char *engine :
+         {"baseline", "naive", "overlap", "pruning", "reorder",
+          "qgpu", "cpu"}) {
+        Machine machine = machines::makeScaled(n);
+        const RunResult r =
+            harness::runOn(engine, machine, chain);
+        if (std::string(engine) == "baseline")
+            baseline_time = r.totalTime;
+        if (std::string(engine) == "qgpu")
+            final_state = r.state;
+        std::printf("%-10s %12.1f s %9.2fx\n", r.engine.c_str(),
+                    r.totalTime, baseline_time / r.totalTime);
+    }
+
+    std::printf("\nsite occupation <n_i> from the Q-GPU state:\n");
+    for (int q = 0; q < n; ++q)
+        std::printf("  site %2d: %.4f\n", q,
+                    probabilityOfOne(final_state, q));
+    return 0;
+}

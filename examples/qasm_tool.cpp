@@ -1,0 +1,61 @@
+/**
+ * @file
+ * OpenQASM interchange tool: emit any benchmark family as an
+ * OpenQASM 2.0 program (the route the paper takes to run its circuits
+ * on Qsim-Cirq/QDK), or parse a program from stdin and report its
+ * structure and involvement profile.
+ *
+ * Run:  ./qasm_tool emit <family> <qubits>
+ *       ./qasm_tool info < program.qasm
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "circuits/circuits.hh"
+#include "qc/qasm.hh"
+
+using namespace qgpu;
+
+int
+main(int argc, char **argv)
+{
+    const std::string mode = argc > 1 ? argv[1] : "";
+
+    if (mode == "emit" && argc == 4) {
+        const Circuit c =
+            circuits::makeBenchmark(argv[2], std::atoi(argv[3]));
+        std::fputs(toQasm(c).c_str(), stdout);
+        return 0;
+    }
+
+    if (mode == "info") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        const Circuit c = fromQasm(buf.str());
+        std::printf("qubits: %d\n", c.numQubits());
+        std::printf("gates:  %zu\n", c.numGates());
+        std::printf("depth:  %d\n", c.depth());
+        std::printf("ops before full involvement: %zu (%.1f%%)\n",
+                    c.opsBeforeFullInvolvement(),
+                    100.0 *
+                        static_cast<double>(
+                            c.opsBeforeFullInvolvement()) /
+                        static_cast<double>(c.numGates()));
+        std::printf("census:\n");
+        for (const auto &[name, count] : c.gateCensus())
+            std::printf("  %-6s %zu\n", name.c_str(), count);
+        return 0;
+    }
+
+    std::fprintf(stderr,
+                 "usage: %s emit <family> <qubits>\n"
+                 "       %s info < program.qasm\n"
+                 "families: hchain rqc qaoa gs hlf qft iqp qf bv "
+                 "grqc\n",
+                 argv[0], argv[0]);
+    return 1;
+}

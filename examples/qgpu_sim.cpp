@@ -1,0 +1,204 @@
+/**
+ * @file
+ * qgpu_sim - the command-line simulator driver. Loads a benchmark
+ * family or an OpenQASM 2.0 file, runs it through a chosen engine on
+ * a chosen (scaled) machine, and reports measurement counts, timing,
+ * and stats.
+ *
+ * Examples:
+ *   ./qgpu_sim --circuit qft --qubits 14 --engine qgpu --shots 100
+ *   ./qgpu_sim --qasm program.qasm --engine baseline --gpu v100
+ *   ./qgpu_sim --circuit gs --qubits 12 --gpus 4 --gpu p4 --timeline
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+#include "qc/qasm.hh"
+#include "statevec/measure.hh"
+
+using namespace qgpu;
+
+namespace
+{
+
+struct Args
+{
+    std::string circuit;
+    std::string qasm_path;
+    std::string engine = "qgpu";
+    std::string gpu = "p100";
+    int qubits = 14;
+    int gpus = 1;
+    int paper_qubits = 34;
+    double device_fraction = 1.0 / 16.0;
+    std::uint64_t shots = 0;
+    std::uint64_t seed = 2026;
+    bool timeline = false;
+    bool stats = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --circuit <family>    hchain|rqc|qaoa|gs|hlf|qft|iqp|qf|"
+        "bv|grqc\n"
+        "  --qasm <file>         load an OpenQASM 2.0 program "
+        "instead\n"
+        "  --qubits <n>          register size for --circuit "
+        "(default 14)\n"
+        "  --engine <name>       baseline|naive|overlap|pruning|"
+        "reorder|qgpu|cpu|qsim|qdk\n"
+        "  --gpu <preset>        p100|v100|v100nvl|a100|p4\n"
+        "  --gpus <k>            number of GPUs (default 1)\n"
+        "  --fraction <f>        device memory as a fraction of the "
+        "state (default 1/16)\n"
+        "  --paper-qubits <n>    rate-scaling reference size "
+        "(default 34)\n"
+        "  --shots <k>           sample k measurement outcomes\n"
+        "  --seed <s>            sampling seed\n"
+        "  --timeline            print the ASCII execution timeline\n"
+        "  --stats               print every engine counter\n",
+        argv0);
+    std::exit(1);
+}
+
+DeviceSpec
+gpuPreset(const std::string &name)
+{
+    if (name == "p100")
+        return machines::p100();
+    if (name == "v100")
+        return machines::v100Pcie();
+    if (name == "v100nvl")
+        return machines::v100Nvlink();
+    if (name == "a100")
+        return machines::a100();
+    if (name == "p4")
+        return machines::p4();
+    QGPU_FATAL("unknown GPU preset '", name, "'");
+}
+
+Args
+parse(int argc, char **argv)
+{
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (flag == "--circuit")
+            args.circuit = value();
+        else if (flag == "--qasm")
+            args.qasm_path = value();
+        else if (flag == "--qubits")
+            args.qubits = std::atoi(value().c_str());
+        else if (flag == "--engine")
+            args.engine = value();
+        else if (flag == "--gpu")
+            args.gpu = value();
+        else if (flag == "--gpus")
+            args.gpus = std::atoi(value().c_str());
+        else if (flag == "--fraction")
+            args.device_fraction = std::atof(value().c_str());
+        else if (flag == "--paper-qubits")
+            args.paper_qubits = std::atoi(value().c_str());
+        else if (flag == "--shots")
+            args.shots = std::strtoull(value().c_str(), nullptr, 10);
+        else if (flag == "--seed")
+            args.seed = std::strtoull(value().c_str(), nullptr, 10);
+        else if (flag == "--timeline")
+            args.timeline = true;
+        else if (flag == "--stats")
+            args.stats = true;
+        else
+            usage(argv[0]);
+    }
+    if (args.circuit.empty() == args.qasm_path.empty())
+        usage(argv[0]); // exactly one source required
+    return args;
+}
+
+Circuit
+loadCircuit(const Args &args)
+{
+    if (!args.qasm_path.empty()) {
+        std::ifstream in(args.qasm_path);
+        if (!in)
+            QGPU_FATAL("cannot open '", args.qasm_path, "'");
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        return fromQasm(buf.str());
+    }
+    return circuits::makeBenchmark(args.circuit, args.qubits);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Args args = parse(argc, argv);
+    const Circuit circuit = loadCircuit(args);
+
+    std::printf("circuit: %s (%d qubits, %zu gates, depth %d)\n",
+                circuit.name().c_str(), circuit.numQubits(),
+                circuit.numGates(), circuit.depth());
+
+    Machine machine = machines::makeScaled(
+        circuit.numQubits(), gpuPreset(args.gpu),
+        args.device_fraction, args.gpus, args.paper_qubits);
+    std::printf("machine: %dx %s, %.1f MiB device memory each "
+                "(state: %.1f MiB)\n",
+                machine.numDevices(), args.gpu.c_str(),
+                static_cast<double>(
+                    machine.device(0).spec().memBytes) /
+                    (1 << 20),
+                static_cast<double>(
+                    stateBytes(circuit.numQubits())) /
+                    (1 << 20));
+
+    ExecOptions options;
+    options.recordTimeline = args.timeline;
+    const RunResult result =
+        harness::runOn(args.engine, machine, circuit, options);
+
+    std::printf("engine:  %s\n", result.engine.c_str());
+    std::printf("virtual time: %.3f s (at %d-qubit-equivalent "
+                "scale)\n",
+                result.totalTime, args.paper_qubits);
+    std::printf("state norm:   %.12f\n", result.state.norm());
+
+    if (args.shots > 0) {
+        Rng rng(args.seed);
+        const auto counts =
+            sampleCounts(result.state, args.shots, rng);
+        std::printf("\ncounts (%llu shots):\n",
+                    static_cast<unsigned long long>(args.shots));
+        for (const auto &[outcome, count] : counts) {
+            std::printf("  ");
+            for (int q = circuit.numQubits() - 1; q >= 0; --q)
+                std::printf("%d", static_cast<int>(outcome >> q) & 1);
+            std::printf(": %llu\n",
+                        static_cast<unsigned long long>(count));
+        }
+    }
+
+    if (args.timeline)
+        std::printf("\n%s", result.timeline.render(100).c_str());
+    if (args.stats)
+        std::printf("\nstats:\n%s", result.stats.toString().c_str());
+    return 0;
+}

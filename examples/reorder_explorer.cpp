@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The paper's Fig. 8 walk-through: reorder a graph-state circuit with
+ * the greedy and forward-looking heuristics, print each gate sequence
+ * with its running involvement count, and verify the final states are
+ * identical.
+ *
+ * Run:  ./reorder_explorer [num_qubits]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "circuits/circuits.hh"
+#include "reorder/reorder.hh"
+#include "statevec/state_vector.hh"
+
+using namespace qgpu;
+
+namespace
+{
+
+void
+show(const char *title, const Circuit &c)
+{
+    std::printf("--- %s ---\n", title);
+    const auto curve = c.involvementCurve();
+    for (std::size_t i = 0; i < c.numGates(); ++i)
+        std::printf("  %2zu. %-16s involved=%d\n", i + 1,
+                    c.gates()[i].toString().c_str(), curve[i]);
+    long area = 0;
+    for (int v : curve)
+        area += v;
+    std::printf("  involvement area: %ld (lower = more pruning)\n\n",
+                area);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const int n = argc > 1 ? std::atoi(argv[1]) : 5;
+    if (n < 2 || n > 16) {
+        std::fprintf(stderr, "usage: %s [qubits 2..16]\n", argv[0]);
+        return 1;
+    }
+
+    const Circuit original = circuits::graphState(n);
+    const Circuit greedy =
+        reorderCircuit(original, ReorderKind::Greedy);
+    const Circuit forward =
+        reorderCircuit(original, ReorderKind::ForwardLooking);
+
+    show("original order (all H first)", original);
+    show("greedy reordering (Algorithm 2)", greedy);
+    show("forward-looking reordering (Algorithm 3)", forward);
+
+    const StateVector want = simulateReference(original);
+    std::printf("max |amp| difference vs original: greedy %.2e, "
+                "forward-looking %.2e\n",
+                want.maxAbsDiff(simulateReference(greedy)),
+                want.maxAbsDiff(simulateReference(forward)));
+    std::printf("(reordering provably never changes the result)\n");
+    return 0;
+}

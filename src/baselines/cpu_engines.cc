@@ -1,0 +1,103 @@
+#include "baselines/cpu_engines.hh"
+
+#include <algorithm>
+
+#include "qc/fusion.hh"
+#include "statevec/kernels.hh"
+
+namespace qgpu
+{
+
+namespace
+{
+
+/**
+ * Sequential full-state passes on the host compute resource.
+ * @p efficiency divides the host's effective rates: 2.0 means each
+ * pass runs twice as fast as the reference loops, 1/7 means seven
+ * times slower.
+ */
+StateVector
+hostPasses(Machine &m, const Circuit &circuit, RunResult &result,
+           int threads, double efficiency, double per_gate_overhead)
+{
+    auto &stats = result.stats;
+    const int n = circuit.numQubits();
+    const double pass_bytes =
+        2.0 * static_cast<double>(stateBytes(n)); // read + write
+
+    StateVector state(n);
+    VTime prev = 0.0;
+    for (const Gate &gate : circuit.gates()) {
+        state.apply(gate);
+        const double flops = kernels::gateFlops(gate, n);
+        const VTime dur =
+            m.host().updateTime(flops / efficiency,
+                                pass_bytes / efficiency, threads) +
+            per_gate_overhead;
+        prev = m.host().compute().schedule(prev, dur);
+        stats.add(statkeys::flopsHost, flops);
+        result.timeline.record("host.compute", "update", prev - dur,
+                               prev);
+    }
+    return state;
+}
+
+} // namespace
+
+CpuEngine::CpuEngine(Machine &machine, ExecOptions options)
+    : ExecutionEngine(machine, std::move(options))
+{
+}
+
+StateVector
+CpuEngine::execute(const Circuit &circuit, RunResult &result)
+{
+    return hostPasses(machine(), circuit, result,
+                      options().hostThreads, 1.0, 0.0);
+}
+
+QsimLikeEngine::QsimLikeEngine(Machine &machine, ExecOptions options,
+                               int max_fused_qubits)
+    : ExecutionEngine(machine, std::move(options)),
+      maxFusedQubits_(max_fused_qubits)
+{
+}
+
+StateVector
+QsimLikeEngine::execute(const Circuit &circuit, RunResult &result)
+{
+    // Fusion is qsim's defining optimization: far fewer full-state
+    // passes, each with a denser (but vectorization-friendly) matrix.
+    const Circuit fused = fuseGates(circuit, maxFusedQubits_);
+    result.stats.set("gates.original",
+                     static_cast<double>(circuit.numGates()));
+    result.stats.set("gates.fused",
+                     static_cast<double>(fused.numGates()));
+    // AVX batching makes the dense fused kernels ~2x as efficient per
+    // flop as Aer's per-gate loops.
+    return hostPasses(machine(), fused, result,
+                      options().hostThreads, 2.0, 0.0);
+}
+
+QdkLikeEngine::QdkLikeEngine(Machine &machine, ExecOptions options)
+    : ExecutionEngine(machine, std::move(options))
+{
+}
+
+StateVector
+QdkLikeEngine::execute(const Circuit &circuit, RunResult &result)
+{
+    // QDK's full-state simulator pays a large managed-runtime cost
+    // per amplitude pass and does not block for cache or vectorize
+    // the inner loops; its passes run several times slower than
+    // Aer's. The 1/2 derate reproduces the paper's measured gap
+    // (QDK ~10.8x slower than Q-GPU, which itself is ~3.5x faster
+    // than the Aer baseline).
+    const int threads =
+        std::max(1, machine().host().spec().cores / 4);
+    return hostPasses(machine(), circuit, result, threads,
+                      1.0 / 2.0, 2e-3);
+}
+
+} // namespace qgpu

@@ -1,0 +1,41 @@
+#include "circuits/circuits.hh"
+
+#include "common/rng.hh"
+
+namespace qgpu
+{
+namespace circuits
+{
+
+Circuit
+bv(int num_qubits, std::uint64_t seed)
+{
+    Circuit c(num_qubits, "bv_" + std::to_string(num_qubits));
+    Rng rng(seed);
+
+    // Textbook Bernstein-Vazirani with the ancilla on the top qubit:
+    // phase-kickback preparation, the opening H column (after which
+    // every qubit is involved, ~1/3 into the circuit), the oracle's
+    // CX pattern, and the closing H column.
+    const int anc = num_qubits - 1;
+    c.x(anc);
+    c.h(anc);
+
+    std::vector<bool> secret(num_qubits - 1);
+    for (int q = 0; q < num_qubits - 1; ++q)
+        secret[q] = rng.nextBool(0.75);
+
+    for (int q = 0; q < num_qubits - 1; ++q)
+        c.h(q);
+    for (int q = 0; q < num_qubits - 1; ++q)
+        if (secret[q])
+            c.cx(q, anc);
+    for (int q = 0; q < num_qubits - 1; ++q)
+        c.h(q);
+    c.h(anc);
+    c.x(anc);
+    return c;
+}
+
+} // namespace circuits
+} // namespace qgpu

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Generators for the nine benchmark circuit families of Table I, plus
+ * the deep random circuits of Table III. Gate emission order matters:
+ * it determines the qubit-involvement profile the pruning and
+ * reordering optimizations exploit, so each generator emits gates in
+ * the order the corresponding application naturally produces them.
+ */
+
+#ifndef QGPU_CIRCUITS_CIRCUITS_HH
+#define QGPU_CIRCUITS_CIRCUITS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "qc/circuit.hh"
+
+namespace qgpu
+{
+namespace circuits
+{
+
+/**
+ * Linear hydrogen-atom chain: Trotterized evolution with per-layer
+ * single-qubit rotations and a nearest-neighbour CX-RZ-CX ladder.
+ * Long circuit, early entanglement.
+ */
+Circuit hchain(int num_qubits, int layers = 10,
+               std::uint64_t seed = 1);
+
+/**
+ * Random quantum circuit following the Boixo et al. supremacy rules:
+ * staggered CZ layers interleaved with random {sqrt(X), sqrt(Y), T}
+ * single-qubit gates; Hadamards applied lazily at first qubit use.
+ */
+Circuit rqc(int num_qubits, int cycles = 6, std::uint64_t seed = 2);
+
+/** Deep random circuit (Table III); same rules, many cycles. */
+Circuit grqc(int num_qubits, int cycles = 160,
+             std::uint64_t seed = 3);
+
+/**
+ * QAOA for MaxCut on a random 3-regular graph with @p rounds
+ * gamma/beta rounds: initial H column, then per round a CX-RZ-CX block
+ * per edge and an RX mixer per qubit.
+ */
+Circuit qaoa(int num_qubits, int rounds = 4, std::uint64_t seed = 4);
+
+/**
+ * Graph state preparation over a path graph plus @p chords random
+ * extra edges: H per vertex, CZ per edge.
+ */
+Circuit graphState(int num_qubits, int chords = 0,
+                   std::uint64_t seed = 5);
+
+/**
+ * 2D hidden linear function problem: H column, CZ over a random
+ * subset of grid edges, S over a random vertex subset, H column.
+ */
+Circuit hlf(int num_qubits, std::uint64_t seed = 6);
+
+/**
+ * Quantum Fourier transform. @p approx_degree limits controlled-phase
+ * range (0 = exact); the paper's circuit sizes match degree ~5.
+ */
+Circuit qft(int num_qubits, int approx_degree = 0);
+
+/**
+ * Instantaneous quantum polynomial-time circuit: a diagonal part of
+ * T/CP gates emitted in ascending max-qubit order, then the H column.
+ * Qubits become involved very late, maximizing pruning potential.
+ */
+Circuit iqp(int num_qubits, double density = 0.55,
+            std::uint64_t seed = 7);
+
+/**
+ * Quadratic form on binary variables (Grover adaptive search): H
+ * columns, controlled-phase encodings of the quadratic terms onto a
+ * result register, inverse QFT on the result register.
+ */
+Circuit quadraticForm(int num_qubits, std::uint64_t seed = 8);
+
+/** Bernstein-Vazirani with a random secret string. */
+Circuit bv(int num_qubits, std::uint64_t seed = 9);
+
+/** Abbreviated family names in paper order. */
+const std::vector<std::string> &benchmarkNames();
+
+/**
+ * Construct a benchmark by family name ("hchain", "rqc", "qaoa",
+ * "gs", "hlf", "qft", "iqp", "qf", "bv", "grqc") with default
+ * parameters; the circuit is named "<family>_<n>". Fatal on unknown
+ * names.
+ */
+Circuit makeBenchmark(const std::string &family, int num_qubits,
+                      std::uint64_t seed = 0);
+
+} // namespace circuits
+} // namespace qgpu
+
+#endif // QGPU_CIRCUITS_CIRCUITS_HH

@@ -1,0 +1,36 @@
+#include "circuits/circuits.hh"
+
+#include <algorithm>
+
+#include "common/rng.hh"
+
+namespace qgpu
+{
+namespace circuits
+{
+
+Circuit
+graphState(int num_qubits, int chords, std::uint64_t seed)
+{
+    Circuit c(num_qubits, "gs_" + std::to_string(num_qubits));
+    Rng rng(seed);
+
+    // H on every vertex, then CZ per edge of a path graph plus
+    // optional random chords. Emitted in the textbook order (all H
+    // first), which is exactly what the paper's Fig. 8 reordering
+    // walk-through improves on.
+    for (int q = 0; q < num_qubits; ++q)
+        c.h(q);
+    for (int q = 0; q + 1 < num_qubits; ++q)
+        c.cz(q, q + 1);
+    for (int e = 0; e < chords; ++e) {
+        const int a = static_cast<int>(rng.nextBelow(num_qubits));
+        const int b = static_cast<int>(rng.nextBelow(num_qubits));
+        if (a != b)
+            c.cz(std::min(a, b), std::max(a, b));
+    }
+    return c;
+}
+
+} // namespace circuits
+} // namespace qgpu

@@ -1,0 +1,40 @@
+#include "circuits/circuits.hh"
+
+#include <numbers>
+
+#include "common/rng.hh"
+
+namespace qgpu
+{
+namespace circuits
+{
+
+Circuit
+hchain(int num_qubits, int layers, std::uint64_t seed)
+{
+    Circuit c(num_qubits, "hchain_" + std::to_string(num_qubits));
+    Rng rng(seed);
+
+    // First-order Trotter step of a 1D chain Hamiltonian: on-site
+    // terms (RZ + RX per qubit) followed by nearest-neighbour ZZ
+    // interaction ladders (CX - RZ - CX). Angle magnitudes mimic a
+    // small time step; exact values only shape amplitude content.
+    for (int layer = 0; layer < layers; ++layer) {
+        for (int q = 0; q < num_qubits; ++q) {
+            c.rz(0.23 + 0.11 * rng.nextDouble(), q);
+            c.rx(0.41 + 0.07 * rng.nextDouble(), q);
+        }
+        for (int q = 0; q + 1 < num_qubits; ++q) {
+            c.cx(q, q + 1);
+            c.rz(0.17 + 0.05 * rng.nextDouble(), q + 1);
+            c.cx(q, q + 1);
+        }
+    }
+    // Basis-change layer before measurement.
+    for (int q = 0; q < num_qubits; ++q)
+        c.ry(std::numbers::pi / 4, q);
+    return c;
+}
+
+} // namespace circuits
+} // namespace qgpu

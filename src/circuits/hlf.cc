@@ -1,0 +1,48 @@
+#include "circuits/circuits.hh"
+
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace qgpu
+{
+namespace circuits
+{
+
+Circuit
+hlf(int num_qubits, std::uint64_t seed)
+{
+    Circuit c(num_qubits, "hlf_" + std::to_string(num_qubits));
+    Rng rng(seed);
+
+    // 2D hidden linear function (Bravyi, Gosset, König): qubits on a
+    // near-square grid; the instance is a random symmetric binary
+    // matrix A supported on grid edges plus a random diagonal b.
+    // Circuit: H column, CZ for every A_ij = 1, S for every b_i = 1,
+    // H column.
+    const int cols = std::max(
+        1, static_cast<int>(std::lround(std::sqrt(num_qubits))));
+
+    for (int q = 0; q < num_qubits; ++q)
+        c.h(q);
+
+    for (int q = 0; q < num_qubits; ++q) {
+        const int right = q + 1;
+        const int down = q + cols;
+        // Keep row-internal right edges only.
+        if (right < num_qubits && right % cols != 0 && rng.nextBool())
+            c.cz(q, right);
+        if (down < num_qubits && rng.nextBool())
+            c.cz(q, down);
+    }
+    for (int q = 0; q < num_qubits; ++q)
+        if (rng.nextBool())
+            c.s(q);
+
+    for (int q = 0; q < num_qubits; ++q)
+        c.h(q);
+    return c;
+}
+
+} // namespace circuits
+} // namespace qgpu

@@ -1,0 +1,41 @@
+#include "circuits/circuits.hh"
+
+#include <numbers>
+
+namespace qgpu
+{
+namespace circuits
+{
+
+Circuit
+qft(int num_qubits, int approx_degree)
+{
+    Circuit c(num_qubits, "qft_" + std::to_string(num_qubits));
+    const int degree =
+        approx_degree <= 0 ? num_qubits : approx_degree;
+
+    // Textbook QFT emitted in ascending target order: per target
+    // qubit a Hadamard followed by controlled-phase rotations from
+    // every higher qubit. The first block touches all qubits, giving
+    // qft the early-involvement profile of the paper's Table II,
+    // while the CP gates of later blocks are exactly the independent
+    // work the reordering pass can pull forward (Fig. 9). An
+    // approximation degree d drops rotations beyond distance d.
+    for (int i = 0; i < num_qubits; ++i) {
+        c.h(i);
+        for (int j = i + 1; j < num_qubits && (j - i) <= degree;
+             ++j) {
+            const double angle =
+                std::numbers::pi / static_cast<double>(1ull << (j - i));
+            c.cp(angle, j, i);
+        }
+    }
+    // Unlike the descending-target decomposition, this ascending form
+    // already leaves the output in natural bit order: no bit-reversal
+    // swap layer is needed (verified against the analytic DFT in
+    // tests/test_state_vector.cc).
+    return c;
+}
+
+} // namespace circuits
+} // namespace qgpu

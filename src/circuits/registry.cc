@@ -1,0 +1,50 @@
+#include "circuits/circuits.hh"
+
+#include "common/logging.hh"
+
+namespace qgpu
+{
+namespace circuits
+{
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "hchain", "rqc", "qaoa", "gs", "hlf",
+        "qft",    "iqp", "qf",   "bv",
+    };
+    return names;
+}
+
+Circuit
+makeBenchmark(const std::string &family, int num_qubits,
+              std::uint64_t seed)
+{
+    // A zero seed selects each family's default, so the standard
+    // benchmark instances are stable across the test and bench suite.
+    if (family == "hchain")
+        return hchain(num_qubits, 10, seed ? seed : 1);
+    if (family == "rqc")
+        return rqc(num_qubits, 6, seed ? seed : 2);
+    if (family == "grqc")
+        return grqc(num_qubits, 160, seed ? seed : 3);
+    if (family == "qaoa")
+        return qaoa(num_qubits, 4, seed ? seed : 4);
+    if (family == "gs")
+        return graphState(num_qubits, 0, seed ? seed : 5);
+    if (family == "hlf")
+        return hlf(num_qubits, seed ? seed : 6);
+    if (family == "qft")
+        return qft(num_qubits);
+    if (family == "iqp")
+        return iqp(num_qubits, 0.55, seed ? seed : 7);
+    if (family == "qf")
+        return quadraticForm(num_qubits, seed ? seed : 8);
+    if (family == "bv")
+        return bv(num_qubits, seed ? seed : 9);
+    QGPU_FATAL("unknown benchmark family '", family, "'");
+}
+
+} // namespace circuits
+} // namespace qgpu

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the chunked state vector, the pruning
+ * iterator, and the gate-application kernels.
+ */
+
+#ifndef QGPU_COMMON_BITS_HH
+#define QGPU_COMMON_BITS_HH
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace qgpu
+{
+namespace bits
+{
+
+/** Mask with the low @p n bits set. */
+constexpr std::uint64_t
+lowMask(int n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+}
+
+/** Test bit @p pos of @p value. */
+constexpr bool
+testBit(std::uint64_t value, int pos)
+{
+    return (value >> pos) & 1;
+}
+
+/** Set bit @p pos of @p value. */
+constexpr std::uint64_t
+setBit(std::uint64_t value, int pos)
+{
+    return value | (std::uint64_t{1} << pos);
+}
+
+/** Clear bit @p pos of @p value. */
+constexpr std::uint64_t
+clearBit(std::uint64_t value, int pos)
+{
+    return value & ~(std::uint64_t{1} << pos);
+}
+
+/**
+ * Insert a zero bit at position @p pos, shifting the bits at and above
+ * @p pos up by one. This is the standard trick for enumerating the
+ * amplitude pairs touched by a gate on qubit @p pos: iterating i over
+ * [0, 2^(n-1)) and inserting a zero at @p pos yields the index of the
+ * |0> element of every pair exactly once.
+ */
+constexpr std::uint64_t
+insertZeroBit(std::uint64_t value, int pos)
+{
+    const std::uint64_t low = value & lowMask(pos);
+    const std::uint64_t high = (value >> pos) << (pos + 1);
+    return high | low;
+}
+
+/**
+ * Insert zero bits at every position in @p sorted_pos (ascending order),
+ * lowest position first.
+ */
+template <typename Container>
+constexpr std::uint64_t
+insertZeroBits(std::uint64_t value, const Container &sorted_pos)
+{
+    std::uint64_t out = value;
+    for (int pos : sorted_pos)
+        out = insertZeroBit(out, pos);
+    return out;
+}
+
+/** Number of trailing (low-order) one bits. */
+constexpr int
+trailingOnes(std::uint64_t value)
+{
+    return std::countr_one(value);
+}
+
+/** Number of set bits. */
+constexpr int
+popcount(std::uint64_t value)
+{
+    return std::popcount(value);
+}
+
+/** True iff @p value is a power of two (and non-zero). */
+constexpr bool
+isPow2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr int
+log2Exact(std::uint64_t value)
+{
+    assert(isPow2(value));
+    return std::countr_zero(value);
+}
+
+/** Ceiling division. */
+constexpr std::uint64_t
+ceilDiv(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace bits
+} // namespace qgpu
+
+#endif // QGPU_COMMON_BITS_HH

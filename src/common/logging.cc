@@ -1,0 +1,58 @@
+#include "common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace qgpu
+{
+
+namespace
+{
+LogLevel global_level = LogLevel::Normal;
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return global_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level = level;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (global_level != LogLevel::Quiet)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg, LogLevel level)
+{
+    if (static_cast<int>(level) <= static_cast<int>(global_level))
+        std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace qgpu

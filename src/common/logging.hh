@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting: panic for internal bugs,
+ * fatal for user errors, warn/inform for status messages.
+ */
+
+#ifndef QGPU_COMMON_LOGGING_HH
+#define QGPU_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace qgpu
+{
+
+/** Verbosity levels for inform(). */
+enum class LogLevel { Quiet, Normal, Verbose };
+
+/** Process-wide log verbosity; defaults to Normal. */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg, LogLevel level);
+
+template <typename... Args>
+std::string
+format(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Abort on a condition that indicates a bug in the simulator itself.
+ */
+#define QGPU_PANIC(...) \
+    ::qgpu::detail::panicImpl(__FILE__, __LINE__, \
+                              ::qgpu::detail::format(__VA_ARGS__))
+
+/**
+ * Exit on a condition that is the user's fault (bad configuration,
+ * invalid arguments).
+ */
+#define QGPU_FATAL(...) \
+    ::qgpu::detail::fatalImpl(__FILE__, __LINE__, \
+                              ::qgpu::detail::format(__VA_ARGS__))
+
+/** Warn about suspicious but survivable conditions. */
+#define QGPU_WARN(...) \
+    ::qgpu::detail::warnImpl(::qgpu::detail::format(__VA_ARGS__))
+
+/** Normal-priority status message. */
+#define QGPU_INFORM(...) \
+    ::qgpu::detail::informImpl(::qgpu::detail::format(__VA_ARGS__), \
+                               ::qgpu::LogLevel::Normal)
+
+} // namespace qgpu
+
+#endif // QGPU_COMMON_LOGGING_HH

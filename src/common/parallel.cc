@@ -1,0 +1,66 @@
+#include "common/parallel.hh"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace qgpu
+{
+
+namespace
+{
+int global_sim_threads = 1;
+} // namespace
+
+void
+parallelFor(std::uint64_t begin, std::uint64_t end, int threads,
+            const std::function<void(std::uint64_t, std::uint64_t)>
+                &body,
+            std::uint64_t min_grain)
+{
+    if (begin >= end)
+        return;
+    const std::uint64_t count = end - begin;
+    const int usable = std::min<std::uint64_t>(
+        threads <= 1 ? 1 : threads,
+        std::max<std::uint64_t>(1, count / min_grain));
+    if (usable <= 1) {
+        body(begin, end);
+        return;
+    }
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(usable) - 1);
+    const std::uint64_t per =
+        (count + static_cast<std::uint64_t>(usable) - 1) /
+        static_cast<std::uint64_t>(usable);
+    for (int w = 1; w < usable; ++w) {
+        const std::uint64_t lo =
+            begin + per * static_cast<std::uint64_t>(w);
+        const std::uint64_t hi = std::min(end, lo + per);
+        if (lo >= hi)
+            break;
+        workers.emplace_back([&body, lo, hi] { body(lo, hi); });
+    }
+    body(begin, std::min(end, begin + per));
+    for (auto &worker : workers)
+        worker.join();
+}
+
+int
+simThreads()
+{
+    return global_sim_threads;
+}
+
+void
+setSimThreads(int threads)
+{
+    if (threads < 1 || threads > 256)
+        QGPU_FATAL("bad thread count ", threads);
+    global_sim_threads = threads;
+}
+
+} // namespace qgpu

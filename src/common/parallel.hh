@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal data-parallel helper for host-side state-vector passes: an
+ * index range split across worker threads. This is the OpenMP-style
+ * parallelism of the CPU comparators, kept dependency-free.
+ */
+
+#ifndef QGPU_COMMON_PARALLEL_HH
+#define QGPU_COMMON_PARALLEL_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace qgpu
+{
+
+/**
+ * Run @p body over [begin, end) split into contiguous sub-ranges, one
+ * per worker. @p threads <= 1 (or a range smaller than @p min_grain)
+ * runs inline on the calling thread.
+ *
+ * @param body callable taking (range_begin, range_end).
+ */
+void parallelFor(std::uint64_t begin, std::uint64_t end, int threads,
+                 const std::function<void(std::uint64_t,
+                                          std::uint64_t)> &body,
+                 std::uint64_t min_grain = 1024);
+
+/** Worker count used by StateVector::apply (default 1). */
+int simThreads();
+
+/** Set the worker count for subsequent host-side applies. */
+void setSimThreads(int threads);
+
+} // namespace qgpu
+
+#endif // QGPU_COMMON_PARALLEL_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Deterministic xoshiro256++ random number generator. Used by circuit
+ * generators (rqc, iqp, qaoa graphs, bv secrets) and measurement
+ * sampling so every experiment is reproducible from a seed.
+ */
+
+#ifndef QGPU_COMMON_RNG_HH
+#define QGPU_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace qgpu
+{
+
+/**
+ * xoshiro256++ PRNG (Blackman & Vigna). Small, fast, and good enough
+ * for workload generation; not cryptographic.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p. */
+    bool nextBool(double p = 0.5);
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace qgpu
+
+#endif // QGPU_COMMON_RNG_HH

@@ -1,0 +1,68 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+namespace qgpu
+{
+
+void
+StatSet::add(const std::string &name, double delta)
+{
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+        values_.emplace(name, delta);
+        order_.push_back(name);
+    } else {
+        it->second += delta;
+    }
+}
+
+void
+StatSet::set(const std::string &name, double value)
+{
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+        values_.emplace(name, value);
+        order_.push_back(name);
+    } else {
+        it->second = value;
+    }
+}
+
+double
+StatSet::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return values_.count(name) != 0;
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &name : other.names())
+        add(name, other.get(name));
+}
+
+void
+StatSet::clear()
+{
+    for (auto &kv : values_)
+        kv.second = 0.0;
+}
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream os;
+    for (const auto &name : order_)
+        os << name << " = " << values_.at(name) << "\n";
+    return os.str();
+}
+
+} // namespace qgpu

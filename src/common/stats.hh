@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Named statistic counters. Every execution engine exposes its byte,
+ * flop, and per-phase virtual-time counters through a StatSet so the
+ * bench harness can print breakdowns the way nvprof/Nsight would.
+ */
+
+#ifndef QGPU_COMMON_STATS_HH
+#define QGPU_COMMON_STATS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qgpu
+{
+
+/**
+ * An ordered collection of named double-valued counters.
+ *
+ * Counters are created on first use and remember insertion order so
+ * reports are stable.
+ */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void add(const std::string &name, double delta);
+
+    /** Set counter @p name to @p value. */
+    void set(const std::string &name, double value);
+
+    /** Value of counter @p name; zero if absent. */
+    double get(const std::string &name) const;
+
+    /** True iff the counter exists. */
+    bool has(const std::string &name) const;
+
+    /** Counter names in insertion order. */
+    const std::vector<std::string> &names() const { return order_; }
+
+    /** Merge: add every counter of @p other into this set. */
+    void merge(const StatSet &other);
+
+    /** Reset all counters to zero (names retained). */
+    void clear();
+
+    /** Multi-line "name = value" dump. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, double> values_;
+    std::vector<std::string> order_;
+};
+
+} // namespace qgpu
+
+#endif // QGPU_COMMON_STATS_HH

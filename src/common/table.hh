@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Plain-text table printer used by the bench harness to emit the rows
+ * of each reproduced paper table/figure.
+ */
+
+#ifndef QGPU_COMMON_TABLE_HH
+#define QGPU_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace qgpu
+{
+
+/**
+ * A simple left-aligned text table with a header row.
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string num(double value, int precision = 3);
+
+    /** Render the table with aligned columns and a separator rule. */
+    std::string toString() const;
+
+    /** Render as comma-separated values (header + rows). */
+    std::string toCsv() const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace qgpu
+
+#endif // QGPU_COMMON_TABLE_HH

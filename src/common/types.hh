@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fundamental value types shared across the Q-GPU reproduction.
+ */
+
+#ifndef QGPU_COMMON_TYPES_HH
+#define QGPU_COMMON_TYPES_HH
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+
+namespace qgpu
+{
+
+/** A single state amplitude. The paper simulates in double precision. */
+using Amp = std::complex<double>;
+
+/** Index into a state vector; up to 2^63 amplitudes. */
+using Index = std::uint64_t;
+
+/** Virtual time in seconds as accrued by the device/host models. */
+using VTime = double;
+
+/** Bytes occupied by one amplitude. */
+inline constexpr std::size_t ampBytes = sizeof(Amp);
+
+/** Number of amplitudes in an n-qubit state vector. */
+constexpr Index
+stateSize(int num_qubits)
+{
+    return Index{1} << num_qubits;
+}
+
+/** Bytes occupied by an n-qubit state vector. */
+constexpr std::uint64_t
+stateBytes(int num_qubits)
+{
+    return stateSize(num_qubits) * ampBytes;
+}
+
+} // namespace qgpu
+
+#endif // QGPU_COMMON_TYPES_HH

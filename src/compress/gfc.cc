@@ -1,0 +1,266 @@
+#include "compress/gfc.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qgpu
+{
+
+namespace
+{
+
+/** Bit-pattern of a double as an unsigned integer. */
+std::uint64_t
+toBits(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+double
+fromBits(std::uint64_t bits)
+{
+    return std::bit_cast<double>(bits);
+}
+
+/** Leading-zero bytes of a 64-bit magnitude, capped at 7. */
+int
+leadingZeroBytes(std::uint64_t mag)
+{
+    const int lz_bits = std::countl_zero(mag);
+    return std::min(lz_bits / 8, 7);
+}
+
+struct Residual
+{
+    bool negative;
+    std::uint64_t magnitude;
+};
+
+/**
+ * Residual between bit patterns, computed modulo 2^64 so that
+ * reconstruction (prev + signed residual) is exact for every input.
+ */
+Residual
+residualOf(std::uint64_t cur, std::uint64_t prev)
+{
+    const std::uint64_t diff = cur - prev; // mod 2^64
+    if (diff > (std::uint64_t{1} << 63))
+        return {true, ~diff + 1}; // -diff mod 2^64
+    return {false, diff};
+}
+
+} // namespace
+
+GfcCodec::GfcCodec(int warp_size, int segments)
+    : warpSize_(warp_size), segments_(segments)
+{
+    if (warp_size < 1 || segments < 1)
+        QGPU_FATAL("invalid GFC configuration: warp ", warp_size,
+                   ", segments ", segments);
+}
+
+CompressedBlock
+GfcCodec::compress(const double *data, std::uint64_t count) const
+{
+    CompressedBlock block;
+    block.numDoubles = count;
+
+    const std::uint64_t per =
+        bits::ceilDiv(count, static_cast<std::uint64_t>(segments_));
+    const int num_segs =
+        per == 0 ? 0
+                 : static_cast<int>(bits::ceilDiv(count, per));
+
+    auto &out = block.bytes;
+    auto put_u32 = [&out](std::uint32_t v) {
+        for (int b = 0; b < 4; ++b)
+            out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+    };
+    auto put_u64 = [&out](std::uint64_t v) {
+        for (int b = 0; b < 8; ++b)
+            out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
+    };
+
+    put_u64(count);
+    put_u32(static_cast<std::uint32_t>(num_segs));
+    const std::size_t seglen_at = out.size();
+    for (int s = 0; s < num_segs; ++s)
+        put_u32(0); // patched below
+
+    for (int s = 0; s < num_segs; ++s) {
+        const std::uint64_t lo = static_cast<std::uint64_t>(s) * per;
+        const std::uint64_t hi = std::min(count, lo + per);
+        const std::uint64_t m = hi - lo;
+        const std::size_t seg_start = out.size();
+
+        // Nibble area first (packed two per byte), then payloads.
+        const std::size_t nib_at = out.size();
+        out.resize(out.size() + (m + 1) / 2, 0);
+
+        std::vector<std::uint64_t> prev_lane(
+            static_cast<std::size_t>(warpSize_), 0);
+        for (std::uint64_t i = 0; i < m; ++i) {
+            const int lane = static_cast<int>(i %
+                static_cast<std::uint64_t>(warpSize_));
+            const std::uint64_t cur = toBits(data[lo + i]);
+            const Residual r = residualOf(cur, prev_lane[lane]);
+            prev_lane[lane] = cur;
+
+            const int lzb = leadingZeroBytes(r.magnitude);
+            const std::uint8_t nib = static_cast<std::uint8_t>(
+                (r.negative ? 8 : 0) | lzb);
+            if (i % 2 == 0)
+                out[nib_at + i / 2] = nib;
+            else
+                out[nib_at + i / 2] |= static_cast<std::uint8_t>(
+                    nib << 4);
+
+            const int payload = 8 - lzb;
+            for (int b = 0; b < payload; ++b)
+                out.push_back(static_cast<std::uint8_t>(
+                    r.magnitude >> (8 * b)));
+        }
+
+        const std::uint32_t seg_bytes =
+            static_cast<std::uint32_t>(out.size() - seg_start);
+        for (int b = 0; b < 4; ++b)
+            out[seglen_at + static_cast<std::size_t>(s) * 4 +
+                static_cast<std::size_t>(b)] =
+                static_cast<std::uint8_t>(seg_bytes >> (8 * b));
+    }
+    return block;
+}
+
+CompressedBlock
+GfcCodec::compressAmps(const Amp *data, std::uint64_t count) const
+{
+    static_assert(sizeof(Amp) == 2 * sizeof(double));
+    return compress(reinterpret_cast<const double *>(data), 2 * count);
+}
+
+void
+GfcCodec::decompress(const CompressedBlock &block, double *out) const
+{
+    const auto &in = block.bytes;
+    std::size_t pos = 0;
+    auto get_u32 = [&in, &pos]() {
+        std::uint32_t v = 0;
+        for (int b = 0; b < 4; ++b)
+            v |= static_cast<std::uint32_t>(in.at(pos++)) << (8 * b);
+        return v;
+    };
+    auto get_u64 = [&in, &pos]() {
+        std::uint64_t v = 0;
+        for (int b = 0; b < 8; ++b)
+            v |= static_cast<std::uint64_t>(in.at(pos++)) << (8 * b);
+        return v;
+    };
+
+    const std::uint64_t count = get_u64();
+    if (count != block.numDoubles)
+        QGPU_PANIC("GFC stream count ", count, " != block count ",
+                   block.numDoubles);
+    const std::uint32_t num_segs = get_u32();
+    std::vector<std::uint32_t> seg_len(num_segs);
+    for (auto &len : seg_len)
+        len = get_u32();
+
+    const std::uint64_t per =
+        bits::ceilDiv(count, static_cast<std::uint64_t>(segments_));
+
+    for (std::uint32_t s = 0; s < num_segs; ++s) {
+        const std::uint64_t lo = static_cast<std::uint64_t>(s) * per;
+        const std::uint64_t hi = std::min(count, lo + per);
+        const std::uint64_t m = hi - lo;
+        const std::size_t seg_start = pos;
+        const std::size_t nib_at = pos;
+        std::size_t payload_at = pos + (m + 1) / 2;
+
+        std::vector<std::uint64_t> prev_lane(
+            static_cast<std::size_t>(warpSize_), 0);
+        for (std::uint64_t i = 0; i < m; ++i) {
+            const int lane = static_cast<int>(i %
+                static_cast<std::uint64_t>(warpSize_));
+            std::uint8_t nib = in.at(nib_at + i / 2);
+            nib = (i % 2 == 0) ? (nib & 0x0f)
+                               : static_cast<std::uint8_t>(nib >> 4);
+            const bool negative = nib & 0x8;
+            const int lzb = nib & 0x7;
+            const int payload = 8 - lzb;
+            std::uint64_t mag = 0;
+            for (int b = 0; b < payload; ++b)
+                mag |= static_cast<std::uint64_t>(in.at(payload_at++))
+                       << (8 * b);
+            const std::uint64_t cur =
+                negative ? prev_lane[lane] - mag
+                         : prev_lane[lane] + mag;
+            prev_lane[lane] = cur;
+            out[lo + i] = fromBits(cur);
+        }
+        if (payload_at - seg_start != seg_len[s])
+            QGPU_PANIC("GFC segment ", s, " consumed ",
+                       payload_at - seg_start, " bytes, header says ",
+                       seg_len[s]);
+        pos = payload_at;
+    }
+}
+
+void
+GfcCodec::decompressAmps(const CompressedBlock &block, Amp *out) const
+{
+    decompress(block, reinterpret_cast<double *>(out));
+}
+
+std::uint64_t
+GfcCodec::headerBytes(std::uint64_t count) const
+{
+    const std::uint64_t per =
+        bits::ceilDiv(count, static_cast<std::uint64_t>(segments_));
+    const std::uint64_t num_segs =
+        per == 0 ? 0 : bits::ceilDiv(count, per);
+    return 8 + 4 + 4 * num_segs;
+}
+
+std::uint64_t
+GfcCodec::compressedPayloadSize(const double *data,
+                                std::uint64_t count) const
+{
+    return compressedSize(data, count) - headerBytes(count);
+}
+
+std::uint64_t
+GfcCodec::compressedSize(const double *data, std::uint64_t count) const
+{
+    const std::uint64_t per =
+        bits::ceilDiv(count, static_cast<std::uint64_t>(segments_));
+    const int num_segs =
+        per == 0 ? 0
+                 : static_cast<int>(bits::ceilDiv(count, per));
+
+    std::uint64_t total = 8 + 4 + 4ull * num_segs;
+    std::vector<std::uint64_t> prev_lane(
+        static_cast<std::size_t>(warpSize_));
+    for (int s = 0; s < num_segs; ++s) {
+        const std::uint64_t lo = static_cast<std::uint64_t>(s) * per;
+        const std::uint64_t hi = std::min(count, lo + per);
+        const std::uint64_t m = hi - lo;
+        total += (m + 1) / 2; // nibbles
+        std::fill(prev_lane.begin(), prev_lane.end(), 0);
+        for (std::uint64_t i = 0; i < m; ++i) {
+            const int lane = static_cast<int>(i %
+                static_cast<std::uint64_t>(warpSize_));
+            const std::uint64_t cur = toBits(data[lo + i]);
+            const Residual r = residualOf(cur, prev_lane[lane]);
+            prev_lane[lane] = cur;
+            total += static_cast<std::uint64_t>(
+                8 - leadingZeroBytes(r.magnitude));
+        }
+    }
+    return total;
+}
+
+} // namespace qgpu

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * GFC lossless floating-point compression (O'Neil & Burtscher, GPGPU
+ * 2011), as adopted by Q-GPU for non-zero state amplitudes (§IV-D).
+ *
+ * Layout follows the paper's Fig. 11: a chunk is split into segments
+ * (one per warp on the real GPU); each segment is processed in
+ * micro-chunks of `warpSize` doubles. Lane j of micro-chunk k encodes
+ * the residual against lane j of micro-chunk k-1 as a 4-bit prefix
+ * (1 sign bit, 3 bits counting leading-zero bytes) plus the non-zero
+ * magnitude bytes. Residuals are computed on the raw 64-bit patterns,
+ * so the codec is lossless for every input including NaN payloads.
+ */
+
+#ifndef QGPU_COMPRESS_GFC_HH
+#define QGPU_COMPRESS_GFC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace qgpu
+{
+
+/** A compressed run of doubles. */
+struct CompressedBlock
+{
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t numDoubles = 0;
+
+    std::uint64_t compressedBytes() const { return bytes.size(); }
+    std::uint64_t
+    originalBytes() const
+    {
+        return numDoubles * sizeof(double);
+    }
+    /** original/compressed; > 1 means the data shrank. */
+    double
+    ratio() const
+    {
+        return bytes.empty()
+                   ? 1.0
+                   : static_cast<double>(originalBytes()) /
+                         static_cast<double>(compressedBytes());
+    }
+};
+
+/**
+ * The GFC codec. Stateless apart from configuration; safe to share.
+ */
+class GfcCodec
+{
+  public:
+    /**
+     * @param warp_size lanes per micro-chunk (32 on NVIDIA hardware).
+     * @param segments segments per block; on the GPU each is an
+     *        independent warp's work item.
+     */
+    explicit GfcCodec(int warp_size = 32, int segments = 32);
+
+    int warpSize() const { return warpSize_; }
+    int segments() const { return segments_; }
+
+    /** Compress @p count doubles. */
+    CompressedBlock compress(const double *data,
+                             std::uint64_t count) const;
+
+    /** Compress the raw doubles of an amplitude array. */
+    CompressedBlock compressAmps(const Amp *data,
+                                 std::uint64_t count) const;
+
+    /**
+     * Decompress into @p out, which must hold block.numDoubles
+     * doubles. Panics on a corrupt stream.
+     */
+    void decompress(const CompressedBlock &block, double *out) const;
+
+    /** Decompress into an amplitude array of numDoubles/2 entries. */
+    void decompressAmps(const CompressedBlock &block, Amp *out) const;
+
+    /**
+     * Size in bytes the block would compress to, without materializing
+     * the stream (used when only the ratio is needed).
+     */
+    std::uint64_t compressedSize(const double *data,
+                                 std::uint64_t count) const;
+
+    /** Fixed stream overhead (headers + segment table) for @p count
+     *  doubles. compressedSize = headerBytes + payload. */
+    std::uint64_t headerBytes(std::uint64_t count) const;
+
+    /**
+     * Payload-only compressed size (nibbles + residual bytes). This
+     * is the asymptotic per-byte cost of the stream: on paper-scale
+     * chunks (tens of MB) the headers are noise, so the engine's
+     * ratio model uses this.
+     */
+    std::uint64_t compressedPayloadSize(const double *data,
+                                        std::uint64_t count) const;
+
+  private:
+    int warpSize_;
+    int segments_;
+};
+
+} // namespace qgpu
+
+#endif // QGPU_COMPRESS_GFC_HH

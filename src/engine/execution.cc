@@ -1,0 +1,71 @@
+#include "engine/execution.hh"
+
+#include <algorithm>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qgpu
+{
+
+ExecutionEngine::ExecutionEngine(Machine &machine, ExecOptions options)
+    : machine_(machine), options_(std::move(options))
+{
+}
+
+RunResult
+ExecutionEngine::run(const Circuit &circuit)
+{
+    machine_.reset();
+
+    RunResult result;
+    result.engine = name();
+    if (options_.recordTimeline)
+        result.timeline.enable();
+
+    StateVector state = execute(circuit, result);
+
+    // Collect resource busy times common to every engine.
+    auto &stats = result.stats;
+    stats.set(statkeys::hostCompute,
+              machine_.host().compute().busyTime());
+    double h2d = 0.0, d2h = 0.0, dev = 0.0;
+    VTime horizon = machine_.host().compute().freeAt();
+    for (int d = 0; d < machine_.numDevices(); ++d) {
+        const auto &device = machine_.device(d);
+        h2d += device.h2dEngine().busyTime();
+        d2h += device.d2hEngine().busyTime();
+        dev += device.compute().busyTime();
+        horizon = std::max({horizon, device.compute().freeAt(),
+                            device.h2dEngine().freeAt(),
+                            device.d2hEngine().freeAt()});
+    }
+    stats.set(statkeys::h2d, h2d);
+    stats.set(statkeys::d2h, d2h);
+    // Exposed transfer period: bidirectional overlap hides the
+    // shorter direction behind the longer one.
+    stats.set(statkeys::transfer,
+              options_.overlap ? std::max(h2d, d2h) : h2d + d2h);
+    // Device compute excluding codec work.
+    stats.set(statkeys::deviceCompute,
+              dev - stats.get(statkeys::compressTime) -
+                  stats.get(statkeys::decompressTime));
+
+    result.totalTime = horizon;
+    stats.set(statkeys::totalTime, result.totalTime);
+
+    if (options_.keepState)
+        result.state = std::move(state);
+    return result;
+}
+
+int
+ExecutionEngine::baseChunkBits(int num_qubits) const
+{
+    const int chunk_index_bits = std::min<int>(
+        num_qubits,
+        bits::log2Exact(std::bit_ceil(options_.targetChunks)));
+    return num_qubits - chunk_index_bits;
+}
+
+} // namespace qgpu

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Execution-engine interface. An engine runs a circuit functionally
+ * (producing the exact final state) while accruing virtual time on the
+ * machine's host/device resources according to its scheduling policy.
+ * The six versions evaluated in the paper (Baseline, Naive, Overlap,
+ * Pruning, Reorder, Q-GPU) are engines with different policies over
+ * the same machine model.
+ */
+
+#ifndef QGPU_ENGINE_EXECUTION_HH
+#define QGPU_ENGINE_EXECUTION_HH
+
+#include <memory>
+#include <string>
+
+#include "common/stats.hh"
+#include "prune/involvement.hh"
+#include "qc/circuit.hh"
+#include "reorder/reorder.hh"
+#include "sim/machine.hh"
+#include "sim/timeline.hh"
+#include "statevec/state_vector.hh"
+
+namespace qgpu
+{
+
+/** Canonical stat keys every engine reports (others may be added). */
+namespace statkeys
+{
+inline constexpr const char *totalTime = "time.total";
+inline constexpr const char *hostCompute = "time.host_compute";
+inline constexpr const char *deviceCompute = "time.device_compute";
+inline constexpr const char *h2d = "time.h2d";
+inline constexpr const char *d2h = "time.d2h";
+inline constexpr const char *transfer = "time.transfer";
+inline constexpr const char *sync = "time.sync";
+inline constexpr const char *compressTime = "time.compress";
+inline constexpr const char *decompressTime = "time.decompress";
+inline constexpr const char *bytesH2d = "bytes.h2d";
+inline constexpr const char *bytesD2h = "bytes.d2h";
+inline constexpr const char *flopsDevice = "flops.device";
+inline constexpr const char *flopsHost = "flops.host";
+inline constexpr const char *deviceMemBytes = "bytes.device_mem";
+inline constexpr const char *chunksProcessed = "chunks.processed";
+inline constexpr const char *chunksPruned = "chunks.pruned";
+inline constexpr const char *compressIn = "compress.in_bytes";
+inline constexpr const char *compressOut = "compress.out_bytes";
+} // namespace statkeys
+
+/** Tunables shared by the engines. */
+struct ExecOptions
+{
+    /** Target number of chunks the state is partitioned into. */
+    Index targetChunks = 256;
+
+    /** Proactive bidirectional transfer (double buffering). */
+    bool overlap = false;
+
+    /** Zero-amplitude pruning (Algorithm 1). */
+    bool prune = false;
+
+    /** Dynamic chunk-size selection (needs prune). */
+    bool dynamicChunks = true;
+
+    /** Gate reordering pass applied before execution. */
+    ReorderKind reorder = ReorderKind::None;
+
+    /** GFC compression of non-zero chunks. */
+    bool compress = false;
+
+    /**
+     * Qsim-style gate fusion before streaming (0 = off). An
+     * extension beyond the paper: merging adjacent gates into
+     * few-qubit matrices cuts the number of full-state streaming
+     * passes, which is the dominant cost when the state exceeds
+     * device memory. Applied after reordering.
+     */
+    int fuseWidth = 0;
+
+    /** Involvement rule (paper = PerOp; NonDiagonal is the ablation). */
+    InvolvementPolicy involvement = InvolvementPolicy::PerOp;
+
+    /**
+     * Max chunks whose compressed size is measured exactly per gate;
+     * the rest reuse the sampled ratio. 0 measures every chunk.
+     */
+    int codecSampleChunks = 4;
+
+    /** Per-gate host/device synchronization latency (seconds). */
+    double syncLatency = 20e-6;
+
+    /** Host threads for CPU-side work (0 = all cores). */
+    int hostThreads = 0;
+
+    /** Record a Fig. 6-style timeline of every scheduled span. */
+    bool recordTimeline = false;
+
+    /** Keep the final state in the result (disable to save memory). */
+    bool keepState = true;
+};
+
+/** Outcome of one engine run. */
+struct RunResult
+{
+    std::string engine;
+    VTime totalTime = 0.0;
+    StatSet stats;
+    Timeline timeline;
+    /** Final state; empty (1 qubit, |0>) when keepState is false. */
+    StateVector state{1};
+};
+
+/**
+ * Abstract engine. Construction binds a machine (resources are reset
+ * at the start of every run).
+ */
+class ExecutionEngine
+{
+  public:
+    ExecutionEngine(Machine &machine, ExecOptions options);
+    virtual ~ExecutionEngine() = default;
+
+    virtual std::string name() const = 0;
+
+    const ExecOptions &options() const { return options_; }
+
+    /** Simulate @p circuit from |0...0>. */
+    RunResult run(const Circuit &circuit);
+
+  protected:
+    /**
+     * Engine body: update @p result.stats / timeline, schedule on
+     * machine(), and return the final state.
+     */
+    virtual StateVector execute(const Circuit &circuit,
+                                RunResult &result) = 0;
+
+    Machine &machine() { return machine_; }
+
+    /** Chunk-offset bits giving ~targetChunks chunks of n qubits. */
+    int baseChunkBits(int num_qubits) const;
+
+  private:
+    Machine &machine_;
+    ExecOptions options_;
+};
+
+} // namespace qgpu
+
+#endif // QGPU_ENGINE_EXECUTION_HH

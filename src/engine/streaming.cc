@@ -1,0 +1,450 @@
+#include "engine/streaming.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+#include "qc/fusion.hh"
+#include "statevec/kernels.hh"
+
+namespace qgpu
+{
+
+namespace
+{
+
+std::string
+deriveLabel(const ExecOptions &o)
+{
+    if (o.compress)
+        return "Q-GPU";
+    if (o.reorder != ReorderKind::None)
+        return "Reorder";
+    if (o.prune)
+        return "Pruning";
+    if (o.overlap)
+        return "Overlap";
+    return "Naive";
+}
+
+} // namespace
+
+StreamingEngine::StreamingEngine(Machine &machine, ExecOptions options,
+                                 std::string label)
+    : ExecutionEngine(machine, std::move(options)),
+      label_(label.empty() ? deriveLabel(this->options())
+                           : std::move(label))
+{
+}
+
+StateVector
+StreamingEngine::execute(const Circuit &circuit, RunResult &result)
+{
+    Circuit ordered = reorderCircuit(circuit, options().reorder);
+    if (options().fuseWidth > 0) {
+        result.stats.set("gates.original",
+                         static_cast<double>(ordered.numGates()));
+        ordered = fuseGates(ordered, options().fuseWidth);
+        result.stats.set("gates.fused",
+                         static_cast<double>(ordered.numGates()));
+    }
+
+    // Whole state resident on a single GPU: no streaming needed.
+    if (machine().numDevices() == 1 &&
+        stateBytes(circuit.numQubits()) <=
+            machine().device(0).spec().memBytes) {
+        return executeResident(ordered, result);
+    }
+
+    auto &stats = result.stats;
+    auto &timeline = result.timeline;
+    Machine &m = machine();
+    const int n = ordered.numQubits();
+    const int num_devs = m.numDevices();
+    const double per_amp_bytes = 2.0 * ampBytes; // read + write
+
+    const int base_bits = baseChunkBits(n);
+    const int min_bits = std::clamp(n - 14, 0, base_bits);
+    const bool dynamic = options().prune && options().dynamicChunks;
+
+    InvolvementMask mask(n, options().involvement);
+    int chunk_bits =
+        dynamic ? mask.dynamicChunkBits(min_bits, base_bits)
+                : base_bits;
+    ChunkedStateVector state(n, chunk_bits);
+
+    // Host-side availability of each chunk's latest value.
+    std::vector<VTime> chunk_ready(state.numChunks(), 0.0);
+    // Compressed size of each chunk as currently held on the host.
+    std::vector<double> comp_size;
+    double fallback_ratio = 1.0;
+    // Measure the GFC ratio over a run of chunks, concatenated so the
+    // lane structure spans chunk boundaries the way it spans a
+    // paper-scale chunk. Returns original/compressed, floored at 1
+    // (the raw escape hatch: incompressible data ships as-is).
+    std::vector<Amp> scratch;
+    const auto measure_ratio = [&](const std::vector<Index> &chunks,
+                                   std::size_t max_chunks) {
+        scratch.clear();
+        const std::size_t take =
+            max_chunks == 0 ? chunks.size()
+                            : std::min(chunks.size(), max_chunks);
+        for (std::size_t i = 0; i < take; ++i) {
+            const auto &data = state.chunk(chunks[i]);
+            scratch.insert(scratch.end(), data.begin(), data.end());
+        }
+        if (scratch.empty())
+            return 1.0;
+        const double raw =
+            static_cast<double>(scratch.size()) * ampBytes;
+        const double comp =
+            std::max(1.0, static_cast<double>(
+                              codec_.compressedPayloadSize(
+                                  reinterpret_cast<const double *>(
+                                      scratch.data()),
+                                  2 * scratch.size())));
+        return std::max(1.0, raw / comp);
+    };
+    auto reset_comp_sizes = [&] {
+        if (!options().compress)
+            return;
+        // Untouched chunks are all zero and compress maximally: GFC
+        // stores one nibble and one zero byte per double.
+        const double zero_size = std::max<double>(
+            1.0,
+            static_cast<double>(2 * state.chunkSize()) * 1.5);
+        comp_size.assign(state.numChunks(), zero_size);
+        comp_size[0] = static_cast<double>(state.chunkBytes()) /
+                       measure_ratio({0}, 1);
+        fallback_ratio =
+            static_cast<double>(state.chunkBytes()) / zero_size;
+    };
+    reset_comp_sizes();
+
+    // Per-device double-buffer slot availability.
+    const int slots = options().overlap ? 2 : 1;
+    std::vector<std::vector<VTime>> slot_free(
+        num_devs, std::vector<VTime>(slots, 0.0));
+    std::vector<int> dev_batches(num_devs, 0);
+    int batch_rr = 0;
+
+    std::size_t gate_idx = 0;
+    for (const Gate &gate : ordered.gates()) {
+        // Dynamic chunk-size selection (Algorithm 1 line 2).
+        if (dynamic) {
+            const int want =
+                mask.dynamicChunkBits(min_bits, base_bits);
+            if (want != chunk_bits) {
+                state.rechunk(want);
+                chunk_bits = want;
+                VTime barrier = 0.0;
+                for (VTime t : chunk_ready)
+                    barrier = std::max(barrier, t);
+                chunk_ready.assign(state.numChunks(), barrier);
+                reset_comp_sizes();
+            }
+        }
+
+        const GatePlan plan(gate, n, chunk_bits);
+        const int span = plan.chunksPerGroup();
+        const std::uint64_t chunk_bytes = state.chunkBytes();
+        const double group_flops =
+            kernels::gateFlops(gate, n) /
+            static_cast<double>(plan.numGroups());
+        const std::uint64_t post_mask_bits =
+            mask.bits() |
+            gateInvolvementBits(gate, options().involvement);
+
+        auto live_in = [&](Index c) {
+            return !options().prune || mask.chunkIsLive(c, chunk_bits);
+        };
+        auto live_out = [&](Index c) {
+            if (!options().prune)
+                return true;
+            const std::uint64_t shifted =
+                (c << chunk_bits);
+            return (shifted & post_mask_bits) == shifted;
+        };
+
+        // Enumerate live groups (a group is dead only if every member
+        // chunk is provably zero; dead groups are no-ops).
+        std::vector<Index> live_groups;
+        live_groups.reserve(plan.numGroups());
+        for (Index g = 0; g < plan.numGroups(); ++g) {
+            if (!options().prune) {
+                live_groups.push_back(g);
+                continue;
+            }
+            bool any_live = false;
+            for (Index c : plan.members(g)) {
+                if (live_in(c)) {
+                    any_live = true;
+                    break;
+                }
+            }
+            if (any_live)
+                live_groups.push_back(g);
+        }
+        stats.add(statkeys::chunksProcessed,
+                  static_cast<double>(live_groups.size()) * span);
+        stats.add(statkeys::chunksPruned,
+                  static_cast<double>(plan.numGroups() -
+                                      live_groups.size()) *
+                      span);
+
+        // Batch the live groups under the buffer capacity.
+        bool first_batch_of_gate = true;
+        for (std::size_t at = 0; at < live_groups.size();) {
+            const int d = batch_rr % num_devs;
+            ++batch_rr;
+            auto &dev = m.device(d);
+            const std::uint64_t buf_bytes =
+                std::max<std::uint64_t>(
+                    dev.spec().memBytes /
+                        static_cast<std::uint64_t>(slots),
+                    static_cast<std::uint64_t>(span) * chunk_bytes);
+            const std::size_t groups_per_batch =
+                std::max<std::size_t>(
+                    1, buf_bytes / (static_cast<std::uint64_t>(span) *
+                                    chunk_bytes));
+            const std::size_t end =
+                std::min(live_groups.size(), at + groups_per_batch);
+
+            // Gather batch facts.
+            VTime ready = 0.0;
+            double in_bytes = 0.0, in_decomp_raw = 0.0;
+            std::vector<Index> out_chunks;
+            for (std::size_t i = at; i < end; ++i) {
+                for (Index c : plan.members(live_groups[i])) {
+                    ready = std::max(ready, chunk_ready[c]);
+                    if (live_in(c)) {
+                        if (options().compress) {
+                            in_bytes += comp_size[c];
+                            // Chunks stored raw (escape hatch) skip
+                            // the decompression kernel.
+                            if (comp_size[c] <
+                                0.98 * static_cast<double>(
+                                           chunk_bytes)) {
+                                in_decomp_raw += static_cast<double>(
+                                    chunk_bytes);
+                            }
+                        } else {
+                            in_bytes +=
+                                static_cast<double>(chunk_bytes);
+                        }
+                    }
+                    if (live_out(c))
+                        out_chunks.push_back(c);
+                }
+            }
+            const double batch_groups =
+                static_cast<double>(end - at);
+            const double flops = batch_groups * group_flops;
+            const double kbytes =
+                batch_groups * static_cast<double>(span) *
+                static_cast<double>(state.chunkSize()) *
+                per_amp_bytes;
+
+            const int slot = dev_batches[d] % slots;
+            ++dev_batches[d];
+
+            // H2D of the live inputs.
+            const VTime start =
+                std::max(ready, slot_free[d][slot]);
+            VTime t = dev.h2dEngine().schedule(
+                start, m.contendedHostLink(dev.spec().h2d).transferTime(
+                           static_cast<std::uint64_t>(in_bytes)));
+            timeline.record(dev.spec().name + ".h2d", "xfer", start,
+                            t);
+            stats.add(statkeys::bytesH2d, in_bytes);
+
+            if (options().compress && in_decomp_raw > 0) {
+                const VTime dur = dev.codecTime(
+                    static_cast<std::uint64_t>(in_decomp_raw));
+                t = dev.compute().schedule(t, dur);
+                stats.add(statkeys::decompressTime, dur);
+                timeline.record(dev.spec().name + ".compute", "dec",
+                                t - dur, t);
+            }
+
+            // Kernel.
+            const VTime k_dur = dev.kernelTime(flops, kbytes);
+            t = dev.compute().schedule(t, k_dur);
+            timeline.record(dev.spec().name + ".compute", "kernel",
+                            t - k_dur, t);
+            stats.add(statkeys::flopsDevice, flops);
+            stats.add(statkeys::deviceMemBytes, kbytes);
+
+            // Functional update (host memory stands in for every
+            // location; the engines differ only in scheduling).
+            for (std::size_t i = at; i < end; ++i)
+                applyGroup(state, gate, plan, live_groups[i]);
+
+            // Compress updated chunks and ship them back.
+            double out_bytes = 0.0;
+            if (options().compress && !out_chunks.empty()) {
+                const double out_raw =
+                    static_cast<double>(out_chunks.size()) *
+                    static_cast<double>(chunk_bytes);
+                const std::size_t sample_chunks =
+                    options().codecSampleChunks <= 0
+                        ? out_chunks.size()
+                        : static_cast<std::size_t>(
+                              options().codecSampleChunks);
+                // The ratio is re-measured on the first batch of each
+                // gate; later batches of the same gate reuse it (the
+                // state's character does not change mid-gate).
+                double sampled_raw = 0.0;
+                if (first_batch_of_gate) {
+                    fallback_ratio =
+                        measure_ratio(out_chunks, sample_chunks);
+                    sampled_raw =
+                        static_cast<double>(std::min(
+                            out_chunks.size(), sample_chunks)) *
+                        static_cast<double>(chunk_bytes);
+                    first_batch_of_gate = false;
+                }
+                const double ratio = fallback_ratio;
+                const double size_each =
+                    static_cast<double>(chunk_bytes) / ratio;
+                for (Index c : out_chunks)
+                    comp_size[c] = size_each;
+                out_bytes = out_raw / ratio;
+
+                // Adaptive bypass: with a double-buffered (depth-2)
+                // pipeline the codec sits on the batch critical path,
+                // so compression only pays once the transfer savings
+                // beat the codec time - around ratio 1.2 for GFC at
+                // 75 GB/s against PCIe. Below that, only the sample
+                // paid the compression kernel and the batch ships
+                // raw; above it the whole batch is compressed.
+                const bool worthwhile = ratio >= 1.25;
+                if (!worthwhile) {
+                    for (Index c : out_chunks)
+                        comp_size[c] =
+                            static_cast<double>(chunk_bytes);
+                    out_bytes = out_raw;
+                }
+                const double attempted =
+                    worthwhile ? out_raw : sampled_raw;
+                if (attempted > 0) {
+                    const VTime dur = dev.codecTime(
+                        static_cast<std::uint64_t>(attempted));
+                    t = dev.compute().schedule(t, dur);
+                    stats.add(statkeys::compressTime, dur);
+                    timeline.record(dev.spec().name + ".compute",
+                                    "cmp", t - dur, t);
+                }
+                stats.add(statkeys::compressIn, out_raw);
+                stats.add(statkeys::compressOut, out_bytes);
+            } else {
+                out_bytes = static_cast<double>(out_chunks.size()) *
+                            static_cast<double>(chunk_bytes);
+            }
+
+            // D2H of the updated chunks.
+            const VTime d2h_done = dev.d2hEngine().schedule(
+                t, m.contendedHostLink(dev.spec().d2h).transferTime(
+                       static_cast<std::uint64_t>(out_bytes)));
+            timeline.record(dev.spec().name + ".d2h", "xfer", t,
+                            d2h_done);
+            stats.add(statkeys::bytesD2h, out_bytes);
+
+            for (std::size_t i = at; i < end; ++i)
+                for (Index c : plan.members(live_groups[i]))
+                    chunk_ready[c] = d2h_done;
+            slot_free[d][slot] = d2h_done;
+
+            at = end;
+        }
+
+        if (!options().overlap) {
+            // Naive: a device synchronization closes every gate.
+            stats.add(statkeys::sync, options().syncLatency);
+            VTime barrier = 0.0;
+            for (int d = 0; d < num_devs; ++d)
+                barrier = std::max(barrier,
+                                   m.device(d).d2hEngine().freeAt());
+            barrier += options().syncLatency;
+            for (auto &sf : slot_free)
+                for (auto &t : sf)
+                    t = std::max(t, barrier);
+        }
+
+        if (options().prune)
+            mask.involve(gate);
+        ++gate_idx;
+    }
+    (void)gate_idx;
+
+    stats.set("chunks.final", static_cast<double>(state.numChunks()));
+    return state.toFlat();
+}
+
+StateVector
+StreamingEngine::executeResident(const Circuit &circuit,
+                                 RunResult &result)
+{
+    auto &stats = result.stats;
+    auto &timeline = result.timeline;
+    Machine &m = machine();
+    auto &dev = m.device(0);
+    const int n = circuit.numQubits();
+    const int chunk_bits = baseChunkBits(n);
+    const double per_amp_bytes = 2.0 * ampBytes;
+
+    ChunkedStateVector state(n, chunk_bits);
+    InvolvementMask mask(n, options().involvement);
+
+    // One bulk upload, kernels only, one bulk download.
+    const std::uint64_t total_bytes = stateBytes(n);
+    VTime t = dev.h2dEngine().schedule(
+        0.0, m.contendedHostLink(dev.spec().h2d).transferTime(total_bytes));
+    stats.add(statkeys::bytesH2d,
+              static_cast<double>(total_bytes));
+    timeline.record(dev.spec().name + ".h2d", "xfer", 0.0, t);
+
+    for (const Gate &gate : circuit.gates()) {
+        const GatePlan plan(gate, n, chunk_bits);
+        Index live = 0;
+        for (Index g = 0; g < plan.numGroups(); ++g) {
+            bool any_live = !options().prune;
+            if (!any_live) {
+                for (Index c : plan.members(g)) {
+                    if (mask.chunkIsLive(c, chunk_bits)) {
+                        any_live = true;
+                        break;
+                    }
+                }
+            }
+            if (!any_live)
+                continue;
+            ++live;
+            applyGroup(state, gate, plan, g);
+        }
+        const double frac =
+            static_cast<double>(live) /
+            static_cast<double>(plan.numGroups());
+        const double flops = kernels::gateFlops(gate, n) * frac;
+        const double bytes = static_cast<double>(stateSize(n)) *
+                             per_amp_bytes * frac;
+        const VTime dur = dev.kernelTime(flops, bytes);
+        t = dev.compute().schedule(t, dur);
+        timeline.record(dev.spec().name + ".compute", "kernel",
+                        t - dur, t);
+        stats.add(statkeys::flopsDevice, flops);
+        stats.add(statkeys::deviceMemBytes, bytes);
+        if (options().prune)
+            mask.involve(gate);
+    }
+
+    const VTime done = dev.d2hEngine().schedule(
+        t, m.contendedHostLink(dev.spec().d2h).transferTime(total_bytes));
+    stats.add(statkeys::bytesD2h, static_cast<double>(total_bytes));
+    timeline.record(dev.spec().name + ".d2h", "xfer", t, done);
+
+    return state.toFlat();
+}
+
+} // namespace qgpu

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The dynamic-allocation streaming engine family. With every feature
+ * flag off it is the paper's Naive version (§III-D): every chunk makes
+ * a synchronous round trip through the GPU for every gate. The Q-GPU
+ * optimizations stack on top through ExecOptions:
+ *
+ *  - overlap:  double-buffered, bidirectional proactive transfer
+ *              (§IV-A);
+ *  - prune:    zero-amplitude chunk pruning with dynamic chunk size
+ *              (§IV-B, Algorithm 1);
+ *  - reorder:  dependency-aware gate reordering (§IV-C);
+ *  - compress: GFC compression of non-zero chunks (§IV-D).
+ *
+ * With more than one device in the machine, batches are assigned to
+ * GPUs round-robin (§V-E, Fig. 18).
+ */
+
+#ifndef QGPU_ENGINE_STREAMING_HH
+#define QGPU_ENGINE_STREAMING_HH
+
+#include "compress/gfc.hh"
+#include "engine/execution.hh"
+#include "statevec/apply.hh"
+
+namespace qgpu
+{
+
+/**
+ * Naive / Overlap / Pruning / Reorder / Q-GPU engine, selected by the
+ * feature flags in ExecOptions.
+ */
+class StreamingEngine : public ExecutionEngine
+{
+  public:
+    /**
+     * @param label display name; derived from the flags when empty.
+     */
+    StreamingEngine(Machine &machine, ExecOptions options,
+                    std::string label = "");
+
+    std::string name() const override { return label_; }
+
+  protected:
+    StateVector execute(const Circuit &circuit,
+                        RunResult &result) override;
+
+  private:
+    /** Fully device-resident run (state fits on one GPU). */
+    StateVector executeResident(const Circuit &circuit,
+                                RunResult &result);
+
+    std::string label_;
+    /**
+     * Ratio-model codec: warp-32 lanes, one segment, sizes taken
+     * payload-only over a batch-concatenated sample. The scaled-down
+     * chunks here stand for the paper's multi-MB chunks, where GFC's
+     * per-segment restarts and headers are noise; measuring tiny
+     * chunks individually would bias the ratio toward 1 (see
+     * DESIGN.md).
+     */
+    GfcCodec codec_{32, 1};
+};
+
+} // namespace qgpu
+
+#endif // QGPU_ENGINE_STREAMING_HH

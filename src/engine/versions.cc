@@ -1,0 +1,76 @@
+#include "engine/versions.hh"
+
+#include "common/logging.hh"
+#include "engine/baseline.hh"
+#include "engine/streaming.hh"
+
+namespace qgpu
+{
+
+const char *
+versionName(Version v)
+{
+    switch (v) {
+      case Version::Baseline: return "Baseline";
+      case Version::Naive: return "Naive";
+      case Version::Overlap: return "Overlap";
+      case Version::Pruning: return "Pruning";
+      case Version::Reorder: return "Reorder";
+      case Version::QGpu: return "Q-GPU";
+    }
+    return "?";
+}
+
+const std::vector<Version> &
+allVersions()
+{
+    static const std::vector<Version> versions = {
+        Version::Baseline, Version::Naive,   Version::Overlap,
+        Version::Pruning,  Version::Reorder, Version::QGpu,
+    };
+    return versions;
+}
+
+std::unique_ptr<ExecutionEngine>
+makeVersion(Version version, Machine &machine, ExecOptions base)
+{
+    ExecOptions o = base;
+    switch (version) {
+      case Version::Baseline:
+        return std::make_unique<BaselineEngine>(machine, o);
+      case Version::Naive:
+        o.overlap = false;
+        o.prune = false;
+        o.reorder = ReorderKind::None;
+        o.compress = false;
+        break;
+      case Version::Overlap:
+        o.overlap = true;
+        o.prune = false;
+        o.reorder = ReorderKind::None;
+        o.compress = false;
+        break;
+      case Version::Pruning:
+        o.overlap = true;
+        o.prune = true;
+        o.reorder = ReorderKind::None;
+        o.compress = false;
+        break;
+      case Version::Reorder:
+        o.overlap = true;
+        o.prune = true;
+        o.reorder = ReorderKind::ForwardLooking;
+        o.compress = false;
+        break;
+      case Version::QGpu:
+        o.overlap = true;
+        o.prune = true;
+        o.reorder = ReorderKind::ForwardLooking;
+        o.compress = true;
+        break;
+    }
+    return std::make_unique<StreamingEngine>(machine, o,
+                                             versionName(version));
+}
+
+} // namespace qgpu

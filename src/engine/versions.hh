@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The six execution versions of the paper's evaluation (§V) as a
+ * factory: Baseline, Naive, Overlap, Pruning, Reorder, and the full
+ * Q-GPU (Compression).
+ */
+
+#ifndef QGPU_ENGINE_VERSIONS_HH
+#define QGPU_ENGINE_VERSIONS_HH
+
+#include <memory>
+#include <vector>
+
+#include "engine/execution.hh"
+
+namespace qgpu
+{
+
+/** Paper execution versions, in presentation order. */
+enum class Version
+{
+    Baseline,
+    Naive,
+    Overlap,
+    Pruning,
+    Reorder,
+    QGpu,
+};
+
+const char *versionName(Version v);
+
+/** All six versions in paper order. */
+const std::vector<Version> &allVersions();
+
+/**
+ * Build the engine for @p version over @p machine. @p base carries the
+ * shared knobs (chunk count, sampling, timeline); the version's
+ * feature flags override the relevant fields.
+ */
+std::unique_ptr<ExecutionEngine>
+makeVersion(Version version, Machine &machine, ExecOptions base = {});
+
+} // namespace qgpu
+
+#endif // QGPU_ENGINE_VERSIONS_HH

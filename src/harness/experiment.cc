@@ -1,0 +1,59 @@
+#include "harness/experiment.hh"
+
+#include "common/logging.hh"
+
+namespace qgpu
+{
+namespace harness
+{
+
+std::unique_ptr<ExecutionEngine>
+makeEngine(const std::string &which, Machine &machine,
+           ExecOptions base)
+{
+    if (which == "baseline")
+        return makeVersion(Version::Baseline, machine, base);
+    if (which == "naive")
+        return makeVersion(Version::Naive, machine, base);
+    if (which == "overlap")
+        return makeVersion(Version::Overlap, machine, base);
+    if (which == "pruning")
+        return makeVersion(Version::Pruning, machine, base);
+    if (which == "reorder")
+        return makeVersion(Version::Reorder, machine, base);
+    if (which == "qgpu")
+        return makeVersion(Version::QGpu, machine, base);
+    if (which == "cpu")
+        return std::make_unique<CpuEngine>(machine, base);
+    if (which == "qsim")
+        return std::make_unique<QsimLikeEngine>(machine, base);
+    if (which == "qdk")
+        return std::make_unique<QdkLikeEngine>(machine, base);
+    QGPU_FATAL("unknown engine '", which, "'");
+}
+
+RunResult
+runOn(const std::string &which, Machine &machine,
+      const Circuit &circuit, ExecOptions base)
+{
+    return makeEngine(which, machine, base)->run(circuit);
+}
+
+Machine
+benchMachine(int num_qubits, int num_gpus)
+{
+    return machines::makeScaled(num_qubits, machines::p100(),
+                                1.0 / 16.0, num_gpus);
+}
+
+ExecOptions
+benchOptions()
+{
+    ExecOptions o;
+    o.keepState = false;
+    o.codecSampleChunks = 4;
+    return o;
+}
+
+} // namespace harness
+} // namespace qgpu

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Qubit involvement tracking (paper §IV-B). A bit of the involvement
+ * mask is set once a gate has acted on the corresponding qubit; while
+ * it is clear, every amplitude whose index has that bit set is
+ * provably zero, which is what licenses pruning.
+ */
+
+#ifndef QGPU_PRUNE_INVOLVEMENT_HH
+#define QGPU_PRUNE_INVOLVEMENT_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "qc/gate.hh"
+
+namespace qgpu
+{
+
+/**
+ * How a gate involves its qubits.
+ *
+ * PerOp is the paper's rule: any gate involves every qubit it names.
+ * NonDiagonal is a sharper (still exact) extension implemented here:
+ * a diagonal action cannot move weight into the |1> subspace, so a
+ * qubit only becomes involved when a gate acts non-diagonally on it
+ * (e.g. CX involves its target but not its control; CZ/CP involve
+ * nothing). Evaluated as an ablation.
+ */
+enum class InvolvementPolicy { PerOp, NonDiagonal };
+
+/**
+ * The involvement bitmask of Algorithm 1.
+ */
+class InvolvementMask
+{
+  public:
+    explicit InvolvementMask(int num_qubits,
+                             InvolvementPolicy policy =
+                                 InvolvementPolicy::PerOp);
+
+    int numQubits() const { return numQubits_; }
+    std::uint64_t bits() const { return mask_; }
+    InvolvementPolicy policy() const { return policy_; }
+
+    /** Mark qubit @p q involved. */
+    void involve(int q);
+
+    /** Record the application of @p gate per the active policy. */
+    void involve(const Gate &gate);
+
+    bool isInvolved(int q) const;
+
+    /** Number of involved qubits. */
+    int count() const;
+
+    bool allInvolved() const { return count() == numQubits_; }
+
+    /**
+     * True iff chunk @p chunk (with @p chunk_bits offset bits) can
+     * hold non-zero amplitudes: every set bit of the shifted chunk
+     * index must be an involved qubit (Algorithm 1 line 7).
+     */
+    bool chunkIsLive(Index chunk, int chunk_bits) const;
+
+    /**
+     * Dynamic chunk size of Algorithm 1: the run of involved qubits
+     * starting at qubit 0 (the least non-zero bit rule), clamped to
+     * [@p min_bits, @p max_bits].
+     */
+    int dynamicChunkBits(int min_bits, int max_bits) const;
+
+  private:
+    int numQubits_;
+    InvolvementPolicy policy_;
+    std::uint64_t mask_ = 0;
+};
+
+/**
+ * Per-gate qubit bits under a policy, without a mask instance: which
+ * qubits would the gate involve?
+ */
+std::uint64_t gateInvolvementBits(const Gate &gate,
+                                  InvolvementPolicy policy);
+
+} // namespace qgpu
+
+#endif // QGPU_PRUNE_INVOLVEMENT_HH

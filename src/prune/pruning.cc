@@ -1,0 +1,31 @@
+#include "prune/pruning.hh"
+
+namespace qgpu
+{
+
+PruneSweep
+sweepChunks(const InvolvementMask &mask, int num_qubits,
+            int chunk_bits)
+{
+    PruneSweep sweep;
+    sweep.totalChunks = Index{1} << (num_qubits - chunk_bits);
+
+    const std::uint64_t involvement = mask.bits();
+    for (Index chunk = 0; chunk < sweep.totalChunks; ++chunk) {
+        const std::uint64_t shifted = chunk << chunk_bits;
+        if (shifted > involvement) {
+            // Every remaining chunk has at least one set bit above the
+            // involvement mask; all are prunable (Algorithm 1 line 5).
+            sweep.prunedChunks += sweep.totalChunks - chunk;
+            break;
+        }
+        if ((shifted & involvement) != shifted) {
+            ++sweep.prunedChunks;
+            continue;
+        }
+        sweep.live.push_back(chunk);
+    }
+    return sweep;
+}
+
+} // namespace qgpu

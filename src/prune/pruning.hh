@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Chunk-level pruning, the enumeration of Algorithm 1: given the
+ * involvement mask and the chunk size, list the chunks that can hold
+ * non-zero amplitudes and skip (prune) the rest.
+ */
+
+#ifndef QGPU_PRUNE_PRUNING_HH
+#define QGPU_PRUNE_PRUNING_HH
+
+#include <vector>
+
+#include "prune/involvement.hh"
+
+namespace qgpu
+{
+
+/** Result of one Algorithm 1 sweep. */
+struct PruneSweep
+{
+    std::vector<Index> live;   ///< chunk indices that may be non-zero
+    Index totalChunks = 0;
+    Index prunedChunks = 0;
+};
+
+/**
+ * Enumerate live chunks exactly as Algorithm 1 does: iterate chunk
+ * indices, stop early once the shifted index exceeds the involvement
+ * mask (every later chunk has an uninvolved high bit set), and skip
+ * chunks whose shifted index is not covered by the mask.
+ */
+PruneSweep sweepChunks(const InvolvementMask &mask, int num_qubits,
+                       int chunk_bits);
+
+} // namespace qgpu
+
+#endif // QGPU_PRUNE_PRUNING_HH

@@ -1,0 +1,107 @@
+#include "qc/circuit.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace qgpu
+{
+
+Circuit::Circuit(int num_qubits, std::string name)
+    : numQubits_(num_qubits), name_(std::move(name))
+{
+    if (num_qubits < 1 || num_qubits > 62)
+        QGPU_FATAL("unsupported qubit count ", num_qubits);
+}
+
+Circuit &
+Circuit::add(Gate gate)
+{
+    for (int q : gate.qubits) {
+        if (q < 0 || q >= numQubits_)
+            QGPU_PANIC("gate ", gate.toString(), " targets qubit ", q,
+                       " outside register of ", numQubits_);
+    }
+    for (std::size_t i = 0; i < gate.qubits.size(); ++i)
+        for (std::size_t j = i + 1; j < gate.qubits.size(); ++j)
+            if (gate.qubits[i] == gate.qubits[j])
+                QGPU_PANIC("gate ", gate.toString(),
+                           " repeats a target qubit");
+    gates_.push_back(std::move(gate));
+    return *this;
+}
+
+int
+Circuit::depth() const
+{
+    std::vector<int> level(numQubits_, 0);
+    for (const Gate &g : gates_) {
+        int at = 0;
+        for (int q : g.qubits)
+            at = std::max(at, level[q]);
+        for (int q : g.qubits)
+            level[q] = at + 1;
+    }
+    return *std::max_element(level.begin(), level.end());
+}
+
+std::size_t
+Circuit::opsBeforeFullInvolvement() const
+{
+    std::vector<bool> seen(numQubits_, false);
+    int count = 0;
+    for (std::size_t g = 0; g < gates_.size(); ++g) {
+        for (int q : gates_[g].qubits) {
+            if (!seen[q]) {
+                seen[q] = true;
+                ++count;
+            }
+        }
+        if (count == numQubits_)
+            return g + 1;
+    }
+    return gates_.size() + 1;
+}
+
+std::vector<int>
+Circuit::involvementCurve() const
+{
+    std::vector<bool> seen(numQubits_, false);
+    std::vector<int> curve;
+    curve.reserve(gates_.size());
+    int count = 0;
+    for (const Gate &g : gates_) {
+        for (int q : g.qubits) {
+            if (!seen[q]) {
+                seen[q] = true;
+                ++count;
+            }
+        }
+        curve.push_back(count);
+    }
+    return curve;
+}
+
+std::vector<std::pair<std::string, std::size_t>>
+Circuit::gateCensus() const
+{
+    std::map<std::string, std::size_t> counts;
+    for (const Gate &g : gates_)
+        ++counts[gateKindName(g.kind)];
+    return {counts.begin(), counts.end()};
+}
+
+std::string
+Circuit::toString() const
+{
+    std::ostringstream os;
+    os << name_ << " (" << numQubits_ << " qubits, " << gates_.size()
+       << " gates)\n";
+    for (const Gate &g : gates_)
+        os << "  " << g.toString() << "\n";
+    return os.str();
+}
+
+} // namespace qgpu

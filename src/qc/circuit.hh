@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Quantum circuit container with a fluent builder API and the static
+ * analyses the paper's characterization relies on (Table II: operations
+ * before full qubit involvement).
+ */
+
+#ifndef QGPU_QC_CIRCUIT_HH
+#define QGPU_QC_CIRCUIT_HH
+
+#include <string>
+#include <vector>
+
+#include "qc/gate.hh"
+
+namespace qgpu
+{
+
+/**
+ * An ordered list of gates over a fixed qubit register.
+ */
+class Circuit
+{
+  public:
+    explicit Circuit(int num_qubits, std::string name = "circuit");
+
+    int numQubits() const { return numQubits_; }
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    const std::vector<Gate> &gates() const { return gates_; }
+    std::size_t numGates() const { return gates_.size(); }
+
+    /** Append a gate; validates qubit indices. */
+    Circuit &add(Gate gate);
+
+    /// @name Builder shorthands
+    /// @{
+    Circuit &h(int q) { return add(Gate(GateKind::H, {q})); }
+    Circuit &x(int q) { return add(Gate(GateKind::X, {q})); }
+    Circuit &y(int q) { return add(Gate(GateKind::Y, {q})); }
+    Circuit &z(int q) { return add(Gate(GateKind::Z, {q})); }
+    Circuit &s(int q) { return add(Gate(GateKind::S, {q})); }
+    Circuit &sdg(int q) { return add(Gate(GateKind::Sdg, {q})); }
+    Circuit &t(int q) { return add(Gate(GateKind::T, {q})); }
+    Circuit &tdg(int q) { return add(Gate(GateKind::Tdg, {q})); }
+    Circuit &sx(int q) { return add(Gate(GateKind::SX, {q})); }
+    Circuit &sy(int q) { return add(Gate(GateKind::SY, {q})); }
+    Circuit &rx(double theta, int q)
+    { return add(Gate(GateKind::RX, {q}, {theta})); }
+    Circuit &ry(double theta, int q)
+    { return add(Gate(GateKind::RY, {q}, {theta})); }
+    Circuit &rz(double theta, int q)
+    { return add(Gate(GateKind::RZ, {q}, {theta})); }
+    Circuit &p(double lambda, int q)
+    { return add(Gate(GateKind::P, {q}, {lambda})); }
+    Circuit &u(double theta, double phi, double lambda, int q)
+    { return add(Gate(GateKind::U, {q}, {theta, phi, lambda})); }
+    Circuit &cx(int c, int t) { return add(Gate(GateKind::CX, {c, t})); }
+    Circuit &cy(int c, int t) { return add(Gate(GateKind::CY, {c, t})); }
+    Circuit &cz(int c, int t) { return add(Gate(GateKind::CZ, {c, t})); }
+    Circuit &cp(double lambda, int c, int t)
+    { return add(Gate(GateKind::CP, {c, t}, {lambda})); }
+    Circuit &crz(double theta, int c, int t)
+    { return add(Gate(GateKind::CRZ, {c, t}, {theta})); }
+    Circuit &rxx(double theta, int a, int b)
+    { return add(Gate(GateKind::RXX, {a, b}, {theta})); }
+    Circuit &ryy(double theta, int a, int b)
+    { return add(Gate(GateKind::RYY, {a, b}, {theta})); }
+    Circuit &rzz(double theta, int a, int b)
+    { return add(Gate(GateKind::RZZ, {a, b}, {theta})); }
+    Circuit &swap(int a, int b)
+    { return add(Gate(GateKind::SWAP, {a, b})); }
+    Circuit &ccx(int c0, int c1, int t)
+    { return add(Gate(GateKind::CCX, {c0, c1, t})); }
+    Circuit &ccz(int c0, int c1, int t)
+    { return add(Gate(GateKind::CCZ, {c0, c1, t})); }
+    /// @}
+
+    /**
+     * Circuit depth: length of the longest chain of gates that share a
+     * qubit.
+     */
+    int depth() const;
+
+    /**
+     * Number of leading gates applied before every qubit has been acted
+     * on at least once; numGates() + 1 if some qubit is never touched.
+     * This is the "operations before all qubit involvement" column of
+     * Table II in the paper.
+     */
+    std::size_t opsBeforeFullInvolvement() const;
+
+    /**
+     * Number of distinct qubits touched after each prefix of the gate
+     * list: entry g is the involvement after applying gates [0, g].
+     */
+    std::vector<int> involvementCurve() const;
+
+    /** Count of gates per kind name, for reporting. */
+    std::vector<std::pair<std::string, std::size_t>> gateCensus() const;
+
+    /** Multi-line listing of every gate. */
+    std::string toString() const;
+
+  private:
+    int numQubits_;
+    std::string name_;
+    std::vector<Gate> gates_;
+};
+
+} // namespace qgpu
+
+#endif // QGPU_QC_CIRCUIT_HH

@@ -1,0 +1,111 @@
+#include "qc/dag.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/logging.hh"
+
+namespace qgpu
+{
+
+DagCircuit::DagCircuit(const Circuit &circuit)
+    : circuit_(circuit),
+      succs_(circuit.numGates()),
+      preds_(circuit.numGates())
+{
+    // last_writer[q] = most recent gate id touching qubit q.
+    std::vector<int> last_writer(circuit.numQubits(), -1);
+    const auto &gates = circuit.gates();
+    for (int g = 0; g < static_cast<int>(gates.size()); ++g) {
+        for (int q : gates[g].qubits) {
+            const int prev = last_writer[q];
+            if (prev >= 0) {
+                // Deduplicate: the same (prev, g) pair can appear once
+                // per shared qubit.
+                auto &out = succs_[prev];
+                if (std::find(out.begin(), out.end(), g) == out.end()) {
+                    out.push_back(g);
+                    preds_[g].push_back(prev);
+                }
+            }
+            last_writer[q] = g;
+        }
+    }
+}
+
+std::vector<int>
+DagCircuit::inDegrees() const
+{
+    std::vector<int> deg(numNodes());
+    for (std::size_t n = 0; n < numNodes(); ++n)
+        deg[n] = static_cast<int>(preds_[n].size());
+    return deg;
+}
+
+std::vector<int>
+DagCircuit::roots() const
+{
+    std::vector<int> out;
+    for (std::size_t n = 0; n < numNodes(); ++n)
+        if (preds_[n].empty())
+            out.push_back(static_cast<int>(n));
+    return out;
+}
+
+std::vector<int>
+DagCircuit::topologicalOrder() const
+{
+    std::vector<int> deg = inDegrees();
+    std::deque<int> ready;
+    for (int r : roots())
+        ready.push_back(r);
+
+    std::vector<int> order;
+    order.reserve(numNodes());
+    while (!ready.empty()) {
+        const int n = ready.front();
+        ready.pop_front();
+        order.push_back(n);
+        for (int s : succs_[n])
+            if (--deg[s] == 0)
+                ready.push_back(s);
+    }
+    if (order.size() != numNodes())
+        QGPU_PANIC("dependency graph has a cycle");
+    return order;
+}
+
+bool
+DagCircuit::isValidSchedule(const std::vector<int> &order) const
+{
+    if (order.size() != numNodes())
+        return false;
+    std::vector<int> position(numNodes(), -1);
+    for (std::size_t i = 0; i < order.size(); ++i) {
+        const int n = order[i];
+        if (n < 0 || n >= static_cast<int>(numNodes()) ||
+            position[n] >= 0) {
+            return false;
+        }
+        position[n] = static_cast<int>(i);
+    }
+    for (std::size_t n = 0; n < numNodes(); ++n)
+        for (int s : succs_[n])
+            if (position[n] >= position[s])
+                return false;
+    return true;
+}
+
+Circuit
+applySchedule(const Circuit &circuit, const std::vector<int> &order)
+{
+    DagCircuit dag(circuit);
+    if (!dag.isValidSchedule(order))
+        QGPU_PANIC("invalid gate schedule for ", circuit.name());
+    Circuit out(circuit.numQubits(), circuit.name());
+    for (int g : order)
+        out.add(circuit.gates()[g]);
+    return out;
+}
+
+} // namespace qgpu

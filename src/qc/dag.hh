@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Gate-dependency DAG. Two gates depend on each other iff they share a
+ * qubit; edges point from the earlier gate to the later one. The
+ * reordering passes of Section IV-C traverse this DAG.
+ */
+
+#ifndef QGPU_QC_DAG_HH
+#define QGPU_QC_DAG_HH
+
+#include <vector>
+
+#include "qc/circuit.hh"
+
+namespace qgpu
+{
+
+/**
+ * Dependency DAG over the gates of a circuit.
+ *
+ * Node ids equal gate indices in the source circuit. Edges are
+ * deduplicated (a pair of gates sharing two qubits yields one edge).
+ */
+class DagCircuit
+{
+  public:
+    explicit DagCircuit(const Circuit &circuit);
+
+    const Circuit &circuit() const { return circuit_; }
+
+    std::size_t numNodes() const { return succs_.size(); }
+
+    /** Direct successors (consumers) of gate @p node. */
+    const std::vector<int> &successors(int node) const
+    { return succs_[node]; }
+
+    /** Direct predecessors (producers) of gate @p node. */
+    const std::vector<int> &predecessors(int node) const
+    { return preds_[node]; }
+
+    /** In-degree of every node; copy for consumers that decrement. */
+    std::vector<int> inDegrees() const;
+
+    /** Gate ids with no predecessors, in circuit order. */
+    std::vector<int> roots() const;
+
+    /**
+     * One valid topological order (Kahn's algorithm, FIFO tie-break);
+     * used for validation.
+     */
+    std::vector<int> topologicalOrder() const;
+
+    /** True iff @p order is a permutation respecting every edge. */
+    bool isValidSchedule(const std::vector<int> &order) const;
+
+  private:
+    const Circuit &circuit_;
+    std::vector<std::vector<int>> succs_;
+    std::vector<std::vector<int>> preds_;
+};
+
+/**
+ * Rebuild a circuit whose gate list follows @p order (gate ids into
+ * @p circuit). Panics if the order is not a valid schedule.
+ */
+Circuit applySchedule(const Circuit &circuit,
+                      const std::vector<int> &order);
+
+} // namespace qgpu
+
+#endif // QGPU_QC_DAG_HH

@@ -1,0 +1,122 @@
+#include "qc/fusion.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qgpu
+{
+
+GateMatrix
+expandMatrix(const GateMatrix &m, const std::vector<int> &local_pos,
+             int num_local)
+{
+    const int k = m.numQubits();
+    if (static_cast<int>(local_pos.size()) != k)
+        QGPU_PANIC("expandMatrix: ", local_pos.size(),
+                   " positions for a ", k, "-qubit matrix");
+
+    const int dim = 1 << num_local;
+    GateMatrix out(dim);
+
+    // Bits not covered by the gate.
+    std::uint64_t rest_mask = bits::lowMask(num_local);
+    for (int pos : local_pos)
+        rest_mask = bits::clearBit(rest_mask, pos);
+
+    auto compose = [&](int gate_bits, std::uint64_t rest) {
+        std::uint64_t idx = rest;
+        for (int i = 0; i < k; ++i)
+            if (bits::testBit(static_cast<std::uint64_t>(gate_bits), i))
+                idx = bits::setBit(idx, local_pos[i]);
+        return static_cast<int>(idx);
+    };
+
+    // Enumerate the "rest" bit patterns by iterating all indices and
+    // keeping those with no gate bits set.
+    for (int rest = 0; rest < dim; ++rest) {
+        if ((static_cast<std::uint64_t>(rest) & ~rest_mask) != 0)
+            continue;
+        for (int col = 0; col < m.dim(); ++col) {
+            const int in = compose(col, rest);
+            out.at(in, in) = Amp{0, 0};
+        }
+        for (int col = 0; col < m.dim(); ++col) {
+            const int in = compose(col, rest);
+            for (int row = 0; row < m.dim(); ++row)
+                out.at(compose(row, rest), in) = m.at(row, col);
+        }
+    }
+    return out;
+}
+
+namespace
+{
+
+/** Fuse one run of gates into a Custom gate over their qubit union. */
+Gate
+fuseRun(const std::vector<const Gate *> &run)
+{
+    std::set<int> qubit_set;
+    for (const Gate *g : run)
+        qubit_set.insert(g->qubits.begin(), g->qubits.end());
+    std::vector<int> qubits(qubit_set.begin(), qubit_set.end());
+    const int num_local = static_cast<int>(qubits.size());
+
+    auto local_of = [&](int q) {
+        return static_cast<int>(
+            std::lower_bound(qubits.begin(), qubits.end(), q) -
+            qubits.begin());
+    };
+
+    GateMatrix acc = GateMatrix::identity(1 << num_local);
+    for (const Gate *g : run) {
+        std::vector<int> local;
+        local.reserve(g->qubits.size());
+        for (int q : g->qubits)
+            local.push_back(local_of(q));
+        acc = expandMatrix(g->matrix(), local, num_local) * acc;
+    }
+    return Gate::makeCustom(std::move(qubits), acc.data());
+}
+
+} // namespace
+
+Circuit
+fuseGates(const Circuit &circuit, int max_fused_qubits)
+{
+    if (max_fused_qubits < 1 || max_fused_qubits > 6)
+        QGPU_FATAL("fusion width must be in [1, 6], got ",
+                   max_fused_qubits);
+
+    Circuit out(circuit.numQubits(), circuit.name() + "+fused");
+    std::vector<const Gate *> run;
+    std::set<int> run_qubits;
+
+    auto flush = [&] {
+        if (run.empty())
+            return;
+        if (run.size() == 1) {
+            out.add(*run.front()); // nothing fused; keep original
+        } else {
+            out.add(fuseRun(run));
+        }
+        run.clear();
+        run_qubits.clear();
+    };
+
+    for (const Gate &g : circuit.gates()) {
+        std::set<int> merged = run_qubits;
+        merged.insert(g.qubits.begin(), g.qubits.end());
+        if (static_cast<int>(merged.size()) > max_fused_qubits)
+            flush();
+        run.push_back(&g);
+        run_qubits.insert(g.qubits.begin(), g.qubits.end());
+    }
+    flush();
+    return out;
+}
+
+} // namespace qgpu

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Gate fusion: merge consecutive gates into few-qubit Custom gates so a
+ * simulator traverses the state vector fewer times. Qsim's headline
+ * optimization; used by the qsim-like comparator engine (Fig. 16) and
+ * available as a standalone pass.
+ */
+
+#ifndef QGPU_QC_FUSION_HH
+#define QGPU_QC_FUSION_HH
+
+#include "qc/circuit.hh"
+
+namespace qgpu
+{
+
+/**
+ * Expand a gate matrix acting on @p local_pos (bit positions inside a
+ * @p num_local-qubit subspace, gate bit i -> local_pos[i]) to the full
+ * 2^num_local dimension.
+ */
+GateMatrix expandMatrix(const GateMatrix &m,
+                        const std::vector<int> &local_pos,
+                        int num_local);
+
+/**
+ * Greedy left-to-right fusion. Runs of adjacent gates are merged while
+ * the union of their qubits stays within @p max_fused_qubits; each run
+ * becomes one Custom gate on the sorted qubit union.
+ *
+ * The fused circuit computes exactly the same unitary.
+ */
+Circuit fuseGates(const Circuit &circuit, int max_fused_qubits = 4);
+
+} // namespace qgpu
+
+#endif // QGPU_QC_FUSION_HH

@@ -1,0 +1,330 @@
+#include "qc/gate.hh"
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qgpu
+{
+
+namespace
+{
+
+constexpr double inv_sqrt2 = 0.70710678118654752440;
+
+GateMatrix
+mat1q(std::initializer_list<Amp> vals)
+{
+    return GateMatrix(2, vals);
+}
+
+/**
+ * Build a controlled version of @p u where the low @p num_controls
+ * index bits are controls and the remaining bits carry @p u.
+ */
+GateMatrix
+controlled(const GateMatrix &u, int num_controls)
+{
+    const int dim = u.dim() << num_controls;
+    const std::uint64_t cmask = bits::lowMask(num_controls);
+    GateMatrix out(dim);
+    for (int in = 0; in < dim; ++in) {
+        if ((static_cast<std::uint64_t>(in) & cmask) != cmask)
+            continue; // identity column, already set
+        out.at(in, in) = Amp{0, 0};
+        const int u_in = in >> num_controls;
+        for (int u_out = 0; u_out < u.dim(); ++u_out) {
+            const int row =
+                (u_out << num_controls) | static_cast<int>(cmask);
+            out.at(row, in) = u.at(u_out, u_in);
+        }
+    }
+    return out;
+}
+
+GateMatrix
+swapMatrix()
+{
+    return GateMatrix(4, {
+        {1, 0}, {0, 0}, {0, 0}, {0, 0},
+        {0, 0}, {0, 0}, {1, 0}, {0, 0},
+        {0, 0}, {1, 0}, {0, 0}, {0, 0},
+        {0, 0}, {0, 0}, {0, 0}, {1, 0},
+    });
+}
+
+} // namespace
+
+const char *
+gateKindName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::ID: return "id";
+      case GateKind::H: return "h";
+      case GateKind::X: return "x";
+      case GateKind::Y: return "y";
+      case GateKind::Z: return "z";
+      case GateKind::S: return "s";
+      case GateKind::Sdg: return "sdg";
+      case GateKind::T: return "t";
+      case GateKind::Tdg: return "tdg";
+      case GateKind::SX: return "sx";
+      case GateKind::SY: return "sy";
+      case GateKind::RX: return "rx";
+      case GateKind::RY: return "ry";
+      case GateKind::RZ: return "rz";
+      case GateKind::P: return "p";
+      case GateKind::U: return "u";
+      case GateKind::CX: return "cx";
+      case GateKind::CY: return "cy";
+      case GateKind::CZ: return "cz";
+      case GateKind::CP: return "cp";
+      case GateKind::CRZ: return "crz";
+      case GateKind::RXX: return "rxx";
+      case GateKind::RYY: return "ryy";
+      case GateKind::RZZ: return "rzz";
+      case GateKind::SWAP: return "swap";
+      case GateKind::CCX: return "ccx";
+      case GateKind::CCZ: return "ccz";
+      case GateKind::CSWAP: return "cswap";
+      case GateKind::Custom: return "custom";
+    }
+    return "?";
+}
+
+int
+gateKindQubits(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::CX:
+      case GateKind::CY:
+      case GateKind::CZ:
+      case GateKind::CP:
+      case GateKind::CRZ:
+      case GateKind::RXX:
+      case GateKind::RYY:
+      case GateKind::RZZ:
+      case GateKind::SWAP:
+        return 2;
+      case GateKind::CCX:
+      case GateKind::CCZ:
+      case GateKind::CSWAP:
+        return 3;
+      case GateKind::Custom:
+        return -1; // determined by the matrix
+      default:
+        return 1;
+    }
+}
+
+int
+gateKindParams(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::RX:
+      case GateKind::RY:
+      case GateKind::RZ:
+      case GateKind::P:
+      case GateKind::CP:
+      case GateKind::CRZ:
+      case GateKind::RXX:
+      case GateKind::RYY:
+      case GateKind::RZZ:
+        return 1;
+      case GateKind::U:
+        return 3;
+      default:
+        return 0;
+    }
+}
+
+Gate::Gate(GateKind kind, std::vector<int> qubits,
+           std::vector<double> params)
+    : kind(kind), qubits(std::move(qubits)), params(std::move(params))
+{
+    const int want_q = gateKindQubits(kind);
+    if (want_q >= 0 && want_q != numQubits())
+        QGPU_PANIC("gate ", gateKindName(kind), " expects ", want_q,
+                   " qubits, got ", numQubits());
+    if (gateKindParams(kind) != static_cast<int>(this->params.size()))
+        QGPU_PANIC("gate ", gateKindName(kind), " expects ",
+                   gateKindParams(kind), " params, got ",
+                   this->params.size());
+}
+
+GateMatrix
+Gate::matrix() const
+{
+    using std::cos;
+    using std::sin;
+    const auto expi = [](double x) { return Amp{cos(x), sin(x)}; };
+
+    switch (kind) {
+      case GateKind::ID:
+        return GateMatrix::identity(2);
+      case GateKind::H:
+        return mat1q({{inv_sqrt2, 0}, {inv_sqrt2, 0},
+                      {inv_sqrt2, 0}, {-inv_sqrt2, 0}});
+      case GateKind::X:
+        return mat1q({{0, 0}, {1, 0}, {1, 0}, {0, 0}});
+      case GateKind::Y:
+        return mat1q({{0, 0}, {0, -1}, {0, 1}, {0, 0}});
+      case GateKind::Z:
+        return mat1q({{1, 0}, {0, 0}, {0, 0}, {-1, 0}});
+      case GateKind::S:
+        return mat1q({{1, 0}, {0, 0}, {0, 0}, {0, 1}});
+      case GateKind::Sdg:
+        return mat1q({{1, 0}, {0, 0}, {0, 0}, {0, -1}});
+      case GateKind::T:
+        return mat1q({{1, 0}, {0, 0}, {0, 0},
+                      expi(std::numbers::pi / 4)});
+      case GateKind::Tdg:
+        return mat1q({{1, 0}, {0, 0}, {0, 0},
+                      expi(-std::numbers::pi / 4)});
+      case GateKind::SX:
+        return mat1q({{0.5, 0.5}, {0.5, -0.5},
+                      {0.5, -0.5}, {0.5, 0.5}});
+      case GateKind::SY:
+        return mat1q({{0.5, 0.5}, {-0.5, -0.5},
+                      {0.5, 0.5}, {0.5, 0.5}});
+      case GateKind::RX: {
+        const double t = params[0] / 2;
+        return mat1q({{cos(t), 0}, {0, -sin(t)},
+                      {0, -sin(t)}, {cos(t), 0}});
+      }
+      case GateKind::RY: {
+        const double t = params[0] / 2;
+        return mat1q({{cos(t), 0}, {-sin(t), 0},
+                      {sin(t), 0}, {cos(t), 0}});
+      }
+      case GateKind::RZ: {
+        const double t = params[0] / 2;
+        return mat1q({expi(-t), {0, 0}, {0, 0}, expi(t)});
+      }
+      case GateKind::P:
+        return mat1q({{1, 0}, {0, 0}, {0, 0}, expi(params[0])});
+      case GateKind::U: {
+        const double t = params[0] / 2;
+        const double phi = params[1];
+        const double lam = params[2];
+        return mat1q({{cos(t), 0}, -expi(lam) * sin(t),
+                      expi(phi) * sin(t), expi(phi + lam) * cos(t)});
+      }
+      case GateKind::CX:
+        return controlled(Gate(GateKind::X, {0}).matrix(), 1);
+      case GateKind::CY:
+        return controlled(Gate(GateKind::Y, {0}).matrix(), 1);
+      case GateKind::CZ:
+        return controlled(Gate(GateKind::Z, {0}).matrix(), 1);
+      case GateKind::CP:
+        return controlled(Gate(GateKind::P, {0}, params).matrix(), 1);
+      case GateKind::CRZ:
+        return controlled(Gate(GateKind::RZ, {0}, params).matrix(), 1);
+      case GateKind::RXX: {
+        const double t = params[0] / 2;
+        const Amp c{cos(t), 0}, s{0, -sin(t)};
+        return GateMatrix(4, {c, {0, 0}, {0, 0}, s,
+                              {0, 0}, c, s, {0, 0},
+                              {0, 0}, s, c, {0, 0},
+                              s, {0, 0}, {0, 0}, c});
+      }
+      case GateKind::RYY: {
+        const double t = params[0] / 2;
+        const Amp c{cos(t), 0};
+        const Amp m{0, -sin(t)}, p{0, sin(t)};
+        return GateMatrix(4, {c, {0, 0}, {0, 0}, p,
+                              {0, 0}, c, m, {0, 0},
+                              {0, 0}, m, c, {0, 0},
+                              p, {0, 0}, {0, 0}, c});
+      }
+      case GateKind::RZZ: {
+        const double t = params[0] / 2;
+        const Amp e_m = expi(-t), e_p = expi(t);
+        return GateMatrix(4, {e_m, {0, 0}, {0, 0}, {0, 0},
+                              {0, 0}, e_p, {0, 0}, {0, 0},
+                              {0, 0}, {0, 0}, e_p, {0, 0},
+                              {0, 0}, {0, 0}, {0, 0}, e_m});
+      }
+      case GateKind::SWAP:
+        return swapMatrix();
+      case GateKind::CCX:
+        return controlled(Gate(GateKind::X, {0}).matrix(), 2);
+      case GateKind::CCZ:
+        return controlled(Gate(GateKind::Z, {0}).matrix(), 2);
+      case GateKind::CSWAP:
+        return controlled(swapMatrix(), 1);
+      case GateKind::Custom:
+        return GateMatrix(custom);
+    }
+    QGPU_PANIC("unhandled gate kind");
+}
+
+bool
+Gate::isDiagonal() const
+{
+    switch (kind) {
+      case GateKind::ID:
+      case GateKind::Z:
+      case GateKind::S:
+      case GateKind::Sdg:
+      case GateKind::T:
+      case GateKind::Tdg:
+      case GateKind::RZ:
+      case GateKind::P:
+      case GateKind::CZ:
+      case GateKind::CP:
+      case GateKind::CRZ:
+      case GateKind::RZZ:
+      case GateKind::CCZ:
+        return true;
+      case GateKind::Custom:
+        return matrix().isDiagonal();
+      default:
+        return false;
+    }
+}
+
+int
+Gate::maxQubit() const
+{
+    int max_q = -1;
+    for (int q : qubits)
+        max_q = std::max(max_q, q);
+    return max_q;
+}
+
+std::string
+Gate::toString() const
+{
+    std::ostringstream os;
+    os << gateKindName(kind);
+    if (!params.empty()) {
+        os << "(";
+        for (std::size_t i = 0; i < params.size(); ++i)
+            os << (i ? ", " : "") << params[i];
+        os << ")";
+    }
+    os << " ";
+    for (std::size_t i = 0; i < qubits.size(); ++i)
+        os << (i ? ", q" : "q") << qubits[i];
+    return os.str();
+}
+
+Gate
+Gate::makeCustom(std::vector<int> qubits, std::vector<Amp> matrix)
+{
+    Gate g;
+    g.kind = GateKind::Custom;
+    g.qubits = std::move(qubits);
+    g.custom = std::move(matrix);
+    const GateMatrix m(g.custom);
+    if (m.numQubits() != g.numQubits())
+        QGPU_PANIC("custom gate matrix covers ", m.numQubits(),
+                   " qubits but ", g.numQubits(), " targets given");
+    return g;
+}
+
+} // namespace qgpu

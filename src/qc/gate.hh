@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Quantum gate representation: a kind tag, target qubits, real-valued
+ * parameters, and on demand the dense unitary matrix.
+ */
+
+#ifndef QGPU_QC_GATE_HH
+#define QGPU_QC_GATE_HH
+
+#include <string>
+#include <vector>
+
+#include "qc/matrix.hh"
+
+namespace qgpu
+{
+
+/** Supported gate kinds (superset of the gates in the paper's circuits). */
+enum class GateKind
+{
+    ID,
+    H,
+    X,
+    Y,
+    Z,
+    S,
+    Sdg,
+    T,
+    Tdg,
+    SX,   ///< sqrt(X), used by rqc
+    SY,   ///< sqrt(Y), used by rqc
+    RX,   ///< param: theta
+    RY,   ///< param: theta
+    RZ,   ///< param: theta
+    P,    ///< phase gate, param: lambda
+    U,    ///< generic 1q, params: theta, phi, lambda
+    CX,
+    CY,
+    CZ,
+    CP,   ///< controlled phase, param: lambda
+    CRZ,  ///< controlled RZ, param: theta
+    RXX,  ///< exp(-i theta XX / 2), param: theta
+    RYY,  ///< exp(-i theta YY / 2), param: theta
+    RZZ,  ///< exp(-i theta ZZ / 2), param: theta (diagonal)
+    SWAP,
+    CCX,
+    CCZ,
+    CSWAP,
+    Custom, ///< arbitrary unitary carried inline
+};
+
+/** Printable lower-case mnemonic (matches OpenQASM where one exists). */
+const char *gateKindName(GateKind kind);
+
+/** Number of qubits a gate of this kind acts on. */
+int gateKindQubits(GateKind kind);
+
+/** Number of parameters a gate of this kind carries. */
+int gateKindParams(GateKind kind);
+
+/**
+ * One gate application inside a circuit.
+ *
+ * @c qubits lists targets in significance order: for controlled gates
+ * the controls come first (e.g. CX = {control, target}). Qubit indices
+ * refer to state-vector bit positions (qubit 0 = least significant).
+ */
+struct Gate
+{
+    GateKind kind = GateKind::ID;
+    std::vector<int> qubits;
+    std::vector<double> params;
+    /** Dense matrix for GateKind::Custom; empty otherwise. */
+    std::vector<Amp> custom;
+
+    Gate() = default;
+    Gate(GateKind kind, std::vector<int> qubits,
+         std::vector<double> params = {});
+
+    /** Number of qubits this gate acts on. */
+    int numQubits() const { return static_cast<int>(qubits.size()); }
+
+    /**
+     * The gate's unitary matrix of dimension 2^k.
+     *
+     * Basis convention: row/column index bit i corresponds to
+     * qubits[i], with qubits[0] the least significant bit.
+     */
+    GateMatrix matrix() const;
+
+    /**
+     * True iff the unitary is diagonal in the computational basis
+     * (Z, S, T, RZ, P, CZ, CP, CRZ, CCZ). Diagonal gates touch each
+     * amplitude independently, which matters for kernel cost.
+     */
+    bool isDiagonal() const;
+
+    /** Largest target qubit index. */
+    int maxQubit() const;
+
+    /** Human-readable description, e.g. "cx q1, q4". */
+    std::string toString() const;
+
+    /** Gate with an explicit custom matrix. */
+    static Gate
+    makeCustom(std::vector<int> qubits, std::vector<Amp> matrix);
+};
+
+} // namespace qgpu
+
+#endif // QGPU_QC_GATE_HH

@@ -1,0 +1,117 @@
+#include "qc/matrix.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qgpu
+{
+
+GateMatrix::GateMatrix(int dim)
+    : dim_(dim), data_(static_cast<std::size_t>(dim) * dim, Amp{0, 0})
+{
+    for (int i = 0; i < dim; ++i)
+        at(i, i) = Amp{1, 0};
+}
+
+GateMatrix::GateMatrix(int dim, std::initializer_list<Amp> vals)
+    : dim_(dim), data_(vals)
+{
+    if (data_.size() != static_cast<std::size_t>(dim) * dim)
+        QGPU_PANIC("GateMatrix init list size ", data_.size(),
+                   " != ", dim, "x", dim);
+}
+
+GateMatrix::GateMatrix(std::vector<Amp> vals)
+    : dim_(0), data_(std::move(vals))
+{
+    std::size_t d = 1;
+    while (d * d < data_.size())
+        ++d;
+    if (d * d != data_.size() || !bits::isPow2(d))
+        QGPU_PANIC("GateMatrix vector size ", data_.size(),
+                   " is not a square power of two");
+    dim_ = static_cast<int>(d);
+}
+
+int
+GateMatrix::numQubits() const
+{
+    return bits::log2Exact(static_cast<std::uint64_t>(dim_));
+}
+
+GateMatrix
+GateMatrix::operator*(const GateMatrix &rhs) const
+{
+    if (dim_ != rhs.dim_)
+        QGPU_PANIC("GateMatrix dim mismatch ", dim_, " vs ", rhs.dim_);
+    GateMatrix out(dim_);
+    for (int r = 0; r < dim_; ++r) {
+        for (int c = 0; c < dim_; ++c) {
+            Amp sum{0, 0};
+            for (int k = 0; k < dim_; ++k)
+                sum += at(r, k) * rhs.at(k, c);
+            out.at(r, c) = sum;
+        }
+    }
+    return out;
+}
+
+GateMatrix
+GateMatrix::kron(const GateMatrix &rhs) const
+{
+    const int d = dim_ * rhs.dim_;
+    GateMatrix out(d);
+    for (int r = 0; r < d; ++r)
+        for (int c = 0; c < d; ++c)
+            out.at(r, c) = at(r / rhs.dim_, c / rhs.dim_) *
+                           rhs.at(r % rhs.dim_, c % rhs.dim_);
+    return out;
+}
+
+GateMatrix
+GateMatrix::dagger() const
+{
+    GateMatrix out(dim_);
+    for (int r = 0; r < dim_; ++r)
+        for (int c = 0; c < dim_; ++c)
+            out.at(r, c) = std::conj(at(c, r));
+    return out;
+}
+
+double
+GateMatrix::maxAbsDiff(const GateMatrix &rhs) const
+{
+    if (dim_ != rhs.dim_)
+        return std::numeric_limits<double>::infinity();
+    double worst = 0.0;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        worst = std::max(worst, std::abs(data_[i] - rhs.data_[i]));
+    return worst;
+}
+
+bool
+GateMatrix::isUnitary(double tol) const
+{
+    return ((*this) * dagger()).maxAbsDiff(identity(dim_)) < tol;
+}
+
+bool
+GateMatrix::isDiagonal(double tol) const
+{
+    for (int r = 0; r < dim_; ++r)
+        for (int c = 0; c < dim_; ++c)
+            if (r != c && std::abs(at(r, c)) > tol)
+                return false;
+    return true;
+}
+
+GateMatrix
+GateMatrix::identity(int dim)
+{
+    return GateMatrix(dim);
+}
+
+} // namespace qgpu

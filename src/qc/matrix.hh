@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Small dense complex matrices for quantum gates (up to 6 qubits, i.e.
+ * 64x64). Gate matrices, kron products, and unitarity checks live here.
+ */
+
+#ifndef QGPU_QC_MATRIX_HH
+#define QGPU_QC_MATRIX_HH
+
+#include <initializer_list>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace qgpu
+{
+
+/**
+ * A square complex matrix of dimension 2^k for a k-qubit gate.
+ *
+ * Row-major storage. Kept deliberately simple: gates are tiny, so no
+ * BLAS, no expression templates.
+ */
+class GateMatrix
+{
+  public:
+    /** Identity of the given dimension. */
+    explicit GateMatrix(int dim = 2);
+
+    /** Build from a row-major initializer list; must be dim*dim long. */
+    GateMatrix(int dim, std::initializer_list<Amp> vals);
+
+    /** Build from a row-major vector; must be a square power of two. */
+    explicit GateMatrix(std::vector<Amp> vals);
+
+    int dim() const { return dim_; }
+
+    /** Number of qubits the matrix acts on (log2 of dim). */
+    int numQubits() const;
+
+    Amp &at(int row, int col) { return data_[row * dim_ + col]; }
+    const Amp &at(int row, int col) const { return data_[row * dim_ + col]; }
+
+    const std::vector<Amp> &data() const { return data_; }
+
+    /** Matrix product this * rhs. */
+    GateMatrix operator*(const GateMatrix &rhs) const;
+
+    /** Kronecker product this (x) rhs. */
+    GateMatrix kron(const GateMatrix &rhs) const;
+
+    /** Conjugate transpose. */
+    GateMatrix dagger() const;
+
+    /** Max elementwise |a - b| against @p rhs. */
+    double maxAbsDiff(const GateMatrix &rhs) const;
+
+    /** True iff U * U^dagger is the identity to @p tol. */
+    bool isUnitary(double tol = 1e-10) const;
+
+    /** True iff all off-diagonal entries are below @p tol. */
+    bool isDiagonal(double tol = 1e-12) const;
+
+    static GateMatrix identity(int dim);
+
+  private:
+    int dim_;
+    std::vector<Amp> data_;
+};
+
+} // namespace qgpu
+
+#endif // QGPU_QC_MATRIX_HH

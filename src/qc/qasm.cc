@@ -1,0 +1,272 @@
+#include "qc/qasm.hh"
+
+#include <cctype>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace qgpu
+{
+
+std::string
+toQasm(const Circuit &circuit)
+{
+    std::ostringstream os;
+    os << "OPENQASM 2.0;\n";
+    os << "include \"qelib1.inc\";\n";
+    os << "// " << circuit.name() << "\n";
+    os << "qreg q[" << circuit.numQubits() << "];\n";
+    os << std::setprecision(17);
+    for (const Gate &g : circuit.gates()) {
+        if (g.kind == GateKind::Custom)
+            QGPU_FATAL("custom gates have no OpenQASM form");
+        os << gateKindName(g.kind);
+        if (!g.params.empty()) {
+            os << "(";
+            for (std::size_t i = 0; i < g.params.size(); ++i)
+                os << (i ? "," : "") << g.params[i];
+            os << ")";
+        }
+        os << " ";
+        for (std::size_t i = 0; i < g.qubits.size(); ++i)
+            os << (i ? ",q[" : "q[") << g.qubits[i] << "]";
+        os << ";\n";
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/** Cursor over the program text with token helpers. */
+class Scanner
+{
+  public:
+    explicit Scanner(const std::string &text) : text_(text) {}
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+
+    void
+    skipSpace()
+    {
+        while (!atEnd()) {
+            if (std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            } else if (text_.compare(pos_, 2, "//") == 0) {
+                while (!atEnd() && text_[pos_] != '\n')
+                    ++pos_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /** Read an identifier (letters, digits, underscore). */
+    std::string
+    ident()
+    {
+        skipSpace();
+        std::size_t start = pos_;
+        while (!atEnd() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_')) {
+            ++pos_;
+        }
+        if (start == pos_)
+            QGPU_FATAL("qasm: expected identifier at offset ", pos_);
+        return text_.substr(start, pos_ - start);
+    }
+
+    /** Consume @p c; fatal if the next char differs. */
+    void
+    expect(char c)
+    {
+        skipSpace();
+        if (atEnd() || text_[pos_] != c)
+            QGPU_FATAL("qasm: expected '", c, "' at offset ", pos_);
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (!atEnd() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    /** Advance past the next occurrence of @p c (raw characters). */
+    void
+    skipPast(char c)
+    {
+        while (!atEnd() && text_[pos_] != c)
+            ++pos_;
+        if (!atEnd())
+            ++pos_;
+    }
+
+    long
+    integer()
+    {
+        skipSpace();
+        std::size_t start = pos_;
+        while (!atEnd() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            ++pos_;
+        }
+        if (start == pos_)
+            QGPU_FATAL("qasm: expected integer at offset ", pos_);
+        return std::stol(text_.substr(start, pos_ - start));
+    }
+
+    /** Parse a parameter expression: float literal, 'pi', products and
+     *  quotients like pi/2, -pi/4, 2*pi. */
+    double
+    paramExpr()
+    {
+        skipSpace();
+        double sign = 1.0;
+        if (consume('-'))
+            sign = -1.0;
+        double value = primary();
+        for (;;) {
+            skipSpace();
+            if (consume('*')) {
+                value *= primary();
+            } else if (consume('/')) {
+                value /= primary();
+            } else {
+                break;
+            }
+        }
+        return sign * value;
+    }
+
+  private:
+    double
+    primary()
+    {
+        skipSpace();
+        if (!atEnd() &&
+            std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+            const std::string word = ident();
+            if (word == "pi")
+                return 3.14159265358979323846;
+            QGPU_FATAL("qasm: unknown symbol '", word, "'");
+        }
+        std::size_t consumed = 0;
+        const double v = std::stod(text_.substr(pos_), &consumed);
+        pos_ += consumed;
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+const std::map<std::string, GateKind> &
+nameToKind()
+{
+    static const std::map<std::string, GateKind> table = [] {
+        std::map<std::string, GateKind> m;
+        for (int k = 0; k <= static_cast<int>(GateKind::CSWAP); ++k) {
+            const auto kind = static_cast<GateKind>(k);
+            m[gateKindName(kind)] = kind;
+        }
+        // Common aliases.
+        m["u1"] = GateKind::P;
+        m["u3"] = GateKind::U;
+        m["cu1"] = GateKind::CP;
+        m["toffoli"] = GateKind::CCX;
+        return m;
+    }();
+    return table;
+}
+
+} // namespace
+
+Circuit
+fromQasm(const std::string &text)
+{
+    Scanner sc(text);
+
+    // Header: OPENQASM 2.0;
+    if (sc.ident() != "OPENQASM")
+        QGPU_FATAL("qasm: missing OPENQASM header");
+    sc.paramExpr(); // version number
+    sc.expect(';');
+
+    int num_qubits = -1;
+    std::string reg_name;
+    Circuit circuit(1, "qasm");
+    bool have_reg = false;
+
+    for (;;) {
+        sc.skipSpace();
+        if (sc.atEnd())
+            break;
+        const std::string word = sc.ident();
+
+        if (word == "include") {
+            // include "qelib1.inc";
+            sc.expect('"');
+            sc.skipPast('"');
+            sc.expect(';');
+            continue;
+        }
+        if (word == "qreg") {
+            reg_name = sc.ident();
+            sc.expect('[');
+            num_qubits = static_cast<int>(sc.integer());
+            sc.expect(']');
+            sc.expect(';');
+            circuit = Circuit(num_qubits, "qasm");
+            have_reg = true;
+            continue;
+        }
+        if (word == "creg" || word == "barrier" ||
+            word == "measure") {
+            sc.skipPast(';'); // whole statement is a no-op here
+            continue;
+        }
+
+        // Gate statement.
+        if (!have_reg)
+            QGPU_FATAL("qasm: gate before qreg declaration");
+        auto it = nameToKind().find(word);
+        if (it == nameToKind().end())
+            QGPU_FATAL("qasm: unsupported gate '", word, "'");
+
+        std::vector<double> params;
+        if (sc.consume('(')) {
+            do {
+                params.push_back(sc.paramExpr());
+            } while (sc.consume(','));
+            sc.expect(')');
+        }
+
+        std::vector<int> qubits;
+        do {
+            const std::string reg = sc.ident();
+            if (reg != reg_name)
+                QGPU_FATAL("qasm: unknown register '", reg, "'");
+            sc.expect('[');
+            qubits.push_back(static_cast<int>(sc.integer()));
+            sc.expect(']');
+        } while (sc.consume(','));
+        sc.expect(';');
+
+        circuit.add(Gate(it->second, std::move(qubits),
+                         std::move(params)));
+    }
+    if (!have_reg)
+        QGPU_FATAL("qasm: no qreg declaration");
+    return circuit;
+}
+
+} // namespace qgpu

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * OpenQASM 2.0 export and a matching import parser. The paper exports
+ * its benchmarks to OpenQASM to run them on Qsim-Cirq/QDK; we support
+ * the same interchange (for the gate set emitted by our generators).
+ */
+
+#ifndef QGPU_QC_QASM_HH
+#define QGPU_QC_QASM_HH
+
+#include <string>
+
+#include "qc/circuit.hh"
+
+namespace qgpu
+{
+
+/** Serialize @p circuit as an OpenQASM 2.0 program. */
+std::string toQasm(const Circuit &circuit);
+
+/**
+ * Parse an OpenQASM 2.0 program produced by toQasm (single qreg,
+ * built-in gate set, no user gate definitions). Fatal on malformed
+ * input or unsupported constructs.
+ */
+Circuit fromQasm(const std::string &text);
+
+} // namespace qgpu
+
+#endif // QGPU_QC_QASM_HH

@@ -1,0 +1,169 @@
+#include "reorder/reorder.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace qgpu
+{
+
+namespace
+{
+
+/** Number of qubits of gate @p g not yet marked in @p involved. */
+int
+newQubits(const DagCircuit &dag, int g, const std::vector<bool> &involved)
+{
+    int count = 0;
+    for (int q : dag.circuit().gates()[g].qubits)
+        if (!involved[q])
+            ++count;
+    return count;
+}
+
+} // namespace
+
+const char *
+reorderKindName(ReorderKind kind)
+{
+    switch (kind) {
+      case ReorderKind::None: return "original";
+      case ReorderKind::Greedy: return "greedy";
+      case ReorderKind::ForwardLooking: return "forward-looking";
+    }
+    return "?";
+}
+
+std::vector<int>
+Reorderer::schedule(const DagCircuit &dag) const
+{
+    std::vector<int> in_degree = dag.inDegrees();
+    std::vector<int> runnable = dag.roots();
+    std::vector<bool> involved(dag.circuit().numQubits(), false);
+
+    std::vector<int> order;
+    order.reserve(dag.numNodes());
+    while (!runnable.empty()) {
+        const std::size_t pos =
+            pickNext(dag, runnable, involved, in_degree);
+        const int g = runnable[pos];
+        runnable.erase(runnable.begin() +
+                       static_cast<std::ptrdiff_t>(pos));
+        order.push_back(g);
+        for (int q : dag.circuit().gates()[g].qubits)
+            involved[q] = true;
+        for (int s : dag.successors(g))
+            if (--in_degree[s] == 0)
+                runnable.push_back(s);
+    }
+    if (order.size() != dag.numNodes())
+        QGPU_PANIC("reorderer produced a partial schedule");
+    return order;
+}
+
+Circuit
+Reorderer::reorder(const Circuit &circuit) const
+{
+    const DagCircuit dag(circuit);
+    Circuit out = applySchedule(circuit, schedule(dag));
+    out.setName(circuit.name());
+    return out;
+}
+
+std::size_t
+GreedyReorderer::pickNext(const DagCircuit &dag,
+                          const std::vector<int> &runnable,
+                          const std::vector<bool> &involved,
+                          const std::vector<int> &in_degree) const
+{
+    (void)in_degree;
+    std::size_t best = 0;
+    int best_cost = std::numeric_limits<int>::max();
+    for (std::size_t i = 0; i < runnable.size(); ++i) {
+        const int cost = newQubits(dag, runnable[i], involved);
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = i;
+            if (cost == 0)
+                break; // cannot do better
+        }
+    }
+    return best;
+}
+
+std::size_t
+ForwardLookingReorderer::pickNext(const DagCircuit &dag,
+                                  const std::vector<int> &runnable,
+                                  const std::vector<bool> &involved,
+                                  const std::vector<int> &in_degree) const
+{
+    std::size_t best = 0;
+    int best_cost = std::numeric_limits<int>::max();
+    int best_current = std::numeric_limits<int>::max();
+
+    for (std::size_t i = 0; i < runnable.size(); ++i) {
+        const int g = runnable[i];
+        const int cost_current = newQubits(dag, g, involved);
+
+        // Hypothetically execute g (Algorithm 3 works on copies).
+        std::vector<bool> involved2 = involved;
+        for (int q : dag.circuit().gates()[g].qubits)
+            involved2[q] = true;
+
+        // Lookahead: cheapest gate runnable after g.
+        int cost_look = std::numeric_limits<int>::max();
+        for (std::size_t j = 0; j < runnable.size(); ++j) {
+            if (j == i)
+                continue;
+            cost_look = std::min(
+                cost_look, newQubits(dag, runnable[j], involved2));
+        }
+        for (int s : dag.successors(g)) {
+            if (in_degree[s] == 1) // g was its last blocker
+                cost_look = std::min(
+                    cost_look, newQubits(dag, s, involved2));
+        }
+        if (cost_look == std::numeric_limits<int>::max())
+            cost_look = 0; // nothing left to look at
+
+        const int cost = cost_current + cost_look;
+        // Ties break toward the gate that involves fewer qubits right
+        // now: keeping involvement low for longer is what pruning
+        // monetizes.
+        if (cost < best_cost ||
+            (cost == best_cost && cost_current < best_current)) {
+            best_cost = cost;
+            best_current = cost_current;
+            best = i;
+            if (cost == 0 && cost_current == 0)
+                break;
+        }
+    }
+    return best;
+}
+
+std::unique_ptr<Reorderer>
+makeReorderer(ReorderKind kind)
+{
+    switch (kind) {
+      case ReorderKind::None:
+        return nullptr;
+      case ReorderKind::Greedy:
+        return std::make_unique<GreedyReorderer>();
+      case ReorderKind::ForwardLooking:
+        return std::make_unique<ForwardLookingReorderer>();
+    }
+    return nullptr;
+}
+
+Circuit
+reorderCircuit(const Circuit &circuit, ReorderKind kind)
+{
+    const auto reorderer = makeReorderer(kind);
+    if (!reorderer)
+        return circuit;
+    return reorderer->reorder(circuit);
+}
+
+} // namespace qgpu

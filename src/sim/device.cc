@@ -1,0 +1,39 @@
+#include "sim/device.hh"
+
+#include <algorithm>
+
+namespace qgpu
+{
+
+DeviceModel::DeviceModel(DeviceSpec spec)
+    : spec_(std::move(spec)),
+      compute_(spec_.name + ".compute"),
+      h2dEngine_(spec_.name + ".h2d"),
+      d2hEngine_(spec_.name + ".d2h")
+{
+}
+
+VTime
+DeviceModel::kernelTime(double flops, double bytes) const
+{
+    const VTime compute_roof = flops / spec_.flops;
+    const VTime memory_roof = bytes / spec_.memBandwidth;
+    return spec_.kernelLatency + std::max(compute_roof, memory_roof);
+}
+
+VTime
+DeviceModel::codecTime(std::uint64_t bytes) const
+{
+    return spec_.kernelLatency +
+           static_cast<double>(bytes) / spec_.codecThroughput;
+}
+
+void
+DeviceModel::reset()
+{
+    compute_.reset();
+    h2dEngine_.reset();
+    d2hEngine_.reset();
+}
+
+} // namespace qgpu

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * GPU device model: memory capacity, FP64 throughput, device-memory
+ * bandwidth, host links, and three independently-scheduled engines —
+ * compute, H2D copy, D2H copy — matching the CUDA stream semantics
+ * Q-GPU's proactive transfer exploits.
+ */
+
+#ifndef QGPU_SIM_DEVICE_HH
+#define QGPU_SIM_DEVICE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/resource.hh"
+
+namespace qgpu
+{
+
+/** Point-to-point link: bandwidth plus fixed per-transfer latency. */
+struct LinkModel
+{
+    double bandwidth = 12.0e9; ///< bytes per second
+    double latency = 10.0e-6;  ///< seconds per transfer
+
+    /** Virtual time for a transfer of @p bytes. */
+    VTime
+    transferTime(std::uint64_t bytes) const
+    {
+        return latency + static_cast<double>(bytes) / bandwidth;
+    }
+};
+
+/** Static description of a GPU. */
+struct DeviceSpec
+{
+    std::string name = "gpu";
+    std::uint64_t memBytes = 16ull << 30;
+    double flops = 4.7e12;        ///< peak FP64 flops/s
+    double memBandwidth = 732e9;  ///< device memory bytes/s
+    double kernelLatency = 5e-6;  ///< per kernel launch, seconds
+    double codecThroughput = 75e9; ///< GFC compression bytes/s
+    LinkModel h2d;
+    LinkModel d2h;
+    LinkModel peer; ///< GPU-to-GPU link (multi-GPU systems)
+};
+
+/**
+ * A device plus the mutable engine state used to build virtual-time
+ * schedules.
+ */
+class DeviceModel
+{
+  public:
+    explicit DeviceModel(DeviceSpec spec);
+
+    const DeviceSpec &spec() const { return spec_; }
+
+    TimedResource &compute() { return compute_; }
+    TimedResource &h2dEngine() { return h2dEngine_; }
+    TimedResource &d2hEngine() { return d2hEngine_; }
+    const TimedResource &compute() const { return compute_; }
+    const TimedResource &h2dEngine() const { return h2dEngine_; }
+    const TimedResource &d2hEngine() const { return d2hEngine_; }
+
+    /**
+     * Duration of a kernel performing @p flops floating-point work
+     * over @p bytes of device memory traffic: the max of the compute
+     * and memory roofs plus launch latency.
+     */
+    VTime kernelTime(double flops, double bytes) const;
+
+    /** Duration of compressing/decompressing @p bytes with GFC. */
+    VTime codecTime(std::uint64_t bytes) const;
+
+    /** Reset engine availability and busy counters. */
+    void reset();
+
+  private:
+    DeviceSpec spec_;
+    TimedResource compute_;
+    TimedResource h2dEngine_;
+    TimedResource d2hEngine_;
+};
+
+} // namespace qgpu
+
+#endif // QGPU_SIM_DEVICE_HH

@@ -1,0 +1,28 @@
+#include "sim/host.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qgpu
+{
+
+HostModel::HostModel(HostSpec spec)
+    : spec_(std::move(spec)), compute_(spec_.name + ".compute")
+{
+}
+
+VTime
+HostModel::updateTime(double flops, double bytes, int threads) const
+{
+    const int used = threads <= 0
+                         ? spec_.cores
+                         : std::min(threads, spec_.cores);
+    const double scale =
+        std::pow(static_cast<double>(used), spec_.parallelEfficiency);
+    const double effective_flops = spec_.flopsPerCore * scale;
+    const VTime compute_roof = flops / effective_flops;
+    const VTime memory_roof = bytes / spec_.memBandwidth;
+    return std::max(compute_roof, memory_roof);
+}
+
+} // namespace qgpu

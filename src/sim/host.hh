@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Host (CPU + DRAM) model. State-vector updates on the host are
+ * memory-bandwidth bound; the model takes the max of the compute and
+ * memory roofs over the host's aggregate resources.
+ */
+
+#ifndef QGPU_SIM_HOST_HH
+#define QGPU_SIM_HOST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/resource.hh"
+
+namespace qgpu
+{
+
+/** Static description of the host. */
+struct HostSpec
+{
+    std::string name = "host";
+    std::uint64_t memBytes = 384ull << 30;
+    int cores = 20;
+    double flopsPerCore = 8.0e9;  ///< sustained FP64 flops/s per core
+    double memBandwidth = 100e9;  ///< sustained bytes/s
+    /** Parallel efficiency exponent: using c cores yields c^eff. */
+    double parallelEfficiency = 0.9;
+};
+
+/**
+ * The host plus its mutable compute-engine state.
+ */
+class HostModel
+{
+  public:
+    explicit HostModel(HostSpec spec);
+
+    const HostSpec &spec() const { return spec_; }
+    TimedResource &compute() { return compute_; }
+    const TimedResource &compute() const { return compute_; }
+
+    /**
+     * Duration of a host-side update of @p flops floating-point work
+     * touching @p bytes, using @p threads OpenMP threads (0 = all
+     * cores).
+     */
+    VTime updateTime(double flops, double bytes, int threads = 0) const;
+
+    void reset() { compute_.reset(); }
+
+  private:
+    HostSpec spec_;
+    TimedResource compute_;
+};
+
+} // namespace qgpu
+
+#endif // QGPU_SIM_HOST_HH

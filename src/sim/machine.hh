@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A machine = host + GPUs, with factory presets for every platform in
+ * the paper's evaluation (P100 PCIe server, V100, A100, the 4xP4 PCIe
+ * server, and the 4xV100 NVLink server).
+ *
+ * Device memory in a preset is expressed as a *capacity in chunks of
+ * the simulated state* rather than the physical 16/32/40 GB: the
+ * experiments here run scaled-down state vectors, and what determines
+ * every effect the paper measures is the ratio of device capacity to
+ * state size (see DESIGN.md). makeScaled() pins that ratio.
+ */
+
+#ifndef QGPU_SIM_MACHINE_HH
+#define QGPU_SIM_MACHINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "sim/device.hh"
+#include "sim/host.hh"
+
+namespace qgpu
+{
+
+/**
+ * Host plus one or more GPU devices, all with live engine state.
+ */
+class Machine
+{
+  public:
+    Machine(HostSpec host, std::vector<DeviceSpec> devices);
+
+    HostModel &host() { return host_; }
+    const HostModel &host() const { return host_; }
+
+    int numDevices() const { return static_cast<int>(devices_.size()); }
+    DeviceModel &device(int i) { return devices_[i]; }
+    const DeviceModel &device(int i) const { return devices_[i]; }
+
+    /** Total device memory across GPUs. */
+    std::uint64_t totalDeviceMem() const;
+
+    /**
+     * A host link derated for DRAM contention: with many GPUs each
+     * sustaining H2D and D2H traffic, the host memory system becomes
+     * the shared bottleneck. The effective per-link bandwidth is
+     * min(link, host_bw / (2 * num_devices)).
+     */
+    LinkModel contendedHostLink(const LinkModel &raw) const;
+
+    /** Reset every engine's availability and busy counters. */
+    void reset();
+
+  private:
+    HostModel host_;
+    std::vector<DeviceModel> devices_;
+};
+
+namespace machines
+{
+
+/** Host of the paper's main server: dual Xeon Silver 4114, 384 GB. */
+HostSpec xeonSilverHost();
+
+/** Device specs with paper-hardware throughput constants. */
+DeviceSpec p100();
+DeviceSpec v100Pcie();
+DeviceSpec v100Nvlink();
+DeviceSpec a100();
+DeviceSpec p4();
+
+/**
+ * The paper's main platform: one P100 over PCIe on the Xeon host,
+ * with device memory overridden to hold @p device_fraction of an
+ * @p num_qubits-qubit state (default 1/16, the paper's 16 GB /
+ * 256 GB ratio at 34 qubits).
+ *
+ * All rates (flops, bandwidths, codec throughput) are divided by
+ * 2^(paper_qubits - num_qubits) so a scaled-down state takes as much
+ * virtual time as the paper's full-size one: bandwidth-to-latency
+ * ratios then match the 34-qubit regime instead of being swamped by
+ * fixed per-transfer costs. Fixed latencies are left absolute.
+ */
+Machine makeScaled(int num_qubits, DeviceSpec gpu = p100(),
+                   double device_fraction = 1.0 / 16.0,
+                   int num_gpus = 1, int paper_qubits = 34);
+
+} // namespace machines
+} // namespace qgpu
+
+#endif // QGPU_SIM_MACHINE_HH

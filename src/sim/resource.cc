@@ -1,0 +1,32 @@
+#include "sim/resource.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace qgpu
+{
+
+TimedResource::TimedResource(std::string name) : name_(std::move(name))
+{
+}
+
+VTime
+TimedResource::schedule(VTime earliest, VTime duration)
+{
+    if (duration < 0)
+        QGPU_PANIC("negative duration on ", name_);
+    const VTime start = std::max(earliest, freeAt_);
+    freeAt_ = start + duration;
+    busyTime_ += duration;
+    return freeAt_;
+}
+
+void
+TimedResource::reset()
+{
+    freeAt_ = 0.0;
+    busyTime_ = 0.0;
+}
+
+} // namespace qgpu

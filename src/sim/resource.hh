@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A timed resource: one serially-occupied engine (a copy engine, a
+ * GPU's compute pipeline, the host's cores) in the virtual-time device
+ * model. Engines schedule work on resources; concurrency between
+ * resources falls out of their independent availability times, exactly
+ * like the overlapping bars in the paper's Fig. 6 timelines.
+ */
+
+#ifndef QGPU_SIM_RESOURCE_HH
+#define QGPU_SIM_RESOURCE_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace qgpu
+{
+
+/**
+ * A resource that executes one piece of work at a time in virtual
+ * time. Work is scheduled with an earliest-start constraint (its data
+ * dependencies) and runs when both the dependency and the resource
+ * are ready.
+ */
+class TimedResource
+{
+  public:
+    explicit TimedResource(std::string name = "resource");
+
+    const std::string &name() const { return name_; }
+
+    /** Time at which the resource becomes idle. */
+    VTime freeAt() const { return freeAt_; }
+
+    /** Total busy time accumulated so far. */
+    VTime busyTime() const { return busyTime_; }
+
+    /**
+     * Schedule work of @p duration starting no earlier than
+     * @p earliest.
+     * @return completion time.
+     */
+    VTime schedule(VTime earliest, VTime duration);
+
+    /** Clear accumulated state. */
+    void reset();
+
+  private:
+    std::string name_;
+    VTime freeAt_ = 0.0;
+    VTime busyTime_ = 0.0;
+};
+
+} // namespace qgpu
+
+#endif // QGPU_SIM_RESOURCE_HH

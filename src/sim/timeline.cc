@@ -1,0 +1,53 @@
+#include "sim/timeline.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace qgpu
+{
+
+std::string
+Timeline::render(int columns) const
+{
+    if (spans_.empty())
+        return "(empty timeline)\n";
+
+    VTime horizon = 0.0;
+    for (const auto &span : spans_)
+        horizon = std::max(horizon, span.end);
+    if (horizon <= 0.0)
+        return "(zero-length timeline)\n";
+
+    // Group spans per resource, preserving first-seen order.
+    std::vector<std::string> names;
+    std::map<std::string, std::string> rows;
+    std::size_t widest = 0;
+    for (const auto &span : spans_) {
+        if (!rows.count(span.resource)) {
+            names.push_back(span.resource);
+            rows[span.resource] = std::string(columns, '.');
+            widest = std::max(widest, span.resource.size());
+        }
+    }
+    for (const auto &span : spans_) {
+        auto &row = rows[span.resource];
+        const int from = static_cast<int>(span.start / horizon *
+                                          (columns - 1));
+        const int to = static_cast<int>(span.end / horizon *
+                                        (columns - 1));
+        const char mark = span.label.empty() ? '#' : span.label[0];
+        for (int i = from; i <= to && i < columns; ++i)
+            row[i] = mark;
+    }
+
+    std::ostringstream os;
+    for (const auto &name : names) {
+        os << name << std::string(widest - name.size() + 2, ' ')
+           << rows[name] << "\n";
+    }
+    os << "total: " << horizon << " s\n";
+    return os.str();
+}
+
+} // namespace qgpu

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Span recording for execution timelines. Engines optionally log every
+ * scheduled piece of work (which resource, what kind, when) so the
+ * Fig. 6 timeline bench can render how the optimizations change the
+ * overlap structure.
+ */
+
+#ifndef QGPU_SIM_TIMELINE_HH
+#define QGPU_SIM_TIMELINE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace qgpu
+{
+
+/** One scheduled span of work on a named resource. */
+struct TimelineSpan
+{
+    std::string resource; ///< e.g. "gpu0.compute"
+    std::string label;    ///< e.g. "kernel g17"
+    VTime start = 0.0;
+    VTime end = 0.0;
+};
+
+/**
+ * An append-only list of spans. Recording can be disabled (the
+ * default) so the hot path does not allocate.
+ */
+class Timeline
+{
+  public:
+    void enable() { enabled_ = true; }
+    bool enabled() const { return enabled_; }
+
+    void
+    record(const std::string &resource, const std::string &label,
+           VTime start, VTime end)
+    {
+        if (enabled_)
+            spans_.push_back({resource, label, start, end});
+    }
+
+    const std::vector<TimelineSpan> &spans() const { return spans_; }
+    void clear() { spans_.clear(); }
+
+    /**
+     * Render an ASCII chart: one row per resource, @p columns wide,
+     * covering [0, max end].
+     */
+    std::string render(int columns = 100) const;
+
+  private:
+    bool enabled_ = false;
+    std::vector<TimelineSpan> spans_;
+};
+
+} // namespace qgpu
+
+#endif // QGPU_SIM_TIMELINE_HH

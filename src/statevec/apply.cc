@@ -1,0 +1,174 @@
+#include "statevec/apply.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "statevec/kernels.hh"
+
+namespace qgpu
+{
+
+GatePlan::GatePlan(const Gate &gate, int num_qubits, int chunk_bits)
+    : chunkBits_(chunk_bits)
+{
+    // Diagonal gates never couple amplitudes, so every chunk is
+    // independent no matter where the targets sit.
+    if (!gate.isDiagonal()) {
+        for (int q : gate.qubits)
+            if (q >= chunk_bits)
+                globalBits_.push_back(q - chunk_bits);
+        std::sort(globalBits_.begin(), globalBits_.end());
+    }
+    const int chunk_index_bits = num_qubits - chunk_bits;
+    numGroups_ = Index{1}
+                 << (chunk_index_bits
+                     - static_cast<int>(globalBits_.size()));
+}
+
+std::vector<Index>
+GatePlan::members(Index group) const
+{
+    const Index base = bits::insertZeroBits(group, globalBits_);
+    const int span = chunksPerGroup();
+    std::vector<Index> out;
+    out.reserve(span);
+    for (int s = 0; s < span; ++s) {
+        Index idx = base;
+        for (std::size_t j = 0; j < globalBits_.size(); ++j)
+            if (bits::testBit(static_cast<std::uint64_t>(s),
+                              static_cast<int>(j))) {
+                idx = bits::setBit(idx, globalBits_[j]);
+            }
+        out.push_back(idx);
+    }
+    return out;
+}
+
+namespace
+{
+
+/**
+ * Apply a diagonal gate to one chunk. The diagonal entry selector
+ * depends on the full global index, so fold the chunk index in.
+ */
+void
+applyDiagToChunk(ChunkedStateVector &state, const Gate &gate,
+                 Index chunk_idx)
+{
+    const GateMatrix m = gate.matrix();
+    const int k = gate.numQubits();
+    const int chunk_bits = state.chunkBits();
+    auto &data = state.chunk(chunk_idx);
+    const Index chunk_base = chunk_idx << chunk_bits;
+
+    // Selector bits contributed by the chunk index are constant.
+    int fixed_sel = 0;
+    std::vector<std::pair<int, int>> local; // (offset bit, selector bit)
+    for (int j = 0; j < k; ++j) {
+        const int q = gate.qubits[j];
+        if (q >= chunk_bits)
+            fixed_sel |= bits::testBit(chunk_base, q) << j;
+        else
+            local.emplace_back(q, j);
+    }
+
+    const Index size = state.chunkSize();
+    for (Index off = 0; off < size; ++off) {
+        int sel = fixed_sel;
+        for (const auto &[q, j] : local)
+            sel |= bits::testBit(off, q) << j;
+        data[off] *= m.at(sel, sel);
+    }
+}
+
+/** Remap gate targets into the group-local register. */
+Gate
+remapGateForGroup(const Gate &gate, const std::vector<int> &global_bits,
+                  int chunk_bits)
+{
+    Gate out = gate;
+    for (int &q : out.qubits) {
+        if (q >= chunk_bits) {
+            const auto it = std::lower_bound(global_bits.begin(),
+                                             global_bits.end(),
+                                             q - chunk_bits);
+            q = chunk_bits
+                + static_cast<int>(it - global_bits.begin());
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+void
+applyGroup(ChunkedStateVector &state, const Gate &gate,
+           const GatePlan &plan, Index group)
+{
+    const int chunk_bits = state.chunkBits();
+
+    if (plan.perChunk()) {
+        const Index chunk_idx = group;
+        if (gate.isDiagonal()) {
+            applyDiagToChunk(state, gate, chunk_idx);
+            return;
+        }
+        // All targets live below the chunk boundary: apply inside the
+        // chunk as if it were a small register.
+        Amp *data = state.chunk(chunk_idx).data();
+        kernels::applyGate(
+            [data](Index i) -> Amp & { return data[i]; }, chunk_bits,
+            gate);
+        return;
+    }
+
+    // Case 2: assemble the sub-register spanning the member chunks.
+    const std::vector<Index> members = plan.members(group);
+    const Gate remapped =
+        remapGateForGroup(gate, plan.globalBits(), chunk_bits);
+    const int sub_qubits =
+        chunk_bits + static_cast<int>(plan.globalBits().size());
+    const Index offset_mask = bits::lowMask(chunk_bits);
+
+    std::vector<Amp *> bufs(members.size());
+    for (std::size_t s = 0; s < members.size(); ++s)
+        bufs[s] = state.chunk(members[s]).data();
+
+    auto accessor = [&](Index i) -> Amp & {
+        return bufs[i >> chunk_bits][i & offset_mask];
+    };
+    kernels::applyGate(accessor, sub_qubits, remapped);
+}
+
+void
+applyGateChunked(ChunkedStateVector &state, const Gate &gate,
+                 const ZeroPredicate &zero)
+{
+    const GatePlan plan(gate, state.numQubits(), state.chunkBits());
+    for (Index g = 0; g < plan.numGroups(); ++g) {
+        if (zero) {
+            bool all_zero = true;
+            for (Index c : plan.members(g)) {
+                if (!zero(c)) {
+                    all_zero = false;
+                    break;
+                }
+            }
+            if (all_zero)
+                continue;
+        }
+        applyGroup(state, gate, plan, g);
+    }
+}
+
+void
+applyCircuitChunked(ChunkedStateVector &state, const Circuit &circuit)
+{
+    if (circuit.numQubits() != state.numQubits())
+        QGPU_PANIC("circuit register ", circuit.numQubits(),
+                   " != state register ", state.numQubits());
+    for (const Gate &g : circuit.gates())
+        applyGateChunked(state, g);
+}
+
+} // namespace qgpu

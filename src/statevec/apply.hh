@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Chunk-aware gate application. A gate partitions the chunks into
+ * independent work groups: diagonal or chunk-local gates touch each
+ * chunk alone (the paper's Case 1), while a non-diagonal gate with
+ * targets above the chunk boundary pairs chunks at a stride (Case 2).
+ *
+ * Engines walk the groups themselves (to schedule transfers and skip
+ * pruned groups); the functional update for one group lives here so
+ * every engine computes bit-identical states.
+ */
+
+#ifndef QGPU_STATEVEC_APPLY_HH
+#define QGPU_STATEVEC_APPLY_HH
+
+#include <functional>
+#include <vector>
+
+#include "statevec/chunked.hh"
+
+namespace qgpu
+{
+
+/** Predicate: is chunk @p c guaranteed all-zero? */
+using ZeroPredicate = std::function<bool(Index)>;
+
+/**
+ * Decomposition of one gate into independent chunk groups for a given
+ * chunk size.
+ */
+class GatePlan
+{
+  public:
+    GatePlan(const Gate &gate, int num_qubits, int chunk_bits);
+
+    /** True iff every group is a single chunk (paper's Case 1). */
+    bool perChunk() const { return globalBits_.empty(); }
+
+    /** Chunk-index bit positions that the gate couples (Case 2). */
+    const std::vector<int> &globalBits() const { return globalBits_; }
+
+    /** Number of independent groups. */
+    Index numGroups() const { return numGroups_; }
+
+    /** Chunks per group: 1 << globalBits.size(). */
+    int chunksPerGroup() const { return 1 << globalBits_.size(); }
+
+    /** Chunk indices belonging to group @p group (ascending). */
+    std::vector<Index> members(Index group) const;
+
+  private:
+    int chunkBits_;
+    std::vector<int> globalBits_; // sorted positions in chunk-index space
+    Index numGroups_;
+};
+
+/**
+ * Apply @p gate to the chunks of group @p group only. All other groups
+ * are untouched; applying the gate to every group in any order yields
+ * the full-state update.
+ */
+void applyGroup(ChunkedStateVector &state, const Gate &gate,
+                const GatePlan &plan, Index group);
+
+/**
+ * Apply @p gate to the whole chunked state, skipping groups whose
+ * member chunks are all reported zero by @p zero (mathematically a
+ * no-op: an all-zero vector stays zero under any linear map).
+ */
+void applyGateChunked(ChunkedStateVector &state, const Gate &gate,
+                      const ZeroPredicate &zero = {});
+
+/** Run a whole circuit through applyGateChunked. */
+void applyCircuitChunked(ChunkedStateVector &state,
+                         const Circuit &circuit);
+
+} // namespace qgpu
+
+#endif // QGPU_STATEVEC_APPLY_HH

@@ -1,0 +1,78 @@
+#include "statevec/chunked.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace qgpu
+{
+
+ChunkedStateVector::ChunkedStateVector(int num_qubits, int chunk_bits)
+    : numQubits_(num_qubits), chunkBits_(chunk_bits)
+{
+    if (chunk_bits < 0 || chunk_bits > num_qubits)
+        QGPU_FATAL("chunk bits ", chunk_bits, " outside [0, ",
+                   num_qubits, "]");
+    chunks_.assign(numChunks(),
+                   std::vector<Amp>(chunkSize(), Amp{0, 0}));
+    chunks_[0][0] = Amp{1, 0};
+}
+
+void
+ChunkedStateVector::rechunk(int new_bits)
+{
+    if (new_bits == chunkBits_)
+        return;
+    if (new_bits < 0 || new_bits > numQubits_)
+        QGPU_FATAL("chunk bits ", new_bits, " outside [0, ",
+                   numQubits_, "]");
+
+    const Index new_count = Index{1} << (numQubits_ - new_bits);
+    const Index new_size = Index{1} << new_bits;
+    std::vector<std::vector<Amp>> next(
+        new_count, std::vector<Amp>(new_size));
+    for (Index i = 0; i < stateSize(numQubits_); ++i)
+        next[i >> new_bits][i & bits::lowMask(new_bits)] = amp(i);
+    chunks_ = std::move(next);
+    chunkBits_ = new_bits;
+}
+
+bool
+ChunkedStateVector::chunkIsZero(Index c) const
+{
+    for (const Amp &a : chunks_[c])
+        if (a != Amp{0, 0})
+            return false;
+    return true;
+}
+
+StateVector
+ChunkedStateVector::toFlat() const
+{
+    StateVector out(numQubits_);
+    for (Index i = 0; i < stateSize(numQubits_); ++i)
+        out[i] = amp(i);
+    return out;
+}
+
+void
+ChunkedStateVector::fromFlat(const StateVector &state)
+{
+    if (state.numQubits() != numQubits_)
+        QGPU_PANIC("flat state register ", state.numQubits(),
+                   " != chunked register ", numQubits_);
+    for (Index i = 0; i < stateSize(numQubits_); ++i)
+        amp(i) = state[i];
+}
+
+double
+ChunkedStateVector::norm() const
+{
+    double sum = 0.0;
+    for (const auto &c : chunks_)
+        for (const Amp &a : c)
+            sum += std::norm(a);
+    return sum;
+}
+
+} // namespace qgpu

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Chunked state vector, mirroring QISKit-Aer's partitioning (paper
+ * §III-B Step 1): the top index bits select a chunk, the low
+ * @c chunkBits bits are the offset inside it. Chunks are the unit of
+ * CPU<->GPU transfer, pruning, and compression.
+ */
+
+#ifndef QGPU_STATEVEC_CHUNKED_HH
+#define QGPU_STATEVEC_CHUNKED_HH
+
+#include <vector>
+
+#include "common/bits.hh"
+#include "common/types.hh"
+#include "statevec/state_vector.hh"
+
+namespace qgpu
+{
+
+/**
+ * A state vector stored as 2^(n - chunkBits) chunks of 2^chunkBits
+ * amplitudes each.
+ */
+class ChunkedStateVector
+{
+  public:
+    /** Initialize to |0...0>. */
+    ChunkedStateVector(int num_qubits, int chunk_bits);
+
+    int numQubits() const { return numQubits_; }
+    int chunkBits() const { return chunkBits_; }
+    Index numChunks() const { return Index{1} << (numQubits_ - chunkBits_); }
+    Index chunkSize() const { return Index{1} << chunkBits_; }
+    std::uint64_t chunkBytes() const { return chunkSize() * ampBytes; }
+
+    std::vector<Amp> &chunk(Index c) { return chunks_[c]; }
+    const std::vector<Amp> &chunk(Index c) const { return chunks_[c]; }
+
+    /** Global amplitude accessor. */
+    Amp &amp(Index i)
+    { return chunks_[i >> chunkBits_][i & bits::lowMask(chunkBits_)]; }
+    const Amp &amp(Index i) const
+    { return chunks_[i >> chunkBits_][i & bits::lowMask(chunkBits_)]; }
+
+    /**
+     * Re-partition into chunks of @p new_bits amplitudes. Used by the
+     * dynamic chunk-size selection of Algorithm 1.
+     */
+    void rechunk(int new_bits);
+
+    /** True iff every amplitude in chunk @p c is exactly zero. */
+    bool chunkIsZero(Index c) const;
+
+    /** Copy out as a flat state vector. */
+    StateVector toFlat() const;
+
+    /** Load from a flat state vector (must match register size). */
+    void fromFlat(const StateVector &state);
+
+    /** Sum of |a_i|^2 over all chunks. */
+    double norm() const;
+
+  private:
+    int numQubits_;
+    int chunkBits_;
+    std::vector<std::vector<Amp>> chunks_;
+};
+
+} // namespace qgpu
+
+#endif // QGPU_STATEVEC_CHUNKED_HH

@@ -1,0 +1,70 @@
+#include "statevec/measure.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qgpu
+{
+
+std::vector<double>
+probabilities(const StateVector &state)
+{
+    std::vector<double> out(state.size());
+    for (Index i = 0; i < state.size(); ++i)
+        out[i] = std::norm(state[i]);
+    return out;
+}
+
+std::vector<double>
+marginalProbabilities(const StateVector &state,
+                      const std::vector<int> &qubits)
+{
+    std::vector<double> out(Index{1} << qubits.size(), 0.0);
+    for (Index i = 0; i < state.size(); ++i) {
+        Index key = 0;
+        for (std::size_t j = 0; j < qubits.size(); ++j)
+            if (bits::testBit(i, qubits[j]))
+                key = bits::setBit(key, static_cast<int>(j));
+        out[key] += std::norm(state[i]);
+    }
+    return out;
+}
+
+std::map<Index, std::uint64_t>
+sampleCounts(const StateVector &state, std::uint64_t shots, Rng &rng)
+{
+    // Build the CDF once; binary-search per shot.
+    std::vector<double> cdf(state.size());
+    double acc = 0.0;
+    for (Index i = 0; i < state.size(); ++i) {
+        acc += std::norm(state[i]);
+        cdf[i] = acc;
+    }
+    if (std::abs(acc - 1.0) > 1e-6)
+        QGPU_WARN("sampling an unnormalized state (norm = ", acc, ")");
+
+    std::map<Index, std::uint64_t> counts;
+    for (std::uint64_t s = 0; s < shots; ++s) {
+        const double u = rng.nextDouble() * acc;
+        const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+        const Index outcome =
+            static_cast<Index>(it - cdf.begin());
+        ++counts[std::min<Index>(outcome, state.size() - 1)];
+    }
+    return counts;
+}
+
+double
+probabilityOfOne(const StateVector &state, int q)
+{
+    double p = 0.0;
+    for (Index i = 0; i < state.size(); ++i)
+        if (bits::testBit(i, q))
+            p += std::norm(state[i]);
+    return p;
+}
+
+} // namespace qgpu

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * End-of-circuit measurement: outcome probabilities, marginals over a
+ * qubit subset, and shot sampling. The paper only measures at circuit
+ * end, so no mid-circuit collapse is needed.
+ */
+
+#ifndef QGPU_STATEVEC_MEASURE_HH
+#define QGPU_STATEVEC_MEASURE_HH
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hh"
+#include "statevec/state_vector.hh"
+
+namespace qgpu
+{
+
+/** |a_i|^2 for every basis state. */
+std::vector<double> probabilities(const StateVector &state);
+
+/**
+ * Marginal distribution over @p qubits (low-to-high significance in
+ * the returned index).
+ */
+std::vector<double> marginalProbabilities(const StateVector &state,
+                                          const std::vector<int> &qubits);
+
+/**
+ * Draw @p shots measurement outcomes; returns outcome -> count.
+ * Sampling uses inverse-CDF over the probability vector.
+ */
+std::map<Index, std::uint64_t> sampleCounts(const StateVector &state,
+                                            std::uint64_t shots,
+                                            Rng &rng);
+
+/** Probability that qubit @p q reads 1. */
+double probabilityOfOne(const StateVector &state, int q);
+
+} // namespace qgpu
+
+#endif // QGPU_STATEVEC_MEASURE_HH

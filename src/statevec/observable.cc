@@ -1,0 +1,142 @@
+#include "statevec/observable.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qgpu
+{
+
+PauliString::PauliString(const std::string &ops, int start_qubit)
+{
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        switch (ops[i]) {
+          case 'I':
+          case 'i':
+            break;
+          case 'X':
+          case 'x':
+            add(Pauli::X, start_qubit + static_cast<int>(i));
+            break;
+          case 'Y':
+          case 'y':
+            add(Pauli::Y, start_qubit + static_cast<int>(i));
+            break;
+          case 'Z':
+          case 'z':
+            add(Pauli::Z, start_qubit + static_cast<int>(i));
+            break;
+          default:
+            QGPU_FATAL("bad Pauli character '", ops[i], "'");
+        }
+    }
+}
+
+PauliString &
+PauliString::add(Pauli op, int qubit)
+{
+    if (qubit < 0 || qubit > 62)
+        QGPU_FATAL("bad Pauli qubit ", qubit);
+    for (const auto &[q, existing] : terms_) {
+        (void)existing;
+        if (q == qubit)
+            QGPU_FATAL("duplicate Pauli on qubit ", qubit);
+    }
+    if (op != Pauli::I)
+        terms_.emplace_back(qubit, op);
+    return *this;
+}
+
+int
+PauliString::maxQubit() const
+{
+    int max_q = -1;
+    for (const auto &[q, op] : terms_) {
+        (void)op;
+        max_q = std::max(max_q, q);
+    }
+    return max_q;
+}
+
+double
+PauliString::expectation(const StateVector &state) const
+{
+    if (maxQubit() >= state.numQubits())
+        QGPU_PANIC("Pauli string exceeds register");
+
+    // P|i> = phase(i) |i ^ flip>, with X/Y contributing to flip and
+    // Z/Y contributing phases.
+    Index flip = 0;
+    for (const auto &[q, op] : terms_)
+        if (op == Pauli::X || op == Pauli::Y)
+            flip = bits::setBit(flip, q);
+
+    Amp total{0, 0};
+    for (Index i = 0; i < state.size(); ++i) {
+        Amp phase{1, 0};
+        for (const auto &[q, op] : terms_) {
+            const bool bit = bits::testBit(i, q);
+            if (op == Pauli::Z) {
+                if (bit)
+                    phase = -phase;
+            } else if (op == Pauli::Y) {
+                phase *= bit ? Amp{0, -1} : Amp{0, 1};
+            }
+        }
+        total += std::conj(state[i ^ flip]) * phase * state[i];
+    }
+    return total.real();
+}
+
+std::string
+PauliString::toString() const
+{
+    if (terms_.empty())
+        return "I";
+    std::ostringstream os;
+    auto sorted = terms_;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        os << (i ? "*" : "")
+           << static_cast<char>(sorted[i].second) << sorted[i].first;
+    }
+    return os.str();
+}
+
+Observable &
+Observable::add(double coefficient, PauliString pauli)
+{
+    terms_.emplace_back(coefficient, std::move(pauli));
+    return *this;
+}
+
+double
+Observable::expectation(const StateVector &state) const
+{
+    double sum = 0.0;
+    for (const auto &[coeff, pauli] : terms_)
+        sum += coeff * pauli.expectation(state);
+    return sum;
+}
+
+Observable
+Observable::isingChain(int num_qubits, double coupling_j,
+                       double field_h)
+{
+    Observable h;
+    for (int q = 0; q + 1 < num_qubits; ++q) {
+        PauliString zz;
+        zz.add(Pauli::Z, q).add(Pauli::Z, q + 1);
+        h.add(-coupling_j, std::move(zz));
+    }
+    for (int q = 0; q < num_qubits; ++q) {
+        PauliString x;
+        x.add(Pauli::X, q);
+        h.add(-field_h, std::move(x));
+    }
+    return h;
+}
+
+} // namespace qgpu

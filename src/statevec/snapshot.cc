@@ -1,0 +1,123 @@
+#include "statevec/snapshot.hh"
+
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+#include "compress/gfc.hh"
+
+namespace qgpu
+{
+
+namespace
+{
+
+constexpr std::uint32_t snapshot_magic = 0x51475055; // "QGPU"
+
+void
+putU32(std::ostream &out, std::uint32_t v)
+{
+    char buf[4];
+    for (int b = 0; b < 4; ++b)
+        buf[b] = static_cast<char>(v >> (8 * b));
+    out.write(buf, 4);
+}
+
+void
+putU64(std::ostream &out, std::uint64_t v)
+{
+    char buf[8];
+    for (int b = 0; b < 8; ++b)
+        buf[b] = static_cast<char>(v >> (8 * b));
+    out.write(buf, 8);
+}
+
+std::uint32_t
+getU32(std::istream &in)
+{
+    unsigned char buf[4];
+    in.read(reinterpret_cast<char *>(buf), 4);
+    if (!in)
+        QGPU_FATAL("snapshot: truncated stream");
+    std::uint32_t v = 0;
+    for (int b = 0; b < 4; ++b)
+        v |= static_cast<std::uint32_t>(buf[b]) << (8 * b);
+    return v;
+}
+
+std::uint64_t
+getU64(std::istream &in)
+{
+    unsigned char buf[8];
+    in.read(reinterpret_cast<char *>(buf), 8);
+    if (!in)
+        QGPU_FATAL("snapshot: truncated stream");
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b)
+        v |= static_cast<std::uint64_t>(buf[b]) << (8 * b);
+    return v;
+}
+
+} // namespace
+
+void
+saveState(const StateVector &state, std::ostream &out, bool compress)
+{
+    putU32(out, snapshot_magic);
+    putU32(out, static_cast<std::uint32_t>(state.numQubits()));
+    putU32(out, compress ? 1 : 0);
+
+    if (!compress) {
+        putU64(out, state.size() * ampBytes);
+        out.write(reinterpret_cast<const char *>(
+                      state.amplitudes().data()),
+                  static_cast<std::streamsize>(state.size() *
+                                               ampBytes));
+        return;
+    }
+
+    GfcCodec codec;
+    const CompressedBlock block =
+        codec.compressAmps(state.amplitudes().data(), state.size());
+    putU64(out, block.bytes.size());
+    out.write(reinterpret_cast<const char *>(block.bytes.data()),
+              static_cast<std::streamsize>(block.bytes.size()));
+}
+
+StateVector
+loadState(std::istream &in)
+{
+    if (getU32(in) != snapshot_magic)
+        QGPU_FATAL("snapshot: bad magic");
+    const int num_qubits = static_cast<int>(getU32(in));
+    if (num_qubits < 1 || num_qubits > 34)
+        QGPU_FATAL("snapshot: implausible register size ",
+                   num_qubits);
+    const bool compressed = getU32(in) != 0;
+    const std::uint64_t payload = getU64(in);
+
+    StateVector state(num_qubits);
+    if (!compressed) {
+        if (payload != state.size() * ampBytes)
+            QGPU_FATAL("snapshot: payload size mismatch");
+        in.read(reinterpret_cast<char *>(
+                    state.amplitudes().data()),
+                static_cast<std::streamsize>(payload));
+        if (!in)
+            QGPU_FATAL("snapshot: truncated amplitudes");
+        return state;
+    }
+
+    CompressedBlock block;
+    block.numDoubles = 2 * state.size();
+    block.bytes.resize(payload);
+    in.read(reinterpret_cast<char *>(block.bytes.data()),
+            static_cast<std::streamsize>(payload));
+    if (!in)
+        QGPU_FATAL("snapshot: truncated compressed payload");
+    GfcCodec codec;
+    codec.decompressAmps(block, state.amplitudes().data());
+    return state;
+}
+
+} // namespace qgpu

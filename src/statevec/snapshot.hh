@@ -1,0 +1,34 @@
+/**
+ * @file
+ * State-vector snapshots: binary save/restore of a state, optionally
+ * GFC-compressed. Long simulations (the paper's deep circuits run for
+ * hours) checkpoint through this; it also doubles as an integration
+ * point for the codec.
+ */
+
+#ifndef QGPU_STATEVEC_SNAPSHOT_HH
+#define QGPU_STATEVEC_SNAPSHOT_HH
+
+#include <iosfwd>
+
+#include "statevec/state_vector.hh"
+
+namespace qgpu
+{
+
+/**
+ * Write @p state to @p out. With @p compress the amplitudes are
+ * GFC-encoded (lossless); otherwise they are stored raw.
+ */
+void saveState(const StateVector &state, std::ostream &out,
+               bool compress = true);
+
+/**
+ * Read a snapshot written by saveState. Fatal on a malformed or
+ * truncated stream.
+ */
+StateVector loadState(std::istream &in);
+
+} // namespace qgpu
+
+#endif // QGPU_STATEVEC_SNAPSHOT_HH

@@ -1,0 +1,103 @@
+#include "statevec/state_vector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "statevec/kernels.hh"
+
+namespace qgpu
+{
+
+StateVector::StateVector(int num_qubits)
+    : numQubits_(num_qubits), amps_(stateSize(num_qubits), Amp{0, 0})
+{
+    amps_[0] = Amp{1, 0};
+}
+
+void
+StateVector::apply(const Gate &gate)
+{
+    Amp *data = amps_.data();
+    const auto accessor = [data](Index i) -> Amp & {
+        return data[i];
+    };
+    const int threads = simThreads();
+    if (threads <= 1) {
+        kernels::applyGate(accessor, numQubits_, gate);
+        return;
+    }
+    // Work items (pairs/groups/amplitudes) are independent, so the
+    // range splits freely across threads.
+    const Index items = kernels::gateWorkItems(gate, numQubits_);
+    parallelFor(0, items, threads,
+                [&](std::uint64_t lo, std::uint64_t hi) {
+                    kernels::applyGate(accessor, numQubits_, gate,
+                                       lo, hi);
+                });
+}
+
+void
+StateVector::apply(const Circuit &circuit)
+{
+    if (circuit.numQubits() != numQubits_)
+        QGPU_PANIC("circuit register ", circuit.numQubits(),
+                   " != state register ", numQubits_);
+    for (const Gate &g : circuit.gates())
+        apply(g);
+}
+
+double
+StateVector::norm() const
+{
+    double sum = 0.0;
+    for (const Amp &a : amps_)
+        sum += std::norm(a);
+    return sum;
+}
+
+double
+StateVector::fidelity(const StateVector &other) const
+{
+    Amp inner{0, 0};
+    for (Index i = 0; i < size(); ++i)
+        inner += std::conj(amps_[i]) * other.amps_[i];
+    return std::norm(inner);
+}
+
+double
+StateVector::maxAbsDiff(const StateVector &other) const
+{
+    double worst = 0.0;
+    for (Index i = 0; i < size(); ++i)
+        worst = std::max(worst, std::abs(amps_[i] - other.amps_[i]));
+    return worst;
+}
+
+Index
+StateVector::countZeros(double tol) const
+{
+    Index count = 0;
+    for (const Amp &a : amps_)
+        if (std::abs(a.real()) <= tol && std::abs(a.imag()) <= tol)
+            ++count;
+    return count;
+}
+
+void
+StateVector::reset()
+{
+    std::fill(amps_.begin(), amps_.end(), Amp{0, 0});
+    amps_[0] = Amp{1, 0};
+}
+
+StateVector
+simulateReference(const Circuit &circuit)
+{
+    StateVector state(circuit.numQubits());
+    state.apply(circuit);
+    return state;
+}
+
+} // namespace qgpu

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Property tests for the chunk-group machinery: the groups of any
+ * gate plan partition the chunk set exactly, group-wise application
+ * composes to the full update in any order, and random circuits
+ * agree with the reference at random chunk sizes.
+ */
+
+#include <algorithm>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "statevec/apply.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+/** Random circuit over a wide gate mix, for differential testing. */
+Circuit
+randomCircuit(int num_qubits, int num_gates, std::uint64_t seed)
+{
+    Circuit c(num_qubits,
+              "random_" + std::to_string(seed));
+    Rng rng(seed);
+    auto q = [&] {
+        return static_cast<int>(rng.nextBelow(num_qubits));
+    };
+    auto angle = [&] {
+        return rng.nextDouble() * 2 * std::numbers::pi;
+    };
+    for (int g = 0; g < num_gates; ++g) {
+        switch (rng.nextBelow(12)) {
+          case 0: c.h(q()); break;
+          case 1: c.x(q()); break;
+          case 2: c.t(q()); break;
+          case 3: c.rx(angle(), q()); break;
+          case 4: c.rz(angle(), q()); break;
+          case 5: c.sx(q()); break;
+          case 6: {
+              const int a = q();
+              const int b = (a + 1 + static_cast<int>(rng.nextBelow(
+                                static_cast<std::uint64_t>(
+                                    num_qubits - 1)))) %
+                            num_qubits;
+              c.cx(a, b);
+              break;
+          }
+          case 7: {
+              const int a = q();
+              const int b = (a + 1) % num_qubits;
+              c.cp(angle(), std::min(a, b), std::max(a, b));
+              break;
+          }
+          case 8: {
+              const int a = q();
+              const int b = (a + 2) % num_qubits;
+              if (a != b)
+                  c.swap(std::min(a, b), std::max(a, b));
+              break;
+          }
+          case 9: {
+              const int a = q();
+              const int b = (a + 1) % num_qubits;
+              c.rzz(angle(), std::min(a, b), std::max(a, b));
+              break;
+          }
+          case 10: {
+              const int a = q();
+              const int b = (a + 3) % num_qubits;
+              if (a != b)
+                  c.rxx(angle(), std::min(a, b), std::max(a, b));
+              break;
+          }
+          default: {
+              const int a = q();
+              const int b = (a + 1) % num_qubits;
+              const int t = (a + 2) % num_qubits;
+              if (a != b && b != t && a != t)
+                  c.ccx(a, b, t);
+              break;
+          }
+        }
+    }
+    return c;
+}
+
+class PlanPartition
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(PlanPartition, GroupsPartitionAllChunks)
+{
+    const auto &[chunk_bits, gate_pick] = GetParam();
+    const int n = 8;
+    const std::vector<Gate> gates = {
+        Gate(GateKind::H, {0}),
+        Gate(GateKind::H, {7}),
+        Gate(GateKind::CX, {2, 6}),
+        Gate(GateKind::SWAP, {5, 7}),
+        Gate(GateKind::CCX, {1, 6, 7}),
+        Gate(GateKind::CZ, {6, 7}),
+        Gate(GateKind::RZZ, {4, 6}, {0.3}),
+    };
+    const Gate &gate = gates[static_cast<std::size_t>(gate_pick)];
+    const GatePlan plan(gate, n, chunk_bits);
+
+    std::vector<int> seen(Index{1} << (n - chunk_bits), 0);
+    for (Index g = 0; g < plan.numGroups(); ++g) {
+        const auto members = plan.members(g);
+        EXPECT_EQ(members.size(),
+                  static_cast<std::size_t>(plan.chunksPerGroup()));
+        EXPECT_TRUE(std::is_sorted(members.begin(), members.end()));
+        for (Index c : members) {
+            ASSERT_LT(c, seen.size());
+            ++seen[c];
+        }
+    }
+    for (int count : seen)
+        EXPECT_EQ(count, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChunkSizesAndGates, PlanPartition,
+    ::testing::Combine(::testing::Values(0, 2, 4, 6, 8),
+                       ::testing::Range(0, 7)));
+
+TEST(ApplyGroup, GroupOrderDoesNotMatter)
+{
+    // Apply the same gate's groups in reverse order; the result must
+    // match the forward order exactly (groups touch disjoint chunks).
+    Circuit prep = randomCircuit(6, 30, 77);
+    const Gate gate(GateKind::CX, {1, 5});
+
+    ChunkedStateVector fwd(6, 2), rev(6, 2);
+    applyCircuitChunked(fwd, prep);
+    applyCircuitChunked(rev, prep);
+
+    const GatePlan plan(gate, 6, 2);
+    for (Index g = 0; g < plan.numGroups(); ++g)
+        applyGroup(fwd, gate, plan, g);
+    for (Index g = plan.numGroups(); g-- > 0;)
+        applyGroup(rev, gate, plan, g);
+
+    EXPECT_LT(fwd.toFlat().maxAbsDiff(rev.toFlat()), 1e-16);
+}
+
+class RandomCircuitEquivalence
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomCircuitEquivalence, ChunkedMatchesFlat)
+{
+    const std::uint64_t seed = GetParam();
+    const int n = 8;
+    const Circuit c = randomCircuit(n, 60, seed);
+    const StateVector want = simulateReference(c);
+    EXPECT_NEAR(want.norm(), 1.0, 1e-10);
+
+    Rng rng(seed * 3 + 1);
+    const int chunk_bits = static_cast<int>(rng.nextBelow(n + 1));
+    ChunkedStateVector state(n, chunk_bits);
+    applyCircuitChunked(state, c);
+    EXPECT_LT(state.toFlat().maxAbsDiff(want), 1e-11)
+        << "seed " << seed << " chunkBits " << chunk_bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+} // namespace
+} // namespace qgpu

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Unit tests for the bit-manipulation helpers that underpin chunk
+ * addressing and pair enumeration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+TEST(Bits, LowMask)
+{
+    EXPECT_EQ(bits::lowMask(0), 0u);
+    EXPECT_EQ(bits::lowMask(1), 1u);
+    EXPECT_EQ(bits::lowMask(4), 0xfu);
+    EXPECT_EQ(bits::lowMask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, TestSetClear)
+{
+    std::uint64_t v = 0;
+    v = bits::setBit(v, 5);
+    EXPECT_TRUE(bits::testBit(v, 5));
+    EXPECT_FALSE(bits::testBit(v, 4));
+    v = bits::clearBit(v, 5);
+    EXPECT_EQ(v, 0u);
+}
+
+TEST(Bits, InsertZeroBitAtZero)
+{
+    // Inserting at position 0 doubles the value.
+    for (std::uint64_t v : {0ull, 1ull, 5ull, 1000ull})
+        EXPECT_EQ(bits::insertZeroBit(v, 0), v << 1);
+}
+
+TEST(Bits, InsertZeroBitMiddle)
+{
+    // 0b1011 with a zero inserted at position 2 -> 0b10011.
+    EXPECT_EQ(bits::insertZeroBit(0b1011, 2), 0b10011u);
+}
+
+TEST(Bits, InsertZeroBitEnumeratesPairs)
+{
+    // For n = 4 qubits and target t, inserting a zero at t over
+    // i in [0, 8) must produce each index with bit t clear, exactly
+    // once.
+    for (int t = 0; t < 4; ++t) {
+        std::vector<bool> seen(16, false);
+        for (std::uint64_t i = 0; i < 8; ++i) {
+            const std::uint64_t idx = bits::insertZeroBit(i, t);
+            ASSERT_LT(idx, 16u);
+            EXPECT_FALSE(bits::testBit(idx, t));
+            EXPECT_FALSE(seen[idx]);
+            seen[idx] = true;
+        }
+    }
+}
+
+TEST(Bits, InsertZeroBitsMulti)
+{
+    // Inserting zeros at {0, 2} into 0b11: bit0 -> pos 1, bit1 ->
+    // pos 3 (positions 0 and 2 forced to zero).
+    const std::vector<int> pos = {0, 2};
+    EXPECT_EQ(bits::insertZeroBits(0b11u, pos), 0b1010u);
+}
+
+TEST(Bits, InsertZeroBitsEnumeratesGroups)
+{
+    // Two insertion points must enumerate all indices with both bits
+    // clear, uniquely.
+    const std::vector<int> pos = {1, 3};
+    std::vector<bool> seen(32, false);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        const std::uint64_t idx = bits::insertZeroBits(i, pos);
+        ASSERT_LT(idx, 32u);
+        EXPECT_FALSE(bits::testBit(idx, 1));
+        EXPECT_FALSE(bits::testBit(idx, 3));
+        EXPECT_FALSE(seen[idx]);
+        seen[idx] = true;
+    }
+}
+
+TEST(Bits, TrailingOnes)
+{
+    EXPECT_EQ(bits::trailingOnes(0b0), 0);
+    EXPECT_EQ(bits::trailingOnes(0b1), 1);
+    EXPECT_EQ(bits::trailingOnes(0b0111), 3);
+    EXPECT_EQ(bits::trailingOnes(0b1011), 2);
+    EXPECT_EQ(bits::trailingOnes(0b0110), 0);
+}
+
+TEST(Bits, Pow2Helpers)
+{
+    EXPECT_TRUE(bits::isPow2(1));
+    EXPECT_TRUE(bits::isPow2(64));
+    EXPECT_FALSE(bits::isPow2(0));
+    EXPECT_FALSE(bits::isPow2(12));
+    EXPECT_EQ(bits::log2Exact(1), 0);
+    EXPECT_EQ(bits::log2Exact(1ull << 33), 33);
+}
+
+TEST(Bits, CeilDiv)
+{
+    EXPECT_EQ(bits::ceilDiv(10, 3), 4u);
+    EXPECT_EQ(bits::ceilDiv(9, 3), 3u);
+    EXPECT_EQ(bits::ceilDiv(1, 100), 1u);
+}
+
+class InsertZeroBitParam : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(InsertZeroBitParam, RoundTripRemove)
+{
+    // Property: removing the inserted bit recovers the input.
+    const int pos = GetParam();
+    for (std::uint64_t v = 0; v < 256; ++v) {
+        const std::uint64_t with = bits::insertZeroBit(v, pos);
+        const std::uint64_t low = with & bits::lowMask(pos);
+        const std::uint64_t high = (with >> (pos + 1)) << pos;
+        EXPECT_EQ(high | low, v);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPositions, InsertZeroBitParam,
+                         ::testing::Range(0, 12));
+
+} // namespace
+} // namespace qgpu

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Chunked state vector tests: layout, accessors, rechunking, and
+ * equality with the flat representation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hh"
+#include "statevec/apply.hh"
+#include "statevec/chunked.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+TEST(Chunked, LayoutCounts)
+{
+    ChunkedStateVector s(7, 4); // the paper's running example
+    EXPECT_EQ(s.numChunks(), 8u);
+    EXPECT_EQ(s.chunkSize(), 16u);
+    EXPECT_EQ(s.chunkBytes(), 16u * sizeof(Amp));
+}
+
+TEST(Chunked, InitialState)
+{
+    ChunkedStateVector s(6, 2);
+    EXPECT_EQ(s.amp(0), (Amp{1, 0}));
+    EXPECT_NEAR(s.norm(), 1.0, 1e-15);
+    EXPECT_TRUE(s.chunkIsZero(3));
+    EXPECT_FALSE(s.chunkIsZero(0));
+}
+
+TEST(Chunked, AccessorAddressing)
+{
+    ChunkedStateVector s(5, 2);
+    s.amp(13) = Amp{0.5, -0.5};
+    // Index 13 = 0b01101: chunk 0b011 = 3, offset 0b01 = 1.
+    EXPECT_EQ(s.chunk(3)[1], (Amp{0.5, -0.5}));
+}
+
+TEST(Chunked, ToFromFlat)
+{
+    const StateVector flat = simulateReference(circuits::qft(6));
+    ChunkedStateVector s(6, 3);
+    s.fromFlat(flat);
+    EXPECT_LT(s.toFlat().maxAbsDiff(flat), 1e-16);
+}
+
+class RechunkParam
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(RechunkParam, RechunkPreservesAmplitudes)
+{
+    const auto &[from_bits, to_bits] = GetParam();
+    const Circuit c = circuits::makeBenchmark("hlf", 6);
+    const StateVector flat = simulateReference(c);
+
+    ChunkedStateVector s(6, from_bits);
+    s.fromFlat(flat);
+    s.rechunk(to_bits);
+    EXPECT_EQ(s.chunkBits(), to_bits);
+    EXPECT_LT(s.toFlat().maxAbsDiff(flat), 1e-16);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, RechunkParam,
+    ::testing::Combine(::testing::Values(0, 2, 4, 6),
+                       ::testing::Values(0, 1, 3, 5, 6)));
+
+TEST(Chunked, ExtremeChunkSizes)
+{
+    // One amplitude per chunk and one chunk for everything both work.
+    ChunkedStateVector tiny(4, 0);
+    EXPECT_EQ(tiny.numChunks(), 16u);
+    ChunkedStateVector one(4, 4);
+    EXPECT_EQ(one.numChunks(), 1u);
+}
+
+TEST(ChunkedDeath, BadChunkBits)
+{
+    EXPECT_DEATH(ChunkedStateVector(4, 5), "chunk bits");
+}
+
+} // namespace
+} // namespace qgpu

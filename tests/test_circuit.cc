@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the circuit container and its involvement analyses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qc/circuit.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+TEST(Circuit, BuilderAppends)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1).cz(1, 2);
+    ASSERT_EQ(c.numGates(), 3u);
+    EXPECT_EQ(c.gates()[1].kind, GateKind::CX);
+}
+
+TEST(Circuit, DepthSingleQubitChain)
+{
+    Circuit c(2);
+    c.h(0).h(0).h(0).h(1);
+    EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(Circuit, DepthAcrossEntanglement)
+{
+    Circuit c(3);
+    c.h(0).h(1).cx(0, 1).cx(1, 2);
+    EXPECT_EQ(c.depth(), 3); // h; cx01; cx12
+}
+
+TEST(Circuit, OpsBeforeFullInvolvement)
+{
+    Circuit c(3);
+    c.h(0).h(0).cx(0, 1).h(2).h(1);
+    // Qubit 2 first touched by the 4th gate.
+    EXPECT_EQ(c.opsBeforeFullInvolvement(), 4u);
+}
+
+TEST(Circuit, OpsBeforeFullInvolvementNeverComplete)
+{
+    Circuit c(3);
+    c.h(0).cx(0, 1);
+    EXPECT_EQ(c.opsBeforeFullInvolvement(), c.numGates() + 1);
+}
+
+TEST(Circuit, InvolvementCurveMonotone)
+{
+    Circuit c(4);
+    c.h(2).cx(2, 0).h(2).h(3).h(1);
+    const auto curve = c.involvementCurve();
+    ASSERT_EQ(curve.size(), c.numGates());
+    EXPECT_EQ(curve.front(), 1);
+    EXPECT_EQ(curve.back(), 4);
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        EXPECT_GE(curve[i], curve[i - 1]);
+}
+
+TEST(Circuit, GateCensus)
+{
+    Circuit c(2);
+    c.h(0).h(1).cx(0, 1);
+    const auto census = c.gateCensus();
+    ASSERT_EQ(census.size(), 2u);
+    // Sorted by name: cx then h.
+    EXPECT_EQ(census[0].first, "cx");
+    EXPECT_EQ(census[0].second, 1u);
+    EXPECT_EQ(census[1].first, "h");
+    EXPECT_EQ(census[1].second, 2u);
+}
+
+TEST(Circuit, NamePlumbing)
+{
+    Circuit c(2, "bell");
+    EXPECT_EQ(c.name(), "bell");
+    c.setName("other");
+    EXPECT_EQ(c.name(), "other");
+}
+
+TEST(CircuitDeath, OutOfRangeQubit)
+{
+    Circuit c(2);
+    EXPECT_DEATH(c.h(2), "outside");
+}
+
+TEST(CircuitDeath, RepeatedQubit)
+{
+    Circuit c(2);
+    EXPECT_DEATH(c.cx(1, 1), "repeats");
+}
+
+} // namespace
+} // namespace qgpu

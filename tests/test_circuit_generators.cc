@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Tests for the nine benchmark generators: structural properties,
+ * functional correctness where the algorithm has a known answer
+ * (Bernstein-Vazirani, graph states), and the involvement profile
+ * ordering that drives the paper's Table II.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hh"
+#include "statevec/measure.hh"
+#include "statevec/state_vector.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+class EveryFamily : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(EveryFamily, TouchesEveryQubit)
+{
+    const Circuit c = circuits::makeBenchmark(GetParam(), 10);
+    EXPECT_LE(c.opsBeforeFullInvolvement(), c.numGates())
+        << "family " << GetParam() << " leaves a qubit untouched";
+}
+
+TEST_P(EveryFamily, DeterministicForSameSeed)
+{
+    const Circuit a = circuits::makeBenchmark(GetParam(), 9);
+    const Circuit b = circuits::makeBenchmark(GetParam(), 9);
+    ASSERT_EQ(a.numGates(), b.numGates());
+    for (std::size_t i = 0; i < a.numGates(); ++i)
+        EXPECT_EQ(a.gates()[i].toString(), b.gates()[i].toString());
+}
+
+TEST_P(EveryFamily, NameEncodesFamilyAndSize)
+{
+    const Circuit c = circuits::makeBenchmark(GetParam(), 12);
+    EXPECT_EQ(c.name(), GetParam() + "_12");
+}
+
+TEST_P(EveryFamily, ScalesWithQubits)
+{
+    const Circuit small = circuits::makeBenchmark(GetParam(), 8);
+    const Circuit big = circuits::makeBenchmark(GetParam(), 16);
+    EXPECT_GT(big.numGates(), small.numGates());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, EveryFamily,
+    ::testing::Values("hchain", "rqc", "qaoa", "gs", "hlf", "qft",
+                      "iqp", "qf", "bv"));
+
+TEST(Registry, ListsNineFamilies)
+{
+    EXPECT_EQ(circuits::benchmarkNames().size(), 9u);
+}
+
+TEST(RegistryDeath, UnknownFamily)
+{
+    EXPECT_DEATH((void)circuits::makeBenchmark("nope", 8),
+                 "unknown benchmark");
+}
+
+TEST(Bv, MeasuringDataQubitsRecoversSecret)
+{
+    // BV ends with the data register holding the secret string
+    // deterministically.
+    const int n = 9;
+    const Circuit c = circuits::bv(n, 1234);
+    const StateVector s = simulateReference(c);
+
+    // Find the dominant data-register outcome.
+    std::vector<int> data_qubits;
+    for (int q = 0; q < n - 1; ++q)
+        data_qubits.push_back(q);
+    const auto marg = marginalProbabilities(s, data_qubits);
+    Index best = 0;
+    for (Index i = 0; i < marg.size(); ++i)
+        if (marg[i] > marg[best])
+            best = i;
+    EXPECT_NEAR(marg[best], 1.0, 1e-10);
+
+    // The secret must match the CX pattern in the circuit.
+    Index secret = 0;
+    for (const Gate &g : c.gates())
+        if (g.kind == GateKind::CX)
+            secret |= Index{1} << g.qubits[0];
+    EXPECT_EQ(best, secret);
+}
+
+TEST(GraphState, UniformMagnitudes)
+{
+    // A graph state has all 2^n amplitudes of magnitude 2^(-n/2)
+    // with +/-1 signs.
+    const int n = 6;
+    const StateVector s =
+        simulateReference(circuits::graphState(n));
+    const double want = 1.0 / std::sqrt(static_cast<double>(1 << n));
+    for (Index i = 0; i < s.size(); ++i) {
+        EXPECT_NEAR(std::abs(s[i]), want, 1e-12);
+        EXPECT_NEAR(std::abs(s[i].imag()), 0.0, 1e-12);
+    }
+}
+
+TEST(GraphState, SignStructureMatchesEdges)
+{
+    // amplitude(x) sign = (-1)^(number of edges inside x). For the
+    // path graph the edges are (q, q+1).
+    const int n = 5;
+    const StateVector s =
+        simulateReference(circuits::graphState(n));
+    for (Index x = 0; x < s.size(); ++x) {
+        int edges_in = 0;
+        for (int q = 0; q + 1 < n; ++q)
+            if (((x >> q) & 1) && ((x >> (q + 1)) & 1))
+                ++edges_in;
+        const double sign = (edges_in % 2) ? -1.0 : 1.0;
+        EXPECT_GT(s[x].real() * sign, 0.0) << "x=" << x;
+    }
+}
+
+TEST(Qft, ApproximationDegreeLimitsGates)
+{
+    const Circuit exact = circuits::qft(12, 0);
+    const Circuit approx = circuits::qft(12, 3);
+    EXPECT_LT(approx.numGates(), exact.numGates());
+    for (const Gate &g : approx.gates()) {
+        if (g.kind == GateKind::CP)
+            EXPECT_LE(std::abs(g.qubits[1] - g.qubits[0]), 3);
+    }
+}
+
+TEST(Iqp, LateInvolvementProfile)
+{
+    // iqp is the paper's best pruning case: most operations execute
+    // before all qubits are involved.
+    const Circuit c = circuits::makeBenchmark("iqp", 20);
+    const double frac =
+        static_cast<double>(c.opsBeforeFullInvolvement()) /
+        static_cast<double>(c.numGates());
+    EXPECT_GT(frac, 0.6);
+}
+
+TEST(Qaoa, EarlyInvolvementProfile)
+{
+    // qaoa involves everything in its opening H column.
+    const Circuit c = circuits::makeBenchmark("qaoa", 20);
+    const double frac =
+        static_cast<double>(c.opsBeforeFullInvolvement()) /
+        static_cast<double>(c.numGates());
+    EXPECT_LT(frac, 0.1);
+}
+
+TEST(TableTwo, InvolvementOrderingAcrossFamilies)
+{
+    // The paper's Table II ordering: iqp has by far the largest
+    // fraction of operations before full involvement; qaoa, qft and
+    // qf the smallest.
+    auto frac = [](const std::string &family) {
+        const Circuit c = circuits::makeBenchmark(family, 22);
+        return static_cast<double>(c.opsBeforeFullInvolvement()) /
+               static_cast<double>(c.numGates());
+    };
+    const double iqp = frac("iqp");
+    for (const auto &other :
+         {"hchain", "rqc", "qaoa", "gs", "hlf", "qft", "qf", "bv"})
+        EXPECT_GT(iqp, frac(other)) << other;
+    EXPECT_LT(frac("qaoa"), frac("gs"));
+    EXPECT_LT(frac("qft"), frac("gs"));
+    EXPECT_LT(frac("qf"), frac("rqc"));
+}
+
+TEST(Hchain, LongCircuitManyOps)
+{
+    // hchain is the deepest benchmark (~50 ops per qubit).
+    const Circuit c = circuits::makeBenchmark("hchain", 10);
+    EXPECT_GT(c.numGates(), 40u * 10u);
+}
+
+TEST(Grqc, DeepVariantIsMuchDeeper)
+{
+    const Circuit shallow = circuits::rqc(10);
+    const Circuit deep = circuits::grqc(10);
+    EXPECT_GT(deep.numGates(), 10 * shallow.numGates());
+}
+
+TEST(Rqc, GradualInvolvement)
+{
+    // Full involvement happens mid-circuit, not in an opening column.
+    const Circuit c = circuits::makeBenchmark("rqc", 20);
+    const double frac =
+        static_cast<double>(c.opsBeforeFullInvolvement()) /
+        static_cast<double>(c.numGates());
+    EXPECT_GT(frac, 0.15);
+    EXPECT_LT(frac, 0.8);
+}
+
+} // namespace
+} // namespace qgpu

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for the gate-dependency DAG that reordering traverses.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hh"
+#include "qc/dag.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+Circuit
+diamond()
+{
+    // g0: h q0; g1: h q1; g2: cx q0,q1; g3: h q0; g4: h q1.
+    Circuit c(2);
+    c.h(0).h(1).cx(0, 1).h(0).h(1);
+    return c;
+}
+
+TEST(DagCircuit, EdgesFollowSharedQubits)
+{
+    const Circuit c = diamond();
+    const DagCircuit dag(c);
+    EXPECT_EQ(dag.numNodes(), 5u);
+    EXPECT_EQ(dag.successors(0), (std::vector<int>{2}));
+    EXPECT_EQ(dag.successors(1), (std::vector<int>{2}));
+    EXPECT_EQ(dag.successors(2), (std::vector<int>{3, 4}));
+    EXPECT_TRUE(dag.successors(3).empty());
+    EXPECT_EQ(dag.predecessors(2), (std::vector<int>{0, 1}));
+}
+
+TEST(DagCircuit, EdgeDeduplication)
+{
+    // Two consecutive CX on the same pair: one edge, not two.
+    Circuit c(2);
+    c.cx(0, 1).cx(0, 1);
+    const DagCircuit dag(c);
+    EXPECT_EQ(dag.successors(0).size(), 1u);
+    EXPECT_EQ(dag.predecessors(1).size(), 1u);
+}
+
+TEST(DagCircuit, Roots)
+{
+    const DagCircuit dag(diamond());
+    EXPECT_EQ(dag.roots(), (std::vector<int>{0, 1}));
+}
+
+TEST(DagCircuit, TopologicalOrderValid)
+{
+    const DagCircuit dag(diamond());
+    const auto order = dag.topologicalOrder();
+    EXPECT_TRUE(dag.isValidSchedule(order));
+}
+
+TEST(DagCircuit, InvalidScheduleDetected)
+{
+    const DagCircuit dag(diamond());
+    EXPECT_FALSE(dag.isValidSchedule({2, 0, 1, 3, 4})); // cx first
+    EXPECT_FALSE(dag.isValidSchedule({0, 1, 2, 3}));    // too short
+    EXPECT_FALSE(dag.isValidSchedule({0, 0, 2, 3, 4})); // duplicate
+}
+
+TEST(DagCircuit, ApplyScheduleRebuilds)
+{
+    const Circuit c = diamond();
+    const Circuit r = applySchedule(c, {1, 0, 2, 4, 3});
+    ASSERT_EQ(r.numGates(), c.numGates());
+    EXPECT_EQ(r.gates()[0].qubits[0], 1);
+    EXPECT_EQ(r.gates()[1].qubits[0], 0);
+    EXPECT_EQ(r.gates()[2].kind, GateKind::CX);
+}
+
+class GeneratorDagParam
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GeneratorDagParam, TopoOrderOfBenchmarksIsValid)
+{
+    const Circuit c = circuits::makeBenchmark(GetParam(), 8);
+    const DagCircuit dag(c);
+    EXPECT_TRUE(dag.isValidSchedule(dag.topologicalOrder()));
+    // The identity order must always be a valid schedule.
+    std::vector<int> identity(c.numGates());
+    for (std::size_t i = 0; i < identity.size(); ++i)
+        identity[i] = static_cast<int>(i);
+    EXPECT_TRUE(dag.isValidSchedule(identity));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, GeneratorDagParam,
+    ::testing::Values("hchain", "rqc", "qaoa", "gs", "hlf", "qft",
+                      "iqp", "qf", "bv"));
+
+} // namespace
+} // namespace qgpu

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Edge-case coverage: degenerate register and chunk geometries, the
+ * deep-circuit generator end to end, and configuration extremes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "statevec/state_vector.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+TEST(EdgeCases, TwoQubitCircuitThroughEveryEngine)
+{
+    Circuit bell(2, "bell");
+    bell.h(0).cx(0, 1);
+    const StateVector want = simulateReference(bell);
+    for (const char *engine :
+         {"baseline", "naive", "overlap", "pruning", "reorder",
+          "qgpu", "cpu", "qsim", "qdk"}) {
+        Machine m = machines::makeScaled(2);
+        const RunResult r = harness::runOn(engine, m, bell);
+        EXPECT_LT(r.state.maxAbsDiff(want), 1e-12) << engine;
+    }
+}
+
+TEST(EdgeCases, SingleChunkConfiguration)
+{
+    // targetChunks = 1 degenerates to one chunk holding everything.
+    const Circuit c = circuits::makeBenchmark("gs", 8);
+    Machine m = harness::benchMachine(8);
+    ExecOptions o;
+    o.targetChunks = 1;
+    o.dynamicChunks = false;
+    const RunResult r = harness::runOn("qgpu", m, c, o);
+    EXPECT_LT(r.state.maxAbsDiff(simulateReference(c)), 1e-10);
+}
+
+TEST(EdgeCases, OneChunkPerAmplitude)
+{
+    const Circuit c = circuits::makeBenchmark("hlf", 8);
+    Machine m = harness::benchMachine(8);
+    ExecOptions o;
+    o.targetChunks = 256; // = 2^8 -> chunkBits 0
+    o.dynamicChunks = false;
+    const RunResult r = harness::runOn("pruning", m, c, o);
+    EXPECT_LT(r.state.maxAbsDiff(simulateReference(c)), 1e-10);
+}
+
+TEST(EdgeCases, GateOnHighestQubitPairsExtremeChunks)
+{
+    Circuit c(8, "edge");
+    c.h(7).cx(7, 0).h(0);
+    Machine m = harness::benchMachine(8);
+    const RunResult r = harness::runOn("qgpu", m, c);
+    EXPECT_LT(r.state.maxAbsDiff(simulateReference(c)), 1e-12);
+}
+
+TEST(EdgeCases, DeepGrqcIsExact)
+{
+    // ~1100 gates through the full recipe on a small register.
+    const Circuit c = circuits::grqc(8, 80);
+    ASSERT_GT(c.numGates(), 800u);
+    Machine m = harness::benchMachine(8);
+    ExecOptions o;
+    o.codecSampleChunks = 2;
+    const RunResult r = harness::runOn("qgpu", m, c, o);
+    EXPECT_LT(r.state.maxAbsDiff(simulateReference(c)), 1e-9);
+}
+
+TEST(EdgeCases, DiagonalOnlyCircuitNeverLeavesGround)
+{
+    // A circuit of only diagonal gates keeps |0...0| the sole
+    // non-zero amplitude; with the NonDiagonal policy, Q-GPU prunes
+    // every chunk transfer except chunk 0's.
+    Circuit c(10, "diag");
+    for (int q = 0; q < 10; ++q)
+        c.t(q);
+    for (int q = 0; q + 1 < 10; ++q)
+        c.cz(q, q + 1);
+    Machine m = harness::benchMachine(10);
+    ExecOptions o;
+    o.involvement = InvolvementPolicy::NonDiagonal;
+    const RunResult r = harness::runOn("qgpu", m, c, o);
+    EXPECT_NEAR(std::abs(r.state[0]), 1.0, 1e-12);
+    // All visits but one chunk per gate pruned.
+    EXPECT_GT(r.stats.get(statkeys::chunksPruned), 0.0);
+    EXPECT_DOUBLE_EQ(r.stats.get(statkeys::chunksProcessed),
+                     static_cast<double>(c.numGates()));
+}
+
+TEST(EdgeCases, TinyDeviceStillExact)
+{
+    // Device memory of barely four amplitudes forces thousands of
+    // tiny batches.
+    const Circuit c = circuits::makeBenchmark("bv", 8);
+    Machine m = machines::makeScaled(8, machines::p100(),
+                                     1.0 / 64.0);
+    const RunResult r = harness::runOn("qgpu", m, c);
+    EXPECT_LT(r.state.maxAbsDiff(simulateReference(c)), 1e-10);
+}
+
+TEST(EdgeCases, ReorderOfSingleGateCircuit)
+{
+    Circuit c(3, "one");
+    c.h(1);
+    for (auto kind :
+         {ReorderKind::Greedy, ReorderKind::ForwardLooking}) {
+        const Circuit r = reorderCircuit(c, kind);
+        ASSERT_EQ(r.numGates(), 1u);
+        EXPECT_EQ(r.gates()[0].kind, GateKind::H);
+    }
+}
+
+TEST(EdgeCases, EmptyCircuitRuns)
+{
+    const Circuit c(4, "empty");
+    Machine m = harness::benchMachine(4);
+    const RunResult r = harness::runOn("qgpu", m, c);
+    EXPECT_EQ(r.state[0], (Amp{1, 0}));
+    EXPECT_GE(r.totalTime, 0.0);
+}
+
+} // namespace
+} // namespace qgpu

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Engine correctness: every execution version (Baseline, Naive,
+ * Overlap, Pruning, Reorder, Q-GPU) and every CPU comparator must
+ * produce exactly the reference final state on every benchmark
+ * family. The paper's claim that "pruning and reordering do not
+ * affect the simulation results" is enforced here, not assumed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "statevec/state_vector.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+class EngineCorrectness
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, std::string>>
+{
+};
+
+TEST_P(EngineCorrectness, FinalStateMatchesReference)
+{
+    const auto &[engine, family] = GetParam();
+    const int n = 9;
+    const Circuit c = circuits::makeBenchmark(family, n);
+    const StateVector want = simulateReference(c);
+
+    // Scaled machine: device holds 1/16 of the state, so streaming
+    // really happens.
+    Machine m = harness::benchMachine(n);
+    ExecOptions o;
+    o.targetChunks = 32;
+    o.codecSampleChunks = 0; // measure every chunk in tests
+    const RunResult result = harness::runOn(engine, m, c, o);
+
+    ASSERT_EQ(result.state.numQubits(), n);
+    EXPECT_LT(result.state.maxAbsDiff(want), 1e-10)
+        << engine << " on " << family;
+    EXPECT_GT(result.totalTime, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEnginesAllFamilies, EngineCorrectness,
+    ::testing::Combine(
+        ::testing::Values("baseline", "naive", "overlap", "pruning",
+                          "reorder", "qgpu", "cpu", "qsim", "qdk"),
+        ::testing::Values("hchain", "rqc", "qaoa", "gs", "hlf",
+                          "qft", "iqp", "qf", "bv")));
+
+TEST(EngineCorrectness, ResidentModeMatchesReference)
+{
+    // State fits on the device: the streaming engine takes the
+    // resident fast path.
+    const int n = 8;
+    const Circuit c = circuits::makeBenchmark("qft", n);
+    Machine m = machines::makeScaled(n, machines::p100(), 2.0);
+    ASSERT_GE(m.device(0).spec().memBytes, stateBytes(n));
+
+    const RunResult r = harness::runOn("qgpu", m, c);
+    EXPECT_LT(r.state.maxAbsDiff(simulateReference(c)), 1e-10);
+    // Exactly one bulk upload and one bulk download.
+    EXPECT_DOUBLE_EQ(r.stats.get(statkeys::bytesH2d),
+                     static_cast<double>(stateBytes(n)));
+    EXPECT_DOUBLE_EQ(r.stats.get(statkeys::bytesD2h),
+                     static_cast<double>(stateBytes(n)));
+}
+
+TEST(EngineCorrectness, NonDiagonalInvolvementStillExact)
+{
+    // The sharper involvement policy (extension) must not change
+    // results either.
+    const int n = 9;
+    for (const auto &family : {"iqp", "qft", "gs"}) {
+        const Circuit c = circuits::makeBenchmark(family, n);
+        Machine m = harness::benchMachine(n);
+        ExecOptions o;
+        o.involvement = InvolvementPolicy::NonDiagonal;
+        const RunResult r = harness::runOn("qgpu", m, c, o);
+        EXPECT_LT(r.state.maxAbsDiff(simulateReference(c)), 1e-10)
+            << family;
+    }
+}
+
+TEST(EngineCorrectness, DynamicChunksOffStillExact)
+{
+    const int n = 9;
+    const Circuit c = circuits::makeBenchmark("iqp", n);
+    Machine m = harness::benchMachine(n);
+    ExecOptions o;
+    o.dynamicChunks = false;
+    const RunResult r = harness::runOn("pruning", m, c, o);
+    EXPECT_LT(r.state.maxAbsDiff(simulateReference(c)), 1e-10);
+}
+
+TEST(EngineCorrectness, KeepStateFalseDropsState)
+{
+    const Circuit c = circuits::makeBenchmark("gs", 8);
+    Machine m = harness::benchMachine(8);
+    ExecOptions o;
+    o.keepState = false;
+    const RunResult r = harness::runOn("qgpu", m, c, o);
+    EXPECT_EQ(r.state.numQubits(), 1);
+    EXPECT_GT(r.totalTime, 0.0);
+}
+
+TEST(EngineCorrectness, EngineNamesMatchVersions)
+{
+    Machine m = harness::benchMachine(8);
+    EXPECT_EQ(makeVersion(Version::Baseline, m)->name(), "Baseline");
+    EXPECT_EQ(makeVersion(Version::Naive, m)->name(), "Naive");
+    EXPECT_EQ(makeVersion(Version::Overlap, m)->name(), "Overlap");
+    EXPECT_EQ(makeVersion(Version::Pruning, m)->name(), "Pruning");
+    EXPECT_EQ(makeVersion(Version::Reorder, m)->name(), "Reorder");
+    EXPECT_EQ(makeVersion(Version::QGpu, m)->name(), "Q-GPU");
+    EXPECT_EQ(allVersions().size(), 6u);
+}
+
+} // namespace
+} // namespace qgpu

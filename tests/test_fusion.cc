@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Gate-fusion tests: the fused circuit must compute the same unitary
+ * (checked via final states) with fewer full-state passes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hh"
+#include "qc/fusion.hh"
+#include "statevec/state_vector.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+TEST(ExpandMatrix, SingleQubitIntoTwo)
+{
+    const GateMatrix x = Gate(GateKind::X, {0}).matrix();
+    // X on local bit 1 of a 2-qubit space = X (x) I.
+    const GateMatrix big = expandMatrix(x, {1}, 2);
+    EXPECT_EQ(big.at(2, 0), (Amp{1, 0})); // |00> -> |10>
+    EXPECT_EQ(big.at(3, 1), (Amp{1, 0})); // |01> -> |11>
+    EXPECT_TRUE(big.isUnitary());
+}
+
+TEST(ExpandMatrix, PreservesOrderingAcrossPositions)
+{
+    // CX with control at local bit 2 and target at local bit 0.
+    const GateMatrix cx = Gate(GateKind::CX, {0, 1}).matrix();
+    const GateMatrix big = expandMatrix(cx, {2, 0}, 3);
+    // Input |100> (control set): target flips -> |101>.
+    EXPECT_EQ(big.at(0b101, 0b100), (Amp{1, 0}));
+    // Input |001| (control clear): fixed.
+    EXPECT_EQ(big.at(0b001, 0b001), (Amp{1, 0}));
+    EXPECT_TRUE(big.isUnitary());
+}
+
+TEST(FuseGates, ReducesGateCount)
+{
+    const Circuit c = circuits::qft(6);
+    const Circuit fused = fuseGates(c, 3);
+    EXPECT_LT(fused.numGates(), c.numGates());
+}
+
+TEST(FuseGates, SingleGateRunsKeepOriginalKind)
+{
+    Circuit c(6);
+    c.h(0).h(5); // qubit union {0,5} would exceed width 1
+    const Circuit fused = fuseGates(c, 1);
+    ASSERT_EQ(fused.numGates(), 2u);
+    EXPECT_EQ(fused.gates()[0].kind, GateKind::H);
+}
+
+TEST(FuseGates, RespectsWidthLimit)
+{
+    const Circuit fused = fuseGates(circuits::qft(8), 3);
+    for (const Gate &g : fused.gates())
+        EXPECT_LE(g.numQubits(), 3);
+}
+
+class FusionEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(FusionEquivalence, FusedStateMatchesOriginal)
+{
+    const auto &[family, width] = GetParam();
+    const Circuit c = circuits::makeBenchmark(family, 7);
+    const Circuit fused = fuseGates(c, width);
+
+    const StateVector want = simulateReference(c);
+    const StateVector got = simulateReference(fused);
+    EXPECT_LT(want.maxAbsDiff(got), 1e-10)
+        << family << " width " << width;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndWidths, FusionEquivalence,
+    ::testing::Combine(
+        ::testing::Values("hchain", "rqc", "qaoa", "gs", "hlf",
+                          "qft", "iqp", "qf", "bv"),
+        ::testing::Values(2, 4)));
+
+} // namespace
+} // namespace qgpu

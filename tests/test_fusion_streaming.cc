@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the fusion+streaming extension: fused streaming stays
+ * exact and reduces both passes and transferred bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "statevec/state_vector.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+class FusedStreaming : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(FusedStreaming, ExactWithFusionEnabled)
+{
+    const int n = 9;
+    const Circuit c = circuits::makeBenchmark(GetParam(), n);
+    Machine m = harness::benchMachine(n);
+    ExecOptions o;
+    o.fuseWidth = 3;
+    const RunResult r = harness::runOn("qgpu", m, c, o);
+    EXPECT_LT(r.state.maxAbsDiff(simulateReference(c)), 1e-10)
+        << GetParam();
+    EXPECT_LT(r.stats.get("gates.fused"),
+              r.stats.get("gates.original"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FusedStreaming,
+    ::testing::Values("hchain", "rqc", "qaoa", "gs", "hlf", "qft",
+                      "iqp", "qf", "bv"));
+
+TEST(FusedStreaming, CutsTransfersOnDeepCircuits)
+{
+    // hchain streams the full state once per gate; fusing 3-4 gates
+    // per pass must cut H2D bytes by a similar factor.
+    const int n = 12;
+    const Circuit c = circuits::makeBenchmark("hchain", n);
+    ExecOptions o;
+    o.keepState = false;
+
+    Machine m1 = harness::benchMachine(n);
+    const RunResult plain = harness::runOn("qgpu", m1, c, o);
+
+    Machine m2 = harness::benchMachine(n);
+    o.fuseWidth = 4;
+    const RunResult fused = harness::runOn("qgpu", m2, c, o);
+
+    EXPECT_LT(fused.stats.get(statkeys::bytesH2d),
+              0.6 * plain.stats.get(statkeys::bytesH2d));
+    EXPECT_LT(fused.totalTime, 0.7 * plain.totalTime);
+}
+
+TEST(FusedStreaming, WorksWithMultiGpu)
+{
+    const int n = 9;
+    const Circuit c = circuits::makeBenchmark("qft", n);
+    Machine m =
+        machines::makeScaled(n, machines::p4(), 1.0 / 8.0, 3);
+    ExecOptions o;
+    o.fuseWidth = 3;
+    const RunResult r = harness::runOn("qgpu", m, c, o);
+    EXPECT_LT(r.state.maxAbsDiff(simulateReference(c)), 1e-10);
+}
+
+} // namespace
+} // namespace qgpu

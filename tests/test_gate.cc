@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the gate library: every kind's matrix must be unitary,
+ * diagonality flags must match the matrices, and the controlled-gate
+ * index convention must hold.
+ */
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "qc/gate.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+std::vector<Gate>
+oneOfEachKind()
+{
+    return {
+        Gate(GateKind::ID, {0}),
+        Gate(GateKind::H, {0}),
+        Gate(GateKind::X, {0}),
+        Gate(GateKind::Y, {0}),
+        Gate(GateKind::Z, {0}),
+        Gate(GateKind::S, {0}),
+        Gate(GateKind::Sdg, {0}),
+        Gate(GateKind::T, {0}),
+        Gate(GateKind::Tdg, {0}),
+        Gate(GateKind::SX, {0}),
+        Gate(GateKind::SY, {0}),
+        Gate(GateKind::RX, {0}, {0.7}),
+        Gate(GateKind::RY, {0}, {1.1}),
+        Gate(GateKind::RZ, {0}, {2.3}),
+        Gate(GateKind::P, {0}, {0.4}),
+        Gate(GateKind::U, {0}, {0.3, 1.2, -0.8}),
+        Gate(GateKind::CX, {0, 1}),
+        Gate(GateKind::CY, {0, 1}),
+        Gate(GateKind::CZ, {0, 1}),
+        Gate(GateKind::CP, {0, 1}, {0.9}),
+        Gate(GateKind::CRZ, {0, 1}, {0.6}),
+        Gate(GateKind::RXX, {0, 1}, {0.8}),
+        Gate(GateKind::RYY, {0, 1}, {1.3}),
+        Gate(GateKind::RZZ, {0, 1}, {0.5}),
+        Gate(GateKind::SWAP, {0, 1}),
+        Gate(GateKind::CCX, {0, 1, 2}),
+        Gate(GateKind::CCZ, {0, 1, 2}),
+        Gate(GateKind::CSWAP, {0, 1, 2}),
+    };
+}
+
+class EveryGateKind : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    Gate gate() const { return oneOfEachKind()[GetParam()]; }
+};
+
+TEST_P(EveryGateKind, MatrixIsUnitary)
+{
+    EXPECT_TRUE(gate().matrix().isUnitary())
+        << gate().toString();
+}
+
+TEST_P(EveryGateKind, MatrixDimMatchesQubits)
+{
+    const Gate g = gate();
+    EXPECT_EQ(g.matrix().dim(), 1 << g.numQubits());
+}
+
+TEST_P(EveryGateKind, DiagonalFlagMatchesMatrix)
+{
+    const Gate g = gate();
+    EXPECT_EQ(g.isDiagonal(), g.matrix().isDiagonal())
+        << g.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, EveryGateKind,
+                         ::testing::Range<std::size_t>(0, 28));
+
+TEST(Gate, RzzEqualsCxRzCx)
+{
+    // The hchain ladder identity: rzz(t) == cx . rz(t) . cx up to
+    // global phase; compare as 4x4 matrices with the phase divided
+    // out.
+    const double theta = 0.73;
+    const GateMatrix cx = Gate(GateKind::CX, {0, 1}).matrix();
+    // kron puts the left operand on the high index bit, and the CX
+    // target is bit 1 (the high bit).
+    const GateMatrix rz_high =
+        Gate(GateKind::RZ, {0}, {theta}).matrix().kron(
+            GateMatrix::identity(2));
+    const GateMatrix composed = cx * rz_high * cx;
+    const GateMatrix rzz =
+        Gate(GateKind::RZZ, {0, 1}, {theta}).matrix();
+    EXPECT_LT(composed.maxAbsDiff(rzz), 1e-14);
+}
+
+TEST(Gate, RxxEqualsHhRzzHh)
+{
+    // rxx(t) = (H(x)H) rzz(t) (H(x)H).
+    const double theta = 1.1;
+    const GateMatrix h = Gate(GateKind::H, {0}).matrix();
+    const GateMatrix hh = h.kron(h);
+    const GateMatrix rzz =
+        Gate(GateKind::RZZ, {0, 1}, {theta}).matrix();
+    const GateMatrix rxx =
+        Gate(GateKind::RXX, {0, 1}, {theta}).matrix();
+    EXPECT_LT((hh * rzz * hh).maxAbsDiff(rxx), 1e-14);
+}
+
+TEST(Gate, TwoQubitRotationsAtZeroAreIdentity)
+{
+    for (const auto kind :
+         {GateKind::RXX, GateKind::RYY, GateKind::RZZ}) {
+        const GateMatrix m = Gate(kind, {0, 1}, {0.0}).matrix();
+        EXPECT_LT(m.maxAbsDiff(GateMatrix::identity(4)), 1e-15)
+            << gateKindName(kind);
+    }
+}
+
+TEST(Gate, HadamardValues)
+{
+    const GateMatrix h = Gate(GateKind::H, {3}).matrix();
+    const double r = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(h.at(0, 0).real(), r, 1e-15);
+    EXPECT_NEAR(h.at(1, 1).real(), -r, 1e-15);
+}
+
+TEST(Gate, SxSquaredIsX)
+{
+    const GateMatrix sx = Gate(GateKind::SX, {0}).matrix();
+    const GateMatrix x = Gate(GateKind::X, {0}).matrix();
+    EXPECT_LT((sx * sx).maxAbsDiff(x), 1e-14);
+}
+
+TEST(Gate, SySquaredIsY)
+{
+    const GateMatrix sy = Gate(GateKind::SY, {0}).matrix();
+    const GateMatrix y = Gate(GateKind::Y, {0}).matrix();
+    EXPECT_LT((sy * sy).maxAbsDiff(y), 1e-14);
+}
+
+TEST(Gate, TSquaredIsS)
+{
+    const GateMatrix t = Gate(GateKind::T, {0}).matrix();
+    const GateMatrix s = Gate(GateKind::S, {0}).matrix();
+    EXPECT_LT((t * t).maxAbsDiff(s), 1e-14);
+}
+
+TEST(Gate, CxConvention)
+{
+    // qubits = {control, target}; matrix bit 0 = control. So basis
+    // |t c>: input c=1,t=0 (index 1) maps to c=1,t=1 (index 3).
+    const GateMatrix cx = Gate(GateKind::CX, {0, 1}).matrix();
+    EXPECT_EQ(cx.at(0, 0), (Amp{1, 0})); // |00> fixed
+    EXPECT_EQ(cx.at(3, 1), (Amp{1, 0})); // |01> -> |11>
+    EXPECT_EQ(cx.at(2, 2), (Amp{1, 0})); // |10> fixed (c=0)
+    EXPECT_EQ(cx.at(1, 3), (Amp{1, 0})); // |11> -> |01>
+}
+
+TEST(Gate, SwapConvention)
+{
+    const GateMatrix sw = Gate(GateKind::SWAP, {0, 1}).matrix();
+    EXPECT_EQ(sw.at(2, 1), (Amp{1, 0})); // |01> -> |10>
+    EXPECT_EQ(sw.at(1, 2), (Amp{1, 0}));
+}
+
+TEST(Gate, CcxOnlyFlipsWhenBothControlsSet)
+{
+    const GateMatrix ccx = Gate(GateKind::CCX, {0, 1, 2}).matrix();
+    // Controls are bits 0 and 1; target is bit 2.
+    // Input 0b011 (both controls) -> 0b111.
+    EXPECT_EQ(ccx.at(0b111, 0b011), (Amp{1, 0}));
+    EXPECT_EQ(ccx.at(0b011, 0b111), (Amp{1, 0}));
+    // Single control set: fixed point.
+    EXPECT_EQ(ccx.at(0b001, 0b001), (Amp{1, 0}));
+}
+
+TEST(Gate, RzIsDiagonalPhases)
+{
+    const double theta = 0.37;
+    const GateMatrix rz = Gate(GateKind::RZ, {0}, {theta}).matrix();
+    EXPECT_NEAR(std::arg(rz.at(0, 0)), -theta / 2, 1e-15);
+    EXPECT_NEAR(std::arg(rz.at(1, 1)), theta / 2, 1e-15);
+}
+
+TEST(Gate, CustomGate)
+{
+    const Gate x = Gate(GateKind::X, {2});
+    const Gate custom =
+        Gate::makeCustom({2}, x.matrix().data());
+    EXPECT_LT(custom.matrix().maxAbsDiff(x.matrix()), 1e-16);
+    EXPECT_EQ(custom.numQubits(), 1);
+}
+
+TEST(Gate, ToStringMentionsKindAndQubits)
+{
+    const Gate g = Gate(GateKind::CP, {1, 4}, {0.5});
+    const std::string s = g.toString();
+    EXPECT_NE(s.find("cp"), std::string::npos);
+    EXPECT_NE(s.find("q1"), std::string::npos);
+    EXPECT_NE(s.find("q4"), std::string::npos);
+}
+
+TEST(GateDeath, WrongQubitCount)
+{
+    EXPECT_DEATH(Gate(GateKind::CX, {0}), "expects");
+}
+
+TEST(GateDeath, WrongParamCount)
+{
+    EXPECT_DEATH(Gate(GateKind::RX, {0}), "params");
+}
+
+} // namespace
+} // namespace qgpu

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * GFC codec tests: losslessness on every kind of payload (property
+ * sweeps over sizes and configurations), compression behaviour on
+ * smooth vs random data, and the size fast path.
+ */
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hh"
+#include "common/rng.hh"
+#include "compress/gfc.hh"
+#include "statevec/state_vector.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+void
+roundTrip(const GfcCodec &codec, const std::vector<double> &data)
+{
+    const CompressedBlock block =
+        codec.compress(data.data(), data.size());
+    ASSERT_EQ(block.numDoubles, data.size());
+    std::vector<double> out(data.size(), -1.0);
+    codec.decompress(block, out.data());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        // Bit-exact comparison (lossless also for NaN payloads).
+        EXPECT_EQ(std::bit_cast<std::uint64_t>(data[i]),
+                  std::bit_cast<std::uint64_t>(out[i]))
+            << "index " << i;
+    }
+}
+
+TEST(Gfc, EmptyInput)
+{
+    GfcCodec codec;
+    const CompressedBlock block = codec.compress(nullptr, 0);
+    EXPECT_EQ(block.numDoubles, 0u);
+    codec.decompress(block, nullptr);
+}
+
+TEST(Gfc, AllZeros)
+{
+    GfcCodec codec;
+    const std::vector<double> zeros(1024, 0.0);
+    const CompressedBlock block =
+        codec.compress(zeros.data(), zeros.size());
+    // Zero residuals: ~0.5 byte nibble + 1 payload byte per double.
+    EXPECT_LT(block.compressedBytes(), zeros.size() * 2 + 64);
+    EXPECT_GT(block.ratio(), 4.0);
+    roundTrip(codec, zeros);
+}
+
+TEST(Gfc, SpecialValues)
+{
+    GfcCodec codec(4, 2);
+    roundTrip(codec,
+              {0.0, -0.0, 1.0, -1.0,
+               std::numeric_limits<double>::infinity(),
+               -std::numeric_limits<double>::infinity(),
+               std::numeric_limits<double>::quiet_NaN(),
+               std::numeric_limits<double>::signaling_NaN(),
+               std::numeric_limits<double>::denorm_min(),
+               -std::numeric_limits<double>::denorm_min(),
+               std::numeric_limits<double>::max(),
+               std::numeric_limits<double>::lowest(),
+               std::numeric_limits<double>::epsilon()});
+}
+
+TEST(Gfc, RandomBitPatterns)
+{
+    GfcCodec codec;
+    Rng rng(99);
+    std::vector<double> data(777);
+    for (auto &v : data)
+        v = std::bit_cast<double>(rng.next());
+    roundTrip(codec, data);
+}
+
+TEST(Gfc, SmoothDataCompressesWell)
+{
+    GfcCodec codec;
+    std::vector<double> smooth(4096);
+    for (std::size_t i = 0; i < smooth.size(); ++i)
+        smooth[i] = 0.125; // identical values -> zero residuals
+    // Residuals vanish after the first micro-chunk of each segment;
+    // the per-segment restarts cap the ratio around 2.5 at this
+    // segment count.
+    const CompressedBlock block =
+        codec.compress(smooth.data(), smooth.size());
+    EXPECT_GT(block.ratio(), 2.0);
+    roundTrip(codec, smooth);
+    // Fewer segments amortize the restarts and compress better.
+    GfcCodec coarse(32, 4);
+    EXPECT_GT(coarse.compress(smooth.data(), smooth.size()).ratio(),
+              block.ratio());
+}
+
+TEST(Gfc, RandomDataBarelyCompresses)
+{
+    GfcCodec codec;
+    Rng rng(7);
+    std::vector<double> noise(4096);
+    for (auto &v : noise)
+        v = rng.nextDouble() * 2.0 - 1.0;
+    const CompressedBlock block =
+        codec.compress(noise.data(), noise.size());
+    EXPECT_LT(block.ratio(), 1.3);
+    EXPECT_GT(block.ratio(), 0.8); // bounded expansion
+    roundTrip(codec, noise);
+}
+
+TEST(Gfc, CompressedSizeMatchesStream)
+{
+    GfcCodec codec;
+    Rng rng(13);
+    std::vector<double> data(1000);
+    for (auto &v : data)
+        v = rng.nextBool(0.7) ? 0.25 : rng.nextDouble();
+    const CompressedBlock block =
+        codec.compress(data.data(), data.size());
+    EXPECT_EQ(codec.compressedSize(data.data(), data.size()),
+              block.compressedBytes());
+}
+
+TEST(Gfc, AmplitudeInterface)
+{
+    const StateVector s =
+        simulateReference(circuits::makeBenchmark("qaoa", 10));
+    GfcCodec codec;
+    const CompressedBlock block =
+        codec.compressAmps(s.amplitudes().data(), s.size());
+    EXPECT_EQ(block.numDoubles, 2 * s.size());
+
+    std::vector<Amp> out(s.size());
+    codec.decompressAmps(block, out.data());
+    for (Index i = 0; i < s.size(); ++i)
+        EXPECT_EQ(s[i], out[i]);
+}
+
+TEST(Gfc, PaperCompressibilityContrast)
+{
+    // Fig. 10's observation, as it reproduces here: circuits with
+    // structured amplitudes (gs: +/- one magnitude; bv: one-hot)
+    // compress well, while iqp's dispersed amplitudes barely
+    // compress. (Deviation from the paper: qaoa's dense random-angle
+    // states do not GFC-compress in our reproduction; see
+    // EXPERIMENTS.md.)
+    GfcCodec codec(32, 1);
+    auto payload_ratio = [&](const char *family) {
+        const StateVector s =
+            simulateReference(circuits::makeBenchmark(family, 12));
+        return static_cast<double>(2 * s.size() * sizeof(double)) /
+               static_cast<double>(codec.compressedPayloadSize(
+                   reinterpret_cast<const double *>(
+                       s.amplitudes().data()),
+                   2 * s.size()));
+    };
+    const double iqp = payload_ratio("iqp");
+    EXPECT_GT(payload_ratio("gs"), 1.5);
+    EXPECT_GT(payload_ratio("bv"), 3.0);
+    EXPECT_LT(iqp, 1.3);
+    EXPECT_GT(payload_ratio("gs"), iqp);
+    EXPECT_GT(payload_ratio("hlf"), iqp);
+}
+
+class GfcConfigSweep
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, std::size_t>>
+{
+};
+
+TEST_P(GfcConfigSweep, RoundTripAcrossConfigs)
+{
+    const auto &[warp, segments, count] = GetParam();
+    GfcCodec codec(warp, segments);
+    Rng rng(count * 31 + warp);
+    std::vector<double> data(count);
+    for (auto &v : data) {
+        switch (rng.nextBelow(3)) {
+          case 0: v = 0.0; break;
+          case 1: v = 1.0 / 3.0; break;
+          default: v = rng.nextDouble() - 0.5; break;
+        }
+    }
+    roundTrip(codec, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, GfcConfigSweep,
+    ::testing::Combine(::testing::Values(1, 4, 32),
+                       ::testing::Values(1, 3, 32),
+                       ::testing::Values<std::size_t>(1, 31, 32, 33,
+                                                      1000)));
+
+TEST(GfcDeath, BadConfig)
+{
+    EXPECT_DEATH(GfcCodec(0, 4), "invalid GFC");
+}
+
+} // namespace
+} // namespace qgpu

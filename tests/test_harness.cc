@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the experiment harness used by the bench binaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+TEST(Harness, MakeEngineKnowsAllNames)
+{
+    Machine m = harness::benchMachine(8);
+    for (const char *name :
+         {"baseline", "naive", "overlap", "pruning", "reorder",
+          "qgpu", "cpu", "qsim", "qdk"}) {
+        EXPECT_NE(harness::makeEngine(name, m), nullptr) << name;
+    }
+}
+
+TEST(HarnessDeath, UnknownEngine)
+{
+    Machine m = harness::benchMachine(8);
+    EXPECT_DEATH((void)harness::makeEngine("gpu9000", m),
+                 "unknown engine");
+}
+
+TEST(Harness, BenchMachineScaling)
+{
+    Machine m = harness::benchMachine(20);
+    EXPECT_EQ(m.device(0).spec().memBytes, stateBytes(20) / 16);
+}
+
+TEST(Harness, BenchOptionsLightweight)
+{
+    const ExecOptions o = harness::benchOptions();
+    EXPECT_FALSE(o.keepState);
+    EXPECT_GT(o.codecSampleChunks, 0);
+}
+
+TEST(Harness, CpuEnginesIgnoreDevices)
+{
+    Machine m = harness::benchMachine(9);
+    const Circuit c = circuits::makeBenchmark("bv", 9);
+    const RunResult r = harness::runOn("cpu", m, c);
+    EXPECT_DOUBLE_EQ(r.stats.get(statkeys::bytesH2d), 0.0);
+    EXPECT_GT(r.stats.get(statkeys::hostCompute), 0.0);
+}
+
+TEST(Harness, QsimFusesGates)
+{
+    Machine m = harness::benchMachine(9);
+    const Circuit c = circuits::makeBenchmark("qft", 9);
+    const RunResult r = harness::runOn("qsim", m, c);
+    EXPECT_LT(r.stats.get("gates.fused"),
+              r.stats.get("gates.original"));
+}
+
+TEST(Harness, ComparatorOrdering)
+{
+    // Fig. 16 shape: qsim-like is faster than Aer CPU; QDK is far
+    // slower than both.
+    const int n = 12;
+    const Circuit c = circuits::makeBenchmark("qft", n);
+    ExecOptions o;
+    o.keepState = false;
+    Machine m1 = harness::benchMachine(n);
+    Machine m2 = harness::benchMachine(n);
+    Machine m3 = harness::benchMachine(n);
+    const VTime cpu = harness::runOn("cpu", m1, c, o).totalTime;
+    const VTime qsim = harness::runOn("qsim", m2, c, o).totalTime;
+    const VTime qdk = harness::runOn("qdk", m3, c, o).totalTime;
+    EXPECT_LT(qsim, cpu);
+    EXPECT_GT(qdk, 1.7 * cpu);
+}
+
+} // namespace
+} // namespace qgpu

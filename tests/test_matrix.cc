@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Tests for the small gate-matrix type.
+ */
+
+#include <gtest/gtest.h>
+
+#include "qc/matrix.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+TEST(GateMatrix, IdentityByDefault)
+{
+    GateMatrix m(4);
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            EXPECT_EQ(m.at(r, c), (r == c ? Amp{1, 0} : Amp{0, 0}));
+}
+
+TEST(GateMatrix, NumQubits)
+{
+    EXPECT_EQ(GateMatrix(2).numQubits(), 1);
+    EXPECT_EQ(GateMatrix(4).numQubits(), 2);
+    EXPECT_EQ(GateMatrix(8).numQubits(), 3);
+}
+
+TEST(GateMatrix, Multiply)
+{
+    // X * X = I.
+    GateMatrix x(2, {{0, 0}, {1, 0}, {1, 0}, {0, 0}});
+    EXPECT_LT((x * x).maxAbsDiff(GateMatrix::identity(2)), 1e-15);
+}
+
+TEST(GateMatrix, KronDimensions)
+{
+    GateMatrix a(2), b(4);
+    EXPECT_EQ(a.kron(b).dim(), 8);
+}
+
+TEST(GateMatrix, KronValues)
+{
+    // Z (x) I: diag(1, 1, -1, -1) with Z on the high index bit.
+    GateMatrix z(2, {{1, 0}, {0, 0}, {0, 0}, {-1, 0}});
+    GateMatrix zi = z.kron(GateMatrix::identity(2));
+    EXPECT_EQ(zi.at(0, 0), (Amp{1, 0}));
+    EXPECT_EQ(zi.at(1, 1), (Amp{1, 0}));
+    EXPECT_EQ(zi.at(2, 2), (Amp{-1, 0}));
+    EXPECT_EQ(zi.at(3, 3), (Amp{-1, 0}));
+    EXPECT_TRUE(zi.isDiagonal());
+}
+
+TEST(GateMatrix, DaggerConjugatesTranspose)
+{
+    GateMatrix m(2, {{1, 2}, {3, 4}, {5, 6}, {7, 8}});
+    const GateMatrix d = m.dagger();
+    EXPECT_EQ(d.at(0, 1), (Amp{5, -6}));
+    EXPECT_EQ(d.at(1, 0), (Amp{3, -4}));
+}
+
+TEST(GateMatrix, UnitaryDetection)
+{
+    GateMatrix x(2, {{0, 0}, {1, 0}, {1, 0}, {0, 0}});
+    EXPECT_TRUE(x.isUnitary());
+    GateMatrix not_unitary(2, {{2, 0}, {0, 0}, {0, 0}, {1, 0}});
+    EXPECT_FALSE(not_unitary.isUnitary());
+}
+
+TEST(GateMatrix, DiagonalDetection)
+{
+    GateMatrix z(2, {{1, 0}, {0, 0}, {0, 0}, {-1, 0}});
+    EXPECT_TRUE(z.isDiagonal());
+    GateMatrix x(2, {{0, 0}, {1, 0}, {1, 0}, {0, 0}});
+    EXPECT_FALSE(x.isDiagonal());
+}
+
+TEST(GateMatrix, VectorCtorInfersDim)
+{
+    std::vector<Amp> vals(16, Amp{0, 0});
+    GateMatrix m(std::move(vals));
+    EXPECT_EQ(m.dim(), 4);
+}
+
+TEST(GateMatrixDeath, BadInitSize)
+{
+    EXPECT_DEATH(GateMatrix(2, {Amp{1, 0}}), "init list");
+}
+
+} // namespace
+} // namespace qgpu

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Measurement tests: probability vectors, marginals, and sampling.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "statevec/measure.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+StateVector
+bell()
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1);
+    return simulateReference(c);
+}
+
+TEST(Measure, ProbabilitiesSumToOne)
+{
+    const auto probs = probabilities(bell());
+    double sum = 0.0;
+    for (double p : probs)
+        sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-14);
+    EXPECT_NEAR(probs[0], 0.5, 1e-14);
+    EXPECT_NEAR(probs[3], 0.5, 1e-14);
+}
+
+TEST(Measure, ProbabilityOfOne)
+{
+    const StateVector s = bell();
+    EXPECT_NEAR(probabilityOfOne(s, 0), 0.5, 1e-14);
+    EXPECT_NEAR(probabilityOfOne(s, 1), 0.5, 1e-14);
+
+    StateVector ground(3);
+    EXPECT_NEAR(probabilityOfOne(ground, 2), 0.0, 1e-15);
+}
+
+TEST(Measure, MarginalOverSubset)
+{
+    // GHZ on 3 qubits; marginal over {0, 2} is 50/50 on 00 and 11.
+    Circuit c(3);
+    c.h(0).cx(0, 1).cx(1, 2);
+    const StateVector s = simulateReference(c);
+    const auto marg = marginalProbabilities(s, {0, 2});
+    ASSERT_EQ(marg.size(), 4u);
+    EXPECT_NEAR(marg[0b00], 0.5, 1e-14);
+    EXPECT_NEAR(marg[0b11], 0.5, 1e-14);
+    EXPECT_NEAR(marg[0b01], 0.0, 1e-14);
+}
+
+TEST(Measure, SamplingMatchesDistribution)
+{
+    const StateVector s = bell();
+    Rng rng(123);
+    const auto counts = sampleCounts(s, 20000, rng);
+
+    std::uint64_t c00 = 0, c11 = 0, other = 0;
+    for (const auto &[outcome, count] : counts) {
+        if (outcome == 0)
+            c00 = count;
+        else if (outcome == 3)
+            c11 = count;
+        else
+            other += count;
+    }
+    EXPECT_EQ(other, 0u);
+    EXPECT_NEAR(static_cast<double>(c00) / 20000, 0.5, 0.02);
+    EXPECT_NEAR(static_cast<double>(c11) / 20000, 0.5, 0.02);
+}
+
+TEST(Measure, SamplingDeterministicBasisState)
+{
+    StateVector s(3);
+    s.apply(Gate(GateKind::X, {1}));
+    Rng rng(5);
+    const auto counts = sampleCounts(s, 100, rng);
+    ASSERT_EQ(counts.size(), 1u);
+    EXPECT_EQ(counts.begin()->first, 0b010u);
+    EXPECT_EQ(counts.begin()->second, 100u);
+}
+
+} // namespace
+} // namespace qgpu

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Multi-GPU tests (paper §V-E): round-robin streaming across several
+ * devices must stay exact and must beat both the single-GPU run and
+ * the static multi-GPU baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "statevec/state_vector.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+class MultiGpuCorrectness
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(MultiGpuCorrectness, ExactAcrossDeviceCounts)
+{
+    const auto &[family, gpus] = GetParam();
+    const int n = 9;
+    const Circuit c = circuits::makeBenchmark(family, n);
+    Machine m =
+        machines::makeScaled(n, machines::p4(), 1.0 / 8.0, gpus);
+    const RunResult r = harness::runOn("qgpu", m, c);
+    EXPECT_LT(r.state.maxAbsDiff(simulateReference(c)), 1e-10)
+        << family << " on " << gpus << " GPUs";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndGpuCounts, MultiGpuCorrectness,
+    ::testing::Combine(::testing::Values("qft", "gs", "iqp", "qaoa"),
+                       ::testing::Values(2, 3, 4)));
+
+TEST(MultiGpu, BaselineExactWithMultipleDevices)
+{
+    const int n = 9;
+    const Circuit c = circuits::makeBenchmark("hlf", n);
+    Machine m =
+        machines::makeScaled(n, machines::p4(), 1.0 / 8.0, 4);
+    const RunResult r = harness::runOn("baseline", m, c);
+    EXPECT_LT(r.state.maxAbsDiff(simulateReference(c)), 1e-10);
+}
+
+TEST(MultiGpu, MoreGpusMoreThroughput)
+{
+    // Four P4s streaming round-robin must beat one P4 on a
+    // transfer-heavy circuit.
+    const int n = 12;
+    const Circuit c = circuits::makeBenchmark("qft", n);
+    ExecOptions o;
+    o.keepState = false;
+
+    Machine one =
+        machines::makeScaled(n, machines::p4(), 1.0 / 32.0, 1);
+    Machine four =
+        machines::makeScaled(n, machines::p4(), 4.0 / 32.0, 4);
+    const VTime t1 = harness::runOn("qgpu", one, c, o).totalTime;
+    const VTime t4 = harness::runOn("qgpu", four, c, o).totalTime;
+    EXPECT_LT(t4, t1);
+}
+
+TEST(MultiGpu, QgpuBeatsStaticMultiGpuBaseline)
+{
+    // The Fig. 19 comparison on the PCIe server shape.
+    const int n = 12;
+    const Circuit c = circuits::makeBenchmark("gs", n);
+    ExecOptions o;
+    o.keepState = false;
+
+    Machine m1 =
+        machines::makeScaled(n, machines::p4(), 1.0 / 8.0, 4);
+    Machine m2 =
+        machines::makeScaled(n, machines::p4(), 1.0 / 8.0, 4);
+    const VTime baseline =
+        harness::runOn("baseline", m1, c, o).totalTime;
+    const VTime qgpu = harness::runOn("qgpu", m2, c, o).totalTime;
+    EXPECT_LT(qgpu, baseline);
+}
+
+TEST(MultiGpu, AllDevicesParticipate)
+{
+    const int n = 11;
+    const Circuit c = circuits::makeBenchmark("qaoa", n);
+    Machine m =
+        machines::makeScaled(n, machines::p4(), 1.0 / 8.0, 3);
+    ExecOptions o;
+    o.keepState = false;
+    (void)harness::runOn("qgpu", m, c, o);
+    for (int d = 0; d < m.numDevices(); ++d)
+        EXPECT_GT(m.device(d).compute().busyTime(), 0.0)
+            << "device " << d << " idle";
+}
+
+} // namespace
+} // namespace qgpu

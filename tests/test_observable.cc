@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Pauli-observable tests: expectation values against hand-computed
+ * states and operator algebra identities.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "statevec/observable.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+TEST(PauliString, ParseAndPrint)
+{
+    const PauliString p("XIZ", 0);
+    EXPECT_EQ(p.toString(), "X0*Z2");
+    EXPECT_EQ(p.maxQubit(), 2);
+
+    const PauliString shifted("ZZ", 3);
+    EXPECT_EQ(shifted.toString(), "Z3*Z4");
+}
+
+TEST(PauliString, IdentityExpectationIsOne)
+{
+    StateVector s(3);
+    s.apply(Gate(GateKind::H, {1}));
+    EXPECT_NEAR(PauliString().expectation(s), 1.0, 1e-14);
+}
+
+TEST(PauliString, ZOnBasisStates)
+{
+    StateVector s(2);
+    PauliString z0("Z");
+    EXPECT_NEAR(z0.expectation(s), 1.0, 1e-15); // |00>
+    s.apply(Gate(GateKind::X, {0}));
+    EXPECT_NEAR(z0.expectation(s), -1.0, 1e-15); // |01>
+}
+
+TEST(PauliString, XOnPlusMinus)
+{
+    StateVector plus(1);
+    plus.apply(Gate(GateKind::H, {0}));
+    EXPECT_NEAR(PauliString("X").expectation(plus), 1.0, 1e-14);
+
+    StateVector minus(1);
+    minus.apply(Gate(GateKind::X, {0}));
+    minus.apply(Gate(GateKind::H, {0}));
+    EXPECT_NEAR(PauliString("X").expectation(minus), -1.0, 1e-14);
+}
+
+TEST(PauliString, YEigenstate)
+{
+    // |+i> = (|0> + i|1>)/sqrt(2) = S H |0>.
+    StateVector s(1);
+    s.apply(Gate(GateKind::H, {0}));
+    s.apply(Gate(GateKind::S, {0}));
+    EXPECT_NEAR(PauliString("Y").expectation(s), 1.0, 1e-14);
+}
+
+TEST(PauliString, ZzOnBell)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1);
+    const StateVector bell = simulateReference(c);
+    EXPECT_NEAR(PauliString("ZZ").expectation(bell), 1.0, 1e-14);
+    EXPECT_NEAR(PauliString("XX").expectation(bell), 1.0, 1e-14);
+    EXPECT_NEAR(PauliString("Z").expectation(bell), 0.0, 1e-14);
+}
+
+TEST(PauliString, RotationTracksBlochVector)
+{
+    // After RX(theta), <Z> = cos(theta), <Y> = -sin(theta).
+    for (const double theta : {0.0, 0.4, 1.2, 2.8}) {
+        StateVector s(1);
+        s.apply(Gate(GateKind::RX, {0}, {theta}));
+        EXPECT_NEAR(PauliString("Z").expectation(s),
+                    std::cos(theta), 1e-12);
+        EXPECT_NEAR(PauliString("Y").expectation(s),
+                    -std::sin(theta), 1e-12);
+    }
+}
+
+TEST(Observable, IsingChainGroundFieldLimit)
+{
+    // For J = 0, h = 1 the ground state is |+>^n with energy -n.
+    const int n = 5;
+    Circuit c(n);
+    for (int q = 0; q < n; ++q)
+        c.h(q);
+    const StateVector s = simulateReference(c);
+    const Observable h = Observable::isingChain(n, 0.0, 1.0);
+    EXPECT_NEAR(h.expectation(s), -n, 1e-12);
+}
+
+TEST(Observable, IsingChainCouplingLimit)
+{
+    // For h = 0, J = 1 the all-zero state has energy -(n-1).
+    const int n = 6;
+    const StateVector s(n);
+    const Observable h = Observable::isingChain(n, 1.0, 0.0);
+    EXPECT_NEAR(h.expectation(s), -(n - 1), 1e-12);
+}
+
+TEST(Observable, LinearInTerms)
+{
+    StateVector s(2);
+    s.apply(Gate(GateKind::H, {0}));
+    Observable h;
+    h.add(2.0, PauliString("X"));
+    h.add(-3.0, PauliString("Z", 1));
+    EXPECT_NEAR(h.expectation(s), 2.0 * 1.0 - 3.0 * 1.0, 1e-12);
+    EXPECT_EQ(h.numTerms(), 2u);
+}
+
+TEST(ObservableDeath, DuplicateQubit)
+{
+    PauliString p;
+    p.add(Pauli::X, 1);
+    EXPECT_DEATH(p.add(Pauli::Z, 1), "duplicate");
+}
+
+} // namespace
+} // namespace qgpu

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Algorithm 1 tests: the chunk sweep must agree with a brute-force
+ * liveness check, and its early-exit must never skip a live chunk.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prune/pruning.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+TEST(PruneSweep, AllLiveWhenFullyInvolved)
+{
+    InvolvementMask mask(6);
+    for (int q = 0; q < 6; ++q)
+        mask.involve(q);
+    const PruneSweep sweep = sweepChunks(mask, 6, 2);
+    EXPECT_EQ(sweep.totalChunks, 16u);
+    EXPECT_EQ(sweep.live.size(), 16u);
+    EXPECT_EQ(sweep.prunedChunks, 0u);
+}
+
+TEST(PruneSweep, OnlyChunkZeroAtStart)
+{
+    InvolvementMask mask(6);
+    const PruneSweep sweep = sweepChunks(mask, 6, 2);
+    EXPECT_EQ(sweep.live, (std::vector<Index>{0}));
+    EXPECT_EQ(sweep.prunedChunks, 15u);
+}
+
+TEST(PruneSweep, PaperExample)
+{
+    // 7 qubits, 4-bit chunks, qubits 0..4 involved: chunks with
+    // bit 5 or 6 set are dead.
+    InvolvementMask mask(7);
+    for (int q = 0; q <= 4; ++q)
+        mask.involve(q);
+    const PruneSweep sweep = sweepChunks(mask, 7, 4);
+    EXPECT_EQ(sweep.live, (std::vector<Index>{0, 1}));
+    EXPECT_EQ(sweep.prunedChunks, 6u);
+}
+
+class SweepMatchesBruteForce
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SweepMatchesBruteForce, EveryMaskEveryChunkSize)
+{
+    // Exhaustive over all 2^6 involvement masks for a 6-qubit state.
+    const std::uint64_t mask_bits = GetParam();
+    InvolvementMask mask(6);
+    for (int q = 0; q < 6; ++q)
+        if ((mask_bits >> q) & 1)
+            mask.involve(q);
+
+    for (int chunk_bits = 0; chunk_bits <= 6; ++chunk_bits) {
+        const PruneSweep sweep = sweepChunks(mask, 6, chunk_bits);
+        std::vector<Index> want;
+        const Index chunks = Index{1} << (6 - chunk_bits);
+        for (Index c = 0; c < chunks; ++c) {
+            const std::uint64_t shifted = c << chunk_bits;
+            if ((shifted & mask_bits) == shifted)
+                want.push_back(c);
+        }
+        EXPECT_EQ(sweep.live, want)
+            << "mask " << mask_bits << " chunkBits " << chunk_bits;
+        EXPECT_EQ(sweep.live.size() + sweep.prunedChunks,
+                  sweep.totalChunks);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMasks, SweepMatchesBruteForce,
+                         ::testing::Range<std::uint64_t>(0, 64));
+
+} // namespace
+} // namespace qgpu

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * OpenQASM round-trip tests: every benchmark family must survive
+ * export + import with its gate stream intact.
+ */
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hh"
+#include "qc/qasm.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+TEST(Qasm, ExportContainsHeaderAndGates)
+{
+    Circuit c(2, "bell");
+    c.h(0).cx(0, 1);
+    const std::string text = toQasm(c);
+    EXPECT_NE(text.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(text.find("qreg q[2];"), std::string::npos);
+    EXPECT_NE(text.find("h q[0];"), std::string::npos);
+    EXPECT_NE(text.find("cx q[0],q[1];"), std::string::npos);
+}
+
+TEST(Qasm, ImportSimpleProgram)
+{
+    const std::string text = R"(OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+h q[0];
+cp(0.5) q[0],q[2];
+rz(-pi/2) q[1];
+)";
+    const Circuit c = fromQasm(text);
+    EXPECT_EQ(c.numQubits(), 3);
+    ASSERT_EQ(c.numGates(), 3u);
+    EXPECT_EQ(c.gates()[1].kind, GateKind::CP);
+    EXPECT_DOUBLE_EQ(c.gates()[1].params[0], 0.5);
+    EXPECT_NEAR(c.gates()[2].params[0], -1.5707963267948966, 1e-12);
+}
+
+TEST(Qasm, ImportAliases)
+{
+    const std::string text = R"(OPENQASM 2.0;
+qreg q[2];
+u1(0.25) q[0];
+cu1(0.5) q[0],q[1];
+)";
+    const Circuit c = fromQasm(text);
+    EXPECT_EQ(c.gates()[0].kind, GateKind::P);
+    EXPECT_EQ(c.gates()[1].kind, GateKind::CP);
+}
+
+TEST(Qasm, ImportSkipsComments)
+{
+    const std::string text = "OPENQASM 2.0;\n// comment line\n"
+                             "qreg q[1];\n// another\nh q[0];\n";
+    EXPECT_EQ(fromQasm(text).numGates(), 1u);
+}
+
+TEST(Qasm, PiExpressions)
+{
+    const std::string text = "OPENQASM 2.0;\nqreg q[1];\n"
+                             "p(pi/4) q[0];\np(2*pi) q[0];\n"
+                             "p(-pi) q[0];\n";
+    const Circuit c = fromQasm(text);
+    EXPECT_NEAR(c.gates()[0].params[0], 0.7853981633974483, 1e-12);
+    EXPECT_NEAR(c.gates()[1].params[0], 6.283185307179586, 1e-12);
+    EXPECT_NEAR(c.gates()[2].params[0], -3.141592653589793, 1e-12);
+}
+
+class QasmRoundTrip : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(QasmRoundTrip, BenchmarkSurvivesRoundTrip)
+{
+    const Circuit original =
+        circuits::makeBenchmark(GetParam(), 7);
+    const Circuit back = fromQasm(toQasm(original));
+
+    ASSERT_EQ(back.numQubits(), original.numQubits());
+    ASSERT_EQ(back.numGates(), original.numGates());
+    for (std::size_t i = 0; i < original.numGates(); ++i) {
+        const Gate &a = original.gates()[i];
+        const Gate &b = back.gates()[i];
+        EXPECT_EQ(a.kind, b.kind) << "gate " << i;
+        EXPECT_EQ(a.qubits, b.qubits) << "gate " << i;
+        ASSERT_EQ(a.params.size(), b.params.size());
+        for (std::size_t p = 0; p < a.params.size(); ++p)
+            EXPECT_DOUBLE_EQ(a.params[p], b.params[p]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, QasmRoundTrip,
+    ::testing::Values("hchain", "rqc", "qaoa", "gs", "hlf", "qft",
+                      "iqp", "qf", "bv"));
+
+TEST(QasmDeath, MissingHeader)
+{
+    EXPECT_DEATH((void)fromQasm("qreg q[2];\n"), "OPENQASM");
+}
+
+TEST(QasmDeath, UnknownGate)
+{
+    EXPECT_DEATH(
+        (void)fromQasm("OPENQASM 2.0;\nqreg q[1];\nbogus q[0];\n"),
+        "unsupported gate");
+}
+
+} // namespace
+} // namespace qgpu

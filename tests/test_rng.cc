@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for the deterministic PRNG used by workload generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowOneIsZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextRangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i) {
+        const double v = rng.nextDouble();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+        sum += v;
+    }
+    // Mean of U[0,1) should be ~0.5.
+    EXPECT_NEAR(sum / trials, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolBias)
+{
+    Rng rng(13);
+    int hits = 0;
+    const int trials = 20000;
+    for (int i = 0; i < trials; ++i)
+        hits += rng.nextBool(0.25);
+    EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Rng, UniformityOverBuckets)
+{
+    Rng rng(17);
+    const int buckets = 8;
+    std::vector<int> hist(buckets, 0);
+    const int trials = 16000;
+    for (int i = 0; i < trials; ++i)
+        ++hist[rng.nextBelow(buckets)];
+    for (int b = 0; b < buckets; ++b)
+        EXPECT_NEAR(hist[b], trials / buckets, trials / buckets / 4);
+}
+
+} // namespace
+} // namespace qgpu

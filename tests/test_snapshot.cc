@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Snapshot round-trip tests: raw and GFC-compressed state
+ * serialization must restore states bit-exactly.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hh"
+#include "statevec/snapshot.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+class SnapshotRoundTrip
+    : public ::testing::TestWithParam<std::tuple<std::string, bool>>
+{
+};
+
+TEST_P(SnapshotRoundTrip, BitExactRestore)
+{
+    const auto &[family, compress] = GetParam();
+    const StateVector want =
+        simulateReference(circuits::makeBenchmark(family, 9));
+
+    std::stringstream stream;
+    saveState(want, stream, compress);
+    const StateVector got = loadState(stream);
+
+    ASSERT_EQ(got.numQubits(), want.numQubits());
+    for (Index i = 0; i < want.size(); ++i)
+        ASSERT_EQ(want[i], got[i]) << family << " i=" << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndModes, SnapshotRoundTrip,
+    ::testing::Combine(
+        ::testing::Values("hchain", "qft", "iqp", "bv"),
+        ::testing::Bool()));
+
+TEST(Snapshot, CompressedSparseStateIsSmaller)
+{
+    // The ground state is almost all zeros: compression must shrink
+    // the snapshot well below the raw payload.
+    const StateVector ground(12);
+    std::stringstream raw, packed;
+    saveState(ground, raw, false);
+    saveState(ground, packed, true);
+    EXPECT_LT(packed.str().size(), raw.str().size() / 2);
+}
+
+TEST(Snapshot, GroundStateDefaults)
+{
+    StateVector s(5);
+    std::stringstream stream;
+    saveState(s, stream);
+    const StateVector back = loadState(stream);
+    EXPECT_EQ(back[0], (Amp{1, 0}));
+    EXPECT_EQ(back.countZeros(), 31u);
+}
+
+TEST(SnapshotDeath, BadMagic)
+{
+    std::stringstream stream;
+    stream << "not a snapshot at all";
+    EXPECT_DEATH((void)loadState(stream), "bad magic");
+}
+
+TEST(SnapshotDeath, Truncated)
+{
+    const StateVector s(6);
+    std::stringstream stream;
+    saveState(s, stream, true);
+    std::string bytes = stream.str();
+    bytes.resize(bytes.size() / 2);
+    std::stringstream cut(bytes);
+    EXPECT_DEATH((void)loadState(cut), "truncated");
+}
+
+} // namespace
+} // namespace qgpu

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the flat reference simulator: canonical states, gate
+ * algebra identities, and norm preservation.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuits.hh"
+#include "statevec/state_vector.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+TEST(StateVector, InitialState)
+{
+    StateVector s(3);
+    EXPECT_EQ(s.size(), 8u);
+    EXPECT_EQ(s[0], (Amp{1, 0}));
+    EXPECT_EQ(s.countZeros(), 7u);
+    EXPECT_NEAR(s.norm(), 1.0, 1e-15);
+}
+
+TEST(StateVector, BellState)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1);
+    const StateVector s = simulateReference(c);
+    const double r = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::abs(s[0b00]), r, 1e-15);
+    EXPECT_NEAR(std::abs(s[0b11]), r, 1e-15);
+    EXPECT_NEAR(std::abs(s[0b01]), 0.0, 1e-15);
+    EXPECT_NEAR(std::abs(s[0b10]), 0.0, 1e-15);
+}
+
+TEST(StateVector, GhzState)
+{
+    const int n = 5;
+    Circuit c(n);
+    c.h(0);
+    for (int q = 0; q + 1 < n; ++q)
+        c.cx(q, q + 1);
+    const StateVector s = simulateReference(c);
+    const double r = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::abs(s[0]), r, 1e-14);
+    EXPECT_NEAR(std::abs(s[(1u << n) - 1]), r, 1e-14);
+    EXPECT_EQ(s.countZeros(1e-12), (Index{1} << n) - 2);
+}
+
+TEST(StateVector, XFlipsBasisState)
+{
+    StateVector s(3);
+    s.apply(Gate(GateKind::X, {1}));
+    EXPECT_EQ(s[0b010], (Amp{1, 0}));
+    EXPECT_EQ(s[0], (Amp{0, 0}));
+}
+
+TEST(StateVector, HHIsIdentity)
+{
+    Circuit c(1);
+    c.h(0).h(0);
+    const StateVector s = simulateReference(c);
+    EXPECT_NEAR(std::abs(s[0] - Amp{1, 0}), 0.0, 1e-15);
+}
+
+TEST(StateVector, CxCxIsIdentity)
+{
+    Circuit c(2);
+    c.h(0).cx(0, 1).cx(0, 1).h(0);
+    const StateVector s = simulateReference(c);
+    EXPECT_NEAR(std::abs(s[0] - Amp{1, 0}), 0.0, 1e-14);
+}
+
+TEST(StateVector, SwapViaThreeCx)
+{
+    // swap(a,b) == cx(a,b) cx(b,a) cx(a,b).
+    Circuit direct(2), threecx(2);
+    direct.h(0).t(0).swap(0, 1);
+    threecx.h(0).t(0).cx(0, 1).cx(1, 0).cx(0, 1);
+    EXPECT_LT(simulateReference(direct).maxAbsDiff(
+                  simulateReference(threecx)),
+              1e-14);
+}
+
+TEST(StateVector, CzSymmetric)
+{
+    Circuit a(2), b(2);
+    a.h(0).h(1).cz(0, 1);
+    b.h(0).h(1).cz(1, 0);
+    EXPECT_LT(simulateReference(a).maxAbsDiff(simulateReference(b)),
+              1e-15);
+}
+
+TEST(StateVector, CzEqualsHCxH)
+{
+    Circuit a(2), b(2);
+    a.h(0).h(1).cz(0, 1);
+    b.h(0).h(1).h(1).cx(0, 1).h(1);
+    EXPECT_LT(simulateReference(a).maxAbsDiff(simulateReference(b)),
+              1e-14);
+}
+
+TEST(StateVector, FidelityIdentical)
+{
+    const StateVector s = simulateReference(circuits::qft(5));
+    EXPECT_NEAR(s.fidelity(s), 1.0, 1e-12);
+}
+
+TEST(StateVector, FidelityOrthogonal)
+{
+    StateVector a(2), b(2);
+    b.apply(Gate(GateKind::X, {0}));
+    EXPECT_NEAR(a.fidelity(b), 0.0, 1e-15);
+}
+
+TEST(StateVector, QftOfZeroIsUniform)
+{
+    const int n = 6;
+    const StateVector s = simulateReference(circuits::qft(n));
+    const double want = 1.0 / std::sqrt(static_cast<double>(1 << n));
+    for (Index i = 0; i < s.size(); ++i)
+        EXPECT_NEAR(std::abs(s[i]), want, 1e-12);
+}
+
+TEST(StateVector, QftMatchesDft)
+{
+    // QFT of |x> has amplitudes exp(2*pi*i*x*k/N)/sqrt(N). Prepare
+    // |x> = |5> on 3 qubits and check against the analytic DFT
+    // column (the ascending-form generator leaves the output in
+    // natural order without a swap layer).
+    const int n = 3;
+    const Index x = 5;
+    Circuit c(n);
+    for (int q = 0; q < n; ++q)
+        if ((x >> q) & 1)
+            c.x(q);
+    const Circuit qft_c = circuits::qft(n);
+    for (const Gate &g : qft_c.gates())
+        c.add(g);
+
+    const StateVector s = simulateReference(c);
+    const double N = 8.0;
+    for (Index k = 0; k < 8; ++k) {
+        const double phase = 2.0 * 3.14159265358979323846 *
+                             static_cast<double>(x * k) / N;
+        const Amp want{std::cos(phase) / std::sqrt(N),
+                       std::sin(phase) / std::sqrt(N)};
+        EXPECT_NEAR(std::abs(s[k] - want), 0.0, 1e-12) << "k=" << k;
+    }
+}
+
+class NormPreservation : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(NormPreservation, EveryBenchmarkKeepsUnitNorm)
+{
+    const StateVector s =
+        simulateReference(circuits::makeBenchmark(GetParam(), 9));
+    EXPECT_NEAR(s.norm(), 1.0, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, NormPreservation,
+    ::testing::Values("hchain", "rqc", "qaoa", "gs", "hlf", "qft",
+                      "iqp", "qf", "bv"));
+
+TEST(StateVector, ResetRestoresGround)
+{
+    StateVector s(3);
+    s.apply(Gate(GateKind::H, {0}));
+    s.reset();
+    EXPECT_EQ(s[0], (Amp{1, 0}));
+    EXPECT_EQ(s.countZeros(), 7u);
+}
+
+} // namespace
+} // namespace qgpu

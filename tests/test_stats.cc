@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Tests for the named counter set used in engine reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+TEST(StatSet, AddCreatesAndAccumulates)
+{
+    StatSet s;
+    EXPECT_FALSE(s.has("x"));
+    s.add("x", 2.0);
+    s.add("x", 3.0);
+    EXPECT_TRUE(s.has("x"));
+    EXPECT_DOUBLE_EQ(s.get("x"), 5.0);
+}
+
+TEST(StatSet, MissingIsZero)
+{
+    StatSet s;
+    EXPECT_DOUBLE_EQ(s.get("nothing"), 0.0);
+}
+
+TEST(StatSet, SetOverwrites)
+{
+    StatSet s;
+    s.add("x", 2.0);
+    s.set("x", 10.0);
+    EXPECT_DOUBLE_EQ(s.get("x"), 10.0);
+}
+
+TEST(StatSet, InsertionOrderPreserved)
+{
+    StatSet s;
+    s.add("b", 1);
+    s.add("a", 1);
+    s.add("c", 1);
+    s.add("a", 1); // no reordering on re-add
+    const std::vector<std::string> want = {"b", "a", "c"};
+    EXPECT_EQ(s.names(), want);
+}
+
+TEST(StatSet, Merge)
+{
+    StatSet a, b;
+    a.add("x", 1.0);
+    b.add("x", 2.0);
+    b.add("y", 3.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 3.0);
+}
+
+TEST(StatSet, ClearKeepsNames)
+{
+    StatSet s;
+    s.add("x", 5.0);
+    s.clear();
+    EXPECT_TRUE(s.has("x"));
+    EXPECT_DOUBLE_EQ(s.get("x"), 0.0);
+}
+
+TEST(StatSet, ToStringContainsEntries)
+{
+    StatSet s;
+    s.add("alpha", 1.5);
+    const std::string str = s.toString();
+    EXPECT_NE(str.find("alpha"), std::string::npos);
+    EXPECT_NE(str.find("1.5"), std::string::npos);
+}
+
+} // namespace
+} // namespace qgpu

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Tests for the text table printer used by the bench harness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"bb", "22"});
+    const std::string s = t.toString();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"longvalue", "x"});
+    const std::string s = t.toString();
+    // Header 'b' must be pushed past the widest cell of column a.
+    const auto header_end = s.find('\n');
+    ASSERT_NE(header_end, std::string::npos);
+    const std::string header = s.substr(0, header_end);
+    EXPECT_GE(header.size(), std::string("longvalue  b").size());
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t({"x", "y"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.toCsv(), "x,y\n1,2\n");
+}
+
+TEST(TextTable, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(TextTableDeath, RowWidthMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+} // namespace
+} // namespace qgpu
