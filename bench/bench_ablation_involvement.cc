@@ -31,7 +31,9 @@ main()
 
         Machine m1 = bench::machineFor(n);
         ExecOptions per_op = bench::benchOptions();
+        per_op.recordTrace = true;
         const RunResult r1 = harness::runOn("qgpu", m1, c, per_op);
+        bench::maybeEmitPhaseCsv(r1, family, n);
 
         Machine m2 = bench::machineFor(n);
         ExecOptions sharp = bench::benchOptions();

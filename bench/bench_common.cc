@@ -2,6 +2,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/trace.hh"
 
 namespace qgpu
 {
@@ -53,13 +57,73 @@ benchOptions()
     return o;
 }
 
+namespace
+{
+
+const std::vector<const char *> &
+csvPhases()
+{
+    static const std::vector<const char *> names = {
+        phases::h2d, phases::d2h, phases::compute, phases::compress,
+        phases::hostCompute,
+    };
+    return names;
+}
+
+} // namespace
+
 RunResult
 run(const std::string &which, const std::string &family, int n,
     Machine &machine)
 {
-    return harness::runOn(which, machine,
-                          circuits::makeBenchmark(family, n),
-                          benchOptions());
+    ExecOptions o = benchOptions();
+    o.recordTrace = true;
+    const RunResult result = harness::runOn(
+        which, machine, circuits::makeBenchmark(family, n), o);
+    maybeEmitPhaseCsv(result, family, n);
+    return result;
+}
+
+void
+maybeEmitPhaseCsv(const RunResult &result, const std::string &family,
+                  int n)
+{
+    const char *path = std::getenv("QGPU_BENCH_TRACE");
+    if (!path)
+        return;
+    std::ofstream out(path, std::ios::app);
+    if (out.tellp() == 0)
+        out << phaseCsvHeader() << "\n";
+    out << phaseCsvRow(result, family, n) << "\n";
+}
+
+std::string
+phaseCsvHeader()
+{
+    std::ostringstream os;
+    os << "engine,family,qubits,total";
+    for (const char *phase : csvPhases())
+        os << ',' << phase << "_exposed," << phase << "_busy";
+    return os.str();
+}
+
+std::string
+phaseCsvRow(const RunResult &result, const std::string &family, int n)
+{
+    const auto totals = result.trace.phaseTotals();
+    std::ostringstream os;
+    os.precision(10);
+    os << result.engine << ',' << family << ',' << n << ','
+       << result.totalTime;
+    for (const char *phase : csvPhases()) {
+        const auto it = totals.find(phase);
+        if (it == totals.end())
+            os << ",0,0";
+        else
+            os << ',' << it->second.exposed << ','
+               << it->second.busy;
+    }
+    return os.str();
 }
 
 void

@@ -46,9 +46,36 @@ Machine machineFor(int n, DeviceSpec gpu = machines::p100(),
 /** Bench-default options (no state retention, sampled codec). */
 ExecOptions benchOptions();
 
-/** Run engine @p which on family @p family at sweep point @p n. */
+/**
+ * Run engine @p which on family @p family at sweep point @p n. The
+ * run records an execution trace; when the QGPU_BENCH_TRACE
+ * environment variable names a file, a machine-readable phase
+ * breakdown row (see phaseCsvRow) is appended to it, so every bench
+ * binary emits its per-phase numbers without further wiring.
+ */
 RunResult run(const std::string &which, const std::string &family,
               int n, Machine &machine);
+
+/**
+ * Append a phase-breakdown row for @p result (labeled @p family /
+ * @p n) to the file named by QGPU_BENCH_TRACE; no-op when the
+ * variable is unset. run() calls this automatically; benches that
+ * drive harness::runOn directly (custom circuits or options) call it
+ * themselves so every bench emits machine-readable phase numbers.
+ */
+void maybeEmitPhaseCsv(const RunResult &result,
+                       const std::string &family, int n);
+
+/** Header matching phaseCsvRow. */
+std::string phaseCsvHeader();
+
+/**
+ * One CSV row: engine,family,qubits,total plus exposed/busy seconds
+ * for each canonical phase (h2d, d2h, compute, compress,
+ * host_compute).
+ */
+std::string phaseCsvRow(const RunResult &result,
+                        const std::string &family, int n);
 
 /** Print the standard bench banner. */
 void banner(const std::string &title, const std::string &paper_ref,

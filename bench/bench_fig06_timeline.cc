@@ -29,6 +29,7 @@ main()
         o.recordTimeline = true;
         const RunResult r = harness::runOn(
             engine, m, circuits::makeBenchmark("gs", n), o);
+        bench::maybeEmitPhaseCsv(r, "gs", n);
         std::printf("--- %s (total %.1f s) ---\n", r.engine.c_str(),
                     r.totalTime);
         std::printf("%s\n", r.timeline.render(96).c_str());

@@ -45,11 +45,14 @@ main()
                 : circuits::rqc(row.n, row.cycles, 11);
         Machine m1 = bench::machineFor(row.n);
         Machine m2 = bench::machineFor(row.n);
-        const ExecOptions o = bench::benchOptions();
-        const double overlap =
-            harness::runOn("overlap", m1, c, o).totalTime;
-        const double reorder =
-            harness::runOn("reorder", m2, c, o).totalTime;
+        ExecOptions o = bench::benchOptions();
+        o.recordTrace = true;
+        const RunResult overlap_run = harness::runOn("overlap", m1, c, o);
+        const RunResult reorder_run = harness::runOn("reorder", m2, c, o);
+        bench::maybeEmitPhaseCsv(overlap_run, c.name(), row.n);
+        bench::maybeEmitPhaseCsv(reorder_run, c.name(), row.n);
+        const double overlap = overlap_run.totalTime;
+        const double reorder = reorder_run.totalTime;
         table.addRow(
             {c.name() + "_" +
                  std::to_string(bench::paperQubits(row.n)),

@@ -42,6 +42,7 @@ struct Args
     std::uint64_t seed = 2026;
     bool timeline = false;
     bool stats = false;
+    std::string trace_path;
 };
 
 [[noreturn]] void
@@ -67,7 +68,9 @@ usage(const char *argv0)
         "  --shots <k>           sample k measurement outcomes\n"
         "  --seed <s>            sampling seed\n"
         "  --timeline            print the ASCII execution timeline\n"
-        "  --stats               print every engine counter\n",
+        "  --stats               print every engine counter\n"
+        "  --trace <file>        write a JSON execution trace "
+        "(per-phase totals + spans)\n",
         argv0);
     std::exit(1);
 }
@@ -123,6 +126,8 @@ parse(int argc, char **argv)
             args.timeline = true;
         else if (flag == "--stats")
             args.stats = true;
+        else if (flag == "--trace")
+            args.trace_path = value();
         else
             usage(argv[0]);
     }
@@ -172,6 +177,7 @@ main(int argc, char **argv)
 
     ExecOptions options;
     options.recordTimeline = args.timeline;
+    options.recordTrace = !args.trace_path.empty();
     const RunResult result =
         harness::runOn(args.engine, machine, circuit, options);
 
@@ -200,5 +206,17 @@ main(int argc, char **argv)
         std::printf("\n%s", result.timeline.render(100).c_str());
     if (args.stats)
         std::printf("\nstats:\n%s", result.stats.toString().c_str());
+    if (!args.trace_path.empty()) {
+        harness::writeRunReport(result, args.trace_path);
+        std::printf("\ntrace: %zu spans -> %s\n",
+                    result.trace.spans().size(),
+                    args.trace_path.c_str());
+        std::printf("phase breakdown (exposed / busy seconds):\n");
+        for (const auto &[phase, total] : result.trace.phaseTotals()) {
+            std::printf("  %-12s %10.4f / %10.4f  (%llu spans)\n",
+                        phase.c_str(), total.exposed, total.busy,
+                        static_cast<unsigned long long>(total.spans));
+        }
+    }
     return 0;
 }

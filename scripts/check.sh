@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# One-command verify: configure, build with -Werror, run the tier-1
+# test suite. This is the gate every PR must keep green (ROADMAP
+# "Tier-1 verify").
+#
+# Usage: scripts/check.sh
+#   BUILD_DIR=...  override the build directory (default build-check,
+#                  kept separate from the default `build` so -Werror
+#                  does not pollute incremental developer builds)
+#   JOBS=...       override parallelism (default: all cores)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build-check}"
+JOBS="${JOBS:-$(nproc)}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_CXX_FLAGS="-Werror"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS"

@@ -37,8 +37,9 @@ hostPasses(Machine &m, const Circuit &circuit, RunResult &result,
             per_gate_overhead;
         prev = m.host().compute().schedule(prev, dur);
         stats.add(statkeys::flopsHost, flops);
-        result.timeline.record("host.compute", "update", prev - dur,
-                               prev);
+        stats.add(statkeys::gatesApplied, 1.0);
+        result.trace.record(phases::hostCompute, "update",
+                            "host.compute", prev - dur, prev);
     }
     return state;
 }

@@ -1,0 +1,169 @@
+#include "common/metrics.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/trace.hh"
+
+namespace qgpu
+{
+
+void
+Histogram::observe(double value)
+{
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    sum_ += value;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+double
+Histogram::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+Histogram::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+void
+MetricsRegistry::add(const std::string &name, double delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_[name] += delta;
+}
+
+double
+MetricsRegistry::counter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0.0 : it->second;
+}
+
+void
+MetricsRegistry::observe(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    histograms_[name].observe(value);
+}
+
+Histogram
+MetricsRegistry::histogram(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histograms_.find(name);
+    return it == histograms_.end() ? Histogram{} : it->second;
+}
+
+std::vector<std::string>
+MetricsRegistry::counterNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(counters_.size());
+    for (const auto &[name, value] : counters_)
+        names.push_back(name);
+    return names;
+}
+
+std::vector<std::string>
+MetricsRegistry::histogramNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(histograms_.size());
+    for (const auto &[name, hist] : histograms_)
+        names.push_back(name);
+    return names;
+}
+
+void
+MetricsRegistry::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.clear();
+    histograms_.clear();
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os.precision(12);
+    os << "{\"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : counters_) {
+        os << (first ? "" : ", ") << '"' << jsonEscape(name)
+           << "\": " << value;
+        first = false;
+    }
+    os << "}, \"histograms\": {";
+    first = true;
+    for (const auto &[name, hist] : histograms_) {
+        os << (first ? "" : ", ") << '"' << jsonEscape(name)
+           << "\": {\"count\": " << hist.count()
+           << ", \"sum\": " << hist.sum()
+           << ", \"min\": " << hist.min()
+           << ", \"max\": " << hist.max()
+           << ", \"mean\": " << hist.mean() << "}";
+        first = false;
+    }
+    os << "}}";
+    return os.str();
+}
+
+std::string
+MetricsRegistry::toCsv() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream os;
+    os.precision(12);
+    os << "kind,name,count,sum,min,max,mean\n";
+    for (const auto &[name, value] : counters_)
+        os << "counter," << name << ",1," << value << ',' << value
+           << ',' << value << ',' << value << '\n';
+    for (const auto &[name, hist] : histograms_)
+        os << "histogram," << name << ',' << hist.count() << ','
+           << hist.sum() << ',' << hist.min() << ',' << hist.max()
+           << ',' << hist.mean() << '\n';
+    return os.str();
+}
+
+} // namespace qgpu

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Process-wide metrics registry: named monotonic counters and value
+ * histograms, thread-safe, with JSON and CSV exporters. Engines and
+ * the harness publish per-run headline numbers here so long-lived
+ * processes (sweeps, services) can report aggregates without keeping
+ * every RunResult alive. Complements StatSet, which is per-run and
+ * unsynchronized.
+ *
+ * Canonical names published by the harness:
+ *   runs.total              counter, one per completed run
+ *   runs.<engine>           counter, one per run of that engine
+ *   run.total_time          histogram of virtual run times (s)
+ *   run.bytes_h2d           histogram of host-to-device bytes
+ *   run.bytes_d2h           histogram of device-to-host bytes
+ */
+
+#ifndef QGPU_COMMON_METRICS_HH
+#define QGPU_COMMON_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qgpu
+{
+
+/** Streaming summary of observed values (no sample retention). */
+class Histogram
+{
+  public:
+    void observe(double value);
+    void merge(const Histogram &other);
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const;
+    double max() const;
+    double mean() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Named counters and histograms. Instances are independent (tests use
+ * their own); global() is the process-wide registry.
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry. */
+    static MetricsRegistry &global();
+
+    /** Add @p delta to counter @p name (created at zero). */
+    void add(const std::string &name, double delta = 1.0);
+
+    /** Value of counter @p name; zero if absent. */
+    double counter(const std::string &name) const;
+
+    /** Record @p value into histogram @p name (created empty). */
+    void observe(const std::string &name, double value);
+
+    /** Copy of histogram @p name; empty histogram if absent. */
+    Histogram histogram(const std::string &name) const;
+
+    std::vector<std::string> counterNames() const;
+    std::vector<std::string> histogramNames() const;
+
+    /** Drop every counter and histogram. */
+    void clear();
+
+    /** {"counters": {...}, "histograms": {name: {summary...}}}. */
+    std::string toJson() const;
+
+    /** kind,name,count,sum,min,max,mean rows (counters: count=1). */
+    std::string toCsv() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, double> counters_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace qgpu
+
+#endif // QGPU_COMMON_METRICS_HH

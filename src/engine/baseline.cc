@@ -19,7 +19,7 @@ StateVector
 BaselineEngine::execute(const Circuit &circuit, RunResult &result)
 {
     auto &stats = result.stats;
-    auto &timeline = result.timeline;
+    auto &trace = result.trace;
     Machine &m = machine();
     const int n = circuit.numQubits();
     const int chunk_bits = baseChunkBits(n);
@@ -130,8 +130,8 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
             const VTime dur = m.host().updateTime(
                 flops, bytes, options().hostThreads);
             host_end = m.host().compute().schedule(prev_end, dur);
-            timeline.record("host.compute", "update",
-                            host_end - dur, host_end);
+            trace.record(phases::hostCompute, "update",
+                         "host.compute", host_end - dur, host_end);
             stats.add(statkeys::flopsHost, flops);
         }
         VTime gate_end = host_end;
@@ -143,8 +143,9 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
                 const double bytes = dev_groups[d] * group_bytes;
                 t = dev.compute().schedule(
                     t, dev.kernelTime(flops, bytes));
-                timeline.record(dev.spec().name + ".compute",
-                                "kernel", prev_end, t);
+                trace.record(phases::compute, "kernel",
+                             dev.spec().name + ".compute", prev_end,
+                             t);
                 stats.add(statkeys::flopsDevice, flops);
                 stats.add(statkeys::deviceMemBytes, bytes);
             }
@@ -155,8 +156,8 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
                            static_cast<std::uint64_t>(
                                mixed_in_bytes[d])));
                 stats.add(statkeys::bytesH2d, mixed_in_bytes[d]);
-                timeline.record(dev.spec().name + ".h2d", "xfer", t,
-                                h2d_done);
+                trace.record(phases::h2d, "xfer",
+                             dev.spec().name + ".h2d", t, h2d_done);
                 const double flops = mixed_groups[d] * group_flops;
                 const double bytes = mixed_groups[d] * group_bytes;
                 const VTime k_done = dev.compute().schedule(
@@ -168,8 +169,9 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
                                 static_cast<std::uint64_t>(
                                     mixed_in_bytes[d])));
                 stats.add(statkeys::bytesD2h, mixed_in_bytes[d]);
-                timeline.record(dev.spec().name + ".d2h", "xfer",
-                                k_done, d2h_done);
+                trace.record(phases::d2h, "xfer",
+                             dev.spec().name + ".d2h", k_done,
+                             d2h_done);
                 t = d2h_done;
             }
             gate_end = std::max(gate_end, t);
@@ -178,6 +180,7 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
         // Per-gate synchronization barrier.
         gate_end += options().syncLatency;
         stats.add(statkeys::sync, options().syncLatency);
+        stats.add(statkeys::gatesApplied, 1.0);
         prev_end = gate_end;
     }
 

@@ -20,10 +20,15 @@ ExecutionEngine::run(const Circuit &circuit)
 
     RunResult result;
     result.engine = name();
-    if (options_.recordTimeline)
-        result.timeline.enable();
+    if (options_.recordTrace || options_.recordTimeline)
+        result.trace.enable();
 
     StateVector state = execute(circuit, result);
+
+    if (options_.recordTimeline) {
+        result.timeline.enable();
+        result.timeline.addTrace(result.trace);
+    }
 
     // Collect resource busy times common to every engine.
     auto &stats = result.stats;

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "prune/involvement.hh"
 #include "qc/circuit.hh"
 #include "reorder/reorder.hh"
@@ -46,6 +47,7 @@ inline constexpr const char *chunksProcessed = "chunks.processed";
 inline constexpr const char *chunksPruned = "chunks.pruned";
 inline constexpr const char *compressIn = "compress.in_bytes";
 inline constexpr const char *compressOut = "compress.out_bytes";
+inline constexpr const char *gatesApplied = "gates.applied";
 } // namespace statkeys
 
 /** Tunables shared by the engines. */
@@ -96,6 +98,13 @@ struct ExecOptions
     /** Record a Fig. 6-style timeline of every scheduled span. */
     bool recordTimeline = false;
 
+    /**
+     * Record a phase-tagged execution trace (see common/trace.hh).
+     * Implied by recordTimeline: the timeline is derived from the
+     * trace after the run.
+     */
+    bool recordTrace = false;
+
     /** Keep the final state in the result (disable to save memory). */
     bool keepState = true;
 };
@@ -106,6 +115,9 @@ struct RunResult
     std::string engine;
     VTime totalTime = 0.0;
     StatSet stats;
+    /** Phase-tagged spans (empty unless recordTrace/recordTimeline). */
+    Trace trace;
+    /** Derived from the trace when recordTimeline is set. */
     Timeline timeline;
     /** Final state; empty (1 qubit, |0>) when keepState is false. */
     StateVector state{1};

@@ -58,7 +58,7 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
     }
 
     auto &stats = result.stats;
-    auto &timeline = result.timeline;
+    auto &trace = result.trace;
     Machine &m = machine();
     const int n = ordered.numQubits();
     const int num_devs = m.numDevices();
@@ -128,6 +128,8 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
         num_devs, std::vector<VTime>(slots, 0.0));
     std::vector<int> dev_batches(num_devs, 0);
     int batch_rr = 0;
+    // Latest D2H completion; prune-decision markers anchor here.
+    VTime frontier = 0.0;
 
     std::size_t gate_idx = 0;
     for (const Gate &gate : ordered.gates()) {
@@ -186,12 +188,24 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
             if (any_live)
                 live_groups.push_back(g);
         }
-        stats.add(statkeys::chunksProcessed,
-                  static_cast<double>(live_groups.size()) * span);
-        stats.add(statkeys::chunksPruned,
-                  static_cast<double>(plan.numGroups() -
-                                      live_groups.size()) *
-                      span);
+        const double live_chunks =
+            static_cast<double>(live_groups.size()) * span;
+        const double pruned_chunks =
+            static_cast<double>(plan.numGroups() -
+                                live_groups.size()) *
+            span;
+        stats.add(statkeys::chunksProcessed, live_chunks);
+        stats.add(statkeys::chunksPruned, pruned_chunks);
+        stats.add(statkeys::gatesApplied, 1.0);
+        if (options().prune && trace.enabled()) {
+            // Zero-length marker: the decision is host bookkeeping
+            // with no modeled cost, but its outcome is the counter
+            // the pruning figures are built from.
+            trace.record(phases::prune, "decide", "host.prune",
+                         frontier, frontier,
+                         {{statkeys::chunksProcessed, live_chunks},
+                          {statkeys::chunksPruned, pruned_chunks}});
+        }
 
         // Batch the live groups under the buffer capacity.
         bool first_batch_of_gate = true;
@@ -255,8 +269,8 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
             VTime t = dev.h2dEngine().schedule(
                 start, m.contendedHostLink(dev.spec().h2d).transferTime(
                            static_cast<std::uint64_t>(in_bytes)));
-            timeline.record(dev.spec().name + ".h2d", "xfer", start,
-                            t);
+            trace.record(phases::h2d, "xfer",
+                         dev.spec().name + ".h2d", start, t);
             stats.add(statkeys::bytesH2d, in_bytes);
 
             if (options().compress && in_decomp_raw > 0) {
@@ -264,15 +278,16 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
                     static_cast<std::uint64_t>(in_decomp_raw));
                 t = dev.compute().schedule(t, dur);
                 stats.add(statkeys::decompressTime, dur);
-                timeline.record(dev.spec().name + ".compute", "dec",
-                                t - dur, t);
+                trace.record(phases::compress, "dec",
+                             dev.spec().name + ".compute", t - dur,
+                             t);
             }
 
             // Kernel.
             const VTime k_dur = dev.kernelTime(flops, kbytes);
             t = dev.compute().schedule(t, k_dur);
-            timeline.record(dev.spec().name + ".compute", "kernel",
-                            t - k_dur, t);
+            trace.record(phases::compute, "kernel",
+                         dev.spec().name + ".compute", t - k_dur, t);
             stats.add(statkeys::flopsDevice, flops);
             stats.add(statkeys::deviceMemBytes, kbytes);
 
@@ -333,8 +348,9 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
                         static_cast<std::uint64_t>(attempted));
                     t = dev.compute().schedule(t, dur);
                     stats.add(statkeys::compressTime, dur);
-                    timeline.record(dev.spec().name + ".compute",
-                                    "cmp", t - dur, t);
+                    trace.record(phases::compress, "cmp",
+                                 dev.spec().name + ".compute",
+                                 t - dur, t);
                 }
                 stats.add(statkeys::compressIn, out_raw);
                 stats.add(statkeys::compressOut, out_bytes);
@@ -347,14 +363,15 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
             const VTime d2h_done = dev.d2hEngine().schedule(
                 t, m.contendedHostLink(dev.spec().d2h).transferTime(
                        static_cast<std::uint64_t>(out_bytes)));
-            timeline.record(dev.spec().name + ".d2h", "xfer", t,
-                            d2h_done);
+            trace.record(phases::d2h, "xfer",
+                         dev.spec().name + ".d2h", t, d2h_done);
             stats.add(statkeys::bytesD2h, out_bytes);
 
             for (std::size_t i = at; i < end; ++i)
                 for (Index c : plan.members(live_groups[i]))
                     chunk_ready[c] = d2h_done;
             slot_free[d][slot] = d2h_done;
+            frontier = std::max(frontier, d2h_done);
 
             at = end;
         }
@@ -387,7 +404,7 @@ StreamingEngine::executeResident(const Circuit &circuit,
                                  RunResult &result)
 {
     auto &stats = result.stats;
-    auto &timeline = result.timeline;
+    auto &trace = result.trace;
     Machine &m = machine();
     auto &dev = m.device(0);
     const int n = circuit.numQubits();
@@ -403,7 +420,8 @@ StreamingEngine::executeResident(const Circuit &circuit,
         0.0, m.contendedHostLink(dev.spec().h2d).transferTime(total_bytes));
     stats.add(statkeys::bytesH2d,
               static_cast<double>(total_bytes));
-    timeline.record(dev.spec().name + ".h2d", "xfer", 0.0, t);
+    trace.record(phases::h2d, "xfer", dev.spec().name + ".h2d", 0.0,
+                 t);
 
     for (const Gate &gate : circuit.gates()) {
         const GatePlan plan(gate, n, chunk_bits);
@@ -431,10 +449,11 @@ StreamingEngine::executeResident(const Circuit &circuit,
                              per_amp_bytes * frac;
         const VTime dur = dev.kernelTime(flops, bytes);
         t = dev.compute().schedule(t, dur);
-        timeline.record(dev.spec().name + ".compute", "kernel",
-                        t - dur, t);
+        trace.record(phases::compute, "kernel",
+                     dev.spec().name + ".compute", t - dur, t);
         stats.add(statkeys::flopsDevice, flops);
         stats.add(statkeys::deviceMemBytes, bytes);
+        stats.add(statkeys::gatesApplied, 1.0);
         if (options().prune)
             mask.involve(gate);
     }
@@ -442,7 +461,8 @@ StreamingEngine::executeResident(const Circuit &circuit,
     const VTime done = dev.d2hEngine().schedule(
         t, m.contendedHostLink(dev.spec().d2h).transferTime(total_bytes));
     stats.add(statkeys::bytesD2h, static_cast<double>(total_bytes));
-    timeline.record(dev.spec().name + ".d2h", "xfer", t, done);
+    trace.record(phases::d2h, "xfer", dev.spec().name + ".d2h", t,
+                 done);
 
     return state.toFlat();
 }

@@ -1,6 +1,10 @@
 #include "harness/experiment.hh"
 
+#include <fstream>
+#include <sstream>
+
 #include "common/logging.hh"
+#include "common/metrics.hh"
 
 namespace qgpu
 {
@@ -36,7 +40,49 @@ RunResult
 runOn(const std::string &which, Machine &machine,
       const Circuit &circuit, ExecOptions base)
 {
-    return makeEngine(which, machine, base)->run(circuit);
+    RunResult result = makeEngine(which, machine, base)->run(circuit);
+    publishRunMetrics(result);
+    return result;
+}
+
+void
+publishRunMetrics(const RunResult &result)
+{
+    auto &registry = MetricsRegistry::global();
+    registry.add("runs.total");
+    registry.add("runs." + result.engine);
+    registry.observe("run.total_time", result.totalTime);
+    registry.observe("run.bytes_h2d",
+                     result.stats.get(statkeys::bytesH2d));
+    registry.observe("run.bytes_d2h",
+                     result.stats.get(statkeys::bytesD2h));
+}
+
+std::string
+runReportJson(const RunResult &result)
+{
+    std::ostringstream os;
+    os.precision(12);
+    os << "{\"engine\": \"" << jsonEscape(result.engine)
+       << "\", \"total_time\": " << result.totalTime
+       << ", \"stats\": {";
+    bool first = true;
+    for (const auto &name : result.stats.names()) {
+        os << (first ? "" : ", ") << '"' << jsonEscape(name)
+           << "\": " << result.stats.get(name);
+        first = false;
+    }
+    os << "}, \"trace\": " << result.trace.toJson() << "}";
+    return os.str();
+}
+
+void
+writeRunReport(const RunResult &result, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        QGPU_FATAL("cannot write run report to '", path, "'");
+    out << runReportJson(result) << "\n";
 }
 
 Machine

@@ -33,10 +33,30 @@ makeEngine(const std::string &which, Machine &machine,
 
 /**
  * Run @p circuit with engine @p which on @p machine and return the
- * result (state dropped by default to keep sweeps light).
+ * result (state dropped by default to keep sweeps light). Headline
+ * numbers are published to MetricsRegistry::global() via
+ * publishRunMetrics.
  */
 RunResult runOn(const std::string &which, Machine &machine,
                 const Circuit &circuit, ExecOptions base = {});
+
+/**
+ * Publish one run's headline stats into the process-wide metrics
+ * registry: counters runs.total and runs.<engine>, histograms
+ * run.total_time / run.bytes_h2d / run.bytes_d2h.
+ */
+void publishRunMetrics(const RunResult &result);
+
+/**
+ * One-run JSON report: engine name, total virtual time, every stat
+ * counter, and the trace (per-phase busy/exposed totals plus the
+ * span list) when one was recorded. This is the machine-readable
+ * contract behind `qgpu_sim --trace` and the bench breakdowns.
+ */
+std::string runReportJson(const RunResult &result);
+
+/** Write runReportJson(@p result) to @p path (fatal on I/O error). */
+void writeRunReport(const RunResult &result, const std::string &path);
 
 /**
  * Default bench scaling: a machine whose device memory is 1/16 of an

@@ -7,6 +7,15 @@
 namespace qgpu
 {
 
+void
+Timeline::addTrace(const Trace &trace)
+{
+    for (const TraceSpan &span : trace.spans()) {
+        if (span.end > span.start)
+            record(span.resource, span.label, span.start, span.end);
+    }
+}
+
 std::string
 Timeline::render(int columns) const
 {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.hh"
 #include "common/types.hh"
 
 namespace qgpu
@@ -43,6 +44,14 @@ class Timeline
         if (enabled_)
             spans_.push_back({resource, label, start, end});
     }
+
+    /**
+     * Import every positive-length span of @p trace as a timeline
+     * event (zero-length marker spans, e.g. prune decisions, carry no
+     * schedulable work and are skipped). This is how engine traces
+     * become Fig. 6 charts.
+     */
+    void addTrace(const Trace &trace);
 
     const std::vector<TimelineSpan> &spans() const { return spans_; }
     void clear() { spans_.clear(); }

@@ -123,8 +123,9 @@ TEST(ApplyGroup, SingleGroupOnlyTouchesItsChunks)
     const StateVector after = state.toFlat();
     for (Index i = 0; i < 16; ++i) {
         const Index chunk = i >> 2;
-        if (chunk == 1 || chunk == 3)
+        if (chunk == 1 || chunk == 3) {
             EXPECT_EQ(after[i], before[i]) << i;
+        }
     }
 }
 

@@ -132,8 +132,9 @@ TEST(Qft, ApproximationDegreeLimitsGates)
     const Circuit approx = circuits::qft(12, 3);
     EXPECT_LT(approx.numGates(), exact.numGates());
     for (const Gate &g : approx.gates()) {
-        if (g.kind == GateKind::CP)
+        if (g.kind == GateKind::CP) {
             EXPECT_LE(std::abs(g.qubits[1] - g.qubits[0]), 3);
+        }
     }
 }
 

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * GFC codec property/fuzz tests: deterministic randomized roundtrips
+ * over amplitude-like payloads (dense random, sparse, denormal, ±0)
+ * across lane/segment configurations, plus the documented size bound
+ * for all-zero input.
+ */
+
+#include <bit>
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+#include "common/rng.hh"
+#include "compress/gfc.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+void
+expectRoundTrip(const GfcCodec &codec,
+                const std::vector<double> &data)
+{
+    const CompressedBlock block =
+        codec.compress(data.data(), data.size());
+    ASSERT_EQ(block.numDoubles, data.size());
+    // The size fast path must agree with the materialized stream.
+    ASSERT_EQ(codec.compressedSize(data.data(), data.size()),
+              block.compressedBytes());
+    std::vector<double> out(data.size(), -7.0);
+    codec.decompress(block, out.data());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(data[i]),
+                  std::bit_cast<std::uint64_t>(out[i]))
+            << "index " << i << " of " << data.size();
+    }
+}
+
+/** NaN-free amplitude-like value: finite, mixed magnitudes. */
+double
+randomAmplitudeValue(Rng &rng)
+{
+    switch (rng.nextBelow(6)) {
+      case 0: return 0.0;
+      case 1: return -0.0;
+      case 2:
+        // Denormal range.
+        return static_cast<double>(rng.nextBelow(1000) + 1) *
+               std::numeric_limits<double>::denorm_min();
+      case 3:
+        // Tiny normal magnitudes, signs mixed.
+        return (rng.nextBool(0.5) ? 1.0 : -1.0) *
+               std::ldexp(rng.nextDouble(), -900);
+      case 4:
+        // A shared magnitude, as in structured states.
+        return rng.nextBool(0.5) ? 0.0883883476483184
+                                 : -0.0883883476483184;
+      default: return rng.nextDouble() * 2.0 - 1.0;
+    }
+}
+
+TEST(GfcProperties, FuzzRoundTripAcrossConfigs)
+{
+    const int warps[] = {1, 3, 32};
+    const int segments[] = {1, 2, 32};
+    Rng rng(20260806);
+    for (int iter = 0; iter < 60; ++iter) {
+        const int warp = warps[rng.nextBelow(3)];
+        const int segs = segments[rng.nextBelow(3)];
+        const std::size_t count = rng.nextBelow(700);
+        std::vector<double> data(count);
+        for (auto &v : data)
+            v = randomAmplitudeValue(rng);
+        GfcCodec codec(warp, segs);
+        expectRoundTrip(codec, data);
+    }
+}
+
+TEST(GfcProperties, SparseBlocksRoundTripAndCompress)
+{
+    // Pruning leaves blocks that are almost entirely zero; GFC must
+    // both preserve and shrink them.
+    Rng rng(11);
+    for (const double density : {0.0, 0.01, 0.1}) {
+        std::vector<double> data(2048, 0.0);
+        for (auto &v : data)
+            if (rng.nextBool(density))
+                v = rng.nextDouble() - 0.5;
+        GfcCodec codec(32, 1);
+        expectRoundTrip(codec, data);
+        const CompressedBlock block =
+            codec.compress(data.data(), data.size());
+        if (density <= 0.01) {
+            EXPECT_GT(block.ratio(), 2.0) << density;
+        }
+    }
+}
+
+TEST(GfcProperties, DenormalAndSignedZeroBlocks)
+{
+    // Denormal payloads have near-empty high bytes; ±0 differ only
+    // in the sign bit. Both stress the residual sign handling.
+    std::vector<double> data;
+    for (int i = 0; i < 257; ++i) {
+        data.push_back((i % 2 ? 1.0 : -1.0) *
+                       static_cast<double>(i) *
+                       std::numeric_limits<double>::denorm_min());
+        data.push_back(i % 3 ? 0.0 : -0.0);
+    }
+    for (const int segs : {1, 4}) {
+        GfcCodec codec(8, segs);
+        expectRoundTrip(codec, data);
+    }
+}
+
+TEST(GfcProperties, AllZeroSizeBound)
+{
+    // Documented bound: a zero double's residual is zero, costing one
+    // 4-bit prefix nibble plus one payload byte, i.e. 1.5 bytes per
+    // double. Nibble packing rounds up to a whole byte once per
+    // segment, and the stream adds headerBytes(count) of fixed
+    // framing. So:
+    //   compressed <= header + ceil(1.5 * count) + num_segments
+    for (const int segs : {1, 2, 32}) {
+        GfcCodec codec(32, segs);
+        for (const std::size_t count :
+             {std::size_t{1}, std::size_t{31}, std::size_t{32},
+              std::size_t{1000}, std::size_t{4096}}) {
+            const std::vector<double> zeros(count, 0.0);
+            const CompressedBlock block =
+                codec.compress(zeros.data(), zeros.size());
+            const std::uint64_t bound =
+                codec.headerBytes(count) +
+                (3 * count + 1) / 2 +
+                static_cast<std::uint64_t>(segs);
+            EXPECT_LE(block.compressedBytes(), bound)
+                << "segments " << segs << ", count " << count;
+            expectRoundTrip(codec, zeros);
+        }
+    }
+}
+
+TEST(GfcProperties, PayloadSizePlusHeaderIsTotal)
+{
+    Rng rng(5);
+    std::vector<double> data(513);
+    for (auto &v : data)
+        v = randomAmplitudeValue(rng);
+    GfcCodec codec(32, 4);
+    EXPECT_EQ(codec.headerBytes(data.size()) +
+                  codec.compressedPayloadSize(data.data(),
+                                              data.size()),
+              codec.compressedSize(data.data(), data.size()));
+}
+
+} // namespace
+} // namespace qgpu

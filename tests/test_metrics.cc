@@ -1,0 +1,160 @@
+/**
+ * @file
+ * MetricsRegistry tests: counter aggregation, histogram summaries,
+ * exporter shape, thread safety, and the harness integration that
+ * publishes per-run headline numbers into the global registry.
+ */
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.hh"
+#include "harness/experiment.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+TEST(Metrics, CountersAggregate)
+{
+    MetricsRegistry registry;
+    EXPECT_DOUBLE_EQ(registry.counter("absent"), 0.0);
+    registry.add("runs.total");
+    registry.add("runs.total");
+    registry.add("bytes", 100.0);
+    registry.add("bytes", 28.0);
+    EXPECT_DOUBLE_EQ(registry.counter("runs.total"), 2.0);
+    EXPECT_DOUBLE_EQ(registry.counter("bytes"), 128.0);
+    EXPECT_EQ(registry.counterNames().size(), 2u);
+}
+
+TEST(Metrics, HistogramSummary)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    h.observe(2.0);
+    h.observe(-1.0);
+    h.observe(5.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(h.min(), -1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 5.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+}
+
+TEST(Metrics, HistogramMerge)
+{
+    Histogram a, b;
+    a.observe(1.0);
+    b.observe(3.0);
+    b.observe(-2.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.min(), -2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+    Histogram empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 3u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 3u);
+}
+
+TEST(Metrics, RegistryHistograms)
+{
+    MetricsRegistry registry;
+    registry.observe("run.total_time", 1.5);
+    registry.observe("run.total_time", 2.5);
+    const Histogram h = registry.histogram("run.total_time");
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+    EXPECT_EQ(registry.histogram("absent").count(), 0u);
+    EXPECT_EQ(registry.histogramNames(),
+              std::vector<std::string>{"run.total_time"});
+}
+
+TEST(Metrics, ClearDropsEverything)
+{
+    MetricsRegistry registry;
+    registry.add("c");
+    registry.observe("h", 1.0);
+    registry.clear();
+    EXPECT_TRUE(registry.counterNames().empty());
+    EXPECT_TRUE(registry.histogramNames().empty());
+}
+
+TEST(Metrics, JsonExportShape)
+{
+    MetricsRegistry registry;
+    registry.add("runs.total", 3.0);
+    registry.observe("run.total_time", 4.0);
+    const std::string json = registry.toJson();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"runs.total\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"mean\": 4"), std::string::npos);
+}
+
+TEST(Metrics, CsvExportShape)
+{
+    MetricsRegistry registry;
+    registry.add("runs.total", 2.0);
+    registry.observe("run.total_time", 1.0);
+    const std::string csv = registry.toCsv();
+    EXPECT_EQ(csv.rfind("kind,name,count,sum,min,max,mean", 0), 0u);
+    EXPECT_NE(csv.find("counter,runs.total"), std::string::npos);
+    EXPECT_NE(csv.find("histogram,run.total_time,1,1"),
+              std::string::npos);
+}
+
+TEST(Metrics, ConcurrentAddsAreExact)
+{
+    MetricsRegistry registry;
+    constexpr int kThreads = 8, kAdds = 1000;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&registry] {
+            for (int i = 0; i < kAdds; ++i) {
+                registry.add("hits");
+                registry.observe("values", 1.0);
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    EXPECT_DOUBLE_EQ(registry.counter("hits"), kThreads * kAdds);
+    EXPECT_EQ(registry.histogram("values").count(),
+              static_cast<std::uint64_t>(kThreads * kAdds));
+}
+
+TEST(Metrics, GlobalIsASingleton)
+{
+    EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+TEST(Metrics, HarnessPublishesRunMetrics)
+{
+    auto &registry = MetricsRegistry::global();
+    registry.clear();
+
+    const Circuit c = circuits::makeBenchmark("bv", 8);
+    Machine m = harness::benchMachine(8);
+    ExecOptions o;
+    o.keepState = false;
+    const RunResult r = harness::runOn("qgpu", m, c, o);
+
+    EXPECT_DOUBLE_EQ(registry.counter("runs.total"), 1.0);
+    EXPECT_DOUBLE_EQ(registry.counter("runs.Q-GPU"), 1.0);
+    const Histogram total = registry.histogram("run.total_time");
+    ASSERT_EQ(total.count(), 1u);
+    EXPECT_DOUBLE_EQ(total.sum(), r.totalTime);
+    EXPECT_GT(registry.histogram("run.bytes_h2d").sum(), 0.0);
+    registry.clear();
+}
+
+} // namespace
+} // namespace qgpu

@@ -100,9 +100,48 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("hchain", "rqc", "qaoa", "gs", "hlf", "qft",
                       "iqp", "qf", "bv"));
 
+TEST(Qasm, CommentsOnlyProgramHasNoGates)
+{
+    const std::string text = "OPENQASM 2.0;\n// nothing here\n"
+                             "qreg q[4];\n// still nothing\n";
+    const Circuit c = fromQasm(text);
+    EXPECT_EQ(c.numQubits(), 4);
+    EXPECT_EQ(c.numGates(), 0u);
+}
+
+TEST(Qasm, EmitParseEmitIsAFixedPoint)
+{
+    // Text-level roundtrip: once through the parser, the emitted
+    // program must re-emit byte-identically (stable formatting and
+    // full-precision parameters).
+    for (const char *family : {"qft", "iqp", "hchain"}) {
+        const Circuit original =
+            circuits::makeBenchmark(family, 6);
+        const std::string emitted = toQasm(original);
+        const std::string again = toQasm(fromQasm(emitted));
+        // The parser does not keep the circuit name comment, so
+        // compare from the qreg line onward.
+        const auto tail = [](const std::string &s) {
+            return s.substr(s.find("qreg"));
+        };
+        EXPECT_EQ(tail(again), tail(emitted)) << family;
+    }
+}
+
 TEST(QasmDeath, MissingHeader)
 {
     EXPECT_DEATH((void)fromQasm("qreg q[2];\n"), "OPENQASM");
+}
+
+TEST(QasmDeath, EmptyProgram)
+{
+    EXPECT_DEATH((void)fromQasm(""), "expected identifier");
+}
+
+TEST(QasmDeath, HeaderOnlyHasNoRegister)
+{
+    EXPECT_DEATH((void)fromQasm("OPENQASM 2.0;\n// only comments\n"),
+                 "no qreg");
 }
 
 TEST(QasmDeath, UnknownGate)
@@ -110,6 +149,26 @@ TEST(QasmDeath, UnknownGate)
     EXPECT_DEATH(
         (void)fromQasm("OPENQASM 2.0;\nqreg q[1];\nbogus q[0];\n"),
         "unsupported gate");
+}
+
+TEST(QasmDeath, MalformedQubitIndex)
+{
+    EXPECT_DEATH(
+        (void)fromQasm("OPENQASM 2.0;\nqreg q[2];\nh q[x];\n"),
+        "expected integer");
+}
+
+TEST(QasmDeath, GateBeforeRegister)
+{
+    EXPECT_DEATH((void)fromQasm("OPENQASM 2.0;\nh q[0];\n"),
+                 "gate before qreg");
+}
+
+TEST(QasmDeath, UnknownRegisterName)
+{
+    EXPECT_DEATH(
+        (void)fromQasm("OPENQASM 2.0;\nqreg q[2];\nh r[0];\n"),
+        "unknown register");
 }
 
 } // namespace

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Cross-version differential harness: before any PR churns the
+ * engines' hot path, lock in that all six paper versions agree. For
+ * every circuit family and a sweep of register sizes, each version
+ * built by makeVersion must reproduce the Baseline engine's final
+ * state to 1e-12 and report the same applied-gate count — pruning,
+ * reordering, and compression are scheduling optimizations, never
+ * semantic ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+class VersionsDifferential
+    : public ::testing::TestWithParam<std::tuple<std::string, int>>
+{
+};
+
+TEST_P(VersionsDifferential, AllVersionsMatchBaseline)
+{
+    const auto &[family, n] = GetParam();
+    const Circuit circuit = circuits::makeBenchmark(family, n);
+
+    ExecOptions o;
+    o.targetChunks = 32;
+    o.codecSampleChunks = 0; // measure every chunk: exact sizes
+
+    // The reference run: Baseline on its own machine (engines share
+    // a machine's resource clocks, so each version gets a fresh one).
+    Machine base_machine = harness::benchMachine(n);
+    const RunResult base =
+        makeVersion(Version::Baseline, base_machine, o)->run(circuit);
+    ASSERT_EQ(base.state.numQubits(), n);
+    const double base_gates =
+        base.stats.get(statkeys::gatesApplied);
+    EXPECT_DOUBLE_EQ(base_gates,
+                     static_cast<double>(circuit.numGates()));
+
+    for (const Version version : allVersions()) {
+        if (version == Version::Baseline)
+            continue;
+        Machine machine = harness::benchMachine(n);
+        const RunResult r =
+            makeVersion(version, machine, o)->run(circuit);
+        EXPECT_LT(r.state.maxAbsDiff(base.state), 1e-12)
+            << versionName(version) << " diverged on " << family
+            << " at " << n << " qubits";
+        // Pruned/compressed runs still apply every gate exactly once.
+        EXPECT_DOUBLE_EQ(r.stats.get(statkeys::gatesApplied),
+                         base_gates)
+            << versionName(version) << " on " << family;
+        EXPECT_GT(r.totalTime, 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, VersionsDifferential,
+    ::testing::Combine(
+        ::testing::ValuesIn(circuits::benchmarkNames()),
+        ::testing::Values(6, 8, 10)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(VersionsDifferential, CoversEveryRegisteredFamily)
+{
+    // The parameter list above is generated from the registry, so a
+    // newly added family is differential-tested automatically; this
+    // guards the registry itself against silent shrinkage.
+    EXPECT_EQ(circuits::benchmarkNames().size(), 9u);
+}
+
+} // namespace
+} // namespace qgpu
