@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the host parallel execution
+ * layer: chunked gate application (Case 1 diagonal, Case 2 paired
+ * chunks) and the GFC codec, swept over worker counts. The speedup of
+ * the N-thread rows over the 1-thread rows is the headline number for
+ * the thread-pool layer; results are bit-identical across rows by
+ * construction.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "circuits/circuits.hh"
+#include "common/parallel.hh"
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "compress/gfc.hh"
+#include "statevec/apply.hh"
+#include "statevec/state_vector.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+/** Register thread counts 1, 2, 4, and hardware (deduplicated). */
+void
+threadArgs(benchmark::internal::Benchmark *b)
+{
+    const int hw = ThreadPool::hardwareThreads();
+    int prev = 0;
+    for (int t : {1, 2, 4, hw}) {
+        if (t > prev) {
+            b->Arg(t);
+            prev = t;
+        }
+    }
+}
+
+constexpr int kQubits = 18;
+constexpr int kChunkBits = kQubits - 8; // 256 chunks
+
+void
+BM_ChunkedApply1q(benchmark::State &state)
+{
+    setSimThreads(static_cast<int>(state.range(0)));
+    ChunkedStateVector sv(kQubits, kChunkBits);
+    const Gate gate(GateKind::H, {kQubits - 1}); // Case 2: 128 pairs
+    for (auto _ : state)
+        applyGateChunked(sv, gate);
+    setSimThreads(1);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        (std::int64_t{1} << kQubits));
+}
+BENCHMARK(BM_ChunkedApply1q)->Apply(threadArgs)->UseRealTime();
+
+void
+BM_ChunkedApply2q(benchmark::State &state)
+{
+    setSimThreads(static_cast<int>(state.range(0)));
+    ChunkedStateVector sv(kQubits, kChunkBits);
+    // Both targets above the chunk boundary: 4-chunk groups.
+    const Gate gate(GateKind::CX, {kQubits - 1, kQubits - 2});
+    for (auto _ : state)
+        applyGateChunked(sv, gate);
+    setSimThreads(1);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        (std::int64_t{1} << kQubits));
+}
+BENCHMARK(BM_ChunkedApply2q)->Apply(threadArgs)->UseRealTime();
+
+void
+BM_ChunkedApplyDiag(benchmark::State &state)
+{
+    setSimThreads(static_cast<int>(state.range(0)));
+    ChunkedStateVector sv(kQubits, kChunkBits);
+    // Diagonal: Case 1, every chunk an independent work item.
+    const Gate gate(GateKind::RZZ, {kQubits - 1, 0}, {0.37});
+    for (auto _ : state)
+        applyGateChunked(sv, gate);
+    setSimThreads(1);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        (std::int64_t{1} << kQubits));
+}
+BENCHMARK(BM_ChunkedApplyDiag)->Apply(threadArgs)->UseRealTime();
+
+void
+BM_FlatApply1q(benchmark::State &state)
+{
+    setSimThreads(static_cast<int>(state.range(0)));
+    StateVector sv(kQubits);
+    const Gate gate(GateKind::H, {kQubits - 1});
+    for (auto _ : state)
+        sv.apply(gate);
+    setSimThreads(1);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        (std::int64_t{1} << kQubits));
+}
+BENCHMARK(BM_FlatApply1q)->Apply(threadArgs)->UseRealTime();
+
+std::vector<double>
+statePayload(std::size_t count)
+{
+    const StateVector s =
+        simulateReference(circuits::graphState(16));
+    std::vector<double> data(count);
+    for (std::size_t i = 0; i < count; ++i)
+        data[i] = reinterpret_cast<const double *>(
+            s.amplitudes().data())[i % (2 * s.size())];
+    return data;
+}
+
+void
+BM_GfcCompressThreads(benchmark::State &state)
+{
+    setSimThreads(static_cast<int>(state.range(0)));
+    GfcCodec codec(32, 1); // one segment: internal range parallelism
+    const auto data = statePayload(std::size_t{1} << 20);
+    for (auto _ : state) {
+        const CompressedBlock block =
+            codec.compress(data.data(), data.size());
+        benchmark::DoNotOptimize(block.bytes.data());
+    }
+    setSimThreads(1);
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(data.size() * sizeof(double)));
+}
+BENCHMARK(BM_GfcCompressThreads)->Apply(threadArgs)->UseRealTime();
+
+void
+BM_GfcDecompressThreads(benchmark::State &state)
+{
+    setSimThreads(static_cast<int>(state.range(0)));
+    GfcCodec codec(32, 1);
+    const auto data = statePayload(std::size_t{1} << 20);
+    const CompressedBlock block =
+        codec.compress(data.data(), data.size());
+    std::vector<double> out(data.size());
+    for (auto _ : state) {
+        codec.decompress(block, out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    setSimThreads(1);
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(data.size() * sizeof(double)));
+}
+BENCHMARK(BM_GfcDecompressThreads)->Apply(threadArgs)->UseRealTime();
+
+void
+BM_GfcBatchCompress(benchmark::State &state)
+{
+    setSimThreads(static_cast<int>(state.range(0)));
+    GfcCodec codec; // 32 segments per block, blocks fan out too
+    const auto data = statePayload(std::size_t{1} << 20);
+    constexpr std::size_t kBlocks = 16;
+    const std::size_t per = data.size() / kBlocks;
+    std::vector<DoubleRun> runs;
+    for (std::size_t b = 0; b < kBlocks; ++b)
+        runs.push_back({data.data() + b * per, per});
+    for (auto _ : state) {
+        const auto blocks = compressBatch(codec, runs);
+        benchmark::DoNotOptimize(blocks.data());
+    }
+    setSimThreads(1);
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(data.size() * sizeof(double)));
+}
+BENCHMARK(BM_GfcBatchCompress)->Apply(threadArgs)->UseRealTime();
+
+} // namespace
+} // namespace qgpu
+
+BENCHMARK_MAIN();

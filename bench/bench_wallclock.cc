@@ -1,0 +1,166 @@
+/**
+ * @file
+ * bench_wallclock - real (wall-clock) timing of the chunked
+ * functional simulation across host thread counts, emitted as JSON.
+ * Unlike the figure benches, which report the machine model's virtual
+ * seconds, this measures the simulator itself: the speedup of the
+ * N-thread entries over the 1-thread entries is the thread-pool
+ * layer's scaling on the current machine.
+ *
+ * Usage: bench_wallclock [output.json] [--qubits n] [--repeats r]
+ *                        [--threads a,b,...]
+ *
+ * Default thread counts are 1 and max(2, hardware_concurrency), so
+ * the JSON always contains a serial and a parallel entry. Results are
+ * bit-identical across thread counts (asserted per run).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "circuits/circuits.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/parallel.hh"
+#include "common/thread_pool.hh"
+#include "statevec/apply.hh"
+
+using namespace qgpu;
+
+namespace
+{
+
+struct Entry
+{
+    std::string family;
+    int qubits;
+    int threads;
+    double seconds; // min over repeats
+};
+
+/** Min-over-repeats wall seconds for one (family, threads) cell. */
+double
+timeFamily(const Circuit &circuit, int chunk_bits, int threads,
+           int repeats, double &checksum)
+{
+    setSimThreads(threads);
+    double best = 0.0;
+    for (int r = 0; r < repeats; ++r) {
+        ChunkedStateVector state(circuit.numQubits(), chunk_bits);
+        const WallClock wall;
+        applyCircuitChunked(state, circuit);
+        const double elapsed = wall.seconds();
+        if (r == 0 || elapsed < best)
+            best = elapsed;
+        double norm = 0.0;
+        for (Index c = 0; c < state.numChunks(); ++c)
+            for (const Amp &a : state.chunk(c))
+                norm += std::norm(a);
+        checksum = norm;
+    }
+    setSimThreads(1);
+    return best;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_wallclock.json";
+    int qubits = 18;
+    int repeats = 3;
+    const int hw = ThreadPool::hardwareThreads();
+    std::vector<int> threads = {1, std::max(2, hw)};
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                QGPU_FATAL("missing value for ", flag);
+            return argv[++i];
+        };
+        if (flag == "--qubits") {
+            qubits = std::atoi(value().c_str());
+        } else if (flag == "--repeats") {
+            repeats = std::atoi(value().c_str());
+        } else if (flag == "--threads") {
+            threads.clear();
+            std::string list = value();
+            for (char *tok = std::strtok(list.data(), ",");
+                 tok != nullptr; tok = std::strtok(nullptr, ","))
+                threads.push_back(std::atoi(tok));
+        } else if (!flag.empty() && flag[0] != '-') {
+            out_path = flag;
+        } else {
+            QGPU_FATAL("unknown flag '", flag, "'");
+        }
+    }
+    if (qubits < 10 || repeats < 1 || threads.empty())
+        QGPU_FATAL("bad arguments");
+
+    const std::vector<std::string> families = {"qft", "gs", "hchain",
+                                               "iqp"};
+    const int chunk_bits = std::max(1, qubits - 8);
+
+    std::printf("bench_wallclock: %d qubits, chunks of 2^%d amps, "
+                "%d repeats, hardware threads: %d\n",
+                qubits, chunk_bits, repeats, hw);
+
+    std::vector<Entry> entries;
+    for (const auto &family : families) {
+        const Circuit circuit =
+            circuits::makeBenchmark(family, qubits);
+        double serial_checksum = 0.0;
+        for (std::size_t t = 0; t < threads.size(); ++t) {
+            double checksum = 0.0;
+            const double secs =
+                timeFamily(circuit, chunk_bits, threads[t], repeats,
+                           checksum);
+            if (t == 0) {
+                serial_checksum = checksum;
+            } else if (checksum != serial_checksum) {
+                QGPU_FATAL(family, ": norm ", checksum, " at ",
+                           threads[t], " threads != ",
+                           serial_checksum, " at ", threads[0]);
+            }
+            if (t == 0) {
+                std::printf("  %-8s %2d threads: %8.4f s\n",
+                            family.c_str(), threads[t], secs);
+            } else {
+                const double base =
+                    entries[entries.size() - t].seconds;
+                std::printf("  %-8s %2d threads: %8.4f s  "
+                            "(x%.2f vs %d-thread)\n",
+                            family.c_str(), threads[t], secs,
+                            base / secs, threads[0]);
+            }
+            entries.push_back({family, qubits, threads[t], secs});
+        }
+    }
+
+    std::ofstream out(out_path);
+    if (!out)
+        QGPU_FATAL("cannot write '", out_path, "'");
+    out.precision(9);
+    out << "{\"bench\": \"wallclock\", \"qubits\": " << qubits
+        << ", \"chunk_bits\": " << chunk_bits
+        << ", \"repeats\": " << repeats
+        << ", \"hardware_threads\": " << hw << ",\n \"entries\": [";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto &e = entries[i];
+        out << (i == 0 ? "" : ",") << "\n  {\"family\": \""
+            << e.family << "\", \"qubits\": " << e.qubits
+            << ", \"threads\": " << e.threads
+            << ", \"seconds\": " << e.seconds << "}";
+    }
+    out << "\n ]}\n";
+    std::printf("wrote %s (%zu entries)\n", out_path.c_str(),
+                entries.size());
+    return 0;
+}

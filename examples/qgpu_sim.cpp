@@ -19,6 +19,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 #include "harness/experiment.hh"
 #include "qc/qasm.hh"
 #include "statevec/measure.hh"
@@ -40,6 +41,7 @@ struct Args
     double device_fraction = 1.0 / 16.0;
     std::uint64_t shots = 0;
     std::uint64_t seed = 2026;
+    int threads = -1; // -1: keep QGPU_SIM_THREADS / default
     bool timeline = false;
     bool stats = false;
     std::string trace_path;
@@ -67,6 +69,9 @@ usage(const char *argv0)
         "(default 34)\n"
         "  --shots <k>           sample k measurement outcomes\n"
         "  --seed <s>            sampling seed\n"
+        "  --threads <k>         host simulation threads (0 = all "
+        "cores;\n"
+        "                        default: $QGPU_SIM_THREADS or 1)\n"
         "  --timeline            print the ASCII execution timeline\n"
         "  --stats               print every engine counter\n"
         "  --trace <file>        write a JSON execution trace "
@@ -122,6 +127,8 @@ parse(int argc, char **argv)
             args.shots = std::strtoull(value().c_str(), nullptr, 10);
         else if (flag == "--seed")
             args.seed = std::strtoull(value().c_str(), nullptr, 10);
+        else if (flag == "--threads")
+            args.threads = std::atoi(value().c_str());
         else if (flag == "--timeline")
             args.timeline = true;
         else if (flag == "--stats")
@@ -156,6 +163,8 @@ int
 main(int argc, char **argv)
 {
     const Args args = parse(argc, argv);
+    if (args.threads >= 0)
+        setSimThreads(args.threads);
     const Circuit circuit = loadCircuit(args);
 
     std::printf("circuit: %s (%d qubits, %zu gates, depth %d)\n",
@@ -185,6 +194,9 @@ main(int argc, char **argv)
     std::printf("virtual time: %.3f s (at %d-qubit-equivalent "
                 "scale)\n",
                 result.totalTime, args.paper_qubits);
+    std::printf("wall time:    %.3f s (%d host thread%s)\n",
+                result.wallSeconds, simThreads(),
+                simThreads() == 1 ? "" : "s");
     std::printf("state norm:   %.12f\n", result.state.norm());
 
     if (args.shots > 0) {

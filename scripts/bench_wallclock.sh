@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Build (if needed) and run the wall-clock scaling bench, producing
+# BENCH_wallclock.json in the repo root: real seconds per circuit
+# family at 1 host thread and at max(2, hardware) threads, min over
+# repeats. See bench/bench_wallclock.cc for the JSON schema.
+#
+# Usage: scripts/bench_wallclock.sh [extra bench_wallclock args...]
+#   BUILD_DIR=...  override the build directory (default build)
+#   OUT=...        override the output path (default BENCH_wallclock.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_wallclock.json}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_wallclock \
+    >/dev/null
+
+"$BUILD_DIR/bench/bench_wallclock" "$OUT" "$@"

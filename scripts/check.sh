@@ -3,7 +3,10 @@
 # test suite. This is the gate every PR must keep green (ROADMAP
 # "Tier-1 verify").
 #
-# Usage: scripts/check.sh
+# Usage: scripts/check.sh [--tsan]
+#   --tsan         additionally build with -DQGPU_SANITIZE=thread (in
+#                  its own build-tsan directory) and run the
+#                  parallelism-focused tests under ThreadSanitizer
 #   BUILD_DIR=...  override the build directory (default build-check,
 #                  kept separate from the default `build` so -Werror
 #                  does not pollute incremental developer builds)
@@ -14,6 +17,27 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build-check}"
 JOBS="${JOBS:-$(nproc)}"
 
+RUN_TSAN=0
+for arg in "$@"; do
+    case "$arg" in
+        --tsan) RUN_TSAN=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
 cmake -B "$BUILD_DIR" -S . -DCMAKE_CXX_FLAGS="-Werror"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS"
+
+if [ "$RUN_TSAN" -eq 1 ]; then
+    TSAN_DIR="${TSAN_DIR:-build-tsan}"
+    echo "== ThreadSanitizer pass ($TSAN_DIR) =="
+    cmake -B "$TSAN_DIR" -S . -DQGPU_SANITIZE=thread
+    cmake --build "$TSAN_DIR" -j "$JOBS" --target test_common \
+        test_statevec test_compress test_thread_determinism
+    # The parallelism-focused suites: the pool itself, the pool-backed
+    # parallelFor / threaded apply, and the cross-thread determinism +
+    # stress tests.
+    ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
+        -R 'ThreadPool|TaskGroup|SimThreads|ParallelFor|ThreadedApply|Determinism|Stress'
+fi

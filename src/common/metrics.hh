@@ -13,11 +13,18 @@
  *   run.total_time          histogram of virtual run times (s)
  *   run.bytes_h2d           histogram of host-to-device bytes
  *   run.bytes_d2h           histogram of device-to-host bytes
+ *
+ * Wall-clock histograms (real seconds, next to the virtual times, so
+ * host-parallelism speedups are measurable in-process):
+ *   run.wall_time           histogram of engine-run wall seconds
+ *   apply.wall_time         histogram of per-gate chunked/flat apply
+ *                           wall seconds
  */
 
 #ifndef QGPU_COMMON_METRICS_HH
 #define QGPU_COMMON_METRICS_HH
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -26,6 +33,32 @@
 
 namespace qgpu
 {
+
+/**
+ * Monotonic wall-clock stopwatch, running from construction.
+ * Complements the virtual VTime clocks: every hot path that got a
+ * real parallel execution layer reports real seconds through one of
+ * these into the wall-time histograms above.
+ */
+class WallClock
+{
+  public:
+    WallClock() : start_(std::chrono::steady_clock::now()) {}
+
+    /** Seconds elapsed since construction (or the last restart). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    void restart() { start_ = std::chrono::steady_clock::now(); }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
 
 /** Streaming summary of observed values (no sample retention). */
 class Histogram

@@ -1,17 +1,45 @@
 #include "common/parallel.hh"
 
 #include <algorithm>
-#include <thread>
-#include <vector>
+#include <cstdlib>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace qgpu
 {
 
 namespace
 {
-int global_sim_threads = 1;
+
+int
+resolveThreads(int threads)
+{
+    return threads == 0 ? ThreadPool::hardwareThreads() : threads;
+}
+
+int
+initialSimThreads()
+{
+    const char *env = std::getenv("QGPU_SIM_THREADS");
+    if (!env || !*env)
+        return 1;
+    const int value = std::atoi(env);
+    if (value < 0 || value > ThreadPool::kMaxWorkers) {
+        QGPU_WARN("ignoring QGPU_SIM_THREADS='", env,
+                  "' (want 0..", ThreadPool::kMaxWorkers, ")");
+        return 1;
+    }
+    return resolveThreads(value);
+}
+
+int &
+simThreadsRef()
+{
+    static int threads = initialSimThreads();
+    return threads;
+}
+
 } // namespace
 
 void
@@ -25,42 +53,44 @@ parallelFor(std::uint64_t begin, std::uint64_t end, int threads,
     const std::uint64_t count = end - begin;
     const int usable = std::min<std::uint64_t>(
         threads <= 1 ? 1 : threads,
-        std::max<std::uint64_t>(1, count / min_grain));
+        std::max<std::uint64_t>(1, count / std::max<std::uint64_t>(
+                                           1, min_grain)));
     if (usable <= 1) {
         body(begin, end);
         return;
     }
 
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<std::size_t>(usable) - 1);
+    auto &pool = ThreadPool::global();
+    pool.ensureWorkers(usable - 1);
     const std::uint64_t per =
         (count + static_cast<std::uint64_t>(usable) - 1) /
         static_cast<std::uint64_t>(usable);
-    for (int w = 1; w < usable; ++w) {
+    TaskGroup group(pool);
+    for (int w = 0; w < usable; ++w) {
         const std::uint64_t lo =
             begin + per * static_cast<std::uint64_t>(w);
         const std::uint64_t hi = std::min(end, lo + per);
         if (lo >= hi)
             break;
-        workers.emplace_back([&body, lo, hi] { body(lo, hi); });
+        group.run([&body, lo, hi] { body(lo, hi); });
     }
-    body(begin, std::min(end, begin + per));
-    for (auto &worker : workers)
-        worker.join();
+    // The calling thread drains queued sub-ranges itself, so the
+    // first range typically runs right here, as before the pool.
+    group.wait();
 }
 
 int
 simThreads()
 {
-    return global_sim_threads;
+    return simThreadsRef();
 }
 
 void
 setSimThreads(int threads)
 {
-    if (threads < 1 || threads > 256)
+    if (threads < 0 || threads > ThreadPool::kMaxWorkers)
         QGPU_FATAL("bad thread count ", threads);
-    global_sim_threads = threads;
+    simThreadsRef() = resolveThreads(threads);
 }
 
 } // namespace qgpu

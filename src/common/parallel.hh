@@ -1,8 +1,16 @@
 /**
  * @file
- * Minimal data-parallel helper for host-side state-vector passes: an
- * index range split across worker threads. This is the OpenMP-style
- * parallelism of the CPU comparators, kept dependency-free.
+ * Data-parallel helpers for host-side state-vector passes: an index
+ * range split across the persistent process-wide thread pool (see
+ * common/thread_pool.hh). This is the OpenMP-style parallelism of the
+ * CPU comparators, kept dependency-free.
+ *
+ * Thread-count resolution, in priority order:
+ *  1. setSimThreads(k) - explicit programmatic override;
+ *  2. the QGPU_SIM_THREADS environment variable, read once on first
+ *     use (honored by qgpu_sim, the harness, and every bench binary);
+ *  3. the default of 1 (sequential, deterministic-by-default).
+ * A value of 0 in either channel means "all hardware threads".
  */
 
 #ifndef QGPU_COMMON_PARALLEL_HH
@@ -15,9 +23,15 @@ namespace qgpu
 {
 
 /**
- * Run @p body over [begin, end) split into contiguous sub-ranges, one
- * per worker. @p threads <= 1 (or a range smaller than @p min_grain)
- * runs inline on the calling thread.
+ * Run @p body over [begin, end) split into contiguous sub-ranges
+ * executed concurrently on the shared thread pool. @p threads <= 1
+ * (or a range smaller than @p min_grain) runs inline on the calling
+ * thread.
+ *
+ * If a body invocation throws, every other sub-range still runs to
+ * completion and the first exception is rethrown on the calling
+ * thread. Safe to call concurrently from several threads and to nest
+ * (a pool task may itself call parallelFor).
  *
  * @param body callable taking (range_begin, range_end).
  */
@@ -26,10 +40,16 @@ void parallelFor(std::uint64_t begin, std::uint64_t end, int threads,
                                           std::uint64_t)> &body,
                  std::uint64_t min_grain = 1024);
 
-/** Worker count used by StateVector::apply (default 1). */
+/**
+ * Worker count used by the hot paths (flat apply, chunked group
+ * fan-out, GFC codec). Defaults to 1 unless QGPU_SIM_THREADS is set.
+ */
 int simThreads();
 
-/** Set the worker count for subsequent host-side applies. */
+/**
+ * Set the worker count for subsequent host-side passes. 0 resolves
+ * to the hardware thread count; values outside [0, 256] are fatal.
+ */
 void setSimThreads(int threads);
 
 } // namespace qgpu

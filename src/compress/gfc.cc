@@ -1,11 +1,13 @@
 #include "compress/gfc.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cstring>
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace qgpu
 {
@@ -53,6 +55,264 @@ residualOf(std::uint64_t cur, std::uint64_t prev)
     return {false, diff};
 }
 
+/**
+ * The encode-side residual of element @p i of a segment. Lane j of
+ * micro-chunk k chains to lane j of micro-chunk k-1, i.e. element
+ * i - warp: the residual is a pure function of two inputs, which is
+ * what makes the codec parallel over element ranges.
+ */
+Residual
+elementResidual(const double *seg, std::uint64_t i, int warp)
+{
+    const std::uint64_t cur = toBits(seg[i]);
+    const std::uint64_t prev =
+        i >= static_cast<std::uint64_t>(warp)
+            ? toBits(seg[i - static_cast<std::uint64_t>(warp)])
+            : 0;
+    return residualOf(cur, prev);
+}
+
+/** Payload bytes of elements [lo, hi) of a segment. */
+std::uint64_t
+payloadBytesRange(const double *seg, std::uint64_t lo,
+                  std::uint64_t hi, int warp)
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t i = lo; i < hi; ++i) {
+        const Residual r = elementResidual(seg, i, warp);
+        total += static_cast<std::uint64_t>(
+            8 - leadingZeroBytes(r.magnitude));
+    }
+    return total;
+}
+
+/** Minimum elements per concurrent codec range. */
+constexpr std::uint64_t kCodecGrain = 1 << 14;
+
+/**
+ * Split [0, m) into at most @p threads ranges on even element
+ * boundaries (two elements share a nibble byte, so an even split
+ * keeps every output byte owned by exactly one range).
+ */
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+evenRanges(std::uint64_t m, int threads)
+{
+    const std::uint64_t want =
+        std::max<std::uint64_t>(1, m / kCodecGrain);
+    const int parts = static_cast<int>(std::min<std::uint64_t>(
+        threads < 1 ? 1 : threads, want));
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+    ranges.reserve(parts);
+    std::uint64_t lo = 0;
+    for (int r = 0; r < parts; ++r) {
+        std::uint64_t hi =
+            r + 1 == parts
+                ? m
+                : (m * static_cast<std::uint64_t>(r + 1) /
+                   static_cast<std::uint64_t>(parts)) &
+                      ~std::uint64_t{1};
+        hi = std::max(hi, lo);
+        ranges.emplace_back(lo, hi);
+        lo = hi;
+    }
+    ranges.back().second = m;
+    return ranges;
+}
+
+/**
+ * Encode elements [lo, hi) of a segment: nibbles into the shared
+ * nibble area (disjoint bytes per even-aligned range), payload bytes
+ * starting at @p payload.
+ */
+void
+encodeRange(const double *seg, std::uint64_t lo, std::uint64_t hi,
+            int warp, std::uint8_t *nib_area, std::uint8_t *payload)
+{
+    for (std::uint64_t i = lo; i < hi; ++i) {
+        const Residual r = elementResidual(seg, i, warp);
+        const int lzb = leadingZeroBytes(r.magnitude);
+        const std::uint8_t nib =
+            static_cast<std::uint8_t>((r.negative ? 8 : 0) | lzb);
+        if (i % 2 == 0)
+            nib_area[i / 2] = nib;
+        else
+            nib_area[i / 2] |= static_cast<std::uint8_t>(nib << 4);
+
+        const int bytes = 8 - lzb;
+        for (int b = 0; b < bytes; ++b)
+            *payload++ =
+                static_cast<std::uint8_t>(r.magnitude >> (8 * b));
+    }
+}
+
+/**
+ * Encode one whole segment of @p m doubles into @p dst (layout:
+ * (m+1)/2 nibble bytes, then payload). @p dst must hold exactly the
+ * segment's compressed size; @p threads > 1 fans element ranges out
+ * across the pool with output bit-identical to the serial order.
+ */
+void
+encodeSegment(const double *seg, std::uint64_t m, int warp,
+              int threads, std::uint8_t *dst)
+{
+    const std::uint64_t nib_len = (m + 1) / 2;
+    const auto ranges = evenRanges(m, threads);
+    if (ranges.size() == 1) {
+        encodeRange(seg, 0, m, warp, dst, dst + nib_len);
+        return;
+    }
+    // Pass 1: payload size of each range; prefix-sum the offsets.
+    std::vector<std::uint64_t> offset(ranges.size() + 1, 0);
+    parallelFor(
+        0, ranges.size(), threads,
+        [&](std::uint64_t lo, std::uint64_t hi) {
+            for (std::uint64_t r = lo; r < hi; ++r)
+                offset[r + 1] = payloadBytesRange(
+                    seg, ranges[r].first, ranges[r].second, warp);
+        },
+        1);
+    for (std::size_t r = 1; r <= ranges.size(); ++r)
+        offset[r] += offset[r - 1];
+    // Pass 2: each range encodes into its own slice.
+    parallelFor(
+        0, ranges.size(), threads,
+        [&](std::uint64_t lo, std::uint64_t hi) {
+            for (std::uint64_t r = lo; r < hi; ++r)
+                encodeRange(seg, ranges[r].first, ranges[r].second,
+                            warp, dst, dst + nib_len + offset[r]);
+        },
+        1);
+}
+
+/** Nibble of element @p i read back from the nibble area. */
+std::uint8_t
+nibbleAt(const std::uint8_t *nib_area, std::uint64_t i)
+{
+    const std::uint8_t packed = nib_area[i / 2];
+    return i % 2 == 0 ? (packed & 0x0f)
+                      : static_cast<std::uint8_t>(packed >> 4);
+}
+
+/**
+ * Decode one segment of @p m doubles from @p src (sized @p seg_bytes,
+ * validated against the nibble-derived layout) into @p out.
+ *
+ * The parallel path reconstructs each lane's running value with a
+ * prefix combine: residual addends are mod-2^64 integers, so partial
+ * per-range, per-lane sums compose exactly, and every range can
+ * decode independently from its combined lane start state.
+ */
+void
+decodeSegment(const std::uint8_t *src, std::uint64_t seg_bytes,
+              std::uint64_t m, int warp, int threads, double *out)
+{
+    const std::uint64_t nib_len = (m + 1) / 2;
+    if (seg_bytes < nib_len)
+        QGPU_PANIC("GFC segment of ", m, " doubles shorter (",
+                   seg_bytes, " bytes) than its nibble area");
+    const std::uint8_t *payload_area = src + nib_len;
+    const std::uint64_t payload_len = seg_bytes - nib_len;
+
+    const auto ranges = evenRanges(m, threads);
+    const std::size_t num_ranges = ranges.size();
+    const std::uint64_t uwarp = static_cast<std::uint64_t>(warp);
+
+    // Payload offset of each range, from the nibble area alone.
+    std::vector<std::uint64_t> offset(num_ranges + 1, 0);
+    parallelFor(
+        0, num_ranges, threads,
+        [&](std::uint64_t lo, std::uint64_t hi) {
+            for (std::uint64_t r = lo; r < hi; ++r) {
+                std::uint64_t total = 0;
+                for (std::uint64_t i = ranges[r].first;
+                     i < ranges[r].second; ++i)
+                    total += static_cast<std::uint64_t>(
+                        8 - (nibbleAt(src, i) & 0x7));
+                offset[r + 1] = total;
+            }
+        },
+        1);
+    for (std::size_t r = 1; r <= num_ranges; ++r)
+        offset[r] += offset[r - 1];
+    if (offset[num_ranges] != payload_len)
+        QGPU_PANIC("GFC segment nibbles imply ", offset[num_ranges],
+                   " payload bytes, header says ", payload_len);
+
+    // Pass 2: decode each range's signed residual addends (stashed
+    // in out as raw bit patterns) and its per-lane addend sums.
+    std::vector<std::uint64_t> lane_sums(
+        num_ranges * static_cast<std::size_t>(warp), 0);
+    parallelFor(
+        0, num_ranges, threads,
+        [&](std::uint64_t lo, std::uint64_t hi) {
+            for (std::uint64_t r = lo; r < hi; ++r) {
+                const std::uint8_t *payload =
+                    payload_area + offset[r];
+                std::uint64_t *lanes =
+                    lane_sums.data() +
+                    r * static_cast<std::uint64_t>(warp);
+                for (std::uint64_t i = ranges[r].first;
+                     i < ranges[r].second; ++i) {
+                    const std::uint8_t nib = nibbleAt(src, i);
+                    const int bytes = 8 - (nib & 0x7);
+                    std::uint64_t mag = 0;
+                    for (int b = 0; b < bytes; ++b)
+                        mag |= static_cast<std::uint64_t>(*payload++)
+                               << (8 * b);
+                    const std::uint64_t addend =
+                        (nib & 0x8) ? ~mag + 1 : mag; // mod 2^64
+                    lanes[i % uwarp] += addend;
+                    out[i] = fromBits(addend);
+                }
+            }
+        },
+        1);
+
+    // Serial combine: lane start states per range.
+    std::vector<std::uint64_t> lane_base(lane_sums.size(), 0);
+    for (std::size_t r = 1; r < num_ranges; ++r)
+        for (int l = 0; l < warp; ++l)
+            lane_base[r * static_cast<std::size_t>(warp) + l] =
+                lane_base[(r - 1) * static_cast<std::size_t>(warp) +
+                          l] +
+                lane_sums[(r - 1) * static_cast<std::size_t>(warp) +
+                          l];
+
+    // Pass 3: turn addends into values from each lane's start state.
+    parallelFor(
+        0, num_ranges, threads,
+        [&](std::uint64_t lo, std::uint64_t hi) {
+            std::vector<std::uint64_t> lane(
+                static_cast<std::size_t>(warp));
+            for (std::uint64_t r = lo; r < hi; ++r) {
+                std::copy_n(lane_base.data() +
+                                r * static_cast<std::uint64_t>(warp),
+                            warp, lane.begin());
+                for (std::uint64_t i = ranges[r].first;
+                     i < ranges[r].second; ++i) {
+                    std::uint64_t &v = lane[i % uwarp];
+                    v += toBits(out[i]); // addend, mod 2^64
+                    out[i] = fromBits(v);
+                }
+            }
+        },
+        1);
+}
+
+void
+putU32(std::uint8_t *dst, std::uint32_t v)
+{
+    for (int b = 0; b < 4; ++b)
+        dst[b] = static_cast<std::uint8_t>(v >> (8 * b));
+}
+
+void
+putU64(std::uint8_t *dst, std::uint64_t v)
+{
+    for (int b = 0; b < 8; ++b)
+        dst[b] = static_cast<std::uint8_t>(v >> (8 * b));
+}
+
 } // namespace
 
 GfcCodec::GfcCodec(int warp_size, int segments)
@@ -74,64 +334,74 @@ GfcCodec::compress(const double *data, std::uint64_t count) const
     const int num_segs =
         per == 0 ? 0
                  : static_cast<int>(bits::ceilDiv(count, per));
+    const int threads = simThreads();
 
-    auto &out = block.bytes;
-    auto put_u32 = [&out](std::uint32_t v) {
-        for (int b = 0; b < 4; ++b)
-            out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
-    };
-    auto put_u64 = [&out](std::uint64_t v) {
-        for (int b = 0; b < 8; ++b)
-            out.push_back(static_cast<std::uint8_t>(v >> (8 * b)));
-    };
-
-    put_u64(count);
-    put_u32(static_cast<std::uint32_t>(num_segs));
-    const std::size_t seglen_at = out.size();
-    for (int s = 0; s < num_segs; ++s)
-        put_u32(0); // patched below
-
-    for (int s = 0; s < num_segs; ++s) {
+    // Pass 1: exact size of every segment, so the stream is written
+    // in place (parallel across segments; a lone segment
+    // parallelizes internally instead).
+    std::vector<std::uint64_t> seg_bytes(num_segs, 0);
+    const auto seg_span = [&](int s) {
         const std::uint64_t lo = static_cast<std::uint64_t>(s) * per;
-        const std::uint64_t hi = std::min(count, lo + per);
-        const std::uint64_t m = hi - lo;
-        const std::size_t seg_start = out.size();
+        return std::pair<std::uint64_t, std::uint64_t>{
+            lo, std::min(count, lo + per)};
+    };
+    const int outer = num_segs > 1 ? threads : 1;
+    const int inner = num_segs > 1 ? 1 : threads;
+    parallelFor(
+        0, num_segs, outer,
+        [&](std::uint64_t lo, std::uint64_t hi) {
+            for (std::uint64_t s = lo; s < hi; ++s) {
+                const auto [a, b] = seg_span(static_cast<int>(s));
+                const std::uint64_t m = b - a;
+                std::uint64_t payload = 0;
+                if (inner > 1) {
+                    std::atomic<std::uint64_t> sum{0};
+                    parallelFor(
+                        a, b, inner,
+                        [&](std::uint64_t l, std::uint64_t h) {
+                            sum.fetch_add(
+                                payloadBytesRange(data, l, h,
+                                                  warpSize_),
+                                std::memory_order_relaxed);
+                        },
+                        kCodecGrain);
+                    payload = sum.load();
+                } else {
+                    payload =
+                        payloadBytesRange(data + a, 0, m, warpSize_);
+                }
+                seg_bytes[s] = (m + 1) / 2 + payload;
+            }
+        },
+        1);
 
-        // Nibble area first (packed two per byte), then payloads.
-        const std::size_t nib_at = out.size();
-        out.resize(out.size() + (m + 1) / 2, 0);
+    const std::uint64_t header = headerBytes(count);
+    std::uint64_t total = header;
+    for (int s = 0; s < num_segs; ++s)
+        total += seg_bytes[s];
+    auto &out = block.bytes;
+    out.assign(total, 0);
 
-        std::vector<std::uint64_t> prev_lane(
-            static_cast<std::size_t>(warpSize_), 0);
-        for (std::uint64_t i = 0; i < m; ++i) {
-            const int lane = static_cast<int>(i %
-                static_cast<std::uint64_t>(warpSize_));
-            const std::uint64_t cur = toBits(data[lo + i]);
-            const Residual r = residualOf(cur, prev_lane[lane]);
-            prev_lane[lane] = cur;
-
-            const int lzb = leadingZeroBytes(r.magnitude);
-            const std::uint8_t nib = static_cast<std::uint8_t>(
-                (r.negative ? 8 : 0) | lzb);
-            if (i % 2 == 0)
-                out[nib_at + i / 2] = nib;
-            else
-                out[nib_at + i / 2] |= static_cast<std::uint8_t>(
-                    nib << 4);
-
-            const int payload = 8 - lzb;
-            for (int b = 0; b < payload; ++b)
-                out.push_back(static_cast<std::uint8_t>(
-                    r.magnitude >> (8 * b)));
-        }
-
-        const std::uint32_t seg_bytes =
-            static_cast<std::uint32_t>(out.size() - seg_start);
-        for (int b = 0; b < 4; ++b)
-            out[seglen_at + static_cast<std::size_t>(s) * 4 +
-                static_cast<std::size_t>(b)] =
-                static_cast<std::uint8_t>(seg_bytes >> (8 * b));
+    putU64(out.data(), count);
+    putU32(out.data() + 8, static_cast<std::uint32_t>(num_segs));
+    std::vector<std::uint64_t> seg_start(num_segs + 1, header);
+    for (int s = 0; s < num_segs; ++s) {
+        putU32(out.data() + 12 + static_cast<std::size_t>(s) * 4,
+               static_cast<std::uint32_t>(seg_bytes[s]));
+        seg_start[s + 1] = seg_start[s] + seg_bytes[s];
     }
+
+    // Pass 2: encode each segment into its slice.
+    parallelFor(
+        0, num_segs, outer,
+        [&](std::uint64_t lo, std::uint64_t hi) {
+            for (std::uint64_t s = lo; s < hi; ++s) {
+                const auto [a, b] = seg_span(static_cast<int>(s));
+                encodeSegment(data + a, b - a, warpSize_, inner,
+                              out.data() + seg_start[s]);
+            }
+        },
+        1);
     return block;
 }
 
@@ -171,42 +441,28 @@ GfcCodec::decompress(const CompressedBlock &block, double *out) const
 
     const std::uint64_t per =
         bits::ceilDiv(count, static_cast<std::uint64_t>(segments_));
+    std::vector<std::uint64_t> seg_start(num_segs + 1, pos);
+    for (std::uint32_t s = 0; s < num_segs; ++s)
+        seg_start[s + 1] = seg_start[s] + seg_len[s];
+    if (num_segs > 0 && seg_start[num_segs] > in.size())
+        QGPU_PANIC("GFC stream truncated: segments need ",
+                   seg_start[num_segs], " bytes, have ", in.size());
 
-    for (std::uint32_t s = 0; s < num_segs; ++s) {
-        const std::uint64_t lo = static_cast<std::uint64_t>(s) * per;
-        const std::uint64_t hi = std::min(count, lo + per);
-        const std::uint64_t m = hi - lo;
-        const std::size_t seg_start = pos;
-        const std::size_t nib_at = pos;
-        std::size_t payload_at = pos + (m + 1) / 2;
-
-        std::vector<std::uint64_t> prev_lane(
-            static_cast<std::size_t>(warpSize_), 0);
-        for (std::uint64_t i = 0; i < m; ++i) {
-            const int lane = static_cast<int>(i %
-                static_cast<std::uint64_t>(warpSize_));
-            std::uint8_t nib = in.at(nib_at + i / 2);
-            nib = (i % 2 == 0) ? (nib & 0x0f)
-                               : static_cast<std::uint8_t>(nib >> 4);
-            const bool negative = nib & 0x8;
-            const int lzb = nib & 0x7;
-            const int payload = 8 - lzb;
-            std::uint64_t mag = 0;
-            for (int b = 0; b < payload; ++b)
-                mag |= static_cast<std::uint64_t>(in.at(payload_at++))
-                       << (8 * b);
-            const std::uint64_t cur =
-                negative ? prev_lane[lane] - mag
-                         : prev_lane[lane] + mag;
-            prev_lane[lane] = cur;
-            out[lo + i] = fromBits(cur);
-        }
-        if (payload_at - seg_start != seg_len[s])
-            QGPU_PANIC("GFC segment ", s, " consumed ",
-                       payload_at - seg_start, " bytes, header says ",
-                       seg_len[s]);
-        pos = payload_at;
-    }
+    const int threads = simThreads();
+    const int outer = num_segs > 1 ? threads : 1;
+    const int inner = num_segs > 1 ? 1 : threads;
+    parallelFor(
+        0, num_segs, outer,
+        [&](std::uint64_t lo, std::uint64_t hi) {
+            for (std::uint64_t s = lo; s < hi; ++s) {
+                const std::uint64_t a =
+                    static_cast<std::uint64_t>(s) * per;
+                const std::uint64_t b = std::min(count, a + per);
+                decodeSegment(in.data() + seg_start[s], seg_len[s],
+                              b - a, warpSize_, inner, out + a);
+            }
+        },
+        1);
 }
 
 void
@@ -241,26 +497,76 @@ GfcCodec::compressedSize(const double *data, std::uint64_t count) const
         per == 0 ? 0
                  : static_cast<int>(bits::ceilDiv(count, per));
 
+    // Residuals are pure functions of (element, element - warp), and
+    // byte counts add associatively, so the size splits freely over
+    // the pool regardless of segment boundaries.
+    std::atomic<std::uint64_t> payload{0};
+    const int threads = simThreads();
+    parallelFor(
+        0, num_segs, num_segs > 1 ? threads : 1,
+        [&](std::uint64_t s_lo, std::uint64_t s_hi) {
+            for (std::uint64_t s = s_lo; s < s_hi; ++s) {
+                const std::uint64_t a =
+                    static_cast<std::uint64_t>(s) * per;
+                const std::uint64_t b = std::min(count, a + per);
+                if (num_segs > 1) {
+                    payload.fetch_add(
+                        payloadBytesRange(data + a, 0, b - a,
+                                          warpSize_),
+                        std::memory_order_relaxed);
+                } else {
+                    parallelFor(
+                        a, b, threads,
+                        [&](std::uint64_t l, std::uint64_t h) {
+                            payload.fetch_add(
+                                payloadBytesRange(data, l, h,
+                                                  warpSize_),
+                                std::memory_order_relaxed);
+                        },
+                        kCodecGrain);
+                }
+            }
+        },
+        1);
+
     std::uint64_t total = 8 + 4 + 4ull * num_segs;
-    std::vector<std::uint64_t> prev_lane(
-        static_cast<std::size_t>(warpSize_));
     for (int s = 0; s < num_segs; ++s) {
         const std::uint64_t lo = static_cast<std::uint64_t>(s) * per;
         const std::uint64_t hi = std::min(count, lo + per);
-        const std::uint64_t m = hi - lo;
-        total += (m + 1) / 2; // nibbles
-        std::fill(prev_lane.begin(), prev_lane.end(), 0);
-        for (std::uint64_t i = 0; i < m; ++i) {
-            const int lane = static_cast<int>(i %
-                static_cast<std::uint64_t>(warpSize_));
-            const std::uint64_t cur = toBits(data[lo + i]);
-            const Residual r = residualOf(cur, prev_lane[lane]);
-            prev_lane[lane] = cur;
-            total += static_cast<std::uint64_t>(
-                8 - leadingZeroBytes(r.magnitude));
-        }
+        total += (hi - lo + 1) / 2; // nibbles
     }
-    return total;
+    return total + payload.load();
+}
+
+std::vector<CompressedBlock>
+compressBatch(const GfcCodec &codec,
+              const std::vector<DoubleRun> &runs)
+{
+    std::vector<CompressedBlock> blocks(runs.size());
+    parallelFor(
+        0, runs.size(), simThreads(),
+        [&](std::uint64_t lo, std::uint64_t hi) {
+            for (std::uint64_t i = lo; i < hi; ++i)
+                blocks[i] = codec.compress(runs[i].data,
+                                           runs[i].count);
+        },
+        1);
+    return blocks;
+}
+
+void
+decompressBatch(
+    const GfcCodec &codec,
+    const std::vector<std::pair<const CompressedBlock *, double *>>
+        &items)
+{
+    parallelFor(
+        0, items.size(), simThreads(),
+        [&](std::uint64_t lo, std::uint64_t hi) {
+            for (std::uint64_t i = lo; i < hi; ++i)
+                codec.decompress(*items[i].first, items[i].second);
+        },
+        1);
 }
 
 } // namespace qgpu

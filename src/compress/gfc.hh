@@ -10,12 +10,22 @@
  * (1 sign bit, 3 bits counting leading-zero bytes) plus the non-zero
  * magnitude bytes. Residuals are computed on the raw 64-bit patterns,
  * so the codec is lossless for every input including NaN payloads.
+ *
+ * Host parallelism: when simThreads() > 1 every entry point fans work
+ * across the shared thread pool with output (and reconstruction)
+ * bit-identical to the serial path. Multi-segment blocks parallelize
+ * over segments; a single segment parallelizes internally — encoding
+ * residuals are pure functions of (element, element - warpSize), and
+ * decoding splits because residual addition is associative mod 2^64,
+ * so per-range per-lane partial sums compose exactly. compressBatch /
+ * decompressBatch additionally fan independent blocks out together.
  */
 
 #ifndef QGPU_COMPRESS_GFC_HH
 #define QGPU_COMPRESS_GFC_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -103,6 +113,30 @@ class GfcCodec
     int warpSize_;
     int segments_;
 };
+
+/** One run of doubles handed to the batch APIs. */
+struct DoubleRun
+{
+    const double *data;
+    std::uint64_t count;
+};
+
+/**
+ * Compress every run concurrently on the thread pool. Output blocks
+ * are bit-identical to calling codec.compress on each run in order.
+ */
+std::vector<CompressedBlock>
+compressBatch(const GfcCodec &codec,
+              const std::vector<DoubleRun> &runs);
+
+/**
+ * Decompress every (block, destination) pair concurrently on the
+ * thread pool. Destinations must not alias.
+ */
+void decompressBatch(
+    const GfcCodec &codec,
+    const std::vector<std::pair<const CompressedBlock *, double *>>
+        &items);
 
 } // namespace qgpu
 

@@ -85,8 +85,9 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
         std::vector<double> mixed_groups(m.numDevices(), 0.0);
         std::vector<double> mixed_in_bytes(m.numDevices(), 0.0);
 
+        std::vector<Index> members;
         for (Index g = 0; g < plan.numGroups(); ++g) {
-            const auto members = plan.members(g);
+            plan.membersInto(g, members);
             bool any_host = false;
             int first_dev = -1;
             bool multi_dev = false;
@@ -114,8 +115,11 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
                 mixed_in_bytes[first_dev] +=
                     foreign * static_cast<double>(chunk_bytes);
             }
-            applyGroup(state, gate, plan, g);
         }
+        // Functional update, fanned out across the thread pool (the
+        // location bookkeeping above only shapes the virtual-time
+        // schedule, not the state math).
+        applyGateChunked(state, gate);
 
         // Schedule this gate. QISKit-Aer's chunk loop walks the
         // host-resident region with the CPU threads and only then

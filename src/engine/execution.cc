@@ -4,6 +4,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "common/metrics.hh"
 
 namespace qgpu
 {
@@ -18,12 +19,14 @@ ExecutionEngine::run(const Circuit &circuit)
 {
     machine_.reset();
 
+    const WallClock wall;
     RunResult result;
     result.engine = name();
     if (options_.recordTrace || options_.recordTimeline)
         result.trace.enable();
 
     StateVector state = execute(circuit, result);
+    result.wallSeconds = wall.seconds();
 
     if (options_.recordTimeline) {
         result.timeline.enable();

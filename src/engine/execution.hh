@@ -114,6 +114,9 @@ struct RunResult
 {
     std::string engine;
     VTime totalTime = 0.0;
+    /** Real host seconds spent inside run() (the virtual totalTime
+     *  models the GPU; this measures the simulator itself). */
+    double wallSeconds = 0.0;
     StatSet stats;
     /** Phase-tagged spans (empty unless recordTrace/recordTimeline). */
     Trace trace;

@@ -1,11 +1,13 @@
 #include "engine/streaming.hh"
 
 #include <algorithm>
+#include <span>
 #include <vector>
 
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "qc/fusion.hh"
+#include "statevec/apply.hh"
 #include "statevec/kernels.hh"
 
 namespace qgpu
@@ -172,19 +174,17 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
         // Enumerate live groups (a group is dead only if every member
         // chunk is provably zero; dead groups are no-ops).
         std::vector<Index> live_groups;
+        std::vector<Index> member_scratch;
         live_groups.reserve(plan.numGroups());
         for (Index g = 0; g < plan.numGroups(); ++g) {
             if (!options().prune) {
                 live_groups.push_back(g);
                 continue;
             }
-            bool any_live = false;
-            for (Index c : plan.members(g)) {
-                if (live_in(c)) {
-                    any_live = true;
-                    break;
-                }
-            }
+            plan.membersInto(g, member_scratch);
+            const bool any_live =
+                std::any_of(member_scratch.begin(),
+                            member_scratch.end(), live_in);
             if (any_live)
                 live_groups.push_back(g);
         }
@@ -230,7 +230,8 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
             double in_bytes = 0.0, in_decomp_raw = 0.0;
             std::vector<Index> out_chunks;
             for (std::size_t i = at; i < end; ++i) {
-                for (Index c : plan.members(live_groups[i])) {
+                plan.membersInto(live_groups[i], member_scratch);
+                for (Index c : member_scratch) {
                     ready = std::max(ready, chunk_ready[c]);
                     if (live_in(c)) {
                         if (options().compress) {
@@ -292,9 +293,12 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
             stats.add(statkeys::deviceMemBytes, kbytes);
 
             // Functional update (host memory stands in for every
-            // location; the engines differ only in scheduling).
-            for (std::size_t i = at; i < end; ++i)
-                applyGroup(state, gate, plan, live_groups[i]);
+            // location; the engines differ only in scheduling). The
+            // batch's groups touch disjoint chunks, so they fan out
+            // across the thread pool.
+            applyGroups(state, gate, plan,
+                        std::span<const Index>(live_groups)
+                            .subspan(at, end - at));
 
             // Compress updated chunks and ship them back.
             double out_bytes = 0.0;
@@ -367,9 +371,11 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
                          dev.spec().name + ".d2h", t, d2h_done);
             stats.add(statkeys::bytesD2h, out_bytes);
 
-            for (std::size_t i = at; i < end; ++i)
-                for (Index c : plan.members(live_groups[i]))
+            for (std::size_t i = at; i < end; ++i) {
+                plan.membersInto(live_groups[i], member_scratch);
+                for (Index c : member_scratch)
                     chunk_ready[c] = d2h_done;
+            }
             slot_free[d][slot] = d2h_done;
             frontier = std::max(frontier, d2h_done);
 
@@ -423,26 +429,27 @@ StreamingEngine::executeResident(const Circuit &circuit,
     trace.record(phases::h2d, "xfer", dev.spec().name + ".h2d", 0.0,
                  t);
 
+    std::vector<Index> live_groups;
+    std::vector<Index> member_scratch;
     for (const Gate &gate : circuit.gates()) {
         const GatePlan plan(gate, n, chunk_bits);
-        Index live = 0;
+        live_groups.clear();
         for (Index g = 0; g < plan.numGroups(); ++g) {
             bool any_live = !options().prune;
             if (!any_live) {
-                for (Index c : plan.members(g)) {
-                    if (mask.chunkIsLive(c, chunk_bits)) {
-                        any_live = true;
-                        break;
-                    }
-                }
+                plan.membersInto(g, member_scratch);
+                any_live = std::any_of(
+                    member_scratch.begin(), member_scratch.end(),
+                    [&](Index c) {
+                        return mask.chunkIsLive(c, chunk_bits);
+                    });
             }
-            if (!any_live)
-                continue;
-            ++live;
-            applyGroup(state, gate, plan, g);
+            if (any_live)
+                live_groups.push_back(g);
         }
+        applyGroups(state, gate, plan, live_groups);
         const double frac =
-            static_cast<double>(live) /
+            static_cast<double>(live_groups.size()) /
             static_cast<double>(plan.numGroups());
         const double flops = kernels::gateFlops(gate, n) * frac;
         const double bytes = static_cast<double>(stateSize(n)) *

@@ -52,6 +52,7 @@ publishRunMetrics(const RunResult &result)
     registry.add("runs.total");
     registry.add("runs." + result.engine);
     registry.observe("run.total_time", result.totalTime);
+    registry.observe("run.wall_time", result.wallSeconds);
     registry.observe("run.bytes_h2d",
                      result.stats.get(statkeys::bytesH2d));
     registry.observe("run.bytes_d2h",
@@ -65,6 +66,7 @@ runReportJson(const RunResult &result)
     os.precision(12);
     os << "{\"engine\": \"" << jsonEscape(result.engine)
        << "\", \"total_time\": " << result.totalTime
+       << ", \"wall_seconds\": " << result.wallSeconds
        << ", \"stats\": {";
     bool first = true;
     for (const auto &name : result.stats.names()) {

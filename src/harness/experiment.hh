@@ -43,7 +43,7 @@ RunResult runOn(const std::string &which, Machine &machine,
 /**
  * Publish one run's headline stats into the process-wide metrics
  * registry: counters runs.total and runs.<engine>, histograms
- * run.total_time / run.bytes_h2d / run.bytes_d2h.
+ * run.total_time / run.wall_time / run.bytes_h2d / run.bytes_d2h.
  */
 void publishRunMetrics(const RunResult &result);
 

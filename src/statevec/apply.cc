@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/parallel.hh"
 #include "statevec/kernels.hh"
 
 namespace qgpu
@@ -25,13 +27,12 @@ GatePlan::GatePlan(const Gate &gate, int num_qubits, int chunk_bits)
                      - static_cast<int>(globalBits_.size()));
 }
 
-std::vector<Index>
-GatePlan::members(Index group) const
+void
+GatePlan::membersInto(Index group, std::vector<Index> &out) const
 {
     const Index base = bits::insertZeroBits(group, globalBits_);
     const int span = chunksPerGroup();
-    std::vector<Index> out;
-    out.reserve(span);
+    out.clear();
     for (int s = 0; s < span; ++s) {
         Index idx = base;
         for (std::size_t j = 0; j < globalBits_.size(); ++j)
@@ -41,6 +42,14 @@ GatePlan::members(Index group) const
             }
         out.push_back(idx);
     }
+}
+
+std::vector<Index>
+GatePlan::members(Index group) const
+{
+    std::vector<Index> out;
+    out.reserve(chunksPerGroup());
+    membersInto(group, out);
     return out;
 }
 
@@ -73,6 +82,42 @@ applyDiagToChunk(ChunkedStateVector &state, const Gate &gate,
     }
 
     const Index size = state.chunkSize();
+
+    // All targets above the chunk boundary: one constant diagonal
+    // entry scales the whole chunk.
+    if (local.empty()) {
+        const Amp factor = m.at(fixed_sel, fixed_sel);
+        for (Index off = 0; off < size; ++off)
+            data[off] *= factor;
+        return;
+    }
+
+    // One or two chunk-local bits: precompute the 2/4-entry selector
+    // lookup so the per-amplitude cost is bit tests, not a vector
+    // iteration.
+    if (local.size() <= 2) {
+        Amp lut[4];
+        const int combos = 1 << local.size();
+        for (int c = 0; c < combos; ++c) {
+            int sel = fixed_sel;
+            for (std::size_t j = 0; j < local.size(); ++j)
+                if (c & (1 << j))
+                    sel |= 1 << local[j].second;
+            lut[c] = m.at(sel, sel);
+        }
+        const int q0 = local[0].first;
+        if (local.size() == 1) {
+            for (Index off = 0; off < size; ++off)
+                data[off] *= lut[bits::testBit(off, q0)];
+        } else {
+            const int q1 = local[1].first;
+            for (Index off = 0; off < size; ++off)
+                data[off] *= lut[bits::testBit(off, q0) |
+                                 (bits::testBit(off, q1) << 1)];
+        }
+        return;
+    }
+
     for (Index off = 0; off < size; ++off) {
         int sel = fixed_sel;
         for (const auto &[q, j] : local)
@@ -99,66 +144,145 @@ remapGateForGroup(const Gate &gate, const std::vector<int> &global_bits,
     return out;
 }
 
+/** Case-1 body: the group is a single chunk. */
+void
+applyToSingleChunk(ChunkedStateVector &state, const Gate &gate,
+                   Index chunk_idx)
+{
+    if (gate.isDiagonal()) {
+        applyDiagToChunk(state, gate, chunk_idx);
+        return;
+    }
+    // All targets live below the chunk boundary: apply inside the
+    // chunk as if it were a small register.
+    Amp *data = state.chunk(chunk_idx).data();
+    kernels::applyGate([data](Index i) -> Amp & { return data[i]; },
+                       state.chunkBits(), gate);
+}
+
+/**
+ * Case-2 body with scratch.members already filled: assemble the
+ * sub-register spanning the member chunks. @p remapped is the gate
+ * with targets moved into the group-local register (identical for
+ * every group of a plan, so callers hoist it).
+ */
+void
+applyGroupPrepared(ChunkedStateVector &state, const Gate &remapped,
+                   const GatePlan &plan, GroupScratch &scratch)
+{
+    const int chunk_bits = state.chunkBits();
+    const int sub_qubits =
+        chunk_bits + static_cast<int>(plan.globalBits().size());
+    const Index offset_mask = bits::lowMask(chunk_bits);
+
+    scratch.bufs.resize(scratch.members.size());
+    for (std::size_t s = 0; s < scratch.members.size(); ++s)
+        scratch.bufs[s] = state.chunk(scratch.members[s]).data();
+    Amp *const *bufs = scratch.bufs.data();
+
+    auto accessor = [bufs, chunk_bits, offset_mask](Index i) -> Amp & {
+        return bufs[i >> chunk_bits][i & offset_mask];
+    };
+    kernels::applyGate(accessor, sub_qubits, remapped);
+}
+
 } // namespace
 
 void
 applyGroup(ChunkedStateVector &state, const Gate &gate,
            const GatePlan &plan, Index group)
 {
-    const int chunk_bits = state.chunkBits();
-
     if (plan.perChunk()) {
-        const Index chunk_idx = group;
-        if (gate.isDiagonal()) {
-            applyDiagToChunk(state, gate, chunk_idx);
-            return;
-        }
-        // All targets live below the chunk boundary: apply inside the
-        // chunk as if it were a small register.
-        Amp *data = state.chunk(chunk_idx).data();
-        kernels::applyGate(
-            [data](Index i) -> Amp & { return data[i]; }, chunk_bits,
-            gate);
+        applyToSingleChunk(state, gate, group);
         return;
     }
+    GroupScratch scratch;
+    plan.membersInto(group, scratch.members);
+    const Gate remapped = remapGateForGroup(gate, plan.globalBits(),
+                                            state.chunkBits());
+    applyGroupPrepared(state, remapped, plan, scratch);
+}
 
-    // Case 2: assemble the sub-register spanning the member chunks.
-    const std::vector<Index> members = plan.members(group);
-    const Gate remapped =
-        remapGateForGroup(gate, plan.globalBits(), chunk_bits);
-    const int sub_qubits =
-        chunk_bits + static_cast<int>(plan.globalBits().size());
-    const Index offset_mask = bits::lowMask(chunk_bits);
-
-    std::vector<Amp *> bufs(members.size());
-    for (std::size_t s = 0; s < members.size(); ++s)
-        bufs[s] = state.chunk(members[s]).data();
-
-    auto accessor = [&](Index i) -> Amp & {
-        return bufs[i >> chunk_bits][i & offset_mask];
-    };
-    kernels::applyGate(accessor, sub_qubits, remapped);
+void
+applyGroups(ChunkedStateVector &state, const Gate &gate,
+            const GatePlan &plan, std::span<const Index> groups)
+{
+    if (groups.empty())
+        return;
+    const int threads = simThreads();
+    if (plan.perChunk()) {
+        parallelFor(
+            0, groups.size(), threads,
+            [&](std::uint64_t lo, std::uint64_t hi) {
+                for (std::uint64_t i = lo; i < hi; ++i)
+                    applyToSingleChunk(state, gate, groups[i]);
+            },
+            1);
+        return;
+    }
+    const Gate remapped = remapGateForGroup(gate, plan.globalBits(),
+                                            state.chunkBits());
+    parallelFor(
+        0, groups.size(), threads,
+        [&](std::uint64_t lo, std::uint64_t hi) {
+            GroupScratch scratch;
+            for (std::uint64_t i = lo; i < hi; ++i) {
+                plan.membersInto(groups[i], scratch.members);
+                applyGroupPrepared(state, remapped, plan, scratch);
+            }
+        },
+        1);
 }
 
 void
 applyGateChunked(ChunkedStateVector &state, const Gate &gate,
                  const ZeroPredicate &zero)
 {
+    const WallClock wall;
     const GatePlan plan(gate, state.numQubits(), state.chunkBits());
-    for (Index g = 0; g < plan.numGroups(); ++g) {
-        if (zero) {
-            bool all_zero = true;
-            for (Index c : plan.members(g)) {
-                if (!zero(c)) {
-                    all_zero = false;
-                    break;
+
+    // The groups partition the chunk set: every chunk is a member of
+    // exactly one group, which is what makes the concurrent fan-out
+    // below race-free by construction.
+    if (plan.numGroups() * static_cast<Index>(plan.chunksPerGroup()) !=
+        state.numChunks())
+        QGPU_PANIC("gate plan does not partition the ",
+                   state.numChunks(), "-chunk state: ",
+                   plan.numGroups(), " groups x ",
+                   plan.chunksPerGroup(), " chunks");
+
+    const int threads = simThreads();
+    const Gate remapped =
+        plan.perChunk()
+            ? gate
+            : remapGateForGroup(gate, plan.globalBits(),
+                                state.chunkBits());
+    parallelFor(
+        0, plan.numGroups(), threads,
+        [&](std::uint64_t lo, std::uint64_t hi) {
+            GroupScratch scratch;
+            for (Index g = lo; g < hi; ++g) {
+                // Compute the member list once per group; the prune
+                // check and the apply below share it.
+                plan.membersInto(g, scratch.members);
+                if (zero) {
+                    const bool all_zero = std::all_of(
+                        scratch.members.begin(),
+                        scratch.members.end(),
+                        [&zero](Index c) { return zero(c); });
+                    if (all_zero)
+                        continue;
                 }
+                if (plan.perChunk())
+                    applyToSingleChunk(state, gate, g);
+                else
+                    applyGroupPrepared(state, remapped, plan,
+                                       scratch);
             }
-            if (all_zero)
-                continue;
-        }
-        applyGroup(state, gate, plan, g);
-    }
+        },
+        1);
+    MetricsRegistry::global().observe("apply.wall_time",
+                                      wall.seconds());
 }
 
 void

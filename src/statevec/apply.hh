@@ -8,12 +8,20 @@
  * Engines walk the groups themselves (to schedule transfers and skip
  * pruned groups); the functional update for one group lives here so
  * every engine computes bit-identical states.
+ *
+ * Groups of one plan touch disjoint chunk sets, so applying many
+ * groups concurrently is race-free by construction; applyGroups and
+ * applyGateChunked fan the groups out across the shared thread pool
+ * (common/thread_pool.hh) when simThreads() > 1. Each worker reuses
+ * one GroupScratch across its groups, so the hot loop performs no
+ * per-group heap allocation.
  */
 
 #ifndef QGPU_STATEVEC_APPLY_HH
 #define QGPU_STATEVEC_APPLY_HH
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "statevec/chunked.hh"
@@ -48,10 +56,25 @@ class GatePlan
     /** Chunk indices belonging to group @p group (ascending). */
     std::vector<Index> members(Index group) const;
 
+    /** members() into @p out (cleared first): the allocation-free
+     *  form used by the parallel fan-out's per-worker scratch. */
+    void membersInto(Index group, std::vector<Index> &out) const;
+
   private:
     int chunkBits_;
     std::vector<int> globalBits_; // sorted positions in chunk-index space
     Index numGroups_;
+};
+
+/**
+ * Per-worker reusable buffers for group application: the member chunk
+ * indices and their data pointers. One instance per worker replaces
+ * the former per-group heap allocations.
+ */
+struct GroupScratch
+{
+    std::vector<Index> members;
+    std::vector<Amp *> bufs;
 };
 
 /**
@@ -63,9 +86,21 @@ void applyGroup(ChunkedStateVector &state, const Gate &gate,
                 const GatePlan &plan, Index group);
 
 /**
+ * Apply @p gate to each listed group, fanned out across the thread
+ * pool (simThreads() workers). Groups touch disjoint chunks, so the
+ * concurrent application is race-free and bit-identical to the
+ * sequential order.
+ */
+void applyGroups(ChunkedStateVector &state, const Gate &gate,
+                 const GatePlan &plan, std::span<const Index> groups);
+
+/**
  * Apply @p gate to the whole chunked state, skipping groups whose
  * member chunks are all reported zero by @p zero (mathematically a
- * no-op: an all-zero vector stays zero under any linear map).
+ * no-op: an all-zero vector stays zero under any linear map). The
+ * surviving groups run concurrently on the thread pool. @p zero must
+ * be safe to call from several threads (engines pass pure functions
+ * of immutable masks).
  */
 void applyGateChunked(ChunkedStateVector &state, const Gate &gate,
                       const ZeroPredicate &zero = {});

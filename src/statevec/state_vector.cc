@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/parallel.hh"
 #include "statevec/kernels.hh"
 
@@ -19,6 +20,7 @@ StateVector::StateVector(int num_qubits)
 void
 StateVector::apply(const Gate &gate)
 {
+    const WallClock wall;
     Amp *data = amps_.data();
     const auto accessor = [data](Index i) -> Amp & {
         return data[i];
@@ -26,16 +28,18 @@ StateVector::apply(const Gate &gate)
     const int threads = simThreads();
     if (threads <= 1) {
         kernels::applyGate(accessor, numQubits_, gate);
-        return;
+    } else {
+        // Work items (pairs/groups/amplitudes) are independent, so
+        // the range splits freely across the pool's workers.
+        const Index items = kernels::gateWorkItems(gate, numQubits_);
+        parallelFor(0, items, threads,
+                    [&](std::uint64_t lo, std::uint64_t hi) {
+                        kernels::applyGate(accessor, numQubits_, gate,
+                                           lo, hi);
+                    });
     }
-    // Work items (pairs/groups/amplitudes) are independent, so the
-    // range splits freely across threads.
-    const Index items = kernels::gateWorkItems(gate, numQubits_);
-    parallelFor(0, items, threads,
-                [&](std::uint64_t lo, std::uint64_t hi) {
-                    kernels::applyGate(accessor, numQubits_, gate,
-                                       lo, hi);
-                });
+    MetricsRegistry::global().observe("apply.wall_time",
+                                      wall.seconds());
 }
 
 void

@@ -60,9 +60,17 @@ TEST(SimThreads, DefaultIsSequential)
     EXPECT_EQ(simThreads(), 1);
 }
 
+TEST(SimThreads, ZeroMeansHardwareConcurrency)
+{
+    setSimThreads(0);
+    EXPECT_GE(simThreads(), 1);
+    setSimThreads(1);
+}
+
 TEST(SimThreadsDeath, RejectsBadCounts)
 {
-    EXPECT_DEATH(setSimThreads(0), "bad thread count");
+    EXPECT_DEATH(setSimThreads(-1), "bad thread count");
+    EXPECT_DEATH(setSimThreads(300), "bad thread count");
 }
 
 class ThreadedApply : public ::testing::TestWithParam<

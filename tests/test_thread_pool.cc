@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the persistent thread pool: task execution, TaskGroup
+ * completion scoping, exception propagation (first error wins, every
+ * task still runs), nesting, and the help-based wait that keeps a
+ * zero-worker pool live.
+ */
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "common/thread_pool.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.numWorkers(), 3);
+    std::atomic<int> done{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 100; ++i)
+        group.run([&done] { ++done; });
+    group.wait();
+    EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsTasksOnWaiter)
+{
+    // With no workers, the waiting thread itself drains the queue.
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.numWorkers(), 0);
+    std::atomic<int> done{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 10; ++i)
+        group.run([&done] { ++done; });
+    group.wait();
+    EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPool, EnsureWorkersGrowsButNeverShrinks)
+{
+    ThreadPool pool(1);
+    pool.ensureWorkers(3);
+    EXPECT_EQ(pool.numWorkers(), 3);
+    pool.ensureWorkers(2);
+    EXPECT_EQ(pool.numWorkers(), 3);
+}
+
+TEST(ThreadPool, GroupWaitRethrowsFirstExceptionAfterAllTasksRan)
+{
+    ThreadPool pool(2);
+    std::atomic<int> completed{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 50; ++i) {
+        group.run([&completed, i] {
+            if (i == 17)
+                throw std::runtime_error("task 17 failed");
+            ++completed;
+        });
+    }
+    EXPECT_THROW(group.wait(), std::runtime_error);
+    // Every non-throwing task still ran: an error does not cancel
+    // the group, it is reported after completion.
+    EXPECT_EQ(completed.load(), 49);
+
+    // The pool stays usable after a failed group.
+    std::atomic<int> done{0};
+    TaskGroup again(pool);
+    again.run([&done] { ++done; });
+    again.wait();
+    EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPool, GlobalPoolIsASingleton)
+{
+    EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+}
+
+TEST(ParallelFor, PropagatesBodyExceptionAndStaysUsable)
+{
+    // Satellite: a throwing body must not strand workers or deadlock
+    // the caller; the first exception surfaces on the calling thread.
+    std::atomic<int> visited{0};
+    const auto throwing = [&](std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t i = lo; i < hi; ++i) {
+            if (i == 1000)
+                throw std::runtime_error("body failed");
+            ++visited;
+        }
+    };
+    EXPECT_THROW(parallelFor(0, 4096, 4, throwing, 16),
+                 std::runtime_error);
+    EXPECT_GT(visited.load(), 0);
+
+    // The pool is fully drained: the next parallelFor is exact.
+    std::vector<std::atomic<int>> hits(4096);
+    parallelFor(
+        0, hits.size(), 4,
+        [&](std::uint64_t lo, std::uint64_t hi) {
+            for (std::uint64_t i = lo; i < hi; ++i)
+                ++hits[i];
+        },
+        16);
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, NestedCallsDoNotDeadlock)
+{
+    // Inner parallelFor from a worker task: the waiting task helps
+    // drain the queue instead of blocking a worker slot.
+    std::atomic<int> total{0};
+    parallelFor(
+        0, 8, 4,
+        [&](std::uint64_t lo, std::uint64_t hi) {
+            for (std::uint64_t i = lo; i < hi; ++i) {
+                parallelFor(
+                    0, 64, 4,
+                    [&](std::uint64_t l, std::uint64_t h) {
+                        total += static_cast<int>(h - l);
+                    },
+                    8);
+            }
+        },
+        1);
+    EXPECT_EQ(total.load(), 8 * 64);
+}
+
+TEST(ParallelFor, ManyConcurrentGroupsFromDistinctThreads)
+{
+    // Several external threads driving the shared global pool at
+    // once: groups are independent completion scopes.
+    constexpr int kThreads = 4;
+    std::vector<std::thread> drivers;
+    std::atomic<int> total{0};
+    for (int t = 0; t < kThreads; ++t) {
+        drivers.emplace_back([&total] {
+            for (int round = 0; round < 10; ++round)
+                parallelFor(
+                    0, 256, 3,
+                    [&](std::uint64_t lo, std::uint64_t hi) {
+                        total += static_cast<int>(hi - lo);
+                    },
+                    16);
+        });
+    }
+    for (auto &d : drivers)
+        d.join();
+    EXPECT_EQ(total.load(), kThreads * 10 * 256);
+}
+
+} // namespace
+} // namespace qgpu
