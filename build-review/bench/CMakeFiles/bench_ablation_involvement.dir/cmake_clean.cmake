@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_involvement.dir/bench_ablation_involvement.cc.o"
+  "CMakeFiles/bench_ablation_involvement.dir/bench_ablation_involvement.cc.o.d"
+  "bench_ablation_involvement"
+  "bench_ablation_involvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_involvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_naive.dir/bench_fig03_naive.cc.o"
+  "CMakeFiles/bench_fig03_naive.dir/bench_fig03_naive.cc.o.d"
+  "bench_fig03_naive"
+  "bench_fig03_naive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_naive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

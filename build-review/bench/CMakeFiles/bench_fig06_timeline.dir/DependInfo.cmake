@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig06_timeline.cc" "bench/CMakeFiles/bench_fig06_timeline.dir/bench_fig06_timeline.cc.o" "gcc" "bench/CMakeFiles/bench_fig06_timeline.dir/bench_fig06_timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/bench/CMakeFiles/qgpu_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/harness/CMakeFiles/qgpu_harness.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/circuits/CMakeFiles/qgpu_circuits.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/baselines/CMakeFiles/qgpu_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/engine/CMakeFiles/qgpu_engine.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/statevec/CMakeFiles/qgpu_statevec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/qgpu_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/reorder/CMakeFiles/qgpu_reorder.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/prune/CMakeFiles/qgpu_prune.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/qc/CMakeFiles/qgpu_qc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/compress/CMakeFiles/qgpu_compress.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/qgpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_amplitude_dist.dir/bench_fig07_amplitude_dist.cc.o"
+  "CMakeFiles/bench_fig07_amplitude_dist.dir/bench_fig07_amplitude_dist.cc.o.d"
+  "bench_fig07_amplitude_dist"
+  "bench_fig07_amplitude_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_amplitude_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

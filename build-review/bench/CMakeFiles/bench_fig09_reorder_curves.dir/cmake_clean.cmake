@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_reorder_curves.dir/bench_fig09_reorder_curves.cc.o"
+  "CMakeFiles/bench_fig09_reorder_curves.dir/bench_fig09_reorder_curves.cc.o.d"
+  "bench_fig09_reorder_curves"
+  "bench_fig09_reorder_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_reorder_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

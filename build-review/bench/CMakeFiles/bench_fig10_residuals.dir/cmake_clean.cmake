@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_residuals.dir/bench_fig10_residuals.cc.o"
+  "CMakeFiles/bench_fig10_residuals.dir/bench_fig10_residuals.cc.o.d"
+  "bench_fig10_residuals"
+  "bench_fig10_residuals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_residuals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

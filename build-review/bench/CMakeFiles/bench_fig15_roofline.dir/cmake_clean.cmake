@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_roofline.dir/bench_fig15_roofline.cc.o"
+  "CMakeFiles/bench_fig15_roofline.dir/bench_fig15_roofline.cc.o.d"
+  "bench_fig15_roofline"
+  "bench_fig15_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_simulators.dir/bench_fig16_simulators.cc.o"
+  "CMakeFiles/bench_fig16_simulators.dir/bench_fig16_simulators.cc.o.d"
+  "bench_fig16_simulators"
+  "bench_fig16_simulators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_simulators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_gpus.dir/bench_fig17_gpus.cc.o"
+  "CMakeFiles/bench_fig17_gpus.dir/bench_fig17_gpus.cc.o.d"
+  "bench_fig17_gpus"
+  "bench_fig17_gpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_gpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_multigpu.dir/bench_fig19_multigpu.cc.o"
+  "CMakeFiles/bench_fig19_multigpu.dir/bench_fig19_multigpu.cc.o.d"
+  "bench_fig19_multigpu"
+  "bench_fig19_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_gfc.dir/bench_micro_gfc.cc.o"
+  "CMakeFiles/bench_micro_gfc.dir/bench_micro_gfc.cc.o.d"
+  "bench_micro_gfc"
+  "bench_micro_gfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_gfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

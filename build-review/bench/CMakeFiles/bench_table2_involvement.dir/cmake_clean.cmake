@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_involvement.dir/bench_table2_involvement.cc.o"
+  "CMakeFiles/bench_table2_involvement.dir/bench_table2_involvement.cc.o.d"
+  "bench_table2_involvement"
+  "bench_table2_involvement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_involvement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

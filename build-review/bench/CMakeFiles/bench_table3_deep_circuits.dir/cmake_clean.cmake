@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_deep_circuits.dir/bench_table3_deep_circuits.cc.o"
+  "CMakeFiles/bench_table3_deep_circuits.dir/bench_table3_deep_circuits.cc.o.d"
+  "bench_table3_deep_circuits"
+  "bench_table3_deep_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_deep_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

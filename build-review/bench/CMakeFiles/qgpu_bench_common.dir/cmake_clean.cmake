@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgpu_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/qgpu_bench_common.dir/bench_common.cc.o.d"
+  "libqgpu_bench_common.a"
+  "libqgpu_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgpu_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

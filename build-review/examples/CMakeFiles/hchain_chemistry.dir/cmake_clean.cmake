@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hchain_chemistry.dir/hchain_chemistry.cpp.o"
+  "CMakeFiles/hchain_chemistry.dir/hchain_chemistry.cpp.o.d"
+  "hchain_chemistry"
+  "hchain_chemistry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hchain_chemistry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hchain_chemistry.
+# This may be replaced when dependencies are built.

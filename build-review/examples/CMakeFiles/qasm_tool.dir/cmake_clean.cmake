@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qasm_tool.dir/qasm_tool.cpp.o"
+  "CMakeFiles/qasm_tool.dir/qasm_tool.cpp.o.d"
+  "qasm_tool"
+  "qasm_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qasm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

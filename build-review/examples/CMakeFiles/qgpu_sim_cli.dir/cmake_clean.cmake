@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgpu_sim_cli.dir/qgpu_sim.cpp.o"
+  "CMakeFiles/qgpu_sim_cli.dir/qgpu_sim.cpp.o.d"
+  "qgpu_sim"
+  "qgpu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgpu_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reorder_explorer.dir/reorder_explorer.cpp.o"
+  "CMakeFiles/reorder_explorer.dir/reorder_explorer.cpp.o.d"
+  "reorder_explorer"
+  "reorder_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorder_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

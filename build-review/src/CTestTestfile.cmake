@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("qc")
+subdirs("circuits")
+subdirs("statevec")
+subdirs("sim")
+subdirs("prune")
+subdirs("reorder")
+subdirs("compress")
+subdirs("engine")
+subdirs("baselines")
+subdirs("harness")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgpu_baselines.dir/cpu_engines.cc.o"
+  "CMakeFiles/qgpu_baselines.dir/cpu_engines.cc.o.d"
+  "libqgpu_baselines.a"
+  "libqgpu_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgpu_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

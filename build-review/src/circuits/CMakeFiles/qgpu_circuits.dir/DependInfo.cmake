@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/bv.cc" "src/circuits/CMakeFiles/qgpu_circuits.dir/bv.cc.o" "gcc" "src/circuits/CMakeFiles/qgpu_circuits.dir/bv.cc.o.d"
+  "/root/repo/src/circuits/graph_state.cc" "src/circuits/CMakeFiles/qgpu_circuits.dir/graph_state.cc.o" "gcc" "src/circuits/CMakeFiles/qgpu_circuits.dir/graph_state.cc.o.d"
+  "/root/repo/src/circuits/hchain.cc" "src/circuits/CMakeFiles/qgpu_circuits.dir/hchain.cc.o" "gcc" "src/circuits/CMakeFiles/qgpu_circuits.dir/hchain.cc.o.d"
+  "/root/repo/src/circuits/hlf.cc" "src/circuits/CMakeFiles/qgpu_circuits.dir/hlf.cc.o" "gcc" "src/circuits/CMakeFiles/qgpu_circuits.dir/hlf.cc.o.d"
+  "/root/repo/src/circuits/iqp.cc" "src/circuits/CMakeFiles/qgpu_circuits.dir/iqp.cc.o" "gcc" "src/circuits/CMakeFiles/qgpu_circuits.dir/iqp.cc.o.d"
+  "/root/repo/src/circuits/qaoa.cc" "src/circuits/CMakeFiles/qgpu_circuits.dir/qaoa.cc.o" "gcc" "src/circuits/CMakeFiles/qgpu_circuits.dir/qaoa.cc.o.d"
+  "/root/repo/src/circuits/qft.cc" "src/circuits/CMakeFiles/qgpu_circuits.dir/qft.cc.o" "gcc" "src/circuits/CMakeFiles/qgpu_circuits.dir/qft.cc.o.d"
+  "/root/repo/src/circuits/quadratic_form.cc" "src/circuits/CMakeFiles/qgpu_circuits.dir/quadratic_form.cc.o" "gcc" "src/circuits/CMakeFiles/qgpu_circuits.dir/quadratic_form.cc.o.d"
+  "/root/repo/src/circuits/registry.cc" "src/circuits/CMakeFiles/qgpu_circuits.dir/registry.cc.o" "gcc" "src/circuits/CMakeFiles/qgpu_circuits.dir/registry.cc.o.d"
+  "/root/repo/src/circuits/rqc.cc" "src/circuits/CMakeFiles/qgpu_circuits.dir/rqc.cc.o" "gcc" "src/circuits/CMakeFiles/qgpu_circuits.dir/rqc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/qc/CMakeFiles/qgpu_qc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/qgpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

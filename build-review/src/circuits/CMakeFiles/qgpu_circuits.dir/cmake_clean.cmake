@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgpu_circuits.dir/bv.cc.o"
+  "CMakeFiles/qgpu_circuits.dir/bv.cc.o.d"
+  "CMakeFiles/qgpu_circuits.dir/graph_state.cc.o"
+  "CMakeFiles/qgpu_circuits.dir/graph_state.cc.o.d"
+  "CMakeFiles/qgpu_circuits.dir/hchain.cc.o"
+  "CMakeFiles/qgpu_circuits.dir/hchain.cc.o.d"
+  "CMakeFiles/qgpu_circuits.dir/hlf.cc.o"
+  "CMakeFiles/qgpu_circuits.dir/hlf.cc.o.d"
+  "CMakeFiles/qgpu_circuits.dir/iqp.cc.o"
+  "CMakeFiles/qgpu_circuits.dir/iqp.cc.o.d"
+  "CMakeFiles/qgpu_circuits.dir/qaoa.cc.o"
+  "CMakeFiles/qgpu_circuits.dir/qaoa.cc.o.d"
+  "CMakeFiles/qgpu_circuits.dir/qft.cc.o"
+  "CMakeFiles/qgpu_circuits.dir/qft.cc.o.d"
+  "CMakeFiles/qgpu_circuits.dir/quadratic_form.cc.o"
+  "CMakeFiles/qgpu_circuits.dir/quadratic_form.cc.o.d"
+  "CMakeFiles/qgpu_circuits.dir/registry.cc.o"
+  "CMakeFiles/qgpu_circuits.dir/registry.cc.o.d"
+  "CMakeFiles/qgpu_circuits.dir/rqc.cc.o"
+  "CMakeFiles/qgpu_circuits.dir/rqc.cc.o.d"
+  "libqgpu_circuits.a"
+  "libqgpu_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgpu_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

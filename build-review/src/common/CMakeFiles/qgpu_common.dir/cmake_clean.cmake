@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgpu_common.dir/logging.cc.o"
+  "CMakeFiles/qgpu_common.dir/logging.cc.o.d"
+  "CMakeFiles/qgpu_common.dir/metrics.cc.o"
+  "CMakeFiles/qgpu_common.dir/metrics.cc.o.d"
+  "CMakeFiles/qgpu_common.dir/parallel.cc.o"
+  "CMakeFiles/qgpu_common.dir/parallel.cc.o.d"
+  "CMakeFiles/qgpu_common.dir/rng.cc.o"
+  "CMakeFiles/qgpu_common.dir/rng.cc.o.d"
+  "CMakeFiles/qgpu_common.dir/stats.cc.o"
+  "CMakeFiles/qgpu_common.dir/stats.cc.o.d"
+  "CMakeFiles/qgpu_common.dir/table.cc.o"
+  "CMakeFiles/qgpu_common.dir/table.cc.o.d"
+  "CMakeFiles/qgpu_common.dir/thread_pool.cc.o"
+  "CMakeFiles/qgpu_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/qgpu_common.dir/trace.cc.o"
+  "CMakeFiles/qgpu_common.dir/trace.cc.o.d"
+  "libqgpu_common.a"
+  "libqgpu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgpu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgpu_compress.dir/gfc.cc.o"
+  "CMakeFiles/qgpu_compress.dir/gfc.cc.o.d"
+  "libqgpu_compress.a"
+  "libqgpu_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgpu_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

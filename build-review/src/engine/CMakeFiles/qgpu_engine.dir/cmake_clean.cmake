@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgpu_engine.dir/baseline.cc.o"
+  "CMakeFiles/qgpu_engine.dir/baseline.cc.o.d"
+  "CMakeFiles/qgpu_engine.dir/execution.cc.o"
+  "CMakeFiles/qgpu_engine.dir/execution.cc.o.d"
+  "CMakeFiles/qgpu_engine.dir/streaming.cc.o"
+  "CMakeFiles/qgpu_engine.dir/streaming.cc.o.d"
+  "CMakeFiles/qgpu_engine.dir/versions.cc.o"
+  "CMakeFiles/qgpu_engine.dir/versions.cc.o.d"
+  "libqgpu_engine.a"
+  "libqgpu_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgpu_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgpu_harness.dir/experiment.cc.o"
+  "CMakeFiles/qgpu_harness.dir/experiment.cc.o.d"
+  "libqgpu_harness.a"
+  "libqgpu_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgpu_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

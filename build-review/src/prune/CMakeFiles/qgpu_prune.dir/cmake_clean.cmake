@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgpu_prune.dir/involvement.cc.o"
+  "CMakeFiles/qgpu_prune.dir/involvement.cc.o.d"
+  "CMakeFiles/qgpu_prune.dir/pruning.cc.o"
+  "CMakeFiles/qgpu_prune.dir/pruning.cc.o.d"
+  "libqgpu_prune.a"
+  "libqgpu_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgpu_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

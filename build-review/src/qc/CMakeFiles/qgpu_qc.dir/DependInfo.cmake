@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qc/circuit.cc" "src/qc/CMakeFiles/qgpu_qc.dir/circuit.cc.o" "gcc" "src/qc/CMakeFiles/qgpu_qc.dir/circuit.cc.o.d"
+  "/root/repo/src/qc/dag.cc" "src/qc/CMakeFiles/qgpu_qc.dir/dag.cc.o" "gcc" "src/qc/CMakeFiles/qgpu_qc.dir/dag.cc.o.d"
+  "/root/repo/src/qc/fusion.cc" "src/qc/CMakeFiles/qgpu_qc.dir/fusion.cc.o" "gcc" "src/qc/CMakeFiles/qgpu_qc.dir/fusion.cc.o.d"
+  "/root/repo/src/qc/gate.cc" "src/qc/CMakeFiles/qgpu_qc.dir/gate.cc.o" "gcc" "src/qc/CMakeFiles/qgpu_qc.dir/gate.cc.o.d"
+  "/root/repo/src/qc/matrix.cc" "src/qc/CMakeFiles/qgpu_qc.dir/matrix.cc.o" "gcc" "src/qc/CMakeFiles/qgpu_qc.dir/matrix.cc.o.d"
+  "/root/repo/src/qc/qasm.cc" "src/qc/CMakeFiles/qgpu_qc.dir/qasm.cc.o" "gcc" "src/qc/CMakeFiles/qgpu_qc.dir/qasm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/qgpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

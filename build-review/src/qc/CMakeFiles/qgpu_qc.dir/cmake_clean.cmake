@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgpu_qc.dir/circuit.cc.o"
+  "CMakeFiles/qgpu_qc.dir/circuit.cc.o.d"
+  "CMakeFiles/qgpu_qc.dir/dag.cc.o"
+  "CMakeFiles/qgpu_qc.dir/dag.cc.o.d"
+  "CMakeFiles/qgpu_qc.dir/fusion.cc.o"
+  "CMakeFiles/qgpu_qc.dir/fusion.cc.o.d"
+  "CMakeFiles/qgpu_qc.dir/gate.cc.o"
+  "CMakeFiles/qgpu_qc.dir/gate.cc.o.d"
+  "CMakeFiles/qgpu_qc.dir/matrix.cc.o"
+  "CMakeFiles/qgpu_qc.dir/matrix.cc.o.d"
+  "CMakeFiles/qgpu_qc.dir/qasm.cc.o"
+  "CMakeFiles/qgpu_qc.dir/qasm.cc.o.d"
+  "libqgpu_qc.a"
+  "libqgpu_qc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgpu_qc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

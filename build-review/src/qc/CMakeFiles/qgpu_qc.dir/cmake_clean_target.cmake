@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqgpu_qc.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reorder/reorder.cc" "src/reorder/CMakeFiles/qgpu_reorder.dir/reorder.cc.o" "gcc" "src/reorder/CMakeFiles/qgpu_reorder.dir/reorder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/qc/CMakeFiles/qgpu_qc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/prune/CMakeFiles/qgpu_prune.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/qgpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgpu_reorder.dir/reorder.cc.o"
+  "CMakeFiles/qgpu_reorder.dir/reorder.cc.o.d"
+  "libqgpu_reorder.a"
+  "libqgpu_reorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgpu_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/qgpu_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/qgpu_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/host.cc" "src/sim/CMakeFiles/qgpu_sim.dir/host.cc.o" "gcc" "src/sim/CMakeFiles/qgpu_sim.dir/host.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/qgpu_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/qgpu_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/resource.cc" "src/sim/CMakeFiles/qgpu_sim.dir/resource.cc.o" "gcc" "src/sim/CMakeFiles/qgpu_sim.dir/resource.cc.o.d"
+  "/root/repo/src/sim/timeline.cc" "src/sim/CMakeFiles/qgpu_sim.dir/timeline.cc.o" "gcc" "src/sim/CMakeFiles/qgpu_sim.dir/timeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/common/CMakeFiles/qgpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgpu_sim.dir/device.cc.o"
+  "CMakeFiles/qgpu_sim.dir/device.cc.o.d"
+  "CMakeFiles/qgpu_sim.dir/host.cc.o"
+  "CMakeFiles/qgpu_sim.dir/host.cc.o.d"
+  "CMakeFiles/qgpu_sim.dir/machine.cc.o"
+  "CMakeFiles/qgpu_sim.dir/machine.cc.o.d"
+  "CMakeFiles/qgpu_sim.dir/resource.cc.o"
+  "CMakeFiles/qgpu_sim.dir/resource.cc.o.d"
+  "CMakeFiles/qgpu_sim.dir/timeline.cc.o"
+  "CMakeFiles/qgpu_sim.dir/timeline.cc.o.d"
+  "libqgpu_sim.a"
+  "libqgpu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgpu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/statevec/apply.cc" "src/statevec/CMakeFiles/qgpu_statevec.dir/apply.cc.o" "gcc" "src/statevec/CMakeFiles/qgpu_statevec.dir/apply.cc.o.d"
+  "/root/repo/src/statevec/chunked.cc" "src/statevec/CMakeFiles/qgpu_statevec.dir/chunked.cc.o" "gcc" "src/statevec/CMakeFiles/qgpu_statevec.dir/chunked.cc.o.d"
+  "/root/repo/src/statevec/measure.cc" "src/statevec/CMakeFiles/qgpu_statevec.dir/measure.cc.o" "gcc" "src/statevec/CMakeFiles/qgpu_statevec.dir/measure.cc.o.d"
+  "/root/repo/src/statevec/observable.cc" "src/statevec/CMakeFiles/qgpu_statevec.dir/observable.cc.o" "gcc" "src/statevec/CMakeFiles/qgpu_statevec.dir/observable.cc.o.d"
+  "/root/repo/src/statevec/snapshot.cc" "src/statevec/CMakeFiles/qgpu_statevec.dir/snapshot.cc.o" "gcc" "src/statevec/CMakeFiles/qgpu_statevec.dir/snapshot.cc.o.d"
+  "/root/repo/src/statevec/state_vector.cc" "src/statevec/CMakeFiles/qgpu_statevec.dir/state_vector.cc.o" "gcc" "src/statevec/CMakeFiles/qgpu_statevec.dir/state_vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/qc/CMakeFiles/qgpu_qc.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/compress/CMakeFiles/qgpu_compress.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/common/CMakeFiles/qgpu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

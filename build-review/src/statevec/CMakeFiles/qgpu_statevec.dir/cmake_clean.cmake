@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qgpu_statevec.dir/apply.cc.o"
+  "CMakeFiles/qgpu_statevec.dir/apply.cc.o.d"
+  "CMakeFiles/qgpu_statevec.dir/chunked.cc.o"
+  "CMakeFiles/qgpu_statevec.dir/chunked.cc.o.d"
+  "CMakeFiles/qgpu_statevec.dir/measure.cc.o"
+  "CMakeFiles/qgpu_statevec.dir/measure.cc.o.d"
+  "CMakeFiles/qgpu_statevec.dir/observable.cc.o"
+  "CMakeFiles/qgpu_statevec.dir/observable.cc.o.d"
+  "CMakeFiles/qgpu_statevec.dir/snapshot.cc.o"
+  "CMakeFiles/qgpu_statevec.dir/snapshot.cc.o.d"
+  "CMakeFiles/qgpu_statevec.dir/state_vector.cc.o"
+  "CMakeFiles/qgpu_statevec.dir/state_vector.cc.o.d"
+  "libqgpu_statevec.a"
+  "libqgpu_statevec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qgpu_statevec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

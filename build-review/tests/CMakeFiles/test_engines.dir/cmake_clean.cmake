@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engines.dir/test_edge_cases.cc.o"
+  "CMakeFiles/test_engines.dir/test_edge_cases.cc.o.d"
+  "CMakeFiles/test_engines.dir/test_engine_correctness.cc.o"
+  "CMakeFiles/test_engines.dir/test_engine_correctness.cc.o.d"
+  "CMakeFiles/test_engines.dir/test_engine_stats.cc.o"
+  "CMakeFiles/test_engines.dir/test_engine_stats.cc.o.d"
+  "CMakeFiles/test_engines.dir/test_engine_timing.cc.o"
+  "CMakeFiles/test_engines.dir/test_engine_timing.cc.o.d"
+  "CMakeFiles/test_engines.dir/test_fusion_streaming.cc.o"
+  "CMakeFiles/test_engines.dir/test_fusion_streaming.cc.o.d"
+  "CMakeFiles/test_engines.dir/test_harness.cc.o"
+  "CMakeFiles/test_engines.dir/test_harness.cc.o.d"
+  "CMakeFiles/test_engines.dir/test_multigpu.cc.o"
+  "CMakeFiles/test_engines.dir/test_multigpu.cc.o.d"
+  "test_engines"
+  "test_engines.pdb"
+  "test_engines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_observability.dir/test_metrics.cc.o"
+  "CMakeFiles/test_observability.dir/test_metrics.cc.o.d"
+  "CMakeFiles/test_observability.dir/test_trace.cc.o"
+  "CMakeFiles/test_observability.dir/test_trace.cc.o.d"
+  "test_observability"
+  "test_observability.pdb"
+  "test_observability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_observability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prune_reorder.dir/test_involvement.cc.o"
+  "CMakeFiles/test_prune_reorder.dir/test_involvement.cc.o.d"
+  "CMakeFiles/test_prune_reorder.dir/test_pruning.cc.o"
+  "CMakeFiles/test_prune_reorder.dir/test_pruning.cc.o.d"
+  "CMakeFiles/test_prune_reorder.dir/test_reorder.cc.o"
+  "CMakeFiles/test_prune_reorder.dir/test_reorder.cc.o.d"
+  "test_prune_reorder"
+  "test_prune_reorder.pdb"
+  "test_prune_reorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prune_reorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qc.dir/test_circuit.cc.o"
+  "CMakeFiles/test_qc.dir/test_circuit.cc.o.d"
+  "CMakeFiles/test_qc.dir/test_dag.cc.o"
+  "CMakeFiles/test_qc.dir/test_dag.cc.o.d"
+  "CMakeFiles/test_qc.dir/test_fusion.cc.o"
+  "CMakeFiles/test_qc.dir/test_fusion.cc.o.d"
+  "CMakeFiles/test_qc.dir/test_gate.cc.o"
+  "CMakeFiles/test_qc.dir/test_gate.cc.o.d"
+  "CMakeFiles/test_qc.dir/test_matrix.cc.o"
+  "CMakeFiles/test_qc.dir/test_matrix.cc.o.d"
+  "CMakeFiles/test_qc.dir/test_qasm.cc.o"
+  "CMakeFiles/test_qc.dir/test_qasm.cc.o.d"
+  "test_qc"
+  "test_qc.pdb"
+  "test_qc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

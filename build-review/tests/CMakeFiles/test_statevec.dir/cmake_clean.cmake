@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_statevec.dir/test_apply.cc.o"
+  "CMakeFiles/test_statevec.dir/test_apply.cc.o.d"
+  "CMakeFiles/test_statevec.dir/test_apply_properties.cc.o"
+  "CMakeFiles/test_statevec.dir/test_apply_properties.cc.o.d"
+  "CMakeFiles/test_statevec.dir/test_chunked.cc.o"
+  "CMakeFiles/test_statevec.dir/test_chunked.cc.o.d"
+  "CMakeFiles/test_statevec.dir/test_measure.cc.o"
+  "CMakeFiles/test_statevec.dir/test_measure.cc.o.d"
+  "CMakeFiles/test_statevec.dir/test_observable.cc.o"
+  "CMakeFiles/test_statevec.dir/test_observable.cc.o.d"
+  "CMakeFiles/test_statevec.dir/test_snapshot.cc.o"
+  "CMakeFiles/test_statevec.dir/test_snapshot.cc.o.d"
+  "CMakeFiles/test_statevec.dir/test_state_vector.cc.o"
+  "CMakeFiles/test_statevec.dir/test_state_vector.cc.o.d"
+  "test_statevec"
+  "test_statevec.pdb"
+  "test_statevec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_statevec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_determinism.dir/test_thread_determinism.cc.o"
+  "CMakeFiles/test_thread_determinism.dir/test_thread_determinism.cc.o.d"
+  "test_thread_determinism"
+  "test_thread_determinism.pdb"
+  "test_thread_determinism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/test_common[1]_include.cmake")
+include("/root/repo/build-review/tests/test_qc[1]_include.cmake")
+include("/root/repo/build-review/tests/test_statevec[1]_include.cmake")
+include("/root/repo/build-review/tests/test_circuits[1]_include.cmake")
+include("/root/repo/build-review/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-review/tests/test_prune_reorder[1]_include.cmake")
+include("/root/repo/build-review/tests/test_compress[1]_include.cmake")
+include("/root/repo/build-review/tests/test_observability[1]_include.cmake")
+include("/root/repo/build-review/tests/test_differential[1]_include.cmake")
+include("/root/repo/build-review/tests/test_thread_determinism[1]_include.cmake")
+include("/root/repo/build-review/tests/test_engines[1]_include.cmake")
