@@ -3,10 +3,27 @@
  * Google-benchmark microbenchmarks for the gate-application kernels:
  * the actual (wall-clock) cost of the functional simulation layer on
  * this machine, per gate shape and state size.
+ *
+ * Two groups:
+ *  - BM_Apply*: end-to-end StateVector::apply cost (threading and
+ *    dispatch included), per gate shape and register size.
+ *  - BM_Kind*: single-thread generic-vs-specialized comparison per
+ *    KernelKind on one raw buffer. "Generic" is the accessor-based
+ *    kernels::applyK reference (the pre-dispatch k-qubit path),
+ *    "Routed" is kernels::applyGate (the old shape routing, kept as a
+ *    regression guard), "Dispatch" is the specialized contiguous
+ *    kernel behind applyKernel. The ISSUE acceptance bar is
+ *    Dispatch >= 2x Generic for dense-1q, diag-1q/2q, and ctrl-1q on
+ *    chunk-local (low) targets.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "common/rng.hh"
+#include "statevec/kernel_dispatch.hh"
+#include "statevec/kernels.hh"
 #include "statevec/state_vector.hh"
 
 namespace qgpu
@@ -79,6 +96,110 @@ BM_ApplyFused4q(benchmark::State &bench_state)
         static_cast<std::int64_t>(state.size()));
 }
 BENCHMARK(BM_ApplyFused4q)->Arg(12)->Arg(16);
+
+// ---------------------------------------------------------------------
+// Per-kind generic vs specialized, single thread, raw buffer.
+// ---------------------------------------------------------------------
+
+/** Register size for the per-kind comparisons. */
+constexpr int kKindQubits = 18;
+
+/** The gate exercising each kind, on chunk-local (low) targets. */
+Gate
+kindGate(KernelKind kind)
+{
+    switch (kind) {
+    case KernelKind::Diag1q:
+        return Gate(GateKind::RZ, {2}, {0.37});
+    case KernelKind::Diag2q:
+        return Gate(GateKind::CP, {1, 3}, {0.7});
+    case KernelKind::DiagK:
+        return Gate(GateKind::CCZ, {0, 2, 4});
+    case KernelKind::Perm1q:
+        return Gate(GateKind::X, {2});
+    case KernelKind::Ctrl1q:
+        return Gate(GateKind::CX, {1, 3});
+    case KernelKind::Dense1q:
+        return Gate(GateKind::H, {2});
+    case KernelKind::Dense2q:
+        return Gate(GateKind::RXX, {1, 3}, {0.9});
+    case KernelKind::DenseK:
+        return Gate(GateKind::CSWAP, {0, 2, 4});
+    }
+    return Gate(GateKind::H, {2});
+}
+
+std::vector<Amp>
+kindBuffer()
+{
+    Rng rng(1234);
+    std::vector<Amp> amps(stateSize(kKindQubits));
+    for (Amp &a : amps)
+        a = Amp{rng.nextDouble() * 2 - 1, rng.nextDouble() * 2 - 1};
+    return amps;
+}
+
+/** Generic baseline: the accessor-based applyK reference. */
+void
+BM_KindGeneric(benchmark::State &bench_state)
+{
+    const auto kind = static_cast<KernelKind>(bench_state.range(0));
+    const Gate gate = kindGate(kind);
+    const GateMatrix m = gate.matrix();
+    std::vector<Amp> amps = kindBuffer();
+    Amp *data = amps.data();
+    for (auto _ : bench_state) {
+        kernels::applyK([data](Index i) -> Amp & { return data[i]; },
+                        kKindQubits, gate.qubits, m);
+        benchmark::DoNotOptimize(data);
+    }
+    bench_state.SetLabel(kernelKindName(kind));
+    bench_state.SetItemsProcessed(
+        static_cast<std::int64_t>(bench_state.iterations()) *
+        static_cast<std::int64_t>(amps.size()));
+}
+BENCHMARK(BM_KindGeneric)->DenseRange(0, numKernelKinds - 1);
+
+/** Old shape routing (applyDiag1q/apply1q/applyDiagK/applyK). */
+void
+BM_KindRouted(benchmark::State &bench_state)
+{
+    const auto kind = static_cast<KernelKind>(bench_state.range(0));
+    const Gate gate = kindGate(kind);
+    std::vector<Amp> amps = kindBuffer();
+    Amp *data = amps.data();
+    for (auto _ : bench_state) {
+        kernels::applyGate(
+            [data](Index i) -> Amp & { return data[i]; },
+            kKindQubits, gate);
+        benchmark::DoNotOptimize(data);
+    }
+    bench_state.SetLabel(kernelKindName(kind));
+    bench_state.SetItemsProcessed(
+        static_cast<std::int64_t>(bench_state.iterations()) *
+        static_cast<std::int64_t>(amps.size()));
+}
+BENCHMARK(BM_KindRouted)->DenseRange(0, numKernelKinds - 1);
+
+/** Specialized contiguous kernels behind the dispatch layer. */
+void
+BM_KindDispatch(benchmark::State &bench_state)
+{
+    const auto kind = static_cast<KernelKind>(bench_state.range(0));
+    const Gate gate = kindGate(kind);
+    const KernelSpec spec = makeKernelSpec(gate);
+    std::vector<Amp> amps = kindBuffer();
+    Amp *data = amps.data();
+    for (auto _ : bench_state) {
+        applyKernel(spec, data, kKindQubits);
+        benchmark::DoNotOptimize(data);
+    }
+    bench_state.SetLabel(kernelKindName(kind));
+    bench_state.SetItemsProcessed(
+        static_cast<std::int64_t>(bench_state.iterations()) *
+        static_cast<std::int64_t>(amps.size()));
+}
+BENCHMARK(BM_KindDispatch)->DenseRange(0, numKernelKinds - 1);
 
 } // namespace
 } // namespace qgpu

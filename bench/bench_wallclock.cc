@@ -10,9 +10,12 @@
  * Usage: bench_wallclock [output.json] [--qubits n] [--repeats r]
  *                        [--threads a,b,...]
  *
- * Default thread counts are 1 and max(2, hardware_concurrency), so
- * the JSON always contains a serial and a parallel entry. Results are
- * bit-identical across thread counts (asserted per run).
+ * Default thread counts are {1, 2, 4, hardware_concurrency}
+ * (deduplicated), so the JSON always contains a serial entry plus a
+ * scaling sweep. Results are bit-identical across thread counts
+ * (asserted per run). The JSON also records the per-kernel-kind
+ * invocation/amplitude counters (kernel.* from the dispatch layer)
+ * accumulated over the whole run.
  */
 
 #include <algorithm>
@@ -76,7 +79,10 @@ main(int argc, char **argv)
     int qubits = 18;
     int repeats = 3;
     const int hw = ThreadPool::hardwareThreads();
-    std::vector<int> threads = {1, std::max(2, hw)};
+    std::vector<int> threads = {1, 2, 4, hw};
+    std::sort(threads.begin(), threads.end());
+    threads.erase(std::unique(threads.begin(), threads.end()),
+                  threads.end());
 
     for (int i = 1; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -159,7 +165,17 @@ main(int argc, char **argv)
             << ", \"threads\": " << e.threads
             << ", \"seconds\": " << e.seconds << "}";
     }
-    out << "\n ]}\n";
+    out << "\n ],\n \"kernel_counters\": {";
+    const auto &mr = MetricsRegistry::global();
+    bool first = true;
+    for (const auto &name : mr.counterNames()) {
+        if (name.rfind("kernel.", 0) != 0)
+            continue;
+        out << (first ? "" : ",") << "\n  \"" << name
+            << "\": " << mr.counter(name);
+        first = false;
+    }
+    out << "\n }}\n";
     std::printf("wrote %s (%zu entries)\n", out_path.c_str(),
                 entries.size());
     return 0;

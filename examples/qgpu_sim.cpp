@@ -19,6 +19,7 @@
 #include <string>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 #include "common/parallel.hh"
 #include "harness/experiment.hh"
 #include "qc/qasm.hh"
@@ -44,6 +45,7 @@ struct Args
     int threads = -1; // -1: keep QGPU_SIM_THREADS / default
     bool timeline = false;
     bool stats = false;
+    bool kernel_stats = false;
     std::string trace_path;
 };
 
@@ -74,6 +76,8 @@ usage(const char *argv0)
         "                        default: $QGPU_SIM_THREADS or 1)\n"
         "  --timeline            print the ASCII execution timeline\n"
         "  --stats               print every engine counter\n"
+        "  --kernel-stats        print per-kernel-kind dispatch "
+        "counters\n"
         "  --trace <file>        write a JSON execution trace "
         "(per-phase totals + spans)\n",
         argv0);
@@ -133,6 +137,8 @@ parse(int argc, char **argv)
             args.timeline = true;
         else if (flag == "--stats")
             args.stats = true;
+        else if (flag == "--kernel-stats")
+            args.kernel_stats = true;
         else if (flag == "--trace")
             args.trace_path = value();
         else
@@ -218,6 +224,23 @@ main(int argc, char **argv)
         std::printf("\n%s", result.timeline.render(100).c_str());
     if (args.stats)
         std::printf("\nstats:\n%s", result.stats.toString().c_str());
+    if (args.kernel_stats) {
+        // kernel.<kind>.invocations / kernel.<kind>.amps, published
+        // by the dispatch layer (statevec/kernel_dispatch.hh).
+        const auto &mr = MetricsRegistry::global();
+        std::printf("\nkernel dispatch counters:\n");
+        bool any = false;
+        for (const auto &name : mr.counterNames()) {
+            if (name.rfind("kernel.", 0) != 0)
+                continue;
+            std::printf("  %-28s %.0f\n", name.c_str(),
+                        mr.counter(name));
+            any = true;
+        }
+        if (!any)
+            std::printf("  (none -- engine bypassed the dispatch "
+                        "layer)\n");
+    }
     if (!args.trace_path.empty()) {
         harness::writeRunReport(result, args.trace_path);
         std::printf("\ntrace: %zu spans -> %s\n",

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Build (if needed) and run the wall-clock scaling bench, producing
 # BENCH_wallclock.json in the repo root: real seconds per circuit
-# family at 1 host thread and at max(2, hardware) threads, min over
-# repeats. See bench/bench_wallclock.cc for the JSON schema.
+# family at 1/2/4/hardware host threads (deduplicated), min over
+# repeats, plus the per-kernel-kind dispatch counters. See
+# bench/bench_wallclock.cc for the JSON schema.
 #
 # Usage: scripts/bench_wallclock.sh [extra bench_wallclock args...]
 #   BUILD_DIR=...  override the build directory (default build)

@@ -7,6 +7,11 @@
 #   --tsan         additionally build with -DQGPU_SANITIZE=thread (in
 #                  its own build-tsan directory) and run the
 #                  parallelism-focused tests under ThreadSanitizer
+#
+# The default pass also rebuilds the kernel differential suite with
+# -DQGPU_NATIVE=ON (build-check-native) and reruns it there, so the
+# tolerance-0 specialized-vs-generic guarantee is checked under the
+# vectorized -march=native code generation too.
 #   BUILD_DIR=...  override the build directory (default build-check,
 #                  kept separate from the default `build` so -Werror
 #                  does not pollute incremental developer builds)
@@ -28,6 +33,18 @@ done
 cmake -B "$BUILD_DIR" -S . -DCMAKE_CXX_FLAGS="-Werror"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS"
+
+# Kernel differential suite again under -march=native: FMA contraction
+# or wider vectors must not break the bit-identity contract
+# (QGPU_NATIVE disables -ffp-contract, FMA3, and AVX-512 for exactly
+# this reason -- GCC's complex-multiply vectorization pattern emits
+# vfmaddsub through either set regardless of -ffp-contract).
+NATIVE_DIR="${NATIVE_DIR:-build-check-native}"
+echo "== QGPU_NATIVE kernel differential pass ($NATIVE_DIR) =="
+cmake -B "$NATIVE_DIR" -S . -DQGPU_NATIVE=ON
+cmake --build "$NATIVE_DIR" -j "$JOBS" --target test_kernel_dispatch
+ctest --test-dir "$NATIVE_DIR" --output-on-failure -j "$JOBS" \
+    -R 'KernelDispatch'
 
 if [ "$RUN_TSAN" -eq 1 ]; then
     TSAN_DIR="${TSAN_DIR:-build-tsan}"

@@ -19,6 +19,12 @@
  *   run.wall_time           histogram of engine-run wall seconds
  *   apply.wall_time         histogram of per-gate chunked/flat apply
  *                           wall seconds
+ *
+ * Kernel-dispatch counters (statevec/kernel_dispatch.hh), one pair
+ * per KernelKind name (diag1q, diag2q, diagk, perm1q, ctrl1q,
+ * dense1q, dense2q, densek):
+ *   kernel.<kind>.invocations  counter, one per gate application
+ *   kernel.<kind>.amps         counter, amplitudes touched
  */
 
 #ifndef QGPU_COMMON_METRICS_HH

@@ -281,10 +281,41 @@ Gate::isDiagonal() const
       case GateKind::CCZ:
         return true;
       case GateKind::Custom:
-        return matrix().isDiagonal();
+        return customShape_ == GateShape::Diagonal;
       default:
         return false;
     }
+}
+
+bool
+Gate::isPermutation() const
+{
+    if (isDiagonal())
+        return true;
+    switch (kind) {
+      case GateKind::X:
+      case GateKind::Y:
+      case GateKind::CX:
+      case GateKind::CY:
+      case GateKind::SWAP:
+      case GateKind::CCX:
+      case GateKind::CSWAP:
+        return true;
+      case GateKind::Custom:
+        return customShape_ == GateShape::Permutation;
+      default:
+        return false;
+    }
+}
+
+GateShape
+Gate::shape() const
+{
+    if (isDiagonal())
+        return GateShape::Diagonal;
+    if (isPermutation())
+        return GateShape::Permutation;
+    return GateShape::Dense;
 }
 
 int
@@ -324,6 +355,12 @@ Gate::makeCustom(std::vector<int> qubits, std::vector<Amp> matrix)
     if (m.numQubits() != g.numQubits())
         QGPU_PANIC("custom gate matrix covers ", m.numQubits(),
                    " qubits but ", g.numQubits(), " targets given");
+    if (m.isDiagonal())
+        g.customShape_ = GateShape::Diagonal;
+    else if (m.isPermutation())
+        g.customShape_ = GateShape::Permutation;
+    else
+        g.customShape_ = GateShape::Dense;
     return g;
 }
 

@@ -49,6 +49,18 @@ enum class GateKind
     Custom, ///< arbitrary unitary carried inline
 };
 
+/**
+ * Structural shape of a gate's unitary, in decreasing specialization
+ * order. Diagonal matrices are also (generalized) permutations; the
+ * classifier reports the most specific shape.
+ */
+enum class GateShape
+{
+    Diagonal,    ///< non-zeros only on the diagonal
+    Permutation, ///< exactly one non-zero per row/column, off-diagonal
+    Dense,       ///< anything else
+};
+
 /** Printable lower-case mnemonic (matches OpenQASM where one exists). */
 const char *gateKindName(GateKind kind);
 
@@ -91,9 +103,24 @@ struct Gate
     /**
      * True iff the unitary is diagonal in the computational basis
      * (Z, S, T, RZ, P, CZ, CP, CRZ, CCZ). Diagonal gates touch each
-     * amplitude independently, which matters for kernel cost.
+     * amplitude independently, which matters for kernel cost. For
+     * Custom gates this consults the shape cached at makeCustom time,
+     * so fused diagonal runs keep their diagonal fast path without
+     * re-inspecting the matrix per call.
      */
     bool isDiagonal() const;
+
+    /**
+     * True iff the unitary is a generalized permutation matrix
+     * (diagonal gates included): each amplitude maps to exactly one
+     * amplitude times a phase. X, Y, CX, SWAP, and fused runs of such
+     * gates qualify; the dispatch layer runs them without the dense
+     * matvec.
+     */
+    bool isPermutation() const;
+
+    /** Most specific structural shape (Diagonal ⊂ Permutation ⊂ Dense). */
+    GateShape shape() const;
 
     /** Largest target qubit index. */
     int maxQubit() const;
@@ -101,9 +128,17 @@ struct Gate
     /** Human-readable description, e.g. "cx q1, q4". */
     std::string toString() const;
 
-    /** Gate with an explicit custom matrix. */
+    /**
+     * Gate with an explicit custom matrix. Classifies the matrix
+     * shape once (diagonal / permutation / dense) and caches it, so
+     * hot-path isDiagonal()/shape() queries never rebuild the matrix.
+     */
     static Gate
     makeCustom(std::vector<int> qubits, std::vector<Amp> matrix);
+
+  private:
+    /** Cached shape for Custom gates (set by makeCustom). */
+    GateShape customShape_ = GateShape::Dense;
 };
 
 } // namespace qgpu

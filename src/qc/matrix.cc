@@ -108,6 +108,26 @@ GateMatrix::isDiagonal(double tol) const
     return true;
 }
 
+bool
+GateMatrix::isPermutation(double tol) const
+{
+    std::vector<int> col_hits(dim_, 0);
+    for (int r = 0; r < dim_; ++r) {
+        int row_hits = 0;
+        for (int c = 0; c < dim_; ++c)
+            if (std::abs(at(r, c)) > tol) {
+                ++row_hits;
+                ++col_hits[c];
+            }
+        if (row_hits != 1)
+            return false;
+    }
+    for (int c = 0; c < dim_; ++c)
+        if (col_hits[c] != 1)
+            return false;
+    return true;
+}
+
 GateMatrix
 GateMatrix::identity(int dim)
 {

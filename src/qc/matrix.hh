@@ -61,6 +61,14 @@ class GateMatrix
     /** True iff all off-diagonal entries are below @p tol. */
     bool isDiagonal(double tol = 1e-12) const;
 
+    /**
+     * True iff this is a generalized permutation matrix: exactly one
+     * entry above @p tol in every row and every column. Such gates
+     * move amplitudes (with a phase) instead of mixing them, which
+     * the kernel-dispatch layer exploits (X-like kernels).
+     */
+    bool isPermutation(double tol = 1e-12) const;
+
     static GateMatrix identity(int dim);
 
   private:

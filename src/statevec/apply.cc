@@ -5,7 +5,7 @@
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "common/parallel.hh"
-#include "statevec/kernels.hh"
+#include "statevec/kernel_dispatch.hh"
 
 namespace qgpu
 {
@@ -56,27 +56,39 @@ GatePlan::members(Index group) const
 namespace
 {
 
+/** Kernel kind of a k-qubit diagonal gate (for the metrics counters). */
+KernelKind
+diagKindOf(int k)
+{
+    if (k == 1)
+        return KernelKind::Diag1q;
+    if (k == 2)
+        return KernelKind::Diag2q;
+    return KernelKind::DiagK;
+}
+
 /**
- * Apply a diagonal gate to one chunk. The diagonal entry selector
- * depends on the full global index, so fold the chunk index in.
+ * Apply a diagonal gate to one chunk. Selector bits contributed by
+ * targets above the chunk boundary are constant for the chunk, so
+ * they fold into the diagonal lookup and the chunk-local bits drive
+ * the specialized contiguous diag kernels.
  */
 void
-applyDiagToChunk(ChunkedStateVector &state, const Gate &gate,
-                 Index chunk_idx)
+applyDiagToChunk(ChunkedStateVector &state, const GateMatrix &m,
+                 const std::vector<int> &qubits, Index chunk_idx)
 {
-    const GateMatrix m = gate.matrix();
-    const int k = gate.numQubits();
+    const int k = static_cast<int>(qubits.size());
     const int chunk_bits = state.chunkBits();
-    auto &data = state.chunk(chunk_idx);
+    Amp *data = state.chunk(chunk_idx).data();
     const Index chunk_base = chunk_idx << chunk_bits;
 
-    // Selector bits contributed by the chunk index are constant.
     int fixed_sel = 0;
-    std::vector<std::pair<int, int>> local; // (offset bit, selector bit)
+    std::vector<std::pair<int, int>> local; // (chunk bit, selector shift)
     for (int j = 0; j < k; ++j) {
-        const int q = gate.qubits[j];
+        const int q = qubits[j];
         if (q >= chunk_bits)
-            fixed_sel |= bits::testBit(chunk_base, q) << j;
+            fixed_sel |= static_cast<int>(bits::testBit(chunk_base, q))
+                         << j;
         else
             local.emplace_back(q, j);
     }
@@ -86,42 +98,37 @@ applyDiagToChunk(ChunkedStateVector &state, const Gate &gate,
     // All targets above the chunk boundary: one constant diagonal
     // entry scales the whole chunk.
     if (local.empty()) {
-        const Amp factor = m.at(fixed_sel, fixed_sel);
-        for (Index off = 0; off < size; ++off)
-            data[off] *= factor;
+        kern::scale(data, m.at(fixed_sel, fixed_sel), 0, size);
         return;
     }
-
-    // One or two chunk-local bits: precompute the 2/4-entry selector
-    // lookup so the per-amplitude cost is bit tests, not a vector
-    // iteration.
-    if (local.size() <= 2) {
+    if (local.size() == 1) {
+        const auto [q0, j0] = local[0];
+        const int sel1 = fixed_sel | (1 << j0);
+        kern::diag1(data, q0, m.at(fixed_sel, fixed_sel),
+                    m.at(sel1, sel1), 0, size);
+        return;
+    }
+    if (local.size() == 2) {
+        auto [qa, ja] = local[0];
+        auto [qb, jb] = local[1];
+        if (qa > qb) {
+            std::swap(qa, qb);
+            std::swap(ja, jb);
+        }
         Amp lut[4];
-        const int combos = 1 << local.size();
-        for (int c = 0; c < combos; ++c) {
-            int sel = fixed_sel;
-            for (std::size_t j = 0; j < local.size(); ++j)
-                if (c & (1 << j))
-                    sel |= 1 << local[j].second;
+        for (int c = 0; c < 4; ++c) {
+            const int sel = fixed_sel | ((c & 1) << ja) |
+                            (((c >> 1) & 1) << jb);
             lut[c] = m.at(sel, sel);
         }
-        const int q0 = local[0].first;
-        if (local.size() == 1) {
-            for (Index off = 0; off < size; ++off)
-                data[off] *= lut[bits::testBit(off, q0)];
-        } else {
-            const int q1 = local[1].first;
-            for (Index off = 0; off < size; ++off)
-                data[off] *= lut[bits::testBit(off, q0) |
-                                 (bits::testBit(off, q1) << 1)];
-        }
+        kern::diag2(data, qa, qb, lut, 0, size);
         return;
     }
 
     for (Index off = 0; off < size; ++off) {
         int sel = fixed_sel;
         for (const auto &[q, j] : local)
-            sel |= bits::testBit(off, q) << j;
+            sel |= static_cast<int>(bits::testBit(off, q)) << j;
         data[off] *= m.at(sel, sel);
     }
 }
@@ -144,46 +151,41 @@ remapGateForGroup(const Gate &gate, const std::vector<int> &global_bits,
     return out;
 }
 
-/** Case-1 body: the group is a single chunk. */
+/** Case-1 body, non-diagonal: all targets live below the chunk
+ *  boundary, so the specialized kernels run directly on the chunk. */
 void
-applyToSingleChunk(ChunkedStateVector &state, const Gate &gate,
-                   Index chunk_idx)
+applySpecToChunk(ChunkedStateVector &state, const KernelSpec &spec,
+                 Index chunk_idx)
 {
-    if (gate.isDiagonal()) {
-        applyDiagToChunk(state, gate, chunk_idx);
-        return;
-    }
-    // All targets live below the chunk boundary: apply inside the
-    // chunk as if it were a small register.
-    Amp *data = state.chunk(chunk_idx).data();
-    kernels::applyGate([data](Index i) -> Amp & { return data[i]; },
-                       state.chunkBits(), gate);
+    applyKernel(spec, state.chunk(chunk_idx).data(),
+                state.chunkBits());
 }
 
 /**
- * Case-2 body with scratch.members already filled: assemble the
- * sub-register spanning the member chunks. @p remapped is the gate
- * with targets moved into the group-local register (identical for
- * every group of a plan, so callers hoist it).
+ * Case-2 body with scratch.members already filled: gather the member
+ * chunks into the worker's contiguous register, run the specialized
+ * kernel there, and scatter back. @p spec is built from the gate with
+ * targets remapped into the group-local register (identical for every
+ * group of a plan, so callers hoist it).
  */
 void
-applyGroupPrepared(ChunkedStateVector &state, const Gate &remapped,
+applyGroupPrepared(ChunkedStateVector &state, const KernelSpec &spec,
                    const GatePlan &plan, GroupScratch &scratch)
 {
-    const int chunk_bits = state.chunkBits();
     const int sub_qubits =
-        chunk_bits + static_cast<int>(plan.globalBits().size());
-    const Index offset_mask = bits::lowMask(chunk_bits);
+        state.chunkBits() + static_cast<int>(plan.globalBits().size());
+    scratch.gathered.resize(stateSize(sub_qubits));
+    state.gatherChunks(scratch.members, scratch.gathered.data());
+    applyKernel(spec, scratch.gathered.data(), sub_qubits);
+    state.scatterChunks(scratch.members, scratch.gathered.data());
+}
 
-    scratch.bufs.resize(scratch.members.size());
-    for (std::size_t s = 0; s < scratch.members.size(); ++s)
-        scratch.bufs[s] = state.chunk(scratch.members[s]).data();
-    Amp *const *bufs = scratch.bufs.data();
-
-    auto accessor = [bufs, chunk_bits, offset_mask](Index i) -> Amp & {
-        return bufs[i >> chunk_bits][i & offset_mask];
-    };
-    kernels::applyGate(accessor, sub_qubits, remapped);
+/** Modeled amplitudes written by one full application of @p spec. */
+Index
+specAmps(const KernelSpec &spec, int num_qubits)
+{
+    return kernelWorkItems(spec, num_qubits) *
+           static_cast<Index>(kernelItemWidth(spec));
 }
 
 } // namespace
@@ -193,14 +195,18 @@ applyGroup(ChunkedStateVector &state, const Gate &gate,
            const GatePlan &plan, Index group)
 {
     if (plan.perChunk()) {
-        applyToSingleChunk(state, gate, group);
+        if (gate.isDiagonal())
+            applyDiagToChunk(state, gate.matrix(), gate.qubits,
+                             group);
+        else
+            applySpecToChunk(state, makeKernelSpec(gate), group);
         return;
     }
     GroupScratch scratch;
     plan.membersInto(group, scratch.members);
     const Gate remapped = remapGateForGroup(gate, plan.globalBits(),
                                             state.chunkBits());
-    applyGroupPrepared(state, remapped, plan, scratch);
+    applyGroupPrepared(state, makeKernelSpec(remapped), plan, scratch);
 }
 
 void
@@ -211,27 +217,50 @@ applyGroups(ChunkedStateVector &state, const Gate &gate,
         return;
     const int threads = simThreads();
     if (plan.perChunk()) {
+        if (gate.isDiagonal()) {
+            const GateMatrix m = gate.matrix();
+            parallelFor(
+                0, groups.size(), threads,
+                [&](std::uint64_t lo, std::uint64_t hi) {
+                    for (std::uint64_t i = lo; i < hi; ++i)
+                        applyDiagToChunk(state, m, gate.qubits,
+                                         groups[i]);
+                },
+                1);
+            recordKernelMetrics(diagKindOf(gate.numQubits()),
+                                groups.size() * state.chunkSize());
+            return;
+        }
+        const KernelSpec spec = makeKernelSpec(gate);
         parallelFor(
             0, groups.size(), threads,
             [&](std::uint64_t lo, std::uint64_t hi) {
                 for (std::uint64_t i = lo; i < hi; ++i)
-                    applyToSingleChunk(state, gate, groups[i]);
+                    applySpecToChunk(state, spec, groups[i]);
             },
             1);
+        recordKernelMetrics(spec.kind,
+                            groups.size() *
+                                specAmps(spec, state.chunkBits()));
         return;
     }
     const Gate remapped = remapGateForGroup(gate, plan.globalBits(),
                                             state.chunkBits());
+    const KernelSpec spec = makeKernelSpec(remapped);
+    const int sub_qubits =
+        state.chunkBits() + static_cast<int>(plan.globalBits().size());
     parallelFor(
         0, groups.size(), threads,
         [&](std::uint64_t lo, std::uint64_t hi) {
             GroupScratch scratch;
             for (std::uint64_t i = lo; i < hi; ++i) {
                 plan.membersInto(groups[i], scratch.members);
-                applyGroupPrepared(state, remapped, plan, scratch);
+                applyGroupPrepared(state, spec, plan, scratch);
             }
         },
         1);
+    recordKernelMetrics(spec.kind,
+                        groups.size() * specAmps(spec, sub_qubits));
 }
 
 void
@@ -252,35 +281,66 @@ applyGateChunked(ChunkedStateVector &state, const Gate &gate,
                    plan.chunksPerGroup(), " chunks");
 
     const int threads = simThreads();
-    const Gate remapped =
-        plan.perChunk()
-            ? gate
-            : remapGateForGroup(gate, plan.globalBits(),
-                                state.chunkBits());
-    parallelFor(
-        0, plan.numGroups(), threads,
-        [&](std::uint64_t lo, std::uint64_t hi) {
-            GroupScratch scratch;
-            for (Index g = lo; g < hi; ++g) {
-                // Compute the member list once per group; the prune
-                // check and the apply below share it.
-                plan.membersInto(g, scratch.members);
-                if (zero) {
-                    const bool all_zero = std::all_of(
-                        scratch.members.begin(),
-                        scratch.members.end(),
-                        [&zero](Index c) { return zero(c); });
-                    if (all_zero)
+    if (gate.isDiagonal()) {
+        const GateMatrix m = gate.matrix();
+        parallelFor(
+            0, plan.numGroups(), threads,
+            [&](std::uint64_t lo, std::uint64_t hi) {
+                for (Index g = lo; g < hi; ++g) {
+                    if (zero && zero(g))
                         continue;
+                    applyDiagToChunk(state, m, gate.qubits, g);
                 }
-                if (plan.perChunk())
-                    applyToSingleChunk(state, gate, g);
-                else
-                    applyGroupPrepared(state, remapped, plan,
-                                       scratch);
-            }
-        },
-        1);
+            },
+            1);
+        recordKernelMetrics(diagKindOf(gate.numQubits()),
+                            stateSize(state.numQubits()));
+    } else if (plan.perChunk()) {
+        const KernelSpec spec = makeKernelSpec(gate);
+        parallelFor(
+            0, plan.numGroups(), threads,
+            [&](std::uint64_t lo, std::uint64_t hi) {
+                for (Index g = lo; g < hi; ++g) {
+                    if (zero && zero(g))
+                        continue;
+                    applySpecToChunk(state, spec, g);
+                }
+            },
+            1);
+        recordKernelMetrics(spec.kind,
+                            plan.numGroups() *
+                                specAmps(spec, state.chunkBits()));
+    } else {
+        const Gate remapped = remapGateForGroup(
+            gate, plan.globalBits(), state.chunkBits());
+        const KernelSpec spec = makeKernelSpec(remapped);
+        const int sub_qubits =
+            state.chunkBits() +
+            static_cast<int>(plan.globalBits().size());
+        parallelFor(
+            0, plan.numGroups(), threads,
+            [&](std::uint64_t lo, std::uint64_t hi) {
+                GroupScratch scratch;
+                for (Index g = lo; g < hi; ++g) {
+                    // Compute the member list once per group; the
+                    // prune check and the apply below share it.
+                    plan.membersInto(g, scratch.members);
+                    if (zero) {
+                        const bool all_zero = std::all_of(
+                            scratch.members.begin(),
+                            scratch.members.end(),
+                            [&zero](Index c) { return zero(c); });
+                        if (all_zero)
+                            continue;
+                    }
+                    applyGroupPrepared(state, spec, plan, scratch);
+                }
+            },
+            1);
+        recordKernelMetrics(spec.kind,
+                            plan.numGroups() *
+                                specAmps(spec, sub_qubits));
+    }
     MetricsRegistry::global().observe("apply.wall_time",
                                       wall.seconds());
 }

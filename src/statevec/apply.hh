@@ -15,6 +15,12 @@
  * (common/thread_pool.hh) when simThreads() > 1. Each worker reuses
  * one GroupScratch across its groups, so the hot loop performs no
  * per-group heap allocation.
+ *
+ * Gate application itself goes through the kernel-dispatch layer
+ * (statevec/kernel_dispatch.hh): each gate is classified once into a
+ * KernelKind, chunk-local groups run the specialized contiguous
+ * kernels directly on the chunk, and cross-chunk groups are gathered
+ * into a per-worker contiguous register, updated, and scattered back.
  */
 
 #ifndef QGPU_STATEVEC_APPLY_HH
@@ -68,13 +74,16 @@ class GatePlan
 
 /**
  * Per-worker reusable buffers for group application: the member chunk
- * indices and their data pointers. One instance per worker replaces
- * the former per-group heap allocations.
+ * indices and the contiguous gather register. Cross-chunk groups are
+ * gathered into @c gathered, updated there by the specialized
+ * contiguous kernels (statevec/kernel_dispatch.hh), and scattered
+ * back; reusing one instance per worker keeps the hot loop free of
+ * per-group heap allocation.
  */
 struct GroupScratch
 {
     std::vector<Index> members;
-    std::vector<Amp *> bufs;
+    std::vector<Amp> gathered;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "statevec/chunked.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -44,6 +45,27 @@ ChunkedStateVector::chunkIsZero(Index c) const
         if (a != Amp{0, 0})
             return false;
     return true;
+}
+
+void
+ChunkedStateVector::gatherChunks(std::span<const Index> members,
+                                 Amp *dst) const
+{
+    const Index size = chunkSize();
+    for (std::size_t s = 0; s < members.size(); ++s) {
+        const std::vector<Amp> &src = chunks_[members[s]];
+        std::copy(src.begin(), src.end(), dst + s * size);
+    }
+}
+
+void
+ChunkedStateVector::scatterChunks(std::span<const Index> members,
+                                  const Amp *src)
+{
+    const Index size = chunkSize();
+    for (std::size_t s = 0; s < members.size(); ++s)
+        std::copy(src + s * size, src + (s + 1) * size,
+                  chunks_[members[s]].begin());
 }
 
 StateVector

@@ -9,6 +9,7 @@
 #ifndef QGPU_STATEVEC_CHUNKED_HH
 #define QGPU_STATEVEC_CHUNKED_HH
 
+#include <span>
 #include <vector>
 
 #include "common/bits.hh"
@@ -51,6 +52,18 @@ class ChunkedStateVector
 
     /** True iff every amplitude in chunk @p c is exactly zero. */
     bool chunkIsZero(Index c) const;
+
+    /**
+     * Copy the listed chunks, in order, into the contiguous buffer at
+     * @p dst (which must hold members.size() * chunkSize() amps).
+     * With @p members from GatePlan::membersInto this assembles the
+     * sub-register a cross-chunk gate group acts on; the dispatch
+     * layer runs its contiguous fast kernels on it and scatters back.
+     */
+    void gatherChunks(std::span<const Index> members, Amp *dst) const;
+
+    /** Inverse of gatherChunks: copy the buffer back into the chunks. */
+    void scatterChunks(std::span<const Index> members, const Amp *src);
 
     /** Copy out as a flat state vector. */
     StateVector toFlat() const;

@@ -1,12 +1,17 @@
 /**
  * @file
- * Gate-application kernels, templated over an amplitude accessor so the
- * same code drives both the flat reference simulator and the chunked
- * state vector. These are the "vector-matrix multiplications in the
- * form of Equation 8" the paper describes.
+ * Generic gate-application kernels, templated over an amplitude
+ * accessor. These are the "vector-matrix multiplications in the form
+ * of Equation 8" the paper describes.
  *
  * An Accessor is any callable mapping a global amplitude index to an
  * Amp reference.
+ *
+ * Since the kernel-dispatch layer landed (kernel_dispatch.hh), the
+ * simulators run specialized contiguous kernels instead; this file is
+ * the REFERENCE implementation the dispatch layer is differentially
+ * tested against (bit-identical, tolerance 0), and still drives the
+ * dense k-qubit case and non-contiguous accessors.
  */
 
 #ifndef QGPU_STATEVEC_KERNELS_HH

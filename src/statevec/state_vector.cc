@@ -6,7 +6,7 @@
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "common/parallel.hh"
-#include "statevec/kernels.hh"
+#include "statevec/kernel_dispatch.hh"
 
 namespace qgpu
 {
@@ -22,22 +22,22 @@ StateVector::apply(const Gate &gate)
 {
     const WallClock wall;
     Amp *data = amps_.data();
-    const auto accessor = [data](Index i) -> Amp & {
-        return data[i];
-    };
+    const KernelSpec spec = makeKernelSpec(gate);
+    const Index items = kernelWorkItems(spec, numQubits_);
     const int threads = simThreads();
     if (threads <= 1) {
-        kernels::applyGate(accessor, numQubits_, gate);
+        applyKernel(spec, data, numQubits_, 0, items);
     } else {
         // Work items (pairs/groups/amplitudes) are independent, so
         // the range splits freely across the pool's workers.
-        const Index items = kernels::gateWorkItems(gate, numQubits_);
         parallelFor(0, items, threads,
                     [&](std::uint64_t lo, std::uint64_t hi) {
-                        kernels::applyGate(accessor, numQubits_, gate,
-                                           lo, hi);
+                        applyKernel(spec, data, numQubits_, lo, hi);
                     });
     }
+    recordKernelMetrics(spec.kind,
+                        items * static_cast<Index>(
+                                    kernelItemWidth(spec)));
     MetricsRegistry::global().observe("apply.wall_time",
                                       wall.seconds());
 }
