@@ -13,9 +13,15 @@
  * Default thread counts are {1, 2, 4, hardware_concurrency}
  * (deduplicated), so the JSON always contains a serial entry plus a
  * scaling sweep. Results are bit-identical across thread counts
- * (asserted per run). The JSON also records the per-kernel-kind
- * invocation/amplitude counters (kernel.* from the dispatch layer)
- * accumulated over the whole run.
+ * (asserted per run). Each entry records the true hardware thread
+ * count's effect: requested counts above it are clamped by the
+ * dispatch layer, so the entry carries threads_effective and an
+ * oversubscribed flag, plus its speedup over the family's serial
+ * entry and the sweep counters (sweeps = full passes over the state;
+ * gate-by-gate execution would pay one pass per gate). The JSON also
+ * records the per-kernel-kind invocation/amplitude counters (kernel.*
+ * from the dispatch layer) accumulated over the whole run, and a
+ * per-family sweep_table (scripts/bench_sweeps.sh renders it).
  */
 
 #include <algorithm>
@@ -31,6 +37,7 @@
 #include "common/metrics.hh"
 #include "common/parallel.hh"
 #include "common/thread_pool.hh"
+#include "sched/sweep.hh"
 #include "statevec/apply.hh"
 
 using namespace qgpu;
@@ -43,8 +50,28 @@ struct Entry
     std::string family;
     int qubits;
     int threads;
+    int threadsEffective;
     double seconds; // min over repeats
+    double speedup; // family's first (serial) entry over this one
+    std::size_t gates;
+    std::size_t statePasses; // sweeps executed = passes over the state
 };
+
+/** Passes-over-the-state accounting for one circuit at a chunk size. */
+struct SweepStats
+{
+    std::size_t gates = 0;
+    std::size_t sweeps = 0;
+};
+
+SweepStats
+sweepStats(const Circuit &circuit, int chunk_bits)
+{
+    SweepStats s;
+    s.gates = circuit.gates().size();
+    s.sweeps = scheduleSweeps(circuit.gates(), chunk_bits).size();
+    return s;
+}
 
 /** Min-over-repeats wall seconds for one (family, threads) cell. */
 double
@@ -119,10 +146,13 @@ main(int argc, char **argv)
                 qubits, chunk_bits, repeats, hw);
 
     std::vector<Entry> entries;
+    std::vector<std::pair<std::string, SweepStats>> sweep_table;
     for (const auto &family : families) {
         const Circuit circuit =
             circuits::makeBenchmark(family, qubits);
-        double serial_checksum = 0.0;
+        sweep_table.emplace_back(family,
+                                 sweepStats(circuit, chunk_bits));
+        double serial_checksum = 0.0, serial_secs = 0.0;
         for (std::size_t t = 0; t < threads.size(); ++t) {
             double checksum = 0.0;
             const double secs =
@@ -130,23 +160,27 @@ main(int argc, char **argv)
                            checksum);
             if (t == 0) {
                 serial_checksum = checksum;
+                serial_secs = secs;
             } else if (checksum != serial_checksum) {
                 QGPU_FATAL(family, ": norm ", checksum, " at ",
                            threads[t], " threads != ",
                            serial_checksum, " at ", threads[0]);
             }
+            const int eff = std::min(threads[t], hw);
             if (t == 0) {
                 std::printf("  %-8s %2d threads: %8.4f s\n",
                             family.c_str(), threads[t], secs);
             } else {
-                const double base =
-                    entries[entries.size() - t].seconds;
                 std::printf("  %-8s %2d threads: %8.4f s  "
-                            "(x%.2f vs %d-thread)\n",
+                            "(x%.2f vs %d-thread%s)\n",
                             family.c_str(), threads[t], secs,
-                            base / secs, threads[0]);
+                            serial_secs / secs, threads[0],
+                            eff != threads[t] ? ", clamped" : "");
             }
-            entries.push_back({family, qubits, threads[t], secs});
+            const SweepStats &ss = sweep_table.back().second;
+            entries.push_back({family, qubits, threads[t], eff, secs,
+                               serial_secs / secs, ss.gates,
+                               ss.sweeps});
         }
     }
 
@@ -163,7 +197,24 @@ main(int argc, char **argv)
         out << (i == 0 ? "" : ",") << "\n  {\"family\": \""
             << e.family << "\", \"qubits\": " << e.qubits
             << ", \"threads\": " << e.threads
-            << ", \"seconds\": " << e.seconds << "}";
+            << ", \"threads_effective\": " << e.threadsEffective
+            << ", \"oversubscribed\": "
+            << (e.threads > e.threadsEffective ? "true" : "false")
+            << ", \"seconds\": " << e.seconds
+            << ", \"speedup_vs_1t\": " << e.speedup
+            << ", \"gates\": " << e.gates
+            << ", \"state_passes\": " << e.statePasses << "}";
+    }
+    out << "\n ],\n \"sweep_table\": [";
+    for (std::size_t i = 0; i < sweep_table.size(); ++i) {
+        const auto &[family, s] = sweep_table[i];
+        out << (i == 0 ? "" : ",") << "\n  {\"family\": \"" << family
+            << "\", \"gates\": " << s.gates
+            << ", \"state_passes\": " << s.sweeps
+            << ", \"gates_per_sweep\": "
+            << (static_cast<double>(s.gates) /
+                static_cast<double>(s.sweeps))
+            << "}";
     }
     out << "\n ],\n \"kernel_counters\": {";
     const auto &mr = MetricsRegistry::global();

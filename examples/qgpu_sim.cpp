@@ -46,6 +46,7 @@ struct Args
     bool timeline = false;
     bool stats = false;
     bool kernel_stats = false;
+    bool sweep_stats = false;
     std::string trace_path;
 };
 
@@ -78,6 +79,8 @@ usage(const char *argv0)
         "  --stats               print every engine counter\n"
         "  --kernel-stats        print per-kernel-kind dispatch "
         "counters\n"
+        "  --sweep-stats         print sweep-executor counters "
+        "(passes over the state vs gates)\n"
         "  --trace <file>        write a JSON execution trace "
         "(per-phase totals + spans)\n",
         argv0);
@@ -139,6 +142,8 @@ parse(int argc, char **argv)
             args.stats = true;
         else if (flag == "--kernel-stats")
             args.kernel_stats = true;
+        else if (flag == "--sweep-stats")
+            args.sweep_stats = true;
         else if (flag == "--trace")
             args.trace_path = value();
         else
@@ -240,6 +245,28 @@ main(int argc, char **argv)
         if (!any)
             std::printf("  (none -- engine bypassed the dispatch "
                         "layer)\n");
+    }
+    if (args.sweep_stats) {
+        // sweep.* counters from the sweep executor
+        // (statevec/apply.hh): passes over the state = sweeps, not
+        // gates, so gates/sweep is the batching factor.
+        const auto &mr = MetricsRegistry::global();
+        const double sweeps = mr.counter("sweep.count");
+        const double passes = mr.counter("sweep.state_passes");
+        const Histogram per = mr.histogram("sweep.gates_per_sweep");
+        std::printf("\nsweep executor counters:\n");
+        if (sweeps == 0.0) {
+            std::printf("  (none -- engine bypassed the sweep "
+                        "executor)\n");
+        } else {
+            std::printf("  sweeps executed:     %.0f\n", sweeps);
+            std::printf("  state passes:        %.0f (vs %zu gates "
+                        "gate-by-gate)\n",
+                        passes, circuit.numGates());
+            std::printf("  gates per sweep:     %.2f mean, %.0f "
+                        "max\n",
+                        per.mean(), per.max());
+        }
     }
     if (!args.trace_path.empty()) {
         harness::writeRunReport(result, args.trace_path);

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Refresh the passes-per-circuit sweep table in BENCH_wallclock.json
+# and print it: per family, the gate count, the number of full passes
+# over the state the sweep executor actually makes (state_passes =
+# sweeps scheduled), and the resulting gates-per-sweep batching
+# factor. Gate-by-gate execution would pay one pass per gate, so
+# gates_per_sweep is the memory-traffic reduction of the sweep layer.
+#
+# Runs the wall-clock bench (which emits the sweep_table alongside its
+# timing entries), then renders the table from the JSON.
+#
+# Usage: scripts/bench_sweeps.sh [extra bench_wallclock args...]
+#   BUILD_DIR=...  override the build directory (default build)
+#   OUT=...        override the output path (default BENCH_wallclock.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_wallclock.json}"
+
+BUILD_DIR="$BUILD_DIR" OUT="$OUT" scripts/bench_wallclock.sh "$@"
+
+echo
+echo "passes per circuit ($OUT):"
+printf '  %-8s %8s %14s %16s\n' family gates state_passes gates_per_sweep
+# The sweep_table entries are one JSON object per line.
+grep -o '{"family": "[^"]*", "gates": [0-9]*, "state_passes": [0-9]*, "gates_per_sweep": [0-9.]*}' "$OUT" |
+    sed -E 's/[{}"]//g; s/family: //; s/gates: //; s/state_passes: //; s/gates_per_sweep: //' |
+    awk -F', ' '{ printf "  %-8s %8s %14s %16s\n", $1, $2, $3, $4 }'

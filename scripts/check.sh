@@ -42,19 +42,25 @@ ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS"
 NATIVE_DIR="${NATIVE_DIR:-build-check-native}"
 echo "== QGPU_NATIVE kernel differential pass ($NATIVE_DIR) =="
 cmake -B "$NATIVE_DIR" -S . -DQGPU_NATIVE=ON
-cmake --build "$NATIVE_DIR" -j "$JOBS" --target test_kernel_dispatch
+cmake --build "$NATIVE_DIR" -j "$JOBS" --target test_kernel_dispatch \
+    test_sweep_executor
+# The sweep suite rides along: sweep execution chains kernels over a
+# cache-resident chunk, so its bit-identity-to-gate-by-gate contract
+# must also hold under the vectorized code generation.
 ctest --test-dir "$NATIVE_DIR" --output-on-failure -j "$JOBS" \
-    -R 'KernelDispatch'
+    -R 'KernelDispatch|Sweep'
 
 if [ "$RUN_TSAN" -eq 1 ]; then
     TSAN_DIR="${TSAN_DIR:-build-tsan}"
     echo "== ThreadSanitizer pass ($TSAN_DIR) =="
     cmake -B "$TSAN_DIR" -S . -DQGPU_SANITIZE=thread
     cmake --build "$TSAN_DIR" -j "$JOBS" --target test_common \
-        test_statevec test_compress test_thread_determinism
+        test_statevec test_compress test_thread_determinism \
+        test_sweep_executor
     # The parallelism-focused suites: the pool itself, the pool-backed
-    # parallelFor / threaded apply, and the cross-thread determinism +
-    # stress tests.
+    # parallelFor / threaded apply, the cross-thread determinism +
+    # stress tests, and the sweep executor (whose group fan-out chains
+    # several kernels per worker).
     ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-        -R 'ThreadPool|TaskGroup|SimThreads|ParallelFor|ThreadedApply|Determinism|Stress'
+        -R 'ThreadPool|TaskGroup|SimThreads|ParallelFor|ThreadedApply|Determinism|Stress|Sweep'
 fi

@@ -24,7 +24,17 @@
  * per KernelKind name (diag1q, diag2q, diagk, perm1q, ctrl1q,
  * dense1q, dense2q, densek):
  *   kernel.<kind>.invocations  counter, one per gate application
- *   kernel.<kind>.amps         counter, amplitudes touched
+ *   kernel.<kind>.amps         counter, amplitudes touched (recorded
+ *                              once per gate per sweep with the full
+ *                              modeled total, never per chunk)
+ *
+ * Sweep-executor counters (statevec/apply.hh, applySweepChunked; the
+ * memory-traffic model is passes-over-the-state = sweeps, not gates):
+ *   sweep.count             counter, one per executed sweep
+ *   sweep.state_passes      counter, full passes over the chunked
+ *                           state (equals sweep.count; named for what
+ *                           it measures)
+ *   sweep.gates_per_sweep   histogram of gates batched per sweep
  */
 
 #ifndef QGPU_COMMON_METRICS_HH

@@ -40,17 +40,56 @@ simThreadsRef()
     return threads;
 }
 
+double
+initialParallelCutoff()
+{
+    const char *env = std::getenv("QGPU_PAR_CUTOFF");
+    if (!env || !*env)
+        return 16384.0;
+    char *tail = nullptr;
+    const double value = std::strtod(env, &tail);
+    if (tail == env) {
+        QGPU_WARN("ignoring QGPU_PAR_CUTOFF='", env,
+                  "' (want a number; <= 0 disables the cutoff)");
+        return 16384.0;
+    }
+    return value;
+}
+
+double &
+parallelCutoffRef()
+{
+    static double cutoff = initialParallelCutoff();
+    return cutoff;
+}
+
 } // namespace
 
 void
 parallelFor(std::uint64_t begin, std::uint64_t end, int threads,
             const std::function<void(std::uint64_t, std::uint64_t)>
                 &body,
-            std::uint64_t min_grain)
+            std::uint64_t min_grain, double cost_hint)
 {
     if (begin >= end)
         return;
     const std::uint64_t count = end - begin;
+    // Oversubscription clamp: extra workers past the hardware thread
+    // count only add scheduling churn; results don't depend on the
+    // worker count, so this is purely a dispatch decision.
+    if (threads > ThreadPool::hardwareThreads())
+        threads = ThreadPool::hardwareThreads();
+    // Small-work cutoff for callers that know their per-item cost:
+    // fan-out latency dominates ranges whose total estimated work is
+    // under the cutoff, so run those inline.
+    if (cost_hint > 0.0) {
+        const double cutoff = parallelCutoffRef();
+        if (cutoff > 0.0 &&
+            static_cast<double>(count) * cost_hint < cutoff) {
+            body(begin, end);
+            return;
+        }
+    }
     const int usable = std::min<std::uint64_t>(
         threads <= 1 ? 1 : threads,
         std::max<std::uint64_t>(1, count / std::max<std::uint64_t>(
@@ -91,6 +130,18 @@ setSimThreads(int threads)
     if (threads < 0 || threads > ThreadPool::kMaxWorkers)
         QGPU_FATAL("bad thread count ", threads);
     simThreadsRef() = resolveThreads(threads);
+}
+
+double
+parallelCutoff()
+{
+    return parallelCutoffRef();
+}
+
+void
+setParallelCutoff(double cutoff)
+{
+    parallelCutoffRef() = cutoff;
 }
 
 } // namespace qgpu

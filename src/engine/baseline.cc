@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "sched/sweep.hh"
 #include "statevec/apply.hh"
 #include "statevec/kernels.hh"
 
@@ -68,7 +69,21 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
 
     const double per_amp_bytes = 2.0 * ampBytes; // read + write
 
-    for (const Gate &gate : circuit.gates()) {
+    // Functional updates run sweep-at-a-time (one chunk-major pass
+    // per sweep, sched/sweep.hh); the per-gate loop below only shapes
+    // the virtual-time schedule, which models the per-gate baseline.
+    const std::span<const Gate> gates{circuit.gates()};
+    std::size_t sweep_end = 0;
+
+    for (std::size_t gi = 0; gi < gates.size(); ++gi) {
+        if (gi == sweep_end) {
+            const Sweep sw = nextSweep(gates, gi, chunk_bits);
+            applySweepChunked(state,
+                              gates.subspan(sw.begin, sw.size()),
+                              sw.globalBits);
+            sweep_end = sw.end;
+        }
+        const Gate &gate = gates[gi];
         const GatePlan plan(gate, n, chunk_bits);
         const Index span = plan.chunksPerGroup();
         const double group_flops =
@@ -116,11 +131,6 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
                     foreign * static_cast<double>(chunk_bytes);
             }
         }
-        // Functional update, fanned out across the thread pool (the
-        // location bookkeeping above only shapes the virtual-time
-        // schedule, not the state math).
-        applyGateChunked(state, gate);
-
         // Schedule this gate. QISKit-Aer's chunk loop walks the
         // host-resident region with the CPU threads and only then
         // services the device region and its reactive exchanges, so

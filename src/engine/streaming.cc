@@ -7,6 +7,7 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "qc/fusion.hh"
+#include "sched/sweep.hh"
 #include "statevec/apply.hh"
 #include "statevec/kernels.hh"
 
@@ -133,21 +134,48 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
     // Latest D2H completion; prune-decision markers anchor here.
     VTime frontier = 0.0;
 
+    // Functional updates run sweep-at-a-time: at each sweep boundary
+    // the whole sweep is applied in one chunk-major pass, and the
+    // per-gate loop below only does the transfer/codec/kernel
+    // scheduling and its bookkeeping. The involvement mask is constant
+    // within a sweep (sched/sweep.hh rule 3), so the per-gate prune
+    // decisions and the dynamic chunk size — both pure functions of
+    // the mask — are exactly what gate-by-gate execution would
+    // compute; rechunking in particular can only trigger at a sweep
+    // boundary.
+    const std::span<const Gate> all_gates{ordered.gates()};
+    std::size_t sweep_end = 0;
+    const ZeroPredicate chunk_dead =
+        options().prune
+            ? ZeroPredicate([&](Index c) {
+                  return !mask.chunkIsLive(c, chunk_bits);
+              })
+            : ZeroPredicate{};
+
     std::size_t gate_idx = 0;
     for (const Gate &gate : ordered.gates()) {
-        // Dynamic chunk-size selection (Algorithm 1 line 2).
-        if (dynamic) {
-            const int want =
-                mask.dynamicChunkBits(min_bits, base_bits);
-            if (want != chunk_bits) {
-                state.rechunk(want);
-                chunk_bits = want;
-                VTime barrier = 0.0;
-                for (VTime t : chunk_ready)
-                    barrier = std::max(barrier, t);
-                chunk_ready.assign(state.numChunks(), barrier);
-                reset_comp_sizes();
+        if (gate_idx == sweep_end) {
+            // Dynamic chunk-size selection (Algorithm 1 line 2).
+            if (dynamic) {
+                const int want =
+                    mask.dynamicChunkBits(min_bits, base_bits);
+                if (want != chunk_bits) {
+                    state.rechunk(want);
+                    chunk_bits = want;
+                    VTime barrier = 0.0;
+                    for (VTime t : chunk_ready)
+                        barrier = std::max(barrier, t);
+                    chunk_ready.assign(state.numChunks(), barrier);
+                    reset_comp_sizes();
+                }
             }
+            const Sweep sw = nextSweep(
+                all_gates, gate_idx, chunk_bits,
+                options().prune ? &mask : nullptr);
+            applySweepChunked(
+                state, all_gates.subspan(sw.begin, sw.size()),
+                sw.globalBits, chunk_dead);
+            sweep_end = sw.end;
         }
 
         const GatePlan plan(gate, n, chunk_bits);
@@ -292,15 +320,12 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
             stats.add(statkeys::flopsDevice, flops);
             stats.add(statkeys::deviceMemBytes, kbytes);
 
-            // Functional update (host memory stands in for every
-            // location; the engines differ only in scheduling). The
-            // batch's groups touch disjoint chunks, so they fan out
-            // across the thread pool.
-            applyGroups(state, gate, plan,
-                        std::span<const Index>(live_groups)
-                            .subspan(at, end - at));
-
-            // Compress updated chunks and ship them back.
+            // Compress updated chunks and ship them back. (The
+            // functional update already ran in the sweep pass above;
+            // host memory stands in for every location, and the
+            // engines differ only in scheduling. The ratio sample
+            // below therefore reads the post-sweep state - the same
+            // amplitudes the chunks hold when they actually ship.)
             double out_bytes = 0.0;
             if (options().compress && !out_chunks.empty()) {
                 const double out_raw =
@@ -429,9 +454,32 @@ StreamingEngine::executeResident(const Circuit &circuit,
     trace.record(phases::h2d, "xfer", dev.spec().name + ".h2d", 0.0,
                  t);
 
+    // Functional updates run sweep-at-a-time (one chunk-major pass
+    // per sweep); the loop below keeps the per-gate kernel-time
+    // bookkeeping of the resident model.
+    const std::span<const Gate> all_gates{circuit.gates()};
+    std::size_t sweep_end = 0;
+    const ZeroPredicate chunk_dead =
+        options().prune
+            ? ZeroPredicate([&](Index c) {
+                  return !mask.chunkIsLive(c, chunk_bits);
+              })
+            : ZeroPredicate{};
+
     std::vector<Index> live_groups;
     std::vector<Index> member_scratch;
+    std::size_t gate_idx = 0;
     for (const Gate &gate : circuit.gates()) {
+        if (gate_idx == sweep_end) {
+            const Sweep sw = nextSweep(
+                all_gates, gate_idx, chunk_bits,
+                options().prune ? &mask : nullptr);
+            applySweepChunked(
+                state, all_gates.subspan(sw.begin, sw.size()),
+                sw.globalBits, chunk_dead);
+            sweep_end = sw.end;
+        }
+        ++gate_idx;
         const GatePlan plan(gate, n, chunk_bits);
         live_groups.clear();
         for (Index g = 0; g < plan.numGroups(); ++g) {
@@ -447,7 +495,6 @@ StreamingEngine::executeResident(const Circuit &circuit,
             if (any_live)
                 live_groups.push_back(g);
         }
-        applyGroups(state, gate, plan, live_groups);
         const double frac =
             static_cast<double>(live_groups.size()) /
             static_cast<double>(plan.numGroups());

@@ -5,22 +5,22 @@
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "common/parallel.hh"
+#include "sched/sweep.hh"
 #include "statevec/kernel_dispatch.hh"
 
 namespace qgpu
 {
 
 GatePlan::GatePlan(const Gate &gate, int num_qubits, int chunk_bits)
-    : chunkBits_(chunk_bits)
+    : GatePlan(gateGlobalBits(gate, chunk_bits), num_qubits,
+               chunk_bits)
 {
-    // Diagonal gates never couple amplitudes, so every chunk is
-    // independent no matter where the targets sit.
-    if (!gate.isDiagonal()) {
-        for (int q : gate.qubits)
-            if (q >= chunk_bits)
-                globalBits_.push_back(q - chunk_bits);
-        std::sort(globalBits_.begin(), globalBits_.end());
-    }
+}
+
+GatePlan::GatePlan(std::vector<int> global_bits, int num_qubits,
+                   int chunk_bits)
+    : chunkBits_(chunk_bits), globalBits_(std::move(global_bits))
+{
     const int chunk_index_bits = num_qubits - chunk_bits;
     numGroups_ = Index{1}
                  << (chunk_index_bits
@@ -68,35 +68,19 @@ diagKindOf(int k)
 }
 
 /**
- * Apply a diagonal gate to one chunk. Selector bits contributed by
- * targets above the chunk boundary are constant for the chunk, so
- * they fold into the diagonal lookup and the chunk-local bits drive
- * the specialized contiguous diag kernels.
+ * Apply a diagonal gate to one contiguous register slice after the
+ * constant selector bits have been folded into @p fixed_sel: the
+ * @p local (register bit, selector shift) pairs drive the specialized
+ * contiguous diag kernels, every other selector bit is constant for
+ * the slice.
  */
 void
-applyDiagToChunk(ChunkedStateVector &state, const GateMatrix &m,
-                 const std::vector<int> &qubits, Index chunk_idx)
+applyDiagFolded(Amp *data, Index size, int fixed_sel,
+                std::span<const std::pair<int, int>> local,
+                const GateMatrix &m)
 {
-    const int k = static_cast<int>(qubits.size());
-    const int chunk_bits = state.chunkBits();
-    Amp *data = state.chunk(chunk_idx).data();
-    const Index chunk_base = chunk_idx << chunk_bits;
-
-    int fixed_sel = 0;
-    std::vector<std::pair<int, int>> local; // (chunk bit, selector shift)
-    for (int j = 0; j < k; ++j) {
-        const int q = qubits[j];
-        if (q >= chunk_bits)
-            fixed_sel |= static_cast<int>(bits::testBit(chunk_base, q))
-                         << j;
-        else
-            local.emplace_back(q, j);
-    }
-
-    const Index size = state.chunkSize();
-
-    // All targets above the chunk boundary: one constant diagonal
-    // entry scales the whole chunk.
+    // No varying targets: one constant diagonal entry scales the
+    // whole slice.
     if (local.empty()) {
         kern::scale(data, m.at(fixed_sel, fixed_sel), 0, size);
         return;
@@ -131,6 +115,35 @@ applyDiagToChunk(ChunkedStateVector &state, const GateMatrix &m,
             sel |= static_cast<int>(bits::testBit(off, q)) << j;
         data[off] *= m.at(sel, sel);
     }
+}
+
+/**
+ * Apply a diagonal gate to one chunk. Selector bits contributed by
+ * targets above the chunk boundary are constant for the chunk, so
+ * they fold into the diagonal lookup and the chunk-local bits drive
+ * the specialized contiguous diag kernels.
+ */
+void
+applyDiagToChunk(ChunkedStateVector &state, const GateMatrix &m,
+                 const std::vector<int> &qubits, Index chunk_idx)
+{
+    const int k = static_cast<int>(qubits.size());
+    const int chunk_bits = state.chunkBits();
+    Amp *data = state.chunk(chunk_idx).data();
+    const Index chunk_base = chunk_idx << chunk_bits;
+
+    int fixed_sel = 0;
+    std::vector<std::pair<int, int>> local; // (chunk bit, selector shift)
+    for (int j = 0; j < k; ++j) {
+        const int q = qubits[j];
+        if (q >= chunk_bits)
+            fixed_sel |= static_cast<int>(bits::testBit(chunk_base, q))
+                         << j;
+        else
+            local.emplace_back(q, j);
+    }
+
+    applyDiagFolded(data, state.chunkSize(), fixed_sel, local, m);
 }
 
 /** Remap gate targets into the group-local register. */
@@ -188,6 +201,91 @@ specAmps(const KernelSpec &spec, int num_qubits)
            static_cast<Index>(kernelItemWidth(spec));
 }
 
+/**
+ * One gate of a sweep, pre-classified for the chunk-major executor.
+ * Non-diagonal gates carry their KernelSpec (targets remapped into
+ * the gathered register for cross-chunk gates); diagonal gates carry
+ * the matrix plus the selector-bit split that lets the fold be
+ * finished per chunk / per group member in the worker.
+ */
+struct SweepOp
+{
+    bool diag = false;
+    bool cross = false; // non-diagonal, couples the sweep's G bits
+    KernelSpec spec{};  // valid when !diag
+    GateMatrix dm{1};   // valid when diag
+    // Diagonal selector-bit split, (position, selector shift) pairs:
+    std::vector<std::pair<int, int>> low;       // chunk-local bits
+    std::vector<std::pair<int, int>> memberSel; // index into G
+    std::vector<std::pair<int, int>> groupSel;  // chunk-index bit not
+                                                // in G (group-constant)
+    KernelKind kind{};
+    Index amps = 0; // modeled amplitudes (applyGateChunked's totals)
+};
+
+/**
+ * Classify the gates of one sweep against the sweep's coupled bits
+ * @p G (sorted chunk-index positions). Fatal if any gate couples a
+ * different bit set — the span then isn't a sweep for this chunk
+ * size.
+ */
+std::vector<SweepOp>
+buildSweepOps(std::span<const Gate> gates, const std::vector<int> &G,
+              int num_qubits, int chunk_bits)
+{
+    const int sub_qubits = chunk_bits + static_cast<int>(G.size());
+    const Index num_chunks = Index{1} << (num_qubits - chunk_bits);
+    const Index num_groups = Index{1} << (num_qubits - sub_qubits);
+
+    std::vector<SweepOp> ops;
+    ops.reserve(gates.size());
+    for (const Gate &gate : gates) {
+        SweepOp op;
+        if (gate.isDiagonal()) {
+            op.diag = true;
+            op.dm = gate.matrix();
+            const int k = gate.numQubits();
+            for (int j = 0; j < k; ++j) {
+                const int q = gate.qubits[j];
+                if (q < chunk_bits) {
+                    op.low.emplace_back(q, j);
+                    continue;
+                }
+                const int g = q - chunk_bits;
+                const auto it =
+                    std::lower_bound(G.begin(), G.end(), g);
+                if (it != G.end() && *it == g)
+                    op.memberSel.emplace_back(
+                        static_cast<int>(it - G.begin()), j);
+                else
+                    op.groupSel.emplace_back(g, j);
+            }
+            op.kind = diagKindOf(k);
+            op.amps = stateSize(num_qubits);
+        } else {
+            const std::vector<int> gbits =
+                gateGlobalBits(gate, chunk_bits);
+            if (gbits.empty()) {
+                op.spec = makeKernelSpec(gate);
+                op.amps = num_chunks * specAmps(op.spec, chunk_bits);
+            } else {
+                if (gbits != G)
+                    QGPU_PANIC("gate '", gate.toString(),
+                               "' couples other chunk-index bits than "
+                               "its sweep: not a sweep at chunk size ",
+                               chunk_bits);
+                op.cross = true;
+                op.spec = makeKernelSpec(
+                    remapGateForGroup(gate, G, chunk_bits));
+                op.amps = num_groups * specAmps(op.spec, sub_qubits);
+            }
+            op.kind = op.spec.kind;
+        }
+        ops.push_back(std::move(op));
+    }
+    return ops;
+}
+
 } // namespace
 
 void
@@ -226,7 +324,7 @@ applyGroups(ChunkedStateVector &state, const Gate &gate,
                         applyDiagToChunk(state, m, gate.qubits,
                                          groups[i]);
                 },
-                1);
+                1, static_cast<double>(state.chunkSize()));
             recordKernelMetrics(diagKindOf(gate.numQubits()),
                                 groups.size() * state.chunkSize());
             return;
@@ -238,7 +336,8 @@ applyGroups(ChunkedStateVector &state, const Gate &gate,
                 for (std::uint64_t i = lo; i < hi; ++i)
                     applySpecToChunk(state, spec, groups[i]);
             },
-            1);
+            1,
+            static_cast<double>(specAmps(spec, state.chunkBits())));
         recordKernelMetrics(spec.kind,
                             groups.size() *
                                 specAmps(spec, state.chunkBits()));
@@ -258,7 +357,7 @@ applyGroups(ChunkedStateVector &state, const Gate &gate,
                 applyGroupPrepared(state, spec, plan, scratch);
             }
         },
-        1);
+        1, static_cast<double>(specAmps(spec, sub_qubits)));
     recordKernelMetrics(spec.kind,
                         groups.size() * specAmps(spec, sub_qubits));
 }
@@ -292,7 +391,7 @@ applyGateChunked(ChunkedStateVector &state, const Gate &gate,
                     applyDiagToChunk(state, m, gate.qubits, g);
                 }
             },
-            1);
+            1, static_cast<double>(state.chunkSize()));
         recordKernelMetrics(diagKindOf(gate.numQubits()),
                             stateSize(state.numQubits()));
     } else if (plan.perChunk()) {
@@ -306,7 +405,8 @@ applyGateChunked(ChunkedStateVector &state, const Gate &gate,
                     applySpecToChunk(state, spec, g);
                 }
             },
-            1);
+            1,
+            static_cast<double>(specAmps(spec, state.chunkBits())));
         recordKernelMetrics(spec.kind,
                             plan.numGroups() *
                                 specAmps(spec, state.chunkBits()));
@@ -336,7 +436,7 @@ applyGateChunked(ChunkedStateVector &state, const Gate &gate,
                     applyGroupPrepared(state, spec, plan, scratch);
                 }
             },
-            1);
+            1, static_cast<double>(specAmps(spec, sub_qubits)));
         recordKernelMetrics(spec.kind,
                             plan.numGroups() *
                                 specAmps(spec, sub_qubits));
@@ -346,13 +446,165 @@ applyGateChunked(ChunkedStateVector &state, const Gate &gate,
 }
 
 void
+applySweepChunked(ChunkedStateVector &state,
+                  std::span<const Gate> gates,
+                  const std::vector<int> &global_bits,
+                  const ZeroPredicate &zero)
+{
+    if (gates.empty())
+        return;
+    const WallClock wall;
+    const int chunk_bits = state.chunkBits();
+    const int num_qubits = state.numQubits();
+    const Index chunk_size = state.chunkSize();
+    const std::vector<SweepOp> ops =
+        buildSweepOps(gates, global_bits, num_qubits, chunk_bits);
+    const int threads = simThreads();
+
+    if (global_bits.empty()) {
+        // Chunk-local sweep: each chunk is loaded once and every gate
+        // chains over it while it is cache-resident.
+        parallelFor(
+            0, state.numChunks(), threads,
+            [&](std::uint64_t lo, std::uint64_t hi) {
+                for (Index c = lo; c < hi; ++c) {
+                    if (zero && zero(c))
+                        continue;
+                    Amp *data = state.chunk(c).data();
+                    for (const SweepOp &op : ops) {
+                        if (!op.diag) {
+                            applyKernel(op.spec, data, chunk_bits);
+                            continue;
+                        }
+                        int fixed = 0;
+                        for (const auto &[g, j] : op.groupSel)
+                            fixed |=
+                                static_cast<int>(bits::testBit(c, g))
+                                << j;
+                        applyDiagFolded(data, chunk_size, fixed,
+                                        op.low, op.dm);
+                    }
+                }
+            },
+            1,
+            static_cast<double>(ops.size()) *
+                static_cast<double>(chunk_size));
+    } else {
+        const GatePlan plan(global_bits, num_qubits, chunk_bits);
+        if (plan.numGroups() *
+                static_cast<Index>(plan.chunksPerGroup()) !=
+            state.numChunks())
+            QGPU_PANIC("sweep plan does not partition the ",
+                       state.numChunks(), "-chunk state: ",
+                       plan.numGroups(), " groups x ",
+                       plan.chunksPerGroup(), " chunks");
+        const int sub_qubits =
+            chunk_bits + static_cast<int>(global_bits.size());
+        const int span = plan.chunksPerGroup();
+        parallelFor(
+            0, plan.numGroups(), threads,
+            [&](std::uint64_t lo, std::uint64_t hi) {
+                GroupScratch scratch;
+                std::vector<char> live;
+                for (Index g = lo; g < hi; ++g) {
+                    plan.membersInto(g, scratch.members);
+                    // Per-member liveness, computed once: the mask
+                    // behind `zero` is constant across a sweep, and
+                    // skip decisions must match gate-by-gate exactly
+                    // (writing to a provably-zero chunk could flip
+                    // signed-zero bits).
+                    bool any_live = true;
+                    if (zero) {
+                        live.assign(span, 0);
+                        any_live = false;
+                        for (int m = 0; m < span; ++m)
+                            if (!zero(scratch.members[m])) {
+                                live[m] = 1;
+                                any_live = true;
+                            }
+                    }
+                    if (!any_live)
+                        continue;
+                    scratch.gathered.resize(stateSize(sub_qubits));
+                    state.gatherChunks(scratch.members,
+                                       scratch.gathered.data());
+                    Amp *reg = scratch.gathered.data();
+                    for (const SweepOp &op : ops) {
+                        if (op.cross) {
+                            // Whole gathered register, exactly like
+                            // gate-by-gate's group apply (which runs
+                            // when any member is live).
+                            applyKernel(op.spec, reg, sub_qubits);
+                            continue;
+                        }
+                        if (!op.diag) {
+                            for (int m = 0; m < span; ++m) {
+                                if (zero && !live[m])
+                                    continue;
+                                applyKernel(op.spec,
+                                            reg + m * chunk_size,
+                                            chunk_bits);
+                            }
+                            continue;
+                        }
+                        int group_fixed = 0;
+                        for (const auto &[gb, j] : op.groupSel)
+                            group_fixed |= static_cast<int>(bits::testBit(
+                                               scratch.members[0], gb))
+                                           << j;
+                        for (int m = 0; m < span; ++m) {
+                            if (zero && !live[m])
+                                continue;
+                            int fixed = group_fixed;
+                            for (const auto &[p, j] : op.memberSel)
+                                fixed |= static_cast<int>(bits::testBit(
+                                             static_cast<std::uint64_t>(
+                                                 m),
+                                             p))
+                                         << j;
+                            applyDiagFolded(reg + m * chunk_size,
+                                            chunk_size, fixed, op.low,
+                                            op.dm);
+                        }
+                    }
+                    state.scatterChunks(scratch.members,
+                                        scratch.gathered.data());
+                }
+            },
+            1,
+            static_cast<double>(ops.size()) *
+                static_cast<double>(chunk_size) *
+                static_cast<double>(span));
+    }
+
+    // Kernel counters once per gate per sweep, with the same modeled
+    // totals applyGateChunked records; the sweep counters expose how
+    // many full passes over the state the circuit actually cost.
+    for (const SweepOp &op : ops)
+        recordKernelMetrics(op.kind, op.amps);
+    auto &mr = MetricsRegistry::global();
+    mr.add("sweep.count");
+    mr.add("sweep.state_passes");
+    mr.observe("sweep.gates_per_sweep",
+               static_cast<double>(gates.size()));
+    mr.observe("apply.wall_time", wall.seconds());
+}
+
+void
 applyCircuitChunked(ChunkedStateVector &state, const Circuit &circuit)
 {
     if (circuit.numQubits() != state.numQubits())
         QGPU_PANIC("circuit register ", circuit.numQubits(),
                    " != state register ", state.numQubits());
-    for (const Gate &g : circuit.gates())
-        applyGateChunked(state, g);
+    const std::span<const Gate> gates{circuit.gates()};
+    std::size_t at = 0;
+    while (at < gates.size()) {
+        const Sweep sweep = nextSweep(gates, at, state.chunkBits());
+        applySweepChunked(state,
+                          gates.subspan(sweep.begin, sweep.size()),
+                          sweep.globalBits);
+        at = sweep.end;
+    }
 }
 
 } // namespace qgpu

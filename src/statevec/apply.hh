@@ -47,6 +47,12 @@ class GatePlan
   public:
     GatePlan(const Gate &gate, int num_qubits, int chunk_bits);
 
+    /** Plan for a whole sweep: the shared coupled chunk-index bit
+     *  positions (sorted) instead of one gate's. An empty list is the
+     *  per-chunk plan. */
+    GatePlan(std::vector<int> global_bits, int num_qubits,
+             int chunk_bits);
+
     /** True iff every group is a single chunk (paper's Case 1). */
     bool perChunk() const { return globalBits_.empty(); }
 
@@ -114,7 +120,43 @@ void applyGroups(ChunkedStateVector &state, const Gate &gate,
 void applyGateChunked(ChunkedStateVector &state, const Gate &gate,
                       const ZeroPredicate &zero = {});
 
-/** Run a whole circuit through applyGateChunked. */
+/**
+ * Apply one scheduled sweep (sched/sweep.hh) of @p gates in a single
+ * chunk-major pass: instead of sweeping the whole state once per gate,
+ * each chunk (or gathered cross-chunk register when @p global_bits is
+ * non-empty) is loaded once and every gate of the sweep is chained
+ * over it while it is cache-resident. One parallelFor dispatch covers
+ * the whole sweep.
+ *
+ * Bit-identity contract: the result is bit-identical to running the
+ * gates through applyGateChunked in order with the same @p zero
+ * predicate. That holds because (a) the sweep partition refines or
+ * equals each member gate's own partition, so per-amplitude operation
+ * order is preserved, (b) gather/scatter are pure copies, and (c) the
+ * executor makes exactly the same skip decisions: chunk-local and
+ * diagonal work skips dead member chunks individually, cross-chunk
+ * kernels run whenever any member is live. @p zero must be constant
+ * across the sweep (sched/sweep.hh's involvement-boundary rule
+ * guarantees the involvement mask is).
+ *
+ * Every gate must be chunk-local/diagonal or couple exactly the bits
+ * in @p global_bits (sorted chunk-index positions) — i.e. the span
+ * must be a sweep produced by nextSweep at this chunk size; anything
+ * else is fatal.
+ *
+ * Publishes sweep.count / sweep.state_passes counters, the
+ * sweep.gates_per_sweep histogram, and per-gate kernel counters with
+ * the same modeled totals as applyGateChunked (once per gate per
+ * sweep, never per chunk).
+ */
+void applySweepChunked(ChunkedStateVector &state,
+                       std::span<const Gate> gates,
+                       const std::vector<int> &global_bits,
+                       const ZeroPredicate &zero = {});
+
+/** Run a whole circuit sweep-by-sweep (nextSweep at the state's chunk
+ *  size feeding applySweepChunked), the single-pass-per-sweep default
+ *  path. */
 void applyCircuitChunked(ChunkedStateVector &state,
                          const Circuit &circuit);
 

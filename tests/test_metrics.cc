@@ -12,6 +12,7 @@
 
 #include "common/metrics.hh"
 #include "harness/experiment.hh"
+#include "statevec/apply.hh"
 
 namespace qgpu
 {
@@ -134,6 +135,29 @@ TEST(Metrics, ConcurrentAddsAreExact)
 TEST(Metrics, GlobalIsASingleton)
 {
     EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+TEST(Metrics, SweepRecordsKernelCountersOncePerGate)
+{
+    // The sweep executor touches every chunk in its fan-out but must
+    // record the kernel counters once per gate per sweep with the
+    // full modeled totals - a per-chunk recording bug would inflate
+    // invocations by the chunk count.
+    auto &registry = MetricsRegistry::global();
+    const double inv0 =
+        registry.counter("kernel.dense1q.invocations");
+    const double amps0 = registry.counter("kernel.dense1q.amps");
+
+    const int n = 8, chunk_bits = 4; // 16 chunks
+    const std::vector<Gate> gates = {Gate(GateKind::H, {0}),
+                                     Gate(GateKind::H, {1})};
+    ChunkedStateVector state(n, chunk_bits);
+    applySweepChunked(state, gates, {});
+
+    EXPECT_DOUBLE_EQ(
+        registry.counter("kernel.dense1q.invocations") - inv0, 2.0);
+    EXPECT_DOUBLE_EQ(registry.counter("kernel.dense1q.amps") - amps0,
+                     2.0 * static_cast<double>(stateSize(n)));
 }
 
 TEST(Metrics, HarnessPublishesRunMetrics)
