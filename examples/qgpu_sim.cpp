@@ -47,6 +47,10 @@ struct Args
     bool stats = false;
     bool kernel_stats = false;
     bool sweep_stats = false;
+    bool verify_chunks = false;
+    int verify_sample = 8;
+    std::string fault_spec = "env";
+    std::uint64_t fault_seed = 0x517e57ull;
     std::string trace_path;
 };
 
@@ -57,7 +61,7 @@ usage(const char *argv0)
         stderr,
         "usage: %s [options]\n"
         "  --circuit <family>    hchain|rqc|qaoa|gs|hlf|qft|iqp|qf|"
-        "bv|grqc\n"
+        "bv|random|grqc\n"
         "  --qasm <file>         load an OpenQASM 2.0 program "
         "instead\n"
         "  --qubits <n>          register size for --circuit "
@@ -81,6 +85,18 @@ usage(const char *argv0)
         "counters\n"
         "  --sweep-stats         print sweep-executor counters "
         "(passes over the state vs gates)\n"
+        "  --verify-chunks       checksum chunks at compress/D2H "
+        "time and verify at\n"
+        "                        H2D/decompress time; prints "
+        "integrity counters\n"
+        "  --verify-sample <k>   max chunks verified per sweep "
+        "(rotating window;\n"
+        "                        0 = every chunk; default 8)\n"
+        "  --fault-spec <spec>   inject faults, e.g. "
+        "\"d2h:0.01,codec:0.005\" (points: h2d,\n"
+        "                        d2h, codec, alloc; default: "
+        "$QGPU_FAULT_SPEC)\n"
+        "  --fault-seed <s>      fault-injector seed\n"
         "  --trace <file>        write a JSON execution trace "
         "(per-phase totals + spans)\n",
         argv0);
@@ -144,6 +160,15 @@ parse(int argc, char **argv)
             args.kernel_stats = true;
         else if (flag == "--sweep-stats")
             args.sweep_stats = true;
+        else if (flag == "--verify-chunks")
+            args.verify_chunks = true;
+        else if (flag == "--verify-sample")
+            args.verify_sample = std::atoi(value().c_str());
+        else if (flag == "--fault-spec")
+            args.fault_spec = value();
+        else if (flag == "--fault-seed")
+            args.fault_seed =
+                std::strtoull(value().c_str(), nullptr, 10);
         else if (flag == "--trace")
             args.trace_path = value();
         else
@@ -198,6 +223,10 @@ main(int argc, char **argv)
     ExecOptions options;
     options.recordTimeline = args.timeline;
     options.recordTrace = !args.trace_path.empty();
+    options.verifyChunks = args.verify_chunks;
+    options.verifySampleChunks = args.verify_sample;
+    options.faultSpec = args.fault_spec;
+    options.faultSeed = args.fault_seed;
     const RunResult result =
         harness::runOn(args.engine, machine, circuit, options);
 
@@ -208,6 +237,36 @@ main(int argc, char **argv)
     std::printf("wall time:    %.3f s (%d host thread%s)\n",
                 result.wallSeconds, simThreads(),
                 simThreads() == 1 ? "" : "s");
+
+    const bool show_integrity =
+        args.verify_chunks || args.fault_spec != "env" ||
+        std::getenv("QGPU_FAULT_SPEC") != nullptr;
+    if (show_integrity) {
+        // integrity.* counters from the chunk-integrity layer
+        // (fault/integrity.hh), mirrored into the global registry at
+        // the end of the run.
+        const auto &mr = MetricsRegistry::global();
+        std::printf("\nchunk integrity:\n");
+        bool any = false;
+        for (const auto &name : mr.counterNames()) {
+            if (name.rfind("integrity.", 0) != 0)
+                continue;
+            std::printf("  %-28s %.0f\n", name.c_str(),
+                        mr.counter(name));
+            any = true;
+        }
+        if (!any)
+            std::printf("  (clean -- no checksums recorded, no "
+                        "faults injected)\n");
+    }
+
+    if (!result.ok()) {
+        // Recovery exhausted: report the structured error and a
+        // non-zero exit instead of a meaningless state.
+        std::printf("\nSIM ERROR: %s\n",
+                    result.error->toString().c_str());
+        return 2;
+    }
     std::printf("state norm:   %.12f\n", result.state.norm());
 
     if (args.shots > 0) {

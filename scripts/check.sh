@@ -3,10 +3,14 @@
 # test suite. This is the gate every PR must keep green (ROADMAP
 # "Tier-1 verify").
 #
-# Usage: scripts/check.sh [--tsan]
+# Usage: scripts/check.sh [--tsan] [--asan]
 #   --tsan         additionally build with -DQGPU_SANITIZE=thread (in
 #                  its own build-tsan directory) and run the
 #                  parallelism-focused tests under ThreadSanitizer
+#   --asan         additionally build with -DQGPU_SANITIZE=address (in
+#                  its own build-asan directory) and run the fault/
+#                  integrity suites -- including the tier2 differential
+#                  fuzz sweep -- under AddressSanitizer
 #
 # The default pass also rebuilds the kernel differential suite with
 # -DQGPU_NATIVE=ON (build-check-native) and reruns it there, so the
@@ -23,9 +27,11 @@ BUILD_DIR="${BUILD_DIR:-build-check}"
 JOBS="${JOBS:-$(nproc)}"
 
 RUN_TSAN=0
+RUN_ASAN=0
 for arg in "$@"; do
     case "$arg" in
         --tsan) RUN_TSAN=1 ;;
+        --asan) RUN_ASAN=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
@@ -63,4 +69,20 @@ if [ "$RUN_TSAN" -eq 1 ]; then
     # several kernels per worker).
     ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
         -R 'ThreadPool|TaskGroup|SimThreads|ParallelFor|ThreadedApply|Determinism|Stress|Sweep'
+fi
+
+if [ "$RUN_ASAN" -eq 1 ]; then
+    ASAN_DIR="${ASAN_DIR:-build-asan}"
+    echo "== AddressSanitizer fault/fuzz pass ($ASAN_DIR) =="
+    cmake -B "$ASAN_DIR" -S . -DQGPU_SANITIZE=address
+    cmake --build "$ASAN_DIR" -j "$JOBS" --target test_fault \
+        test_fault_fuzz test_compress test_engines
+    # The fault-injection surface: the unit suite, the long tier2
+    # differential fuzz sweep (50 seeds x every engine version x three
+    # prune modes, recovery must be bit-identical or a structured
+    # SimError), the codec property tests the sidecar leans on, and
+    # the engine edge cases. Corruption, fallback, and retry paths all
+    # shuffle heap buffers, which is exactly what ASan watches.
+    ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" \
+        -R 'Checksum|FaultSpec|FaultInjector|SimError|GuardedTransfer|FaultSmoke|FaultFuzz|GfcProperties|EdgeCases'
 fi

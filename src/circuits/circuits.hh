@@ -84,12 +84,22 @@ Circuit quadraticForm(int num_qubits, std::uint64_t seed = 8);
 /** Bernstein-Vazirani with a random secret string. */
 Circuit bv(int num_qubits, std::uint64_t seed = 9);
 
+/**
+ * Unstructured seeded random circuit: @p num_gates gates (0 = 6 per
+ * qubit) drawn uniformly from the full supported gate palette on
+ * random distinct qubits. Unlike rqc/grqc there is no layer
+ * structure; the same seed always reproduces the same gate stream,
+ * which makes this the workload for differential fuzzing.
+ */
+Circuit randomFamily(int num_qubits, int num_gates = 0,
+                     std::uint64_t seed = 10);
+
 /** Abbreviated family names in paper order. */
 const std::vector<std::string> &benchmarkNames();
 
 /**
  * Construct a benchmark by family name ("hchain", "rqc", "qaoa",
- * "gs", "hlf", "qft", "iqp", "qf", "bv", "grqc") with default
+ * "gs", "hlf", "qft", "iqp", "qf", "bv", "random", "grqc") with default
  * parameters; the circuit is named "<family>_<n>". Fatal on unknown
  * names.
  */

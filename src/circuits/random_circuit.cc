@@ -1,0 +1,111 @@
+#include "circuits/circuits.hh"
+
+#include "common/rng.hh"
+
+namespace qgpu
+{
+namespace circuits
+{
+
+/**
+ * Unstructured seeded random circuit — the tenth registry family
+ * ("random"). Unlike rqc/grqc, which follow the supremacy-circuit
+ * layer structure, this family draws every gate independently from a
+ * palette spanning all gate kinds the simulator supports (diagonal,
+ * permutation, controlled, dense, one- to three-qubit, parameterized),
+ * on uniformly random distinct qubits. That makes it the workload of
+ * choice for differential fuzzing: a seed sweep exercises every kernel
+ * kind, chunk-crossing pattern, and involvement profile without any
+ * family-specific bias, and the same seed always reproduces the same
+ * gate stream.
+ */
+Circuit
+randomFamily(int num_qubits, int num_gates, std::uint64_t seed)
+{
+    if (num_gates <= 0)
+        num_gates = 6 * num_qubits;
+    Circuit c(num_qubits,
+              "random_" + std::to_string(num_qubits));
+    Rng rng(seed);
+
+    const auto angle = [&] {
+        return rng.nextDouble() * 6.283185307179586 -
+               3.141592653589793;
+    };
+    // Distinct random qubits for multi-qubit gates.
+    int q0 = 0, q1 = 0, q2 = 0;
+    const auto draw2 = [&] {
+        q0 = static_cast<int>(rng.nextBelow(num_qubits));
+        do {
+            q1 = static_cast<int>(rng.nextBelow(num_qubits));
+        } while (q1 == q0);
+    };
+    const auto draw3 = [&] {
+        draw2();
+        do {
+            q2 = static_cast<int>(rng.nextBelow(num_qubits));
+        } while (q2 == q0 || q2 == q1);
+    };
+
+    for (int g = 0; g < num_gates; ++g) {
+        // Three-qubit gates need a register to match; fall through to
+        // the one-qubit palette on tiny registers.
+        const bool has2 = num_qubits >= 2;
+        const bool has3 = num_qubits >= 3;
+        const std::uint64_t kind = rng.nextBelow(24);
+        q0 = static_cast<int>(rng.nextBelow(num_qubits));
+        switch (kind) {
+          case 0: c.h(q0); break;
+          case 1: c.x(q0); break;
+          case 2: c.y(q0); break;
+          case 3: c.z(q0); break;
+          case 4: c.s(q0); break;
+          case 5: c.sdg(q0); break;
+          case 6: c.t(q0); break;
+          case 7: c.tdg(q0); break;
+          case 8: c.sx(q0); break;
+          case 9: c.sy(q0); break;
+          case 10: c.rx(angle(), q0); break;
+          case 11: c.ry(angle(), q0); break;
+          case 12: c.rz(angle(), q0); break;
+          case 13: c.p(angle(), q0); break;
+          case 14: c.u(angle(), angle(), angle(), q0); break;
+          case 15:
+            if (has2) { draw2(); c.cx(q0, q1); } else c.h(q0);
+            break;
+          case 16:
+            if (has2) { draw2(); c.cy(q0, q1); } else c.x(q0);
+            break;
+          case 17:
+            if (has2) { draw2(); c.cz(q0, q1); } else c.z(q0);
+            break;
+          case 18:
+            if (has2) { draw2(); c.cp(angle(), q0, q1); }
+            else c.p(angle(), q0);
+            break;
+          case 19:
+            if (has2) { draw2(); c.crz(angle(), q0, q1); }
+            else c.rz(angle(), q0);
+            break;
+          case 20:
+            if (has2) { draw2(); c.rzz(angle(), q0, q1); }
+            else c.rz(angle(), q0);
+            break;
+          case 21:
+            if (has2) { draw2(); c.swap(q0, q1); } else c.sx(q0);
+            break;
+          case 22:
+            if (has3) { draw3(); c.ccx(q0, q1, q2); }
+            else c.t(q0);
+            break;
+          default:
+            if (has3) { draw3(); c.ccz(q0, q1, q2); }
+            else c.s(q0);
+            break;
+        }
+    }
+    return c;
+}
+
+} // namespace circuits
+} // namespace qgpu

@@ -11,8 +11,8 @@ const std::vector<std::string> &
 benchmarkNames()
 {
     static const std::vector<std::string> names = {
-        "hchain", "rqc", "qaoa", "gs", "hlf",
-        "qft",    "iqp", "qf",   "bv",
+        "hchain", "rqc", "qaoa", "gs",     "hlf",
+        "qft",    "iqp", "qf",   "bv",     "random",
     };
     return names;
 }
@@ -43,6 +43,8 @@ makeBenchmark(const std::string &family, int num_qubits,
         return quadraticForm(num_qubits, seed ? seed : 8);
     if (family == "bv")
         return bv(num_qubits, seed ? seed : 9);
+    if (family == "random")
+        return randomFamily(num_qubits, 0, seed ? seed : 10);
     QGPU_FATAL("unknown benchmark family '", family, "'");
 }
 

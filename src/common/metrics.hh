@@ -35,6 +35,25 @@
  *                           state (equals sweep.count; named for what
  *                           it measures)
  *   sweep.gates_per_sweep   histogram of gates batched per sweep
+ *
+ * Chunk-integrity counters (fault/integrity.hh; accumulated per run
+ * in the StatSet and mirrored here by ExecutionEngine::run, nonzero
+ * entries only):
+ *   integrity.checksum.computed   chunk checksums recorded at
+ *                                 compress/D2H time
+ *   integrity.checksum.verified   successful H2D/decompress-time
+ *                                 verifications
+ *   integrity.checksum.mismatch   corruptions detected (and then
+ *                                 recovered via the raw fallback)
+ *   integrity.fallback.raw        chunks recovered from / degraded to
+ *                                 their raw payload
+ *   integrity.fault.<point>       injected faults per point (h2d,
+ *                                 d2h, codec, alloc)
+ *   integrity.retry.h2d / .d2h    transfer attempts repeated after an
+ *                                 injected failure
+ *   integrity.sim_error           runs ended by a structured SimError
+ *   runs.failed                   runs whose RunResult carries an
+ *                                 error (harness::publishRunMetrics)
  */
 
 #ifndef QGPU_COMMON_METRICS_HH

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "fault/integrity.hh"
 #include "sched/sweep.hh"
 #include "statevec/apply.hh"
 #include "statevec/kernels.hh"
@@ -54,16 +55,30 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
         return -1;
     };
 
+    // Transfer faults apply to the baseline's bus traffic too: the
+    // initial load, the per-gate reactive exchanges, and the final
+    // drain all retry under the shared bounded-retry policy.
+    FaultInjector injector(FaultSpec::resolve(options().faultSpec),
+                           options().faultSeed);
+    const int retries = options().transferRetries;
+
     // Initial load of the static device region.
     VTime prev_end = 0.0;
     for (int d = 0; d < m.numDevices(); ++d) {
         if (dev_cap[d] == 0)
             continue;
         auto &dev = m.device(d);
-        const VTime done = dev.h2dEngine().schedule(
-            0.0, m.contendedHostLink(dev.spec().h2d).transferTime(dev_cap[d] * chunk_bytes));
-        stats.add(statkeys::bytesH2d,
-                  static_cast<double>(dev_cap[d] * chunk_bytes));
+        const VTime done = guardedTransfer(
+            &injector, FaultPoint::H2D, retries, -1, stats, 0.0,
+            [&](VTime s) {
+                const VTime end = dev.h2dEngine().schedule(
+                    s, m.contendedHostLink(dev.spec().h2d)
+                           .transferTime(dev_cap[d] * chunk_bytes));
+                stats.add(statkeys::bytesH2d,
+                          static_cast<double>(dev_cap[d] *
+                                              chunk_bytes));
+                return end;
+            });
         prev_end = std::max(prev_end, done);
     }
 
@@ -165,27 +180,44 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
             }
             if (mixed_groups[d] > 0) {
                 // Reactive: copy in, compute, copy back, in order.
-                const VTime h2d_done = dev.h2dEngine().schedule(
-                    t, m.contendedHostLink(dev.spec().h2d).transferTime(
-                           static_cast<std::uint64_t>(
-                               mixed_in_bytes[d])));
-                stats.add(statkeys::bytesH2d, mixed_in_bytes[d]);
-                trace.record(phases::h2d, "xfer",
-                             dev.spec().name + ".h2d", t, h2d_done);
+                const VTime h2d_done = guardedTransfer(
+                    &injector, FaultPoint::H2D, retries,
+                    static_cast<std::int64_t>(gi), stats, t,
+                    [&](VTime s) {
+                        const VTime end = dev.h2dEngine().schedule(
+                            s, m.contendedHostLink(dev.spec().h2d)
+                                   .transferTime(
+                                       static_cast<std::uint64_t>(
+                                           mixed_in_bytes[d])));
+                        stats.add(statkeys::bytesH2d,
+                                  mixed_in_bytes[d]);
+                        trace.record(phases::h2d, "xfer",
+                                     dev.spec().name + ".h2d", s,
+                                     end);
+                        return end;
+                    });
                 const double flops = mixed_groups[d] * group_flops;
                 const double bytes = mixed_groups[d] * group_bytes;
                 const VTime k_done = dev.compute().schedule(
                     h2d_done, dev.kernelTime(flops, bytes));
                 stats.add(statkeys::flopsDevice, flops);
                 stats.add(statkeys::deviceMemBytes, bytes);
-                const VTime d2h_done = dev.d2hEngine().schedule(
-                    k_done, m.contendedHostLink(dev.spec().d2h).transferTime(
-                                static_cast<std::uint64_t>(
-                                    mixed_in_bytes[d])));
-                stats.add(statkeys::bytesD2h, mixed_in_bytes[d]);
-                trace.record(phases::d2h, "xfer",
-                             dev.spec().name + ".d2h", k_done,
-                             d2h_done);
+                const VTime d2h_done = guardedTransfer(
+                    &injector, FaultPoint::D2H, retries,
+                    static_cast<std::int64_t>(gi), stats, k_done,
+                    [&](VTime s) {
+                        const VTime end = dev.d2hEngine().schedule(
+                            s, m.contendedHostLink(dev.spec().d2h)
+                                   .transferTime(
+                                       static_cast<std::uint64_t>(
+                                           mixed_in_bytes[d])));
+                        stats.add(statkeys::bytesD2h,
+                                  mixed_in_bytes[d]);
+                        trace.record(phases::d2h, "xfer",
+                                     dev.spec().name + ".d2h", s,
+                                     end);
+                        return end;
+                    });
                 t = d2h_done;
             }
             gate_end = std::max(gate_end, t);
@@ -203,11 +235,18 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
         if (dev_cap[d] == 0)
             continue;
         auto &dev = m.device(d);
-        dev.d2hEngine().schedule(
-            prev_end,
-            m.contendedHostLink(dev.spec().d2h).transferTime(dev_cap[d] * chunk_bytes));
-        stats.add(statkeys::bytesD2h,
-                  static_cast<double>(dev_cap[d] * chunk_bytes));
+        guardedTransfer(
+            &injector, FaultPoint::D2H, retries,
+            static_cast<std::int64_t>(gates.size()), stats, prev_end,
+            [&](VTime s) {
+                const VTime end = dev.d2hEngine().schedule(
+                    s, m.contendedHostLink(dev.spec().d2h)
+                           .transferTime(dev_cap[d] * chunk_bytes));
+                stats.add(statkeys::bytesD2h,
+                          static_cast<double>(dev_cap[d] *
+                                              chunk_bytes));
+                return end;
+            });
     }
     // Account the serialized gate chain: the host compute resource may
     // show idle gaps, but prev_end is the true makespan. Pin it by

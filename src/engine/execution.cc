@@ -5,6 +5,7 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
+#include "fault/integrity.hh"
 
 namespace qgpu
 {
@@ -25,7 +26,17 @@ ExecutionEngine::run(const Circuit &circuit)
     if (options_.recordTrace || options_.recordTimeline)
         result.trace.enable();
 
-    StateVector state = execute(circuit, result);
+    StateVector state{circuit.numQubits()};
+    try {
+        state = execute(circuit, result);
+    } catch (const SimException &e) {
+        // A fault-recovery policy was exhausted. Surface the failure
+        // structurally — never a crash, never a silently corrupt
+        // state (the |0...0> placeholder plus `error` is the
+        // contract).
+        result.error = e.error();
+        result.stats.add(intkeys::simErrors, 1.0);
+    }
     result.wallSeconds = wall.seconds();
 
     if (options_.recordTimeline) {
@@ -61,6 +72,17 @@ ExecutionEngine::run(const Circuit &circuit)
 
     result.totalTime = horizon;
     stats.set(statkeys::totalTime, result.totalTime);
+
+    // Mirror the per-run integrity counters into the process-wide
+    // registry so long-lived processes can watch corruption/recovery
+    // rates without keeping RunResults alive.
+    auto &registry = MetricsRegistry::global();
+    for (const auto &name : stats.names()) {
+        if (name.rfind("integrity.", 0) == 0 &&
+            stats.get(name) != 0.0) {
+            registry.add(name, stats.get(name));
+        }
+    }
 
     if (options_.keepState)
         result.state = std::move(state);

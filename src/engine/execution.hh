@@ -12,10 +12,12 @@
 #define QGPU_ENGINE_EXECUTION_HH
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/stats.hh"
 #include "common/trace.hh"
+#include "fault/sim_error.hh"
 #include "prune/involvement.hh"
 #include "qc/circuit.hh"
 #include "reorder/reorder.hh"
@@ -107,6 +109,41 @@ struct ExecOptions
 
     /** Keep the final state in the result (disable to save memory). */
     bool keepState = true;
+
+    /**
+     * Record per-chunk checksums at compress/D2H time and verify them
+     * at H2D/decompress time (the `--verify-chunks` contract; see
+     * fault/integrity.hh). Implied when payload faults are armed.
+     */
+    bool verifyChunks = false;
+
+    /**
+     * Max chunks checksummed/verified per sweep epoch under
+     * --verify-chunks with no payload faults armed; the tracked window
+     * rotates each epoch so every chunk is still covered over
+     * consecutive sweeps (the codecSampleChunks idiom — bounds the
+     * fault-free verification overhead). 0 tracks every chunk every
+     * epoch. Ignored while payload faults arm the compressed sidecar,
+     * which always tracks every shipped chunk.
+     */
+    int verifySampleChunks = 8;
+
+    /**
+     * Fault-injection spec: "env" (default) reads $QGPU_FAULT_SPEC,
+     * "" or "none" disables injection, anything else is parsed as a
+     * spec string like "d2h:0.01,codec:0.005" (fault/injector.hh).
+     */
+    std::string faultSpec = "env";
+
+    /** Seed for the deterministic fault injector. */
+    std::uint64_t faultSeed = 0x517e57ull;
+
+    /**
+     * Extra attempts granted to a simulated transfer that keeps
+     * failing under injected faults before the run ends with a
+     * structured SimError.
+     */
+    int transferRetries = 3;
 };
 
 /** Outcome of one engine run. */
@@ -124,6 +161,14 @@ struct RunResult
     Timeline timeline;
     /** Final state; empty (1 qubit, |0>) when keepState is false. */
     StateVector state{1};
+    /**
+     * Structured failure when a fault-recovery policy was exhausted;
+     * the state is then meaningless. Faults that were recovered
+     * in-pipeline (retries, raw fallback) leave this empty.
+     */
+    std::optional<SimError> error;
+
+    bool ok() const { return !error.has_value(); }
 };
 
 /**

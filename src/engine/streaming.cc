@@ -6,6 +6,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "fault/integrity.hh"
 #include "qc/fusion.hh"
 #include "sched/sweep.hh"
 #include "statevec/apply.hh"
@@ -76,6 +77,22 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
         dynamic ? mask.dynamicChunkBits(min_bits, base_bits)
                 : base_bits;
     ChunkedStateVector state(n, chunk_bits);
+
+    // Fault injection + chunk integrity (fault/integrity.hh). The
+    // compressed sidecar — a real GFC roundtrip per shipped chunk —
+    // is only armed when payload faults are, so a fault-free
+    // --verify-chunks run pays for checksums alone.
+    FaultInjector injector(FaultSpec::resolve(options().faultSpec),
+                           options().faultSeed);
+    const bool payload_faults =
+        injector.enabled(FaultPoint::Codec) ||
+        injector.enabled(FaultPoint::Alloc);
+    ChunkIntegrity guard(options().verifyChunks,
+                         payload_faults ? &codec_ : nullptr,
+                         options().verifySampleChunks);
+    if (guard.active())
+        guard.reset(state.numChunks());
+    const int retries = options().transferRetries;
 
     // Host-side availability of each chunk's latest value.
     std::vector<VTime> chunk_ready(state.numChunks(), 0.0);
@@ -167,6 +184,10 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
                         barrier = std::max(barrier, t);
                     chunk_ready.assign(state.numChunks(), barrier);
                     reset_comp_sizes();
+                    // New chunk geometry: recorded checksums no
+                    // longer describe any chunk.
+                    if (guard.active())
+                        guard.reset(state.numChunks());
                 }
             }
             const Sweep sw = nextSweep(
@@ -176,6 +197,9 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
                 state, all_gates.subspan(sw.begin, sw.size()),
                 sw.globalBits, chunk_dead);
             sweep_end = sw.end;
+            // The sweep rewrote chunk data: ship-time checksums from
+            // before it are stale.
+            guard.beginEpoch();
         }
 
         const GatePlan plan(gate, n, chunk_bits);
@@ -262,6 +286,17 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
                 for (Index c : member_scratch) {
                     ready = std::max(ready, chunk_ready[c]);
                     if (live_in(c)) {
+                        // H2D/decompress-time integrity check of the
+                        // uploaded chunk (throws on an unrecoverable
+                        // mismatch). needsReceive is the cheap inline
+                        // reject: this loop runs per batch member per
+                        // gate, verification at most once per epoch.
+                        if (guard.needsReceive(c)) {
+                            guard.onReceive(
+                                state.chunk(c), c,
+                                static_cast<std::int64_t>(gate_idx),
+                                injector, stats);
+                        }
                         if (options().compress) {
                             in_bytes += comp_size[c];
                             // Chunks stored raw (escape hatch) skip
@@ -292,15 +327,24 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
             const int slot = dev_batches[d] % slots;
             ++dev_batches[d];
 
-            // H2D of the live inputs.
+            // H2D of the live inputs; a faulted attempt burns its
+            // virtual time and the transfer repeats, bounded by the
+            // retry budget.
             const VTime start =
                 std::max(ready, slot_free[d][slot]);
-            VTime t = dev.h2dEngine().schedule(
-                start, m.contendedHostLink(dev.spec().h2d).transferTime(
-                           static_cast<std::uint64_t>(in_bytes)));
-            trace.record(phases::h2d, "xfer",
-                         dev.spec().name + ".h2d", start, t);
-            stats.add(statkeys::bytesH2d, in_bytes);
+            VTime t = guardedTransfer(
+                &injector, FaultPoint::H2D, retries,
+                static_cast<std::int64_t>(gate_idx), stats, start,
+                [&](VTime s) {
+                    const VTime done = dev.h2dEngine().schedule(
+                        s, m.contendedHostLink(dev.spec().h2d)
+                               .transferTime(static_cast<std::uint64_t>(
+                                   in_bytes)));
+                    trace.record(phases::h2d, "xfer",
+                                 dev.spec().name + ".h2d", s, done);
+                    stats.add(statkeys::bytesH2d, in_bytes);
+                    return done;
+                });
 
             if (options().compress && in_decomp_raw > 0) {
                 const VTime dur = dev.codecTime(
@@ -388,13 +432,36 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
                             static_cast<double>(chunk_bytes);
             }
 
-            // D2H of the updated chunks.
-            const VTime d2h_done = dev.d2hEngine().schedule(
-                t, m.contendedHostLink(dev.spec().d2h).transferTime(
-                       static_cast<std::uint64_t>(out_bytes)));
-            trace.record(phases::d2h, "xfer",
-                         dev.spec().name + ".d2h", t, d2h_done);
-            stats.add(statkeys::bytesD2h, out_bytes);
+            // Compress/D2H-time integrity: checksum every tracked
+            // outbound chunk (once per epoch) and refresh its
+            // compressed sidecar when payload faults are armed. The
+            // inline needsShip reject keeps the per-gate batch loop
+            // free of out-of-line calls for already-tracked chunks.
+            if (guard.active()) {
+                for (Index c : out_chunks) {
+                    if (!guard.needsShip(c))
+                        continue;
+                    guard.onShip(state.chunk(c), c,
+                                 static_cast<std::int64_t>(gate_idx),
+                                 injector, stats);
+                }
+            }
+
+            // D2H of the updated chunks, under the same bounded-retry
+            // policy as H2D.
+            const VTime d2h_done = guardedTransfer(
+                &injector, FaultPoint::D2H, retries,
+                static_cast<std::int64_t>(gate_idx), stats, t,
+                [&](VTime s) {
+                    const VTime done = dev.d2hEngine().schedule(
+                        s, m.contendedHostLink(dev.spec().d2h)
+                               .transferTime(static_cast<std::uint64_t>(
+                                   out_bytes)));
+                    trace.record(phases::d2h, "xfer",
+                                 dev.spec().name + ".d2h", s, done);
+                    stats.add(statkeys::bytesD2h, out_bytes);
+                    return done;
+                });
 
             for (std::size_t i = at; i < end; ++i) {
                 plan.membersInto(live_groups[i], member_scratch);
@@ -445,14 +512,27 @@ StreamingEngine::executeResident(const Circuit &circuit,
     ChunkedStateVector state(n, chunk_bits);
     InvolvementMask mask(n, options().involvement);
 
+    // The resident path moves the state across the bus exactly twice;
+    // transfer faults still apply to both bulk transfers (per-chunk
+    // integrity bookkeeping is a streaming-path concern).
+    FaultInjector injector(FaultSpec::resolve(options().faultSpec),
+                           options().faultSeed);
+    const int retries = options().transferRetries;
+
     // One bulk upload, kernels only, one bulk download.
     const std::uint64_t total_bytes = stateBytes(n);
-    VTime t = dev.h2dEngine().schedule(
-        0.0, m.contendedHostLink(dev.spec().h2d).transferTime(total_bytes));
-    stats.add(statkeys::bytesH2d,
-              static_cast<double>(total_bytes));
-    trace.record(phases::h2d, "xfer", dev.spec().name + ".h2d", 0.0,
-                 t);
+    VTime t = guardedTransfer(
+        &injector, FaultPoint::H2D, retries, -1, stats, 0.0,
+        [&](VTime s) {
+            const VTime done = dev.h2dEngine().schedule(
+                s, m.contendedHostLink(dev.spec().h2d)
+                       .transferTime(total_bytes));
+            stats.add(statkeys::bytesH2d,
+                      static_cast<double>(total_bytes));
+            trace.record(phases::h2d, "xfer",
+                         dev.spec().name + ".h2d", s, done);
+            return done;
+        });
 
     // Functional updates run sweep-at-a-time (one chunk-major pass
     // per sweep); the loop below keeps the per-gate kernel-time
@@ -512,11 +592,19 @@ StreamingEngine::executeResident(const Circuit &circuit,
             mask.involve(gate);
     }
 
-    const VTime done = dev.d2hEngine().schedule(
-        t, m.contendedHostLink(dev.spec().d2h).transferTime(total_bytes));
-    stats.add(statkeys::bytesD2h, static_cast<double>(total_bytes));
-    trace.record(phases::d2h, "xfer", dev.spec().name + ".d2h", t,
-                 done);
+    guardedTransfer(
+        &injector, FaultPoint::D2H, retries,
+        static_cast<std::int64_t>(circuit.numGates()), stats, t,
+        [&](VTime s) {
+            const VTime done = dev.d2hEngine().schedule(
+                s, m.contendedHostLink(dev.spec().d2h)
+                       .transferTime(total_bytes));
+            stats.add(statkeys::bytesD2h,
+                      static_cast<double>(total_bytes));
+            trace.record(phases::d2h, "xfer",
+                         dev.spec().name + ".d2h", s, done);
+            return done;
+        });
 
     return state.toFlat();
 }

@@ -1,0 +1,65 @@
+#include "fault/checksum.hh"
+
+#include <cstring>
+
+namespace qgpu
+{
+
+namespace
+{
+
+constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kPrime = 0x100000001b3ull;
+constexpr std::uint64_t kLaneSalt = 0x9e3779b97f4a7c15ull;
+
+} // namespace
+
+std::uint64_t
+checksumBytes(const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const std::uint8_t *>(data);
+    std::size_t i = 0;
+    // Four interleaved FNV-1a lanes: a single xor-multiply chain is
+    // latency-bound (one dependent 64-bit multiply per 8 bytes), so
+    // chunk-sized buffers hash far below memory bandwidth. Independent
+    // lanes keep several multiplies in flight; distinct lane bases
+    // break the symmetry between equal-content lanes. Each per-word
+    // step stays invertible (xor, then multiply by an odd constant),
+    // so any single-byte change still flips the digest.
+    std::uint64_t h0 = kOffsetBasis;
+    std::uint64_t h1 = kOffsetBasis + kLaneSalt;
+    std::uint64_t h2 = kOffsetBasis + 2 * kLaneSalt;
+    std::uint64_t h3 = kOffsetBasis + 3 * kLaneSalt;
+    for (; i + 32 <= size; i += 32) {
+        std::uint64_t w0, w1, w2, w3;
+        std::memcpy(&w0, bytes + i, 8);
+        std::memcpy(&w1, bytes + i + 8, 8);
+        std::memcpy(&w2, bytes + i + 16, 8);
+        std::memcpy(&w3, bytes + i + 24, 8);
+        h0 = (h0 ^ w0) * kPrime;
+        h1 = (h1 ^ w1) * kPrime;
+        h2 = (h2 ^ w2) * kPrime;
+        h3 = (h3 ^ w3) * kPrime;
+    }
+    std::uint64_t hash =
+        (((h0 * kPrime ^ h1) * kPrime ^ h2) * kPrime ^ h3) * kPrime;
+    for (; i + 8 <= size; i += 8) {
+        std::uint64_t word;
+        std::memcpy(&word, bytes + i, 8);
+        hash = (hash ^ word) * kPrime;
+    }
+    for (; i < size; ++i)
+        hash = (hash ^ bytes[i]) * kPrime;
+    // Final mix so buffers differing only in trailing zero words do
+    // not collide with their prefixes of the same rounded length.
+    hash ^= static_cast<std::uint64_t>(size);
+    return hash * kPrime;
+}
+
+std::uint64_t
+checksumAmps(std::span<const Amp> amps)
+{
+    return checksumBytes(amps.data(), amps.size_bytes());
+}
+
+} // namespace qgpu

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * FNV-1a-style 64-bit checksums over raw byte buffers, used by the
+ * chunk-integrity layer to guard simulated host/device data movement.
+ * The hash walks 8-byte words (tails byte-wise), so a pass runs near
+ * memory bandwidth; any single-byte change flips the digest, which is
+ * all the integrity layer needs (error detection, not cryptography).
+ */
+
+#ifndef QGPU_FAULT_CHECKSUM_HH
+#define QGPU_FAULT_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/types.hh"
+
+namespace qgpu
+{
+
+/** FNV-1a over @p size bytes, 8 bytes per round. */
+std::uint64_t checksumBytes(const void *data, std::size_t size);
+
+/** Checksum of an amplitude span's raw bit patterns. */
+std::uint64_t checksumAmps(std::span<const Amp> amps);
+
+} // namespace qgpu
+
+#endif // QGPU_FAULT_CHECKSUM_HH

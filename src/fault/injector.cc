@@ -1,0 +1,122 @@
+#include "fault/injector.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace qgpu
+{
+
+const char *
+faultPointName(FaultPoint point)
+{
+    switch (point) {
+      case FaultPoint::H2D: return "h2d";
+      case FaultPoint::D2H: return "d2h";
+      case FaultPoint::Codec: return "codec";
+      case FaultPoint::Alloc: return "alloc";
+    }
+    return "?";
+}
+
+FaultSpec
+FaultSpec::parse(const std::string &spec)
+{
+    FaultSpec out;
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t end = spec.find(',', pos);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string entry = spec.substr(pos, end - pos);
+        pos = end + 1;
+        if (entry.empty())
+            continue;
+        const std::size_t colon = entry.find(':');
+        if (colon == std::string::npos)
+            QGPU_FATAL("fault spec entry '", entry,
+                       "' is not point:probability");
+        const std::string point = entry.substr(0, colon);
+        const std::string prob_str = entry.substr(colon + 1);
+        char *parsed_end = nullptr;
+        const double prob =
+            std::strtod(prob_str.c_str(), &parsed_end);
+        if (prob_str.empty() || *parsed_end != '\0' || prob < 0.0 ||
+            prob > 1.0) {
+            QGPU_FATAL("fault probability '", prob_str,
+                       "' is not in [0, 1]");
+        }
+        int idx = -1;
+        for (int p = 0; p < kNumFaultPoints; ++p) {
+            if (point == faultPointName(static_cast<FaultPoint>(p)))
+                idx = p;
+        }
+        if (idx < 0)
+            QGPU_FATAL("unknown fault point '", point,
+                       "' (want h2d, d2h, codec, or alloc)");
+        out.probability[idx] = prob;
+    }
+    return out;
+}
+
+FaultSpec
+FaultSpec::fromEnv()
+{
+    const char *env = std::getenv("QGPU_FAULT_SPEC");
+    return parse(env ? env : "");
+}
+
+FaultSpec
+FaultSpec::resolve(const std::string &option)
+{
+    if (option == "env")
+        return fromEnv();
+    if (option.empty() || option == "none")
+        return FaultSpec{};
+    return parse(option);
+}
+
+FaultInjector::FaultInjector(FaultSpec spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed)
+{
+}
+
+bool
+FaultInjector::fire(FaultPoint point)
+{
+    const double p = spec_.probability[static_cast<int>(point)];
+    if (p <= 0.0)
+        return false;
+    if (rng_.nextDouble() >= p)
+        return false;
+    ++injected_[static_cast<int>(point)];
+    return true;
+}
+
+std::uint64_t
+FaultInjector::injected(FaultPoint point) const
+{
+    return injected_[static_cast<int>(point)];
+}
+
+std::uint64_t
+FaultInjector::injectedTotal() const
+{
+    std::uint64_t total = 0;
+    for (std::uint64_t n : injected_)
+        total += n;
+    return total;
+}
+
+void
+FaultInjector::corrupt(std::vector<std::uint8_t> &bytes)
+{
+    if (bytes.empty())
+        return;
+    const std::size_t at = rng_.nextBelow(bytes.size());
+    const std::uint8_t mask =
+        static_cast<std::uint8_t>(1 + rng_.nextBelow(255));
+    bytes[at] ^= mask;
+}
+
+} // namespace qgpu

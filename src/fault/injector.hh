@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Seed-driven deterministic fault injection for the streaming
+ * pipeline. A FaultSpec names per-point fault probabilities (parsed
+ * from a spec string such as "d2h:0.01,codec:0.005", usually supplied
+ * via the QGPU_FAULT_SPEC environment variable); a FaultInjector draws
+ * from one seeded RNG in pipeline order, so a given (spec, seed,
+ * circuit, options) tuple injects exactly the same faults on every
+ * run — including across host thread counts, because every draw
+ * happens on the single-threaded scheduling path.
+ *
+ * Fault points and the recovery policy each is paired with in
+ * StreamingEngine:
+ *   h2d, d2h  a simulated transfer fails; the attempt's virtual time
+ *             is burned and the transfer retried, up to
+ *             ExecOptions::transferRetries, then SimError.
+ *   codec     the compressed sidecar payload of a shipped chunk is
+ *             corrupted in flight; detected by checksum at receive
+ *             time and recovered via the raw-payload fallback.
+ *   alloc     a host allocation at the fault point fails; the codec
+ *             path degrades to shipping raw.
+ */
+
+#ifndef QGPU_FAULT_INJECTOR_HH
+#define QGPU_FAULT_INJECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace qgpu
+{
+
+/** Named places in the pipeline where a fault can be injected. */
+enum class FaultPoint
+{
+    H2D,
+    D2H,
+    Codec,
+    Alloc,
+};
+
+inline constexpr int kNumFaultPoints = 4;
+
+const char *faultPointName(FaultPoint point);
+
+/** Per-point fault probabilities. */
+struct FaultSpec
+{
+    std::array<double, kNumFaultPoints> probability{};
+
+    /**
+     * Parse "point:prob[,point:prob...]" with points h2d, d2h, codec,
+     * alloc. Empty input yields an all-zero (disabled) spec; unknown
+     * points or malformed probabilities are fatal (user error).
+     */
+    static FaultSpec parse(const std::string &spec);
+
+    /** Parse $QGPU_FAULT_SPEC (disabled spec when unset/empty). */
+    static FaultSpec fromEnv();
+
+    /**
+     * Resolve an ExecOptions::faultSpec value: "env" reads
+     * QGPU_FAULT_SPEC, "" and "none" disable injection, anything else
+     * is parsed as a spec string.
+     */
+    static FaultSpec resolve(const std::string &option);
+
+    bool
+    enabled() const
+    {
+        for (double p : probability)
+            if (p > 0.0)
+                return true;
+        return false;
+    }
+
+    bool
+    enabled(FaultPoint point) const
+    {
+        return probability[static_cast<int>(point)] > 0.0;
+    }
+};
+
+/**
+ * Deterministic fault source. One instance per engine run; fire() must
+ * only be called from the (single-threaded) scheduling path so the
+ * draw sequence is reproducible.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(FaultSpec spec, std::uint64_t seed);
+
+    bool enabled() const { return spec_.enabled(); }
+    bool enabled(FaultPoint p) const { return spec_.enabled(p); }
+
+    /** Roll for a fault at @p point; counts injected faults. */
+    bool fire(FaultPoint point);
+
+    /** Faults injected so far at @p point. */
+    std::uint64_t injected(FaultPoint point) const;
+
+    /** Total faults injected across all points. */
+    std::uint64_t injectedTotal() const;
+
+    /**
+     * Corrupt one byte of @p bytes (xor with a non-zero mask at a
+     * random offset), simulating in-flight payload damage. No-op on an
+     * empty buffer.
+     */
+    void corrupt(std::vector<std::uint8_t> &bytes);
+
+  private:
+    FaultSpec spec_;
+    Rng rng_;
+    std::array<std::uint64_t, kNumFaultPoints> injected_{};
+};
+
+} // namespace qgpu
+
+#endif // QGPU_FAULT_INJECTOR_HH

@@ -1,0 +1,181 @@
+#include "fault/integrity.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "fault/checksum.hh"
+
+namespace qgpu
+{
+
+namespace intkeys
+{
+
+const char *
+faultKey(FaultPoint point)
+{
+    switch (point) {
+      case FaultPoint::H2D: return "integrity.fault.h2d";
+      case FaultPoint::D2H: return "integrity.fault.d2h";
+      case FaultPoint::Codec: return "integrity.fault.codec";
+      case FaultPoint::Alloc: return "integrity.fault.alloc";
+    }
+    return "integrity.fault.?";
+}
+
+const char *
+retryKey(FaultPoint point)
+{
+    switch (point) {
+      case FaultPoint::H2D: return "integrity.retry.h2d";
+      case FaultPoint::D2H: return "integrity.retry.d2h";
+      default:
+        QGPU_PANIC("retryKey: ", faultPointName(point),
+                   " is not a transfer fault point");
+    }
+}
+
+} // namespace intkeys
+
+ChunkIntegrity::ChunkIntegrity(bool verify, const GfcCodec *codec,
+                               int sample_limit)
+    : verify_(verify || codec != nullptr), codec_(codec),
+      sampleLimit_(sample_limit)
+{
+}
+
+void
+ChunkIntegrity::updateSampleWindow()
+{
+    // With the sidecar armed every chunk is tracked: an injected
+    // corruption on an untracked chunk would be an escape. In pure
+    // verify mode a rotating window bounds the per-sweep hash cost;
+    // consecutive epochs shift the window so every chunk is covered
+    // over ceil(chunks/limit) sweeps. Precomputed here so sampled()
+    // stays a pair of inline compares in the per-gate batch loop.
+    const auto num_chunks = static_cast<Index>(ledger_.size());
+    const auto limit = static_cast<Index>(sampleLimit_);
+    trackAll_ = codec_ != nullptr || sampleLimit_ <= 0 ||
+                num_chunks == 0 || limit >= num_chunks;
+    if (trackAll_)
+        return;
+    const Index start =
+        (static_cast<Index>(epoch_) * limit) % num_chunks;
+    sampleLo_ = start;
+    sampleHi_ = std::min(start + limit, num_chunks);
+    sampleWrap_ =
+        start + limit > num_chunks ? start + limit - num_chunks : 0;
+}
+
+void
+ChunkIntegrity::reset(Index num_chunks)
+{
+    ledger_.assign(num_chunks, Entry{});
+    if (codec_ != nullptr)
+        sidecars_.assign(num_chunks, Sidecar{});
+    updateSampleWindow();
+}
+
+void
+ChunkIntegrity::onShip(std::span<const Amp> data, Index c,
+                       std::int64_t gate, FaultInjector &injector,
+                       StatSet &stats)
+{
+    (void)gate;
+    if (!active())
+        return;
+    if (!sampled(c))
+        return; // outside this epoch's rotating verify window
+    Entry &entry = ledger_[c];
+    if (entry.computedEpoch == epoch_)
+        return; // already shipped this epoch; data unchanged
+    entry.sum = checksumAmps(data);
+    entry.computedEpoch = epoch_;
+    entry.verifiedEpoch = -1;
+    stats.add(intkeys::checksumComputed, 1.0);
+
+    if (codec_ == nullptr)
+        return;
+    Sidecar &side = sidecars_[c];
+    side.present = false;
+    side.epoch = epoch_;
+    // A failed host allocation for the compressed buffer degrades the
+    // chunk to shipping raw: no sidecar, nothing to verify beyond the
+    // raw checksum.
+    if (injector.fire(FaultPoint::Alloc)) {
+        stats.add(intkeys::faultKey(FaultPoint::Alloc), 1.0);
+        stats.add(intkeys::fallbackRaw, 1.0);
+        return;
+    }
+    side.block = codec_->compressAmps(data.data(), data.size());
+    // The sender checksums the stream it put on the bus; corruption
+    // happens in flight, after the checksum is recorded.
+    side.streamSum = checksumBytes(side.block.bytes.data(),
+                                   side.block.bytes.size());
+    if (injector.fire(FaultPoint::Codec)) {
+        stats.add(intkeys::faultKey(FaultPoint::Codec), 1.0);
+        injector.corrupt(side.block.bytes);
+    }
+    side.present = true;
+}
+
+void
+ChunkIntegrity::onReceive(std::span<const Amp> data, Index c,
+                          std::int64_t gate, FaultInjector &injector,
+                          StatSet &stats)
+{
+    if (!active())
+        return;
+    Entry &entry = ledger_[c];
+    if (entry.computedEpoch != epoch_)
+        return; // not shipped since the data last changed
+    if (entry.verifiedEpoch == epoch_)
+        return; // already verified this epoch
+    entry.verifiedEpoch = epoch_;
+
+    bool payload_ok = false;
+    if (codec_ != nullptr && sidecars_[c].epoch == epoch_ &&
+        sidecars_[c].present) {
+        const Sidecar &side = sidecars_[c];
+        if (checksumBytes(side.block.bytes.data(),
+                          side.block.bytes.size()) != side.streamSum) {
+            // In-flight corruption of the compressed stream. Never
+            // decode a stream that failed its checksum (a corrupt GFC
+            // stream is undecodable); recover from the raw payload.
+            stats.add(intkeys::checksumMismatch, 1.0);
+            stats.add(intkeys::fallbackRaw, 1.0);
+        } else if (injector.fire(FaultPoint::Alloc)) {
+            // No scratch buffer for decompression: ship raw instead.
+            stats.add(intkeys::faultKey(FaultPoint::Alloc), 1.0);
+            stats.add(intkeys::fallbackRaw, 1.0);
+        } else {
+            scratch_.resize(side.block.numDoubles);
+            codec_->decompress(side.block, scratch_.data());
+            if (checksumBytes(scratch_.data(),
+                              scratch_.size() * sizeof(double)) !=
+                entry.sum) {
+                // Stream intact but the payload does not reconstruct:
+                // a codec failure. Recover from the raw payload.
+                stats.add(intkeys::checksumMismatch, 1.0);
+                stats.add(intkeys::fallbackRaw, 1.0);
+            } else {
+                payload_ok = true;
+            }
+        }
+    }
+
+    // The raw copy is what the functional update actually reads, so
+    // its checksum is the last line of defense. A mismatch here means
+    // the authoritative data itself is damaged — unrecoverable.
+    if (checksumAmps(data) != entry.sum) {
+        stats.add(intkeys::checksumMismatch, 1.0);
+        throw SimException(SimError{
+            SimErrorCode::ChecksumMismatch, "h2d",
+            "raw chunk payload does not match its ship-time checksum",
+            static_cast<std::int64_t>(c), gate, 0});
+    }
+    (void)payload_ok;
+    stats.add(intkeys::checksumVerified, 1.0);
+}
+
+} // namespace qgpu

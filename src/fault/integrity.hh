@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Chunk-integrity layer for the streaming pipeline. Every chunk that
+ * ships D2H gets an FNV checksum recorded at ship (compress/D2H) time;
+ * the checksum is verified the next time the chunk is uploaded (H2D/
+ * decompress time). When codec faults are armed the layer additionally
+ * maintains a real compressed sidecar per shipped chunk — the GFC
+ * stream that would cross the bus — so injected payload corruption is
+ * exercised against the actual codec: the corrupted stream is detected
+ * by its sender-side stream checksum (or, for a hypothetical codec
+ * bug, by the decompressed payload failing the raw checksum) and the
+ * chunk falls back to its pristine raw payload. The authoritative
+ * amplitudes always live in the ChunkedStateVector, so the fallback
+ * recovers bit-identically; only a mismatch on the raw copy itself —
+ * which no recovery can repair — raises a structured SimError.
+ *
+ * Work is bounded per epoch: checksums are computed/verified at most
+ * once per chunk between sweep boundaries (the only places chunk data
+ * legitimately changes), and in pure verify mode (no payload faults
+ * armed) only a rotating sample window of chunks is tracked each
+ * epoch (ExecOptions::verifySampleChunks, mirroring the
+ * codecSampleChunks idiom), so `--verify-chunks` costs a bounded
+ * number of hash passes per sweep while still covering every chunk
+ * across consecutive sweeps. When the compressed sidecar is armed,
+ * every shipped chunk is tracked: injected corruption must never
+ * escape the ledger.
+ *
+ * Counters (per-run StatSet, mirrored into MetricsRegistry::global()
+ * by ExecutionEngine::run):
+ *   integrity.checksum.computed   checksums recorded at ship time
+ *   integrity.checksum.verified   successful receive-time checks
+ *   integrity.checksum.mismatch   corruption detected (then recovered)
+ *   integrity.fallback.raw        chunks recovered via raw payload
+ *   integrity.fault.<point>       faults injected at h2d/d2h/codec/alloc
+ *   integrity.retry.h2d/.d2h      transfer attempts repeated
+ *   integrity.sim_error           runs ended by a structured SimError
+ */
+
+#ifndef QGPU_FAULT_INTEGRITY_HH
+#define QGPU_FAULT_INTEGRITY_HH
+
+#include <span>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "compress/gfc.hh"
+#include "fault/injector.hh"
+#include "fault/sim_error.hh"
+
+namespace qgpu
+{
+
+namespace intkeys
+{
+inline constexpr const char *checksumComputed =
+    "integrity.checksum.computed";
+inline constexpr const char *checksumVerified =
+    "integrity.checksum.verified";
+inline constexpr const char *checksumMismatch =
+    "integrity.checksum.mismatch";
+inline constexpr const char *fallbackRaw = "integrity.fallback.raw";
+inline constexpr const char *simErrors = "integrity.sim_error";
+
+/** "integrity.fault.<point>". */
+const char *faultKey(FaultPoint point);
+/** "integrity.retry.<point>" (transfer points only). */
+const char *retryKey(FaultPoint point);
+} // namespace intkeys
+
+/**
+ * Per-run checksum ledger plus optional compressed sidecar. One
+ * instance per engine run; all methods are called from the
+ * single-threaded scheduling path.
+ */
+class ChunkIntegrity
+{
+  public:
+    /**
+     * @param verify        record/verify checksums (the
+     *                      --verify-chunks contract; implied whenever
+     *                      @p codec is set).
+     * @param codec         non-null arms the compressed sidecar (used
+     *                      when codec or alloc faults are enabled).
+     * @param sample_limit  max chunks tracked per epoch in pure verify
+     *                      mode (0 = every chunk). The tracked window
+     *                      rotates each epoch so every chunk is
+     *                      covered over ceil(chunks/limit) sweeps.
+     *                      Ignored while the sidecar is armed: injected
+     *                      payload corruption must always be tracked.
+     */
+    ChunkIntegrity(bool verify, const GfcCodec *codec,
+                   int sample_limit = 0);
+
+    /** Anything to do at ship/receive time? */
+    bool active() const { return verify_ || codec_ != nullptr; }
+
+    /** Adopt a new chunk geometry; drops the ledger and sidecars. */
+    void reset(Index num_chunks);
+
+    /**
+     * Chunk data may have changed (sweep boundary): recorded checksums
+     * become stale and are neither verified nor trusted afterwards.
+     * Advances the rotating sample window.
+     */
+    void
+    beginEpoch()
+    {
+        ++epoch_;
+        updateSampleWindow();
+    }
+
+    /** Is chunk @p c inside this epoch's rotating sample window? */
+    bool
+    sampled(Index c) const
+    {
+        return trackAll_ || (c >= sampleLo_ && c < sampleHi_) ||
+               c < sampleWrap_;
+    }
+
+    /**
+     * Would onShip do any work for chunk @p c this epoch? Cheap
+     * inline reject for the per-gate scheduling loop, which revisits
+     * every batch member far more often than checksums are taken.
+     */
+    bool
+    needsShip(Index c) const
+    {
+        return active() && sampled(c) &&
+               ledger_[c].computedEpoch != epoch_;
+    }
+
+    /** Would onReceive do any work for chunk @p c this epoch? */
+    bool
+    needsReceive(Index c) const
+    {
+        if (!active())
+            return false;
+        const Entry &entry = ledger_[c];
+        return entry.computedEpoch == epoch_ &&
+               entry.verifiedEpoch != epoch_;
+    }
+
+    /**
+     * Ship chunk @p c (compress/D2H time): record its checksum and
+     * refresh the compressed sidecar, injecting codec/alloc faults.
+     * Idempotent within an epoch.
+     */
+    void onShip(std::span<const Amp> data, Index c, std::int64_t gate,
+                FaultInjector &injector, StatSet &stats);
+
+    /**
+     * Receive chunk @p c (H2D/decompress time): verify the sidecar
+     * stream and payload (falling back to the raw payload on any
+     * mismatch) and the raw copy against the ledger. Throws
+     * SimException on a raw-copy mismatch, which no fallback can
+     * repair. Idempotent within an epoch; no-op for chunks not shipped
+     * this epoch.
+     */
+    void onReceive(std::span<const Amp> data, Index c,
+                   std::int64_t gate, FaultInjector &injector,
+                   StatSet &stats);
+
+  private:
+    struct Entry
+    {
+        std::uint64_t sum = 0;
+        std::int64_t computedEpoch = -1;
+        std::int64_t verifiedEpoch = -1;
+    };
+
+    struct Sidecar
+    {
+        CompressedBlock block;
+        /** Sender-side checksum of the compressed stream. */
+        std::uint64_t streamSum = 0;
+        std::int64_t epoch = -1;
+        bool present = false;
+    };
+
+    /** Recompute the [sampleLo_, sampleHi_) + [0, sampleWrap_)
+     *  window for the current epoch. */
+    void updateSampleWindow();
+
+    bool verify_;
+    const GfcCodec *codec_;
+    int sampleLimit_;
+    /** Sampling disabled: every chunk tracked every epoch. */
+    bool trackAll_ = true;
+    Index sampleLo_ = 0;
+    Index sampleHi_ = 0;
+    Index sampleWrap_ = 0;
+    std::int64_t epoch_ = 0;
+    std::vector<Entry> ledger_;
+    std::vector<Sidecar> sidecars_;
+    std::vector<double> scratch_;
+};
+
+/**
+ * Schedule one simulated transfer with fault-driven bounded retry.
+ * @p attempt maps a start time to the attempt's completion time (and
+ * performs the schedule/trace bookkeeping); a fault at @p point burns
+ * the attempt's virtual time and retries from its completion, up to
+ * @p max_retries extra attempts, then throws a structured SimError.
+ * With no injector (or the point disabled) this is exactly one
+ * attempt.
+ */
+template <typename Attempt>
+VTime
+guardedTransfer(FaultInjector *injector, FaultPoint point,
+                int max_retries, std::int64_t gate, StatSet &stats,
+                VTime start, Attempt &&attempt)
+{
+    VTime done = attempt(start);
+    if (injector == nullptr || !injector->enabled(point))
+        return done;
+    int attempts = 1;
+    while (injector->fire(point)) {
+        stats.add(intkeys::faultKey(point), 1.0);
+        if (attempts > max_retries) {
+            throw SimException(SimError{
+                SimErrorCode::TransferFailed, faultPointName(point),
+                "transfer retry budget exhausted", -1, gate,
+                attempts});
+        }
+        stats.add(intkeys::retryKey(point), 1.0);
+        done = attempt(done);
+        ++attempts;
+    }
+    return done;
+}
+
+} // namespace qgpu
+
+#endif // QGPU_FAULT_INTEGRITY_HH

@@ -1,0 +1,43 @@
+#include "fault/sim_error.hh"
+
+#include <sstream>
+
+namespace qgpu
+{
+
+const char *
+simErrorCodeName(SimErrorCode code)
+{
+    switch (code) {
+      case SimErrorCode::TransferFailed: return "transfer_failed";
+      case SimErrorCode::ChecksumMismatch: return "checksum_mismatch";
+      case SimErrorCode::CodecFailed: return "codec_failed";
+      case SimErrorCode::AllocFailed: return "alloc_failed";
+    }
+    return "?";
+}
+
+std::string
+SimError::toString() const
+{
+    std::ostringstream os;
+    os << simErrorCodeName(code) << " at " << point;
+    if (gate >= 0)
+        os << " (gate " << gate;
+    if (chunk >= 0)
+        os << (gate >= 0 ? ", chunk " : " (chunk ") << chunk;
+    if (gate >= 0 || chunk >= 0)
+        os << ")";
+    if (attempts > 0)
+        os << " after " << attempts << " attempts";
+    if (!detail.empty())
+        os << ": " << detail;
+    return os.str();
+}
+
+SimException::SimException(SimError error)
+    : error_(std::move(error)), what_(error_.toString())
+{
+}
+
+} // namespace qgpu

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Structured simulation errors. When a fault-injection recovery policy
+ * is exhausted (e.g. a simulated transfer keeps failing past the retry
+ * budget) the engine must neither crash nor return a silently corrupt
+ * state: it throws a SimException carrying a SimError, which
+ * ExecutionEngine::run catches and surfaces as RunResult::error.
+ */
+
+#ifndef QGPU_FAULT_SIM_ERROR_HH
+#define QGPU_FAULT_SIM_ERROR_HH
+
+#include <cstdint>
+#include <exception>
+#include <string>
+
+namespace qgpu
+{
+
+/** What kind of pipeline failure exhausted its recovery policy. */
+enum class SimErrorCode
+{
+    /** A simulated H2D/D2H transfer failed past the retry budget. */
+    TransferFailed,
+    /** A chunk's data no longer matches its recorded checksum and no
+     *  pristine fallback copy exists. */
+    ChecksumMismatch,
+    /** The codec produced undecodable or mismatching output and the
+     *  raw-payload fallback was unavailable. */
+    CodecFailed,
+    /** A host allocation failed past its recovery policy. */
+    AllocFailed,
+};
+
+const char *simErrorCodeName(SimErrorCode code);
+
+/** One structured pipeline failure, with enough context to localize it. */
+struct SimError
+{
+    SimErrorCode code = SimErrorCode::TransferFailed;
+    /** Fault point name ("h2d", "d2h", "codec", "alloc"). */
+    std::string point;
+    /** Human-readable description. */
+    std::string detail;
+    /** Chunk index, or -1 when the failure is not chunk-scoped. */
+    std::int64_t chunk = -1;
+    /** Gate index in the executed circuit, or -1. */
+    std::int64_t gate = -1;
+    /** Attempts consumed before giving up (retried operations). */
+    int attempts = 0;
+
+    /** "code at point (gate g, chunk c, k attempts): detail". */
+    std::string toString() const;
+};
+
+/** Exception wrapper thrown inside engine bodies; never escapes run(). */
+class SimException : public std::exception
+{
+  public:
+    explicit SimException(SimError error);
+
+    const SimError &error() const { return error_; }
+    const char *what() const noexcept override { return what_.c_str(); }
+
+  private:
+    SimError error_;
+    std::string what_;
+};
+
+} // namespace qgpu
+
+#endif // QGPU_FAULT_SIM_ERROR_HH

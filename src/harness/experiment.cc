@@ -51,6 +51,8 @@ publishRunMetrics(const RunResult &result)
     auto &registry = MetricsRegistry::global();
     registry.add("runs.total");
     registry.add("runs." + result.engine);
+    if (!result.ok())
+        registry.add("runs.failed");
     registry.observe("run.total_time", result.totalTime);
     registry.observe("run.wall_time", result.wallSeconds);
     registry.observe("run.bytes_h2d",
@@ -74,7 +76,17 @@ runReportJson(const RunResult &result)
            << "\": " << result.stats.get(name);
         first = false;
     }
-    os << "}, \"trace\": " << result.trace.toJson() << "}";
+    os << "}, \"trace\": " << result.trace.toJson();
+    if (!result.ok()) {
+        const SimError &e = *result.error;
+        os << ", \"error\": {\"code\": \""
+           << simErrorCodeName(e.code) << "\", \"point\": \""
+           << jsonEscape(e.point) << "\", \"gate\": " << e.gate
+           << ", \"chunk\": " << e.chunk
+           << ", \"attempts\": " << e.attempts << ", \"detail\": \""
+           << jsonEscape(e.detail) << "\"}";
+    }
+    os << "}";
     return os.str();
 }
 

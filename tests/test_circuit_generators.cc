@@ -1,6 +1,6 @@
 /**
  * @file
- * Tests for the nine benchmark generators: structural properties,
+ * Tests for the benchmark generators: structural properties,
  * functional correctness where the algorithm has a known answer
  * (Bernstein-Vazirani, graph states), and the involvement profile
  * ordering that drives the paper's Table II.
@@ -55,11 +55,59 @@ TEST_P(EveryFamily, ScalesWithQubits)
 INSTANTIATE_TEST_SUITE_P(
     AllFamilies, EveryFamily,
     ::testing::Values("hchain", "rqc", "qaoa", "gs", "hlf", "qft",
-                      "iqp", "qf", "bv"));
+                      "iqp", "qf", "bv", "random"));
 
-TEST(Registry, ListsNineFamilies)
+TEST(Registry, ListsTenFamilies)
 {
-    EXPECT_EQ(circuits::benchmarkNames().size(), 9u);
+    EXPECT_EQ(circuits::benchmarkNames().size(), 10u);
+}
+
+TEST(Random, SameSeedRoundTripsIdentically)
+{
+    // The registry path and the direct generator must agree, and the
+    // same seed must reproduce the exact gate stream (qubits, kinds,
+    // and parameters) -- the property the fuzz harness leans on.
+    const Circuit a = circuits::makeBenchmark("random", 9, 42);
+    const Circuit b = circuits::makeBenchmark("random", 9, 42);
+    const Circuit c = circuits::randomFamily(9, 0, 42);
+    ASSERT_EQ(a.numGates(), b.numGates());
+    ASSERT_EQ(a.numGates(), c.numGates());
+    for (std::size_t i = 0; i < a.numGates(); ++i) {
+        EXPECT_EQ(a.gates()[i].toString(), b.gates()[i].toString());
+        EXPECT_EQ(a.gates()[i].toString(), c.gates()[i].toString());
+    }
+}
+
+TEST(Random, DifferentSeedsDiverge)
+{
+    const Circuit a = circuits::makeBenchmark("random", 9, 42);
+    const Circuit b = circuits::makeBenchmark("random", 9, 43);
+    ASSERT_EQ(a.numGates(), b.numGates());
+    bool any_differ = false;
+    for (std::size_t i = 0; i < a.numGates(); ++i)
+        if (a.gates()[i].toString() != b.gates()[i].toString())
+            any_differ = true;
+    EXPECT_TRUE(any_differ);
+}
+
+TEST(Random, DrawsFromTheWholePalette)
+{
+    // A long enough stream hits one-, two-, and three-qubit gates and
+    // at least one parameterized kind of each arity.
+    const Circuit c = circuits::randomFamily(8, 400, 7);
+    int arity[4] = {0, 0, 0, 0};
+    for (const Gate &g : c.gates())
+        ++arity[g.qubits.size()];
+    EXPECT_GT(arity[1], 0);
+    EXPECT_GT(arity[2], 0);
+    EXPECT_GT(arity[3], 0);
+}
+
+TEST(Random, SingleQubitRegisterFallsBackToOneQubitGates)
+{
+    const Circuit c = circuits::randomFamily(1, 50, 3);
+    for (const Gate &g : c.gates())
+        EXPECT_EQ(g.qubits.size(), 1u);
 }
 
 TEST(RegistryDeath, UnknownFamily)

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/integrity.hh"
 #include "harness/experiment.hh"
+#include "statevec/measure.hh"
 #include "statevec/state_vector.hh"
 
 namespace qgpu
@@ -123,6 +125,72 @@ TEST(EdgeCases, EmptyCircuitRuns)
     const RunResult r = harness::runOn("qgpu", m, c);
     EXPECT_EQ(r.state[0], (Amp{1, 0}));
     EXPECT_GE(r.totalTime, 0.0);
+}
+
+TEST(EdgeCases, EmptyCircuitNeverTouchesTheFaultPath)
+{
+    // With no gates there is nothing to ship, so even certain faults
+    // (probability 1 everywhere) must never fire: the streaming
+    // versions' fault path is strictly per-shipped-chunk. (Baseline
+    // is the exception by design -- it bulk-loads the device region
+    // regardless of the gate stream.)
+    const Circuit c(6, "empty");
+    ExecOptions o;
+    o.verifyChunks = true;
+    o.faultSpec = "h2d:1.0,d2h:1.0,codec:1.0,alloc:1.0";
+    for (const Version v : allVersions()) {
+        if (v == Version::Baseline)
+            continue;
+        Machine m = harness::benchMachine(6);
+        const RunResult r = makeVersion(v, m, o)->run(c);
+        ASSERT_TRUE(r.ok()) << versionName(v);
+        EXPECT_EQ(r.state[0], (Amp{1, 0})) << versionName(v);
+        for (const char *key :
+             {intkeys::checksumMismatch, intkeys::fallbackRaw,
+              intkeys::faultKey(FaultPoint::H2D),
+              intkeys::faultKey(FaultPoint::D2H),
+              intkeys::faultKey(FaultPoint::Codec),
+              intkeys::faultKey(FaultPoint::Alloc)})
+            EXPECT_EQ(r.stats.get(key), 0.0)
+                << versionName(v) << " touched " << key;
+    }
+}
+
+TEST(EdgeCases, MeasurementOnlyCircuitSamplesCleanlyUnderFaults)
+{
+    // A circuit whose only operations are identity placeholders (the
+    // "measure-everything" program: no amplitude ever changes, all
+    // the work is post-run sampling). It must flow through the sweep
+    // cursor of every version with faults armed, recover exactly, and
+    // sample |0...0> on every shot -- identically to a fault-free run.
+    const int n = 6;
+    Circuit c(n, "measure_only");
+    for (int q = 0; q < n; ++q)
+        c.add(Gate(GateKind::ID, {q}));
+
+    ExecOptions clean;
+    clean.faultSpec = "none";
+    ExecOptions faulty;
+    faulty.verifyChunks = true;
+    faulty.faultSpec = "d2h:0.1,codec:0.5,alloc:0.2";
+
+    for (const Version v : allVersions()) {
+        Machine mc = harness::benchMachine(n);
+        const RunResult ref = makeVersion(v, mc, clean)->run(c);
+        Machine mf = harness::benchMachine(n);
+        const RunResult r = makeVersion(v, mf, faulty)->run(c);
+        ASSERT_TRUE(ref.ok());
+        ASSERT_TRUE(r.ok()) << versionName(v) << ": "
+                            << r.error->toString();
+        EXPECT_EQ(r.state.maxAbsDiff(ref.state), 0.0)
+            << versionName(v);
+
+        Rng rng(17);
+        const auto counts = sampleCounts(r.state, 64, rng);
+        ASSERT_EQ(counts.size(), 1u) << versionName(v);
+        EXPECT_EQ(counts.begin()->first, 0u);
+        EXPECT_EQ(counts.begin()->second, 64u);
+    }
 }
 
 } // namespace

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Differential fuzz harness for the fault-injection subsystem (tier2:
+ * excluded from the pre-commit gate, run via `ctest -L tier2`, e.g. by
+ * `scripts/check.sh --asan`). For every engine version and pruning
+ * mode, a sweep of seeded random circuits runs twice -- fault-free and
+ * under an injected fault mix -- rotating register size, host thread
+ * count, fault spec, and injector seed per iteration. The contract
+ * under test is the tentpole guarantee: a faulted run either recovers
+ * BIT-identically (corruption only ever touches the compressed
+ * sidecar, never the authoritative chunks) or surfaces a structured
+ * SimError; it never crashes and never returns a silently corrupt
+ * state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "fault/integrity.hh"
+#include "harness/experiment.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+constexpr int kSeeds = 50;
+
+struct PruneMode
+{
+    const char *name;
+    bool dynamicChunks;
+    InvolvementPolicy involvement;
+};
+
+constexpr PruneMode kModes[] = {
+    {"dynamic_perop", true, InvolvementPolicy::PerOp},
+    {"static_perop", false, InvolvementPolicy::PerOp},
+    {"dynamic_nondiag", true, InvolvementPolicy::NonDiagonal},
+};
+
+// A moderate mix (recovery path), a payload-heavy mix (codec/alloc
+// fallback path), and a hot transfer mix that regularly exhausts the
+// retry budget (structured-error path).
+constexpr const char *kSpecs[] = {
+    "h2d:0.02,d2h:0.02,codec:0.05,alloc:0.02",
+    "codec:0.4,alloc:0.2",
+    "d2h:0.6,codec:0.1",
+};
+
+class FaultFuzz
+    : public ::testing::TestWithParam<std::tuple<Version, int>>
+{
+  protected:
+    void TearDown() override { setSimThreads(1); }
+};
+
+TEST_P(FaultFuzz, RecoversBitIdenticallyOrErrorsStructurally)
+{
+    const auto &[version, mode_idx] = GetParam();
+    const PruneMode &mode = kModes[mode_idx];
+
+    int recovered_runs = 0;
+    int errored_runs = 0;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+        const int n = 6 + seed % 3;
+        const Circuit circuit =
+            circuits::makeBenchmark("random", n, seed + 1);
+        setSimThreads(1 + seed % 3);
+
+        ExecOptions o;
+        o.targetChunks = 32;
+        o.codecSampleChunks = 0;
+        o.dynamicChunks = mode.dynamicChunks;
+        o.involvement = mode.involvement;
+        o.faultSpec = "none"; // ignore any ambient QGPU_FAULT_SPEC
+
+        Machine ref_machine = harness::benchMachine(n);
+        const RunResult ref =
+            makeVersion(version, ref_machine, o)->run(circuit);
+        ASSERT_TRUE(ref.ok()) << "fault-free run failed, seed "
+                              << seed;
+
+        ExecOptions fo = o;
+        fo.verifyChunks = true;
+        fo.faultSpec = kSpecs[seed % std::size(kSpecs)];
+        fo.faultSeed = 0x9e3779b97f4a7c15ull *
+                       static_cast<std::uint64_t>(seed + 1);
+        Machine machine = harness::benchMachine(n);
+        const RunResult r =
+            makeVersion(version, machine, fo)->run(circuit);
+
+        if (!r.ok()) {
+            // Recovery exhausted: the error must be structured and
+            // localized. Only transfer retries can exhaust -- payload
+            // corruption always has the raw fallback.
+            ++errored_runs;
+            EXPECT_EQ(r.error->code, SimErrorCode::TransferFailed)
+                << "seed " << seed;
+            EXPECT_FALSE(r.error->point.empty());
+            EXPECT_GT(r.error->attempts, fo.transferRetries);
+            EXPECT_EQ(r.stats.get(intkeys::simErrors), 1.0);
+            continue;
+        }
+        ++recovered_runs;
+        EXPECT_EQ(r.state.maxAbsDiff(ref.state), 0.0)
+            << versionName(version) << "/" << mode.name
+            << " diverged from its fault-free twin, seed " << seed;
+        EXPECT_LT(r.state.maxAbsDiff(simulateReference(circuit)),
+                  1e-12)
+            << versionName(version) << "/" << mode.name
+            << " diverged from the flat reference, seed " << seed;
+    }
+    // The sweep must actually exercise the recovery path; a spec mix
+    // that errors every run (or never injects) tests nothing.
+    EXPECT_GT(recovered_runs, 0)
+        << versionName(version) << "/" << mode.name;
+    EXPECT_EQ(recovered_runs + errored_runs, kSeeds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVersions, FaultFuzz,
+    ::testing::Combine(::testing::ValuesIn(allVersions()),
+                       ::testing::Range(0, 3)),
+    [](const auto &info) {
+        std::string name = versionName(std::get<0>(info.param));
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_'; // "Q-GPU" is not a valid gtest name
+        return name + "_" + kModes[std::get<1>(info.param)].name;
+    });
+
+} // namespace
+} // namespace qgpu

@@ -1,9 +1,10 @@
 /**
  * @file
  * GFC codec property/fuzz tests: deterministic randomized roundtrips
- * over amplitude-like payloads (dense random, sparse, denormal, ±0)
- * across lane/segment configurations, plus the documented size bound
- * for all-zero input.
+ * over amplitude-like payloads (dense random, sparse, denormal, ±0,
+ * ±Inf, NaN) across lane/segment configurations, the documented size
+ * bound for all-zero input, and byte-identity of the serial and
+ * thread-pool compression paths.
  */
 
 #include <bit>
@@ -13,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "common/bits.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "compress/gfc.hh"
 
@@ -141,6 +143,71 @@ TEST(GfcProperties, AllZeroSizeBound)
                 << "segments " << segs << ", count " << count;
             expectRoundTrip(codec, zeros);
         }
+    }
+}
+
+TEST(GfcProperties, InfAndNanPayloadsRoundTripBitExactly)
+{
+    // Residuals are computed on raw 64-bit patterns, so the codec is
+    // lossless even for values amplitude data should never contain:
+    // infinities and NaNs (including non-default payload bits, which
+    // arithmetic would silently canonicalize -- only a bit-pattern
+    // comparison catches that).
+    const double qnan = std::numeric_limits<double>::quiet_NaN();
+    const double payload_nan = std::bit_cast<double>(
+        std::bit_cast<std::uint64_t>(qnan) | 0xdeadbeefull);
+    const double neg_nan = std::bit_cast<double>(
+        std::bit_cast<std::uint64_t>(qnan) | (1ull << 63));
+    const double inf = std::numeric_limits<double>::infinity();
+
+    std::vector<double> data;
+    Rng rng(404);
+    for (int i = 0; i < 300; ++i) {
+        switch (i % 6) {
+          case 0: data.push_back(inf); break;
+          case 1: data.push_back(-inf); break;
+          case 2: data.push_back(qnan); break;
+          case 3: data.push_back(payload_nan); break;
+          case 4: data.push_back(neg_nan); break;
+          default: data.push_back(randomAmplitudeValue(rng)); break;
+        }
+    }
+    for (const int segs : {1, 4, 32}) {
+        GfcCodec codec(8, segs);
+        expectRoundTrip(codec, data);
+    }
+}
+
+TEST(GfcProperties, SerialAndParallelStreamsAreByteIdentical)
+{
+    // The engine records sender-side checksums over compressed bytes
+    // (fault/integrity.hh), so the parallel compression path must
+    // produce the exact stream of the serial one, not merely a stream
+    // that decodes to the same values.
+    Rng rng(31337);
+    std::vector<double> data(4099);
+    for (auto &v : data)
+        v = randomAmplitudeValue(rng);
+
+    for (const int segs : {1, 32}) {
+        const GfcCodec codec(32, segs);
+        setSimThreads(1);
+        const CompressedBlock serial =
+            codec.compress(data.data(), data.size());
+        setSimThreads(4);
+        const CompressedBlock parallel =
+            codec.compress(data.data(), data.size());
+        EXPECT_EQ(serial.bytes, parallel.bytes)
+            << "segments " << segs;
+
+        // Parallel decode of the serial stream is bit-exact too.
+        std::vector<double> out(data.size(), -7.0);
+        codec.decompress(serial, out.data());
+        setSimThreads(1);
+        for (std::size_t i = 0; i < data.size(); ++i)
+            ASSERT_EQ(std::bit_cast<std::uint64_t>(data[i]),
+                      std::bit_cast<std::uint64_t>(out[i]))
+                << "segments " << segs << ", index " << i;
     }
 }
 

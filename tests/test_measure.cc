@@ -1,12 +1,15 @@
 /**
  * @file
- * Measurement tests: probability vectors, marginals, and sampling.
+ * Measurement tests: probability vectors, marginals, and sampling --
+ * on reference states and on states produced by the chunked, pruned
+ * streaming engines (the states a user actually measures).
  */
 
 #include <cmath>
 
 #include <gtest/gtest.h>
 
+#include "harness/experiment.hh"
 #include "statevec/measure.hh"
 
 namespace qgpu
@@ -74,6 +77,53 @@ TEST(Measure, SamplingMatchesDistribution)
     EXPECT_EQ(other, 0u);
     EXPECT_NEAR(static_cast<double>(c00) / 20000, 0.5, 0.02);
     EXPECT_NEAR(static_cast<double>(c11) / 20000, 0.5, 0.02);
+}
+
+TEST(Measure, ChunkedPrunedStateMeasuresLikeTheReference)
+{
+    // iqp is the pruning-heavy family: most chunks stay zero for most
+    // of the run, so the engine state has seen the dynamic-chunk and
+    // prune paths before measurement.
+    const int n = 8;
+    const Circuit c = circuits::makeBenchmark("iqp", n);
+    const StateVector want = simulateReference(c);
+
+    for (const char *engine : {"pruning", "qgpu"}) {
+        Machine m = harness::benchMachine(n);
+        ExecOptions o;
+        o.targetChunks = 32;
+        const RunResult r = harness::runOn(engine, m, c, o);
+        ASSERT_TRUE(r.ok()) << engine;
+
+        const auto got = probabilities(r.state);
+        const auto ref = probabilities(want);
+        ASSERT_EQ(got.size(), ref.size());
+        double sum = 0.0;
+        for (Index i = 0; i < static_cast<Index>(got.size()); ++i) {
+            EXPECT_NEAR(got[i], ref[i], 1e-12)
+                << engine << " i=" << i;
+            sum += got[i];
+        }
+        EXPECT_NEAR(sum, 1.0, 1e-12) << engine;
+
+        const auto marg = marginalProbabilities(r.state, {0, n - 1});
+        const auto marg_ref = marginalProbabilities(want, {0, n - 1});
+        for (Index i = 0; i < 4; ++i)
+            EXPECT_NEAR(marg[i], marg_ref[i], 1e-12) << engine;
+
+        // Sampling an engine state is deterministic in the rng seed.
+        Rng rng_a(99), rng_b(99);
+        const auto counts_a = sampleCounts(r.state, 500, rng_a);
+        const auto counts_b = sampleCounts(r.state, 500, rng_b);
+        EXPECT_EQ(counts_a, counts_b) << engine;
+        std::uint64_t shots = 0;
+        for (const auto &[outcome, count] : counts_a) {
+            EXPECT_GT(ref[outcome], 0.0)
+                << engine << " sampled an impossible outcome";
+            shots += count;
+        }
+        EXPECT_EQ(shots, 500u) << engine;
+    }
 }
 
 TEST(Measure, SamplingDeterministicBasisState)

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "circuits/circuits.hh"
+#include "harness/experiment.hh"
 #include "statevec/snapshot.hh"
 
 namespace qgpu
@@ -39,8 +40,32 @@ TEST_P(SnapshotRoundTrip, BitExactRestore)
 INSTANTIATE_TEST_SUITE_P(
     FamiliesAndModes, SnapshotRoundTrip,
     ::testing::Combine(
-        ::testing::Values("hchain", "qft", "iqp", "bv"),
+        ::testing::Values("hchain", "qft", "iqp", "bv", "random"),
         ::testing::Bool()));
+
+TEST(Snapshot, ChunkedPrunedEngineStateRoundTrips)
+{
+    // The states worth snapshotting come out of the streaming engine
+    // (chunked, pruned, possibly with sidecar recovery behind them),
+    // not simulateReference. Both snapshot modes must restore them
+    // bit-exactly.
+    const Circuit c = circuits::makeBenchmark("iqp", 9);
+    Machine m = harness::benchMachine(9);
+    ExecOptions o;
+    o.targetChunks = 32;
+    const RunResult r = harness::runOn("qgpu", m, c, o);
+    ASSERT_TRUE(r.ok());
+
+    for (const bool compress : {false, true}) {
+        std::stringstream stream;
+        saveState(r.state, stream, compress);
+        const StateVector got = loadState(stream);
+        ASSERT_EQ(got.numQubits(), r.state.numQubits());
+        for (Index i = 0; i < r.state.size(); ++i)
+            ASSERT_EQ(r.state[i], got[i])
+                << (compress ? "gfc" : "raw") << " i=" << i;
+    }
+}
 
 TEST(Snapshot, CompressedSparseStateIsSmaller)
 {

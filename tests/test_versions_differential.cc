@@ -75,7 +75,7 @@ TEST(VersionsDifferential, CoversEveryRegisteredFamily)
     // The parameter list above is generated from the registry, so a
     // newly added family is differential-tested automatically; this
     // guards the registry itself against silent shrinkage.
-    EXPECT_EQ(circuits::benchmarkNames().size(), 9u);
+    EXPECT_EQ(circuits::benchmarkNames().size(), 10u);
 }
 
 } // namespace
