@@ -1,0 +1,201 @@
+/**
+ * @file
+ * bench_devices - virtual-time scaling of the sharded multi-device
+ * path across device counts, emitted as JSON. For a PCIe-ish (p4) and
+ * an NVLink-ish (v100nvl) peer fabric, every benchmark family runs
+ * with the full Q-GPU engine at fraction 1.0 (the state resident
+ * across the shards) on 1, 2, 4, and 8 devices. Each row records the
+ * total virtual time, its speedup over the single-device row, the
+ * exchange counters (phases, bytes, chunks, peer busy time), and the
+ * per-device busy/h2d/d2h/peer breakdown, so the JSON exposes both
+ * the scaling curve and where it is lost (exchange volume vs
+ * load imbalance of the owner-computes rule).
+ *
+ * Usage: bench_devices [output.json] [--qubits n] [--engine name]
+ *
+ * The host-side simulation is functional work, so rows where the
+ * device count exceeds the hardware thread count are flagged
+ * oversubscribed (the virtual times are unaffected; only wall_seconds
+ * is).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/parallel.hh"
+#include "common/thread_pool.hh"
+#include "harness/experiment.hh"
+
+using namespace qgpu;
+
+namespace
+{
+
+struct Row
+{
+    std::string preset;
+    std::string family;
+    int devices = 1;
+    double totalTime = 0.0;
+    double speedup = 1.0; // single-device row over this one
+    double wallSeconds = 0.0;
+    double exchangePhases = 0.0;
+    double exchangeBytes = 0.0;
+    double exchangeChunks = 0.0;
+    double peerBusy = 0.0;
+    std::vector<double> devBusy, devH2d, devD2h, devPeer;
+};
+
+struct Preset
+{
+    const char *name;
+    DeviceSpec (*spec)();
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_devices.json";
+    std::string engine = "qgpu";
+    int qubits = 12;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                QGPU_FATAL("missing value for ", flag);
+            return argv[++i];
+        };
+        if (flag == "--qubits") {
+            qubits = std::atoi(value().c_str());
+        } else if (flag == "--engine") {
+            engine = value();
+        } else if (!flag.empty() && flag[0] != '-') {
+            out_path = flag;
+        } else {
+            QGPU_FATAL("unknown flag '", flag, "'");
+        }
+    }
+    if (qubits < 8)
+        QGPU_FATAL("bad arguments");
+
+    const Preset presets[] = {
+        {"pcie", machines::p4},
+        {"nvlink", machines::v100Nvlink},
+    };
+    const int device_counts[] = {1, 2, 4, 8};
+    const int hw = ThreadPool::hardwareThreads();
+    setSimThreads(0); // all cores for the functional work
+
+    std::printf("bench_devices: %s engine, %d qubits, fraction 1.0 "
+                "(sharded-resident), hardware threads: %d\n",
+                engine.c_str(), qubits, hw);
+
+    std::vector<Row> rows;
+    for (const Preset &preset : presets) {
+        for (const auto &family : circuits::benchmarkNames()) {
+            const Circuit circuit =
+                circuits::makeBenchmark(family, qubits);
+            double base_time = 0.0;
+            for (const int devices : device_counts) {
+                Machine machine = machines::makeScaled(
+                    qubits, preset.spec(), 1.0, devices);
+                const RunResult r = harness::runOn(
+                    engine, machine, circuit,
+                    harness::benchOptions());
+                if (!r.ok())
+                    QGPU_FATAL(family, " errored at ", devices,
+                               " devices");
+
+                Row row;
+                row.preset = preset.name;
+                row.family = family;
+                row.devices = devices;
+                row.totalTime = r.totalTime;
+                row.wallSeconds = r.wallSeconds;
+                if (devices == 1)
+                    base_time = r.totalTime;
+                row.speedup = base_time / r.totalTime;
+                row.exchangePhases =
+                    r.stats.get(statkeys::exchangePhases);
+                row.exchangeBytes =
+                    r.stats.get(statkeys::exchangeBytes);
+                row.exchangeChunks =
+                    r.stats.get(statkeys::exchangeChunks);
+                row.peerBusy = r.stats.get(statkeys::peerTime);
+                // The machine's engines still carry the run's busy
+                // totals: a uniform per-device breakdown for every
+                // device count.
+                for (int d = 0; d < devices; ++d) {
+                    const auto &dev = machine.device(d);
+                    row.devBusy.push_back(
+                        dev.compute().busyTime());
+                    row.devH2d.push_back(
+                        dev.h2dEngine().busyTime());
+                    row.devD2h.push_back(
+                        dev.d2hEngine().busyTime());
+                    row.devPeer.push_back(
+                        dev.peerEngine().busyTime());
+                }
+                std::printf("  %-7s %-8s x%d: %9.3f s  (x%.2f)"
+                            "%s\n",
+                            preset.name, family.c_str(), devices,
+                            r.totalTime, row.speedup,
+                            row.exchangeBytes > 0 ? "  +exchange"
+                                                  : "");
+                rows.push_back(std::move(row));
+            }
+        }
+    }
+
+    const auto emit_array = [](std::ofstream &out,
+                               const std::vector<double> &v) {
+        out << "[";
+        for (std::size_t i = 0; i < v.size(); ++i)
+            out << (i == 0 ? "" : ", ") << v[i];
+        out << "]";
+    };
+
+    std::ofstream out(out_path);
+    if (!out)
+        QGPU_FATAL("cannot write '", out_path, "'");
+    out.precision(9);
+    out << "{\"bench\": \"devices\", \"engine\": \"" << engine
+        << "\", \"qubits\": " << qubits
+        << ", \"fraction\": 1.0, \"hardware_threads\": " << hw
+        << ",\n \"entries\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        out << (i == 0 ? "" : ",") << "\n  {\"preset\": \""
+            << r.preset << "\", \"family\": \"" << r.family
+            << "\", \"devices\": " << r.devices
+            << ", \"oversubscribed\": "
+            << (r.devices > hw ? "true" : "false")
+            << ", \"total_time\": " << r.totalTime
+            << ", \"speedup_vs_1dev\": " << r.speedup
+            << ", \"wall_seconds\": " << r.wallSeconds
+            << ", \"exchange_phases\": " << r.exchangePhases
+            << ", \"exchange_bytes\": " << r.exchangeBytes
+            << ", \"exchange_chunks\": " << r.exchangeChunks
+            << ", \"peer_busy\": " << r.peerBusy
+            << ", \"device_busy\": ";
+        emit_array(out, r.devBusy);
+        out << ", \"device_h2d\": ";
+        emit_array(out, r.devH2d);
+        out << ", \"device_d2h\": ";
+        emit_array(out, r.devD2h);
+        out << ", \"device_peer\": ";
+        emit_array(out, r.devPeer);
+        out << "}";
+    }
+    out << "\n ]}\n";
+    std::printf("wrote %s (%zu rows)\n", out_path.c_str(),
+                rows.size());
+    return 0;
+}

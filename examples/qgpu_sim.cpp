@@ -45,6 +45,7 @@ struct Args
     int threads = -1; // -1: keep QGPU_SIM_THREADS / default
     bool timeline = false;
     bool stats = false;
+    bool exchange_stats = false;
     bool kernel_stats = false;
     bool sweep_stats = false;
     bool verify_chunks = false;
@@ -70,6 +71,7 @@ usage(const char *argv0)
         "reorder|qgpu|cpu|qsim|qdk\n"
         "  --gpu <preset>        p100|v100|v100nvl|a100|p4\n"
         "  --gpus <k>            number of GPUs (default 1)\n"
+        "  --devices <k>         alias for --gpus\n"
         "  --fraction <f>        device memory as a fraction of the "
         "state (default 1/16)\n"
         "  --paper-qubits <n>    rate-scaling reference size "
@@ -81,6 +83,9 @@ usage(const char *argv0)
         "                        default: $QGPU_SIM_THREADS or 1)\n"
         "  --timeline            print the ASCII execution timeline\n"
         "  --stats               print every engine counter\n"
+        "  --exchange-stats      print the cross-device exchange and "
+        "per-device\n"
+        "                        busy breakdown (multi-device runs)\n"
         "  --kernel-stats        print per-kernel-kind dispatch "
         "counters\n"
         "  --sweep-stats         print sweep-executor counters "
@@ -94,7 +99,7 @@ usage(const char *argv0)
         "                        0 = every chunk; default 8)\n"
         "  --fault-spec <spec>   inject faults, e.g. "
         "\"d2h:0.01,codec:0.005\" (points: h2d,\n"
-        "                        d2h, codec, alloc; default: "
+        "                        d2h, peer, codec, alloc; default: "
         "$QGPU_FAULT_SPEC)\n"
         "  --fault-seed <s>      fault-injector seed\n"
         "  --trace <file>        write a JSON execution trace "
@@ -140,7 +145,7 @@ parse(int argc, char **argv)
             args.engine = value();
         else if (flag == "--gpu")
             args.gpu = value();
-        else if (flag == "--gpus")
+        else if (flag == "--gpus" || flag == "--devices")
             args.gpus = std::atoi(value().c_str());
         else if (flag == "--fraction")
             args.device_fraction = std::atof(value().c_str());
@@ -156,6 +161,8 @@ parse(int argc, char **argv)
             args.timeline = true;
         else if (flag == "--stats")
             args.stats = true;
+        else if (flag == "--exchange-stats")
+            args.exchange_stats = true;
         else if (flag == "--kernel-stats")
             args.kernel_stats = true;
         else if (flag == "--sweep-stats")
@@ -284,6 +291,25 @@ main(int argc, char **argv)
         }
     }
 
+    if (args.exchange_stats) {
+        // exchange.* counters plus the per-device busy rows
+        // (device.<i>.busy/h2d/d2h/peer, emitted for multi-device
+        // runs by ExecutionEngine::run).
+        std::printf("\ncross-device exchange:\n");
+        bool any = false;
+        for (const auto &name : result.stats.names()) {
+            if (name.rfind("exchange.", 0) != 0 &&
+                name.rfind("device.", 0) != 0 &&
+                name != statkeys::peerTime)
+                continue;
+            std::printf("  %-28s %g\n", name.c_str(),
+                        result.stats.get(name));
+            any = true;
+        }
+        if (!any)
+            std::printf("  (none -- single device, or no "
+                        "cross-shard sweeps)\n");
+    }
     if (args.timeline)
         std::printf("\n%s", result.timeline.render(100).c_str());
     if (args.stats)

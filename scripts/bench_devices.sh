@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Build (if needed) and run the multi-device scaling bench, producing
+# BENCH_devices.json in the repo root: virtual time per circuit family
+# on 1/2/4/8 devices at fraction 1.0 (sharded-resident) for both the
+# PCIe-ish (p4) and NVLink-ish (v100nvl) presets, with the exchange
+# counters and the per-device busy/h2d/d2h/peer breakdown per row. See
+# bench/bench_devices.cc for the JSON schema.
+#
+# Usage: scripts/bench_devices.sh [extra bench_devices args...]
+#   BUILD_DIR=...  override the build directory (default build)
+#   OUT=...        override the output path (default BENCH_devices.json)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_devices.json}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_devices \
+    >/dev/null
+
+"$BUILD_DIR/bench/bench_devices" "$OUT" "$@"

@@ -49,12 +49,15 @@ NATIVE_DIR="${NATIVE_DIR:-build-check-native}"
 echo "== QGPU_NATIVE kernel differential pass ($NATIVE_DIR) =="
 cmake -B "$NATIVE_DIR" -S . -DQGPU_NATIVE=ON
 cmake --build "$NATIVE_DIR" -j "$JOBS" --target test_kernel_dispatch \
-    test_sweep_executor
+    test_sweep_executor test_shard_differential
 # The sweep suite rides along: sweep execution chains kernels over a
 # cache-resident chunk, so its bit-identity-to-gate-by-gate contract
-# must also hold under the vectorized code generation.
+# must also hold under the vectorized code generation. The shard
+# differential (single- vs multi-device, tolerance 0) rides along for
+# the same reason: its contract is bit-identity of the same kernels
+# under a different schedule.
 ctest --test-dir "$NATIVE_DIR" --output-on-failure -j "$JOBS" \
-    -R 'KernelDispatch|Sweep'
+    -R 'KernelDispatch|Sweep|ShardDifferential'
 
 if [ "$RUN_TSAN" -eq 1 ]; then
     TSAN_DIR="${TSAN_DIR:-build-tsan}"
@@ -62,13 +65,15 @@ if [ "$RUN_TSAN" -eq 1 ]; then
     cmake -B "$TSAN_DIR" -S . -DQGPU_SANITIZE=thread
     cmake --build "$TSAN_DIR" -j "$JOBS" --target test_common \
         test_statevec test_compress test_thread_determinism \
-        test_sweep_executor
+        test_sweep_executor test_shard_differential
     # The parallelism-focused suites: the pool itself, the pool-backed
     # parallelFor / threaded apply, the cross-thread determinism +
-    # stress tests, and the sweep executor (whose group fan-out chains
-    # several kernels per worker).
+    # stress tests, the sweep executor (whose group fan-out chains
+    # several kernels per worker), and the shard differential (which
+    # sweeps the same circuits single- and multi-threaded per device
+    # count).
     ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-        -R 'ThreadPool|TaskGroup|SimThreads|ParallelFor|ThreadedApply|Determinism|Stress|Sweep'
+        -R 'ThreadPool|TaskGroup|SimThreads|ParallelFor|ThreadedApply|Determinism|Stress|Sweep|ShardDifferential'
 fi
 
 if [ "$RUN_ASAN" -eq 1 ]; then

@@ -33,6 +33,8 @@ namespace phases
 {
 inline constexpr const char *h2d = "h2d";
 inline constexpr const char *d2h = "d2h";
+/** GPU-to-GPU exchange transfers (multi-device sharding). */
+inline constexpr const char *peer = "peer";
 inline constexpr const char *compute = "compute";
 /** Codec work, both directions (labels "cmp"/"dec" distinguish). */
 inline constexpr const char *compress = "compress";

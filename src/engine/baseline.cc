@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "fault/integrity.hh"
+#include "sched/shard.hh"
 #include "sched/sweep.hh"
 #include "statevec/apply.hh"
 #include "statevec/kernels.hh"
@@ -30,30 +31,18 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
     const Index num_chunks = state.numChunks();
     const std::uint64_t chunk_bytes = state.chunkBytes();
 
-    // Static allocation: device d owns chunks [d*cap, (d+1)*cap).
-    std::vector<Index> dev_cap(m.numDevices());
-    std::vector<Index> dev_lo(m.numDevices()), dev_hi(m.numDevices());
-    Index allocated = 0;
-    for (int d = 0; d < m.numDevices(); ++d) {
-        dev_cap[d] = std::min<Index>(
-            m.device(d).spec().memBytes / chunk_bytes,
-            num_chunks - allocated);
-        dev_lo[d] = allocated;
-        allocated += dev_cap[d];
-        dev_hi[d] = allocated;
-    }
-    const Index host_chunks = num_chunks - allocated;
+    // Static allocation (sched/shard.hh): device d owns a contiguous
+    // range bounded by its memory; the remainder stays host-resident.
+    std::vector<Index> caps(m.numDevices());
+    for (int d = 0; d < m.numDevices(); ++d)
+        caps[d] = m.device(d).spec().memBytes / chunk_bytes;
+    const ShardMap shard =
+        ShardMap::capacityLimited(num_chunks, caps);
+    const Index host_chunks = shard.hostChunks();
     stats.set("chunks.total", static_cast<double>(num_chunks));
-    stats.set("chunks.on_device", static_cast<double>(allocated));
+    stats.set("chunks.on_device",
+              static_cast<double>(num_chunks - host_chunks));
     stats.set("chunks.on_host", static_cast<double>(host_chunks));
-
-    // -1 = host, otherwise device id.
-    auto location = [&](Index c) -> int {
-        for (int d = 0; d < m.numDevices(); ++d)
-            if (c >= dev_lo[d] && c < dev_hi[d])
-                return d;
-        return -1;
-    };
 
     // Transfer faults apply to the baseline's bus traffic too: the
     // initial load, the per-gate reactive exchanges, and the final
@@ -65,7 +54,8 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
     // Initial load of the static device region.
     VTime prev_end = 0.0;
     for (int d = 0; d < m.numDevices(); ++d) {
-        if (dev_cap[d] == 0)
+        const Index owned = shard.ownedCount(d);
+        if (owned == 0)
             continue;
         auto &dev = m.device(d);
         const VTime done = guardedTransfer(
@@ -73,10 +63,9 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
             [&](VTime s) {
                 const VTime end = dev.h2dEngine().schedule(
                     s, m.contendedHostLink(dev.spec().h2d)
-                           .transferTime(dev_cap[d] * chunk_bytes));
+                           .transferTime(owned * chunk_bytes));
                 stats.add(statkeys::bytesH2d,
-                          static_cast<double>(dev_cap[d] *
-                                              chunk_bytes));
+                          static_cast<double>(owned * chunk_bytes));
                 return end;
             });
         prev_end = std::max(prev_end, done);
@@ -111,9 +100,14 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
         // Partition groups by where their chunks live.
         double host_groups = 0.0;
         std::vector<double> dev_groups(m.numDevices(), 0.0);
-        // Mixed groups per target device: count and foreign bytes.
+        // Mixed groups per target device: count, foreign bytes from
+        // the host, and foreign bytes from each other device.
         std::vector<double> mixed_groups(m.numDevices(), 0.0);
-        std::vector<double> mixed_in_bytes(m.numDevices(), 0.0);
+        std::vector<double> mixed_host_bytes(m.numDevices(), 0.0);
+        std::vector<double> mixed_peer_bytes(
+            static_cast<std::size_t>(m.numDevices()) *
+                m.numDevices(),
+            0.0);
 
         std::vector<Index> members;
         for (Index g = 0; g < plan.numGroups(); ++g) {
@@ -122,8 +116,8 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
             int first_dev = -1;
             bool multi_dev = false;
             for (Index c : members) {
-                const int loc = location(c);
-                if (loc < 0) {
+                const int loc = shard.device(c);
+                if (loc == ShardMap::kHost) {
                     any_host = true;
                 } else if (first_dev < 0) {
                     first_dev = loc;
@@ -136,16 +130,31 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
             } else if (!any_host && !multi_dev) {
                 dev_groups[first_dev] += 1.0;
             } else {
-                // Reactive exchange: foreign chunks go to first_dev.
+                // Reactive exchange: foreign chunks go to first_dev —
+                // host-resident ones over its host link, device-
+                // resident ones over the peer links.
                 mixed_groups[first_dev] += 1.0;
-                double foreign = 0.0;
-                for (Index c : members)
-                    if (location(c) != first_dev)
-                        foreign += 1.0;
-                mixed_in_bytes[first_dev] +=
-                    foreign * static_cast<double>(chunk_bytes);
+                for (Index c : members) {
+                    const int loc = shard.device(c);
+                    if (loc == first_dev)
+                        continue;
+                    if (loc == ShardMap::kHost) {
+                        mixed_host_bytes[first_dev] +=
+                            static_cast<double>(chunk_bytes);
+                    } else {
+                        mixed_peer_bytes
+                            [static_cast<std::size_t>(first_dev) *
+                                 m.numDevices() +
+                             loc] += static_cast<double>(chunk_bytes);
+                    }
+                }
             }
         }
+        double gate_peer_bytes = 0.0;
+        for (double b : mixed_peer_bytes)
+            gate_peer_bytes += b;
+        if (gate_peer_bytes > 0.0)
+            stats.add(statkeys::exchangePhases, 1.0);
         // Schedule this gate. QISKit-Aer's chunk loop walks the
         // host-resident region with the CPU threads and only then
         // services the device region and its reactive exchanges, so
@@ -180,45 +189,124 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
             }
             if (mixed_groups[d] > 0) {
                 // Reactive: copy in, compute, copy back, in order.
-                const VTime h2d_done = guardedTransfer(
-                    &injector, FaultPoint::H2D, retries,
-                    static_cast<std::int64_t>(gi), stats, t,
-                    [&](VTime s) {
-                        const VTime end = dev.h2dEngine().schedule(
-                            s, m.contendedHostLink(dev.spec().h2d)
-                                   .transferTime(
-                                       static_cast<std::uint64_t>(
-                                           mixed_in_bytes[d])));
-                        stats.add(statkeys::bytesH2d,
-                                  mixed_in_bytes[d]);
-                        trace.record(phases::h2d, "xfer",
-                                     dev.spec().name + ".h2d", s,
-                                     end);
-                        return end;
-                    });
+                // Host-resident foreign chunks cross the host link;
+                // device-resident ones cross the peer links, each
+                // serialized on the sender's egress port.
+                VTime in_done = t;
+                if (mixed_host_bytes[d] > 0) {
+                    in_done = guardedTransfer(
+                        &injector, FaultPoint::H2D, retries,
+                        static_cast<std::int64_t>(gi), stats, t,
+                        [&](VTime s) {
+                            const VTime end =
+                                dev.h2dEngine().schedule(
+                                    s,
+                                    m.contendedHostLink(
+                                         dev.spec().h2d)
+                                        .transferTime(
+                                            static_cast<
+                                                std::uint64_t>(
+                                                mixed_host_bytes
+                                                    [d])));
+                            stats.add(statkeys::bytesH2d,
+                                      mixed_host_bytes[d]);
+                            trace.record(phases::h2d, "xfer",
+                                         dev.spec().name + ".h2d",
+                                         s, end);
+                            return end;
+                        });
+                }
+                for (int src = 0; src < m.numDevices(); ++src) {
+                    const double pb = mixed_peer_bytes
+                        [static_cast<std::size_t>(d) *
+                             m.numDevices() +
+                         src];
+                    if (pb <= 0.0)
+                        continue;
+                    auto &src_dev = m.device(src);
+                    const VTime done = guardedTransfer(
+                        &injector, FaultPoint::Peer, retries,
+                        static_cast<std::int64_t>(gi), stats, t,
+                        [&](VTime s) {
+                            const VTime end =
+                                src_dev.peerEngine().schedule(
+                                    s, m.peerLink(src, d)
+                                           .transferTime(
+                                               static_cast<
+                                                   std::uint64_t>(
+                                                   pb)));
+                            trace.record(phases::peer, "xchg",
+                                         src_dev.spec().name +
+                                             ".peer",
+                                         s, end);
+                            return end;
+                        });
+                    stats.add(statkeys::exchangeBytes, pb);
+                    stats.add(statkeys::exchangeChunks,
+                              pb / static_cast<double>(chunk_bytes));
+                    in_done = std::max(in_done, done);
+                }
                 const double flops = mixed_groups[d] * group_flops;
                 const double bytes = mixed_groups[d] * group_bytes;
                 const VTime k_done = dev.compute().schedule(
-                    h2d_done, dev.kernelTime(flops, bytes));
+                    in_done, dev.kernelTime(flops, bytes));
                 stats.add(statkeys::flopsDevice, flops);
                 stats.add(statkeys::deviceMemBytes, bytes);
-                const VTime d2h_done = guardedTransfer(
-                    &injector, FaultPoint::D2H, retries,
-                    static_cast<std::int64_t>(gi), stats, k_done,
-                    [&](VTime s) {
-                        const VTime end = dev.d2hEngine().schedule(
-                            s, m.contendedHostLink(dev.spec().d2h)
-                                   .transferTime(
-                                       static_cast<std::uint64_t>(
-                                           mixed_in_bytes[d])));
-                        stats.add(statkeys::bytesD2h,
-                                  mixed_in_bytes[d]);
-                        trace.record(phases::d2h, "xfer",
-                                     dev.spec().name + ".d2h", s,
-                                     end);
-                        return end;
-                    });
-                t = d2h_done;
+                VTime out_done = k_done;
+                if (mixed_host_bytes[d] > 0) {
+                    out_done = guardedTransfer(
+                        &injector, FaultPoint::D2H, retries,
+                        static_cast<std::int64_t>(gi), stats, k_done,
+                        [&](VTime s) {
+                            const VTime end =
+                                dev.d2hEngine().schedule(
+                                    s,
+                                    m.contendedHostLink(
+                                         dev.spec().d2h)
+                                        .transferTime(
+                                            static_cast<
+                                                std::uint64_t>(
+                                                mixed_host_bytes
+                                                    [d])));
+                            stats.add(statkeys::bytesD2h,
+                                      mixed_host_bytes[d]);
+                            trace.record(phases::d2h, "xfer",
+                                         dev.spec().name + ".d2h",
+                                         s, end);
+                            return end;
+                        });
+                }
+                for (int src = 0; src < m.numDevices(); ++src) {
+                    const double pb = mixed_peer_bytes
+                        [static_cast<std::size_t>(d) *
+                             m.numDevices() +
+                         src];
+                    if (pb <= 0.0)
+                        continue;
+                    // Return trip: the foreign chunks go home over
+                    // this device's own egress port.
+                    const VTime done = guardedTransfer(
+                        &injector, FaultPoint::Peer, retries,
+                        static_cast<std::int64_t>(gi), stats,
+                        k_done, [&](VTime s) {
+                            const VTime end =
+                                dev.peerEngine().schedule(
+                                    s, m.peerLink(d, src)
+                                           .transferTime(
+                                               static_cast<
+                                                   std::uint64_t>(
+                                                   pb)));
+                            trace.record(phases::peer, "xchg",
+                                         dev.spec().name + ".peer",
+                                         s, end);
+                            return end;
+                        });
+                    stats.add(statkeys::exchangeBytes, pb);
+                    stats.add(statkeys::exchangeChunks,
+                              pb / static_cast<double>(chunk_bytes));
+                    out_done = std::max(out_done, done);
+                }
+                t = out_done;
             }
             gate_end = std::max(gate_end, t);
         }
@@ -232,7 +320,8 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
 
     // Drain the device-resident region back to the host.
     for (int d = 0; d < m.numDevices(); ++d) {
-        if (dev_cap[d] == 0)
+        const Index owned = shard.ownedCount(d);
+        if (owned == 0)
             continue;
         auto &dev = m.device(d);
         guardedTransfer(
@@ -241,10 +330,9 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
             [&](VTime s) {
                 const VTime end = dev.d2hEngine().schedule(
                     s, m.contendedHostLink(dev.spec().d2h)
-                           .transferTime(dev_cap[d] * chunk_bytes));
+                           .transferTime(owned * chunk_bytes));
                 stats.add(statkeys::bytesD2h,
-                          static_cast<double>(dev_cap[d] *
-                                              chunk_bytes));
+                          static_cast<double>(owned * chunk_bytes));
                 return end;
             });
     }

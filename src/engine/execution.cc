@@ -48,19 +48,35 @@ ExecutionEngine::run(const Circuit &circuit)
     auto &stats = result.stats;
     stats.set(statkeys::hostCompute,
               machine_.host().compute().busyTime());
-    double h2d = 0.0, d2h = 0.0, dev = 0.0;
+    double h2d = 0.0, d2h = 0.0, dev = 0.0, peer = 0.0;
     VTime horizon = machine_.host().compute().freeAt();
+    const bool multi = machine_.numDevices() > 1;
     for (int d = 0; d < machine_.numDevices(); ++d) {
         const auto &device = machine_.device(d);
         h2d += device.h2dEngine().busyTime();
         d2h += device.d2hEngine().busyTime();
         dev += device.compute().busyTime();
+        peer += device.peerEngine().busyTime();
         horizon = std::max({horizon, device.compute().freeAt(),
                             device.h2dEngine().freeAt(),
-                            device.d2hEngine().freeAt()});
+                            device.d2hEngine().freeAt(),
+                            device.peerEngine().freeAt()});
+        if (multi) {
+            // Per-device busy breakdown: with one device these rows
+            // duplicate the aggregates, so they are multi-device only.
+            const std::string prefix =
+                "device." + std::to_string(d) + ".";
+            stats.set(prefix + "busy", device.compute().busyTime());
+            stats.set(prefix + "h2d", device.h2dEngine().busyTime());
+            stats.set(prefix + "d2h", device.d2hEngine().busyTime());
+            stats.set(prefix + "peer",
+                      device.peerEngine().busyTime());
+        }
     }
     stats.set(statkeys::h2d, h2d);
     stats.set(statkeys::d2h, d2h);
+    if (peer > 0.0)
+        stats.set(statkeys::peerTime, peer);
     // Exposed transfer period: bidirectional overlap hides the
     // shorter direction behind the longer one.
     stats.set(statkeys::transfer,

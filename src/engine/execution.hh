@@ -50,6 +50,14 @@ inline constexpr const char *chunksPruned = "chunks.pruned";
 inline constexpr const char *compressIn = "compress.in_bytes";
 inline constexpr const char *compressOut = "compress.out_bytes";
 inline constexpr const char *gatesApplied = "gates.applied";
+/** Busy time summed over every device's peer (GPU-to-GPU) engine. */
+inline constexpr const char *peerTime = "time.peer";
+/** Cross-device exchange phases paid (at most one per sweep). */
+inline constexpr const char *exchangePhases = "exchange.phases";
+/** Bytes moved over peer links (gather + scatter). */
+inline constexpr const char *exchangeBytes = "exchange.bytes";
+/** Chunk payloads moved over peer links. */
+inline constexpr const char *exchangeChunks = "exchange.chunks";
 } // namespace statkeys
 
 /** Tunables shared by the engines. */

@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "fault/integrity.hh"
 #include "qc/fusion.hh"
+#include "sched/shard.hh"
 #include "sched/sweep.hh"
 #include "statevec/apply.hh"
 #include "statevec/kernels.hh"
@@ -59,6 +60,27 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
         stateBytes(circuit.numQubits()) <=
             machine().device(0).spec().memBytes) {
         return executeResident(ordered, result);
+    }
+
+    // Every device can hold its balanced shard: sharded-resident
+    // execution with batched peer exchange. Otherwise the state
+    // exceeds the devices' combined memory and falls through to
+    // round-robin host streaming (§V-E).
+    if (machine().numDevices() > 1) {
+        const int n_q = ordered.numQubits();
+        const int cb = baseChunkBits(n_q);
+        const Index num_chunks = Index{1} << (n_q - cb);
+        const Index D =
+            static_cast<Index>(machine().numDevices());
+        const std::uint64_t shard_bytes =
+            ((num_chunks + D - 1) / D) *
+            ((Index{1} << cb) * ampBytes);
+        bool fits = true;
+        for (int d = 0; d < machine().numDevices(); ++d)
+            fits = fits && shard_bytes <=
+                               machine().device(d).spec().memBytes;
+        if (fits)
+            return executeSharded(ordered, result);
     }
 
     auto &stats = result.stats;
@@ -606,6 +628,299 @@ StreamingEngine::executeResident(const Circuit &circuit,
             return done;
         });
 
+    return state.toFlat();
+}
+
+StateVector
+StreamingEngine::executeSharded(const Circuit &circuit,
+                                RunResult &result)
+{
+    auto &stats = result.stats;
+    auto &trace = result.trace;
+    Machine &m = machine();
+    const int n = circuit.numQubits();
+    const int num_devs = m.numDevices();
+    const int chunk_bits = baseChunkBits(n);
+    const double per_amp_bytes = 2.0 * ampBytes;
+
+    // The shard map is fixed for the run: chunk geometry stays at the
+    // base size (a rechunk would re-shard the whole state, costing the
+    // very all-to-all the top-bit split avoids), and exchanges ship
+    // raw chunks — at NVLink-class peer bandwidth the codec is a loss.
+    ChunkedStateVector state(n, chunk_bits);
+    const std::uint64_t chunk_bytes = state.chunkBytes();
+    const ShardMap shard(state.numChunks(), num_devs);
+    InvolvementMask mask(n, options().involvement);
+
+    FaultInjector injector(FaultSpec::resolve(options().faultSpec),
+                           options().faultSeed);
+    const int retries = options().transferRetries;
+    const bool payload_faults =
+        injector.enabled(FaultPoint::Codec) ||
+        injector.enabled(FaultPoint::Alloc);
+    // One integrity ledger per device: chunks are checksummed against
+    // the ledger of the device they leave, so a detected mismatch
+    // names the faulty sender.
+    std::vector<ChunkIntegrity> guards;
+    guards.reserve(num_devs);
+    for (int d = 0; d < num_devs; ++d)
+        guards.emplace_back(options().verifyChunks,
+                            payload_faults ? &codec_ : nullptr,
+                            options().verifySampleChunks);
+    const bool guarded = guards.front().active();
+    if (guarded)
+        for (auto &g : guards)
+            g.reset(state.numChunks());
+
+    // Tail of each device's schedule; kernels and outgoing transfers
+    // chain from here.
+    std::vector<VTime> dev_t(num_devs, 0.0);
+
+    // Initial upload: every device loads its shard over its own host
+    // link, all links concurrent but DRAM-contended.
+    for (int d = 0; d < num_devs; ++d) {
+        const Index owned = shard.ownedCount(d);
+        if (owned == 0)
+            continue;
+        auto &dev = m.device(d);
+        const std::uint64_t bytes = owned * chunk_bytes;
+        dev_t[d] = guardedTransfer(
+            &injector, FaultPoint::H2D, retries, -1, stats, 0.0,
+            [&](VTime s) {
+                const VTime done = dev.h2dEngine().schedule(
+                    s, m.contendedHostLink(dev.spec().h2d)
+                           .transferTime(bytes));
+                stats.add(statkeys::bytesH2d,
+                          static_cast<double>(bytes));
+                trace.record(phases::h2d, "xfer",
+                             dev.spec().name + ".h2d", s, done);
+                return done;
+            });
+    }
+
+    const ZeroPredicate chunk_dead =
+        options().prune
+            ? ZeroPredicate([&](Index c) {
+                  return !mask.chunkIsLive(c, chunk_bits);
+              })
+            : ZeroPredicate{};
+    const std::function<bool(Index)> live_chunk =
+        options().prune
+            ? std::function<bool(Index)>([&](Index c) {
+                  return mask.chunkIsLive(c, chunk_bits);
+              })
+            : std::function<bool(Index)>{};
+
+    // One exchange direction: aggregate the transfers per (src, dst)
+    // pair into one peer-link message each, serialized on the source's
+    // egress port; every destination then waits for its arrivals.
+    std::vector<double> pair_bytes(
+        static_cast<std::size_t>(num_devs) * num_devs, 0.0);
+    std::vector<VTime> arrive(num_devs, 0.0);
+    const auto run_exchange =
+        [&](const std::vector<PeerTransfer> &transfers,
+            std::int64_t gate_tag) {
+            if (transfers.empty())
+                return;
+            std::fill(pair_bytes.begin(), pair_bytes.end(), 0.0);
+            for (const PeerTransfer &t : transfers) {
+                pair_bytes[static_cast<std::size_t>(t.src) *
+                               num_devs +
+                           t.dst] +=
+                    static_cast<double>(chunk_bytes);
+                // Ship-time checksum/sidecar against the sender's
+                // ledger (idempotent within the epoch).
+                if (guarded && guards[t.src].needsShip(t.chunk))
+                    guards[t.src].onShip(state.chunk(t.chunk),
+                                         t.chunk, gate_tag, injector,
+                                         stats);
+            }
+            std::fill(arrive.begin(), arrive.end(), 0.0);
+            for (int s = 0; s < num_devs; ++s) {
+                auto &src_dev = m.device(s);
+                for (int d = 0; d < num_devs; ++d) {
+                    const double bytes =
+                        pair_bytes[static_cast<std::size_t>(s) *
+                                       num_devs +
+                                   d];
+                    if (bytes <= 0.0)
+                        continue;
+                    const VTime done = guardedTransfer(
+                        &injector, FaultPoint::Peer, retries,
+                        gate_tag, stats, dev_t[s], [&](VTime at) {
+                            const VTime end =
+                                src_dev.peerEngine().schedule(
+                                    at,
+                                    m.peerLink(s, d).transferTime(
+                                        static_cast<std::uint64_t>(
+                                            bytes)));
+                            trace.record(phases::peer, "xchg",
+                                         src_dev.spec().name +
+                                             ".peer",
+                                         at, end);
+                            return end;
+                        });
+                    stats.add(statkeys::exchangeBytes, bytes);
+                    arrive[d] = std::max(arrive[d], done);
+                }
+            }
+            for (int d = 0; d < num_devs; ++d)
+                dev_t[d] = std::max(dev_t[d], arrive[d]);
+            stats.add(statkeys::exchangeChunks,
+                      static_cast<double>(transfers.size()));
+            // Receive-time verification at the destination, against
+            // the sender's ledger.
+            if (guarded) {
+                for (const PeerTransfer &t : transfers) {
+                    if (guards[t.src].needsReceive(t.chunk))
+                        guards[t.src].onReceive(
+                            state.chunk(t.chunk), t.chunk, gate_tag,
+                            injector, stats);
+                }
+            }
+        };
+
+    const std::span<const Gate> all_gates{circuit.gates()};
+    std::vector<Index> member_scratch;
+    std::vector<double> dev_groups(num_devs, 0.0);
+    std::size_t gate_idx = 0;
+    while (gate_idx < all_gates.size()) {
+        const Sweep sw =
+            nextSweep(all_gates, gate_idx, chunk_bits,
+                      options().prune ? &mask : nullptr);
+        // All cross-chunk gates of the sweep couple the same bits, so
+        // the whole sweep pays at most one gather and one scatter.
+        const ExchangePlan xplan =
+            shard.exchangePlan(sw.globalBits, live_chunk);
+        if (!xplan.empty())
+            stats.add(statkeys::exchangePhases, 1.0);
+
+        // The previous sweep rewrote chunk data: new ledger epoch,
+        // then ship/verify the gathers against pre-sweep data.
+        if (guarded)
+            for (auto &g : guards)
+                g.beginEpoch();
+        run_exchange(xplan.gather,
+                     static_cast<std::int64_t>(sw.begin));
+
+        applySweepChunked(state,
+                          all_gates.subspan(sw.begin, sw.size()),
+                          sw.globalBits, chunk_dead);
+
+        // During the sweep a chunk resides on the owner of its sweep
+        // group (its home unless it was just gathered): the owner of
+        // the member with every sweep-coupled bit cleared.
+        std::uint64_t sweep_mask = 0;
+        for (int b : sw.globalBits)
+            sweep_mask |= Index{1} << b;
+        const auto resident_dev = [&](Index c) {
+            return shard.device(c & ~sweep_mask);
+        };
+
+        // Per-gate kernel scheduling: each device sweeps its share of
+        // the live groups concurrently.
+        for (std::size_t gi = sw.begin; gi < sw.end; ++gi) {
+            const Gate &gate = all_gates[gi];
+            const GatePlan plan(gate, n, chunk_bits);
+            const int span = plan.chunksPerGroup();
+            const double group_flops =
+                kernels::gateFlops(gate, n) /
+                static_cast<double>(plan.numGroups());
+
+            std::fill(dev_groups.begin(), dev_groups.end(), 0.0);
+            double live_groups = 0.0;
+            for (Index g = 0; g < plan.numGroups(); ++g) {
+                plan.membersInto(g, member_scratch);
+                const bool any_live =
+                    !options().prune ||
+                    std::any_of(member_scratch.begin(),
+                                member_scratch.end(), [&](Index c) {
+                                    return mask.chunkIsLive(
+                                        c, chunk_bits);
+                                });
+                if (!any_live)
+                    continue;
+                live_groups += 1.0;
+                dev_groups[resident_dev(member_scratch.front())] +=
+                    1.0;
+            }
+            const double live_chunks =
+                live_groups * static_cast<double>(span);
+            const double pruned_chunks =
+                (static_cast<double>(plan.numGroups()) -
+                 live_groups) *
+                static_cast<double>(span);
+            stats.add(statkeys::chunksProcessed, live_chunks);
+            stats.add(statkeys::chunksPruned, pruned_chunks);
+            stats.add(statkeys::gatesApplied, 1.0);
+            if (options().prune && trace.enabled()) {
+                VTime frontier = 0.0;
+                for (VTime t : dev_t)
+                    frontier = std::max(frontier, t);
+                trace.record(
+                    phases::prune, "decide", "host.prune", frontier,
+                    frontier,
+                    {{statkeys::chunksProcessed, live_chunks},
+                     {statkeys::chunksPruned, pruned_chunks}});
+            }
+
+            for (int d = 0; d < num_devs; ++d) {
+                if (dev_groups[d] <= 0.0)
+                    continue;
+                auto &dev = m.device(d);
+                const double flops = dev_groups[d] * group_flops;
+                const double kbytes =
+                    dev_groups[d] * static_cast<double>(span) *
+                    static_cast<double>(state.chunkSize()) *
+                    per_amp_bytes;
+                const VTime dur = dev.kernelTime(flops, kbytes);
+                dev_t[d] = dev.compute().schedule(dev_t[d], dur);
+                trace.record(phases::compute, "kernel",
+                             dev.spec().name + ".compute",
+                             dev_t[d] - dur, dev_t[d]);
+                stats.add(statkeys::flopsDevice, flops);
+                stats.add(statkeys::deviceMemBytes, kbytes);
+            }
+
+            if (options().prune)
+                mask.involve(gate);
+        }
+
+        // The sweep rewrote chunk data: scatter ships post-sweep
+        // payloads under a fresh ledger epoch.
+        if (guarded)
+            for (auto &g : guards)
+                g.beginEpoch();
+        run_exchange(xplan.scatter,
+                     static_cast<std::int64_t>(sw.end) - 1);
+
+        gate_idx = sw.end;
+    }
+
+    // Final drain: every device ships its shard home concurrently.
+    for (int d = 0; d < num_devs; ++d) {
+        const Index owned = shard.ownedCount(d);
+        if (owned == 0)
+            continue;
+        auto &dev = m.device(d);
+        const std::uint64_t bytes = owned * chunk_bytes;
+        guardedTransfer(
+            &injector, FaultPoint::D2H, retries,
+            static_cast<std::int64_t>(circuit.numGates()), stats,
+            dev_t[d], [&](VTime s) {
+                const VTime done = dev.d2hEngine().schedule(
+                    s, m.contendedHostLink(dev.spec().d2h)
+                           .transferTime(bytes));
+                stats.add(statkeys::bytesD2h,
+                          static_cast<double>(bytes));
+                trace.record(phases::d2h, "xfer",
+                             dev.spec().name + ".d2h", s, done);
+                return done;
+            });
+    }
+
+    stats.set("chunks.final",
+              static_cast<double>(state.numChunks()));
     return state.toFlat();
 }
 

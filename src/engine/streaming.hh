@@ -13,7 +13,13 @@
  *  - compress: GFC compression of non-zero chunks (§IV-D).
  *
  * With more than one device in the machine, batches are assigned to
- * GPUs round-robin (§V-E, Fig. 18).
+ * GPUs round-robin (§V-E, Fig. 18) while the state exceeds the
+ * devices' combined memory. When every device can hold its balanced
+ * shard (sched/shard.hh), the engine switches to the sharded-resident
+ * path instead: each device keeps its top-bits shard resident, sweeps
+ * run concurrently on every device's compute engine, and sweeps whose
+ * coupled chunk-index bits cross the shard boundary pay one batched
+ * gather/scatter exchange phase over the peer links.
  */
 
 #ifndef QGPU_ENGINE_STREAMING_HH
@@ -49,6 +55,15 @@ class StreamingEngine : public ExecutionEngine
     /** Fully device-resident run (state fits on one GPU). */
     StateVector executeResident(const Circuit &circuit,
                                 RunResult &result);
+
+    /**
+     * Multi-device run with every device holding its shard resident:
+     * concurrent per-device sweeps plus batched peer exchange for
+     * cross-shard sweeps. Taken when numDevices() > 1 and the largest
+     * balanced shard fits every device's memory.
+     */
+    StateVector executeSharded(const Circuit &circuit,
+                               RunResult &result);
 
     std::string label_;
     /**

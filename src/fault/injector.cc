@@ -13,6 +13,7 @@ faultPointName(FaultPoint point)
     switch (point) {
       case FaultPoint::H2D: return "h2d";
       case FaultPoint::D2H: return "d2h";
+      case FaultPoint::Peer: return "peer";
       case FaultPoint::Codec: return "codec";
       case FaultPoint::Alloc: return "alloc";
     }
@@ -53,7 +54,7 @@ FaultSpec::parse(const std::string &spec)
         }
         if (idx < 0)
             QGPU_FATAL("unknown fault point '", point,
-                       "' (want h2d, d2h, codec, or alloc)");
+                       "' (want h2d, d2h, peer, codec, or alloc)");
         out.probability[idx] = prob;
     }
     return out;

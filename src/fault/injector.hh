@@ -14,6 +14,8 @@
  *   h2d, d2h  a simulated transfer fails; the attempt's virtual time
  *             is burned and the transfer retried, up to
  *             ExecOptions::transferRetries, then SimError.
+ *   peer      a simulated GPU-to-GPU exchange transfer fails; same
+ *             bounded-retry policy as the host links.
  *   codec     the compressed sidecar payload of a shipped chunk is
  *             corrupted in flight; detected by checksum at receive
  *             time and recovered via the raw-payload fallback.
@@ -39,11 +41,12 @@ enum class FaultPoint
 {
     H2D,
     D2H,
+    Peer,
     Codec,
     Alloc,
 };
 
-inline constexpr int kNumFaultPoints = 4;
+inline constexpr int kNumFaultPoints = 5;
 
 const char *faultPointName(FaultPoint point);
 
@@ -53,9 +56,10 @@ struct FaultSpec
     std::array<double, kNumFaultPoints> probability{};
 
     /**
-     * Parse "point:prob[,point:prob...]" with points h2d, d2h, codec,
-     * alloc. Empty input yields an all-zero (disabled) spec; unknown
-     * points or malformed probabilities are fatal (user error).
+     * Parse "point:prob[,point:prob...]" with points h2d, d2h, peer,
+     * codec, alloc. Empty input yields an all-zero (disabled) spec;
+     * unknown points or malformed probabilities are fatal (user
+     * error).
      */
     static FaultSpec parse(const std::string &spec);
 

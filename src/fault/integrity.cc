@@ -17,6 +17,7 @@ faultKey(FaultPoint point)
     switch (point) {
       case FaultPoint::H2D: return "integrity.fault.h2d";
       case FaultPoint::D2H: return "integrity.fault.d2h";
+      case FaultPoint::Peer: return "integrity.fault.peer";
       case FaultPoint::Codec: return "integrity.fault.codec";
       case FaultPoint::Alloc: return "integrity.fault.alloc";
     }
@@ -29,6 +30,7 @@ retryKey(FaultPoint point)
     switch (point) {
       case FaultPoint::H2D: return "integrity.retry.h2d";
       case FaultPoint::D2H: return "integrity.retry.d2h";
+      case FaultPoint::Peer: return "integrity.retry.peer";
       default:
         QGPU_PANIC("retryKey: ", faultPointName(point),
                    " is not a transfer fault point");

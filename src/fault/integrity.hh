@@ -31,8 +31,9 @@
  *   integrity.checksum.verified   successful receive-time checks
  *   integrity.checksum.mismatch   corruption detected (then recovered)
  *   integrity.fallback.raw        chunks recovered via raw payload
- *   integrity.fault.<point>       faults injected at h2d/d2h/codec/alloc
- *   integrity.retry.h2d/.d2h      transfer attempts repeated
+ *   integrity.fault.<point>       faults injected at
+ *                                 h2d/d2h/peer/codec/alloc
+ *   integrity.retry.h2d/.d2h/.peer  transfer attempts repeated
  *   integrity.sim_error           runs ended by a structured SimError
  */
 

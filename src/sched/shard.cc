@@ -1,0 +1,191 @@
+#include "sched/shard.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace qgpu
+{
+
+namespace
+{
+
+/** Lowest chunk of the group: expand @p group by inserting a zero at
+ *  each (sorted ascending) coupled bit position. */
+Index
+groupBase(Index group, const std::vector<int> &global_bits)
+{
+    Index base = group;
+    for (int b : global_bits) {
+        const Index low = base & ((Index{1} << b) - 1);
+        base = ((base >> b) << (b + 1)) | low;
+    }
+    return base;
+}
+
+/** Member @p j of the group: the base with pattern j spread over the
+ *  coupled bit positions. */
+Index
+groupMember(Index base, Index j, const std::vector<int> &global_bits)
+{
+    Index c = base;
+    for (std::size_t i = 0; i < global_bits.size(); ++i)
+        if ((j >> i) & 1)
+            c |= Index{1} << global_bits[i];
+    return c;
+}
+
+} // namespace
+
+ShardMap::ShardMap(Index num_chunks, int num_devices)
+{
+    if (num_devices < 1)
+        QGPU_FATAL("a shard map needs at least one device");
+    if (num_chunks == 0)
+        QGPU_FATAL("a shard map needs at least one chunk");
+    numChunks_ = num_chunks;
+    begin_.resize(static_cast<std::size_t>(num_devices) + 1);
+    for (int d = 0; d <= num_devices; ++d) {
+        // Balanced contiguous ranges; exact top-bit split when the
+        // device count is a power of two dividing the chunk count.
+        begin_[d] = num_chunks * static_cast<Index>(d) /
+                    static_cast<Index>(num_devices);
+    }
+    // A pure top-bit split has every shard the same power-of-two
+    // size num_chunks / num_devices.
+    if ((num_devices & (num_devices - 1)) == 0 &&
+        num_chunks % static_cast<Index>(num_devices) == 0) {
+        int bits = 0;
+        for (int d = num_devices; d > 1; d >>= 1)
+            ++bits;
+        const Index shard = num_chunks / static_cast<Index>(num_devices);
+        if ((shard & (shard - 1)) == 0)
+            shardBits_ = bits;
+    }
+}
+
+ShardMap
+ShardMap::capacityLimited(Index num_chunks,
+                          const std::vector<Index> &caps)
+{
+    if (caps.empty())
+        QGPU_FATAL("a shard map needs at least one device");
+    if (num_chunks == 0)
+        QGPU_FATAL("a shard map needs at least one chunk");
+    ShardMap map;
+    map.numChunks_ = num_chunks;
+    map.begin_.resize(caps.size() + 1);
+    Index at = 0;
+    map.begin_[0] = 0;
+    for (std::size_t d = 0; d < caps.size(); ++d) {
+        at += std::min(caps[d], num_chunks - at);
+        map.begin_[d + 1] = at;
+    }
+    return map;
+}
+
+int
+ShardMap::device(Index c) const
+{
+    if (c >= begin_.back())
+        return kHost;
+    // Shards are contiguous and sorted: first range ending past c.
+    const auto it =
+        std::upper_bound(begin_.begin() + 1, begin_.end(), c);
+    return static_cast<int>(it - begin_.begin()) - 1;
+}
+
+bool
+ShardMap::bitIsCross(int bit) const
+{
+    const Index stride = Index{1} << bit;
+    if (stride >= numChunks_)
+        return false; // bit not part of the chunk index at all
+    // Flipping bit `bit` pairs chunks (x, x + stride) with x's bit
+    // clear, i.e. x mod 2*stride in [0, stride). Such a pair straddles
+    // an internal boundary B iff x in [B - stride, B), which contains
+    // a bit-clear residue exactly when B mod 2*stride != 0. The
+    // boundary list is tiny (D+1 entries), so this exact check beats
+    // scanning chunks.
+    const Index period = stride << 1;
+    for (std::size_t d = 1; d < begin_.size(); ++d) {
+        const Index b = begin_[d];
+        if (b == 0 || b >= numChunks_)
+            continue;
+        if (b % period != 0)
+            return true;
+    }
+    return false;
+}
+
+std::vector<int>
+ShardMap::crossBits(const std::vector<int> &global_bits) const
+{
+    std::vector<int> cross;
+    for (int b : global_bits)
+        if (bitIsCross(b))
+            cross.push_back(b);
+    return cross;
+}
+
+bool
+ShardMap::isCrossDevice(const std::vector<int> &global_bits) const
+{
+    for (int b : global_bits)
+        if (bitIsCross(b))
+            return true;
+    return false;
+}
+
+int
+ShardMap::groupOwner(Index group,
+                     const std::vector<int> &global_bits) const
+{
+    const int owner = device(groupBase(group, global_bits));
+    if (owner == kHost)
+        QGPU_FATAL("groupOwner requires a fully device-resident map");
+    return owner;
+}
+
+ExchangePlan
+ShardMap::exchangePlan(const std::vector<int> &global_bits,
+                       const std::function<bool(Index)> &live) const
+{
+    ExchangePlan plan;
+    if (!isCrossDevice(global_bits))
+        return plan;
+    if (hostChunks() != 0)
+        QGPU_FATAL(
+            "exchangePlan requires a fully device-resident map");
+
+    const Index members =
+        Index{1} << static_cast<int>(global_bits.size());
+    const Index num_groups = numChunks_ >> global_bits.size();
+    for (Index g = 0; g < num_groups; ++g) {
+        const Index base = groupBase(g, global_bits);
+        // Any live member makes the whole group compute; a group of
+        // provably-zero chunks is a no-op and moves nothing.
+        bool any_live = !live;
+        if (!any_live) {
+            for (Index j = 0; j < members && !any_live; ++j)
+                any_live = live(groupMember(base, j, global_bits));
+        }
+        if (!any_live)
+            continue;
+        const int owner = device(base);
+        for (Index j = 1; j < members; ++j) {
+            const Index c = groupMember(base, j, global_bits);
+            const int home = device(c);
+            if (home == owner)
+                continue;
+            // A dead foreign input is materialized as zeros on the
+            // owner; its updated value still has to travel home.
+            if (!live || live(c))
+                plan.gather.push_back({c, home, owner});
+            plan.scatter.push_back({c, owner, home});
+        }
+    }
+    return plan;
+}
+
+} // namespace qgpu

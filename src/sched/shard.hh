@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Multi-device shard map: the assignment of state-vector chunks to
+ * devices, plus the cross-device exchange plan a sweep implies.
+ *
+ * The map is first-class (rather than an engine-internal detail) so
+ * the baseline's static allocation, the sharded-resident streaming
+ * path, and the differential tests all agree on one partitioning.
+ * Chunks are assigned by their top chunk-index bits: device d owns the
+ * contiguous balanced range [ownedBegin(d), ownedEnd(d)), which for a
+ * power-of-two device count is exactly "the top log2(D) chunk-index
+ * bits select the device". Keeping the shard boundary at the top of
+ * the index — the hierarchical-partitioning idea from Atlas — makes
+ * every gate on a low qubit device-local; only sweeps whose coupled
+ * chunk-index bits reach into the shard bits pay cross-device traffic.
+ *
+ * A sweep (sched/sweep.hh) couples a fixed set of chunk-index bits, so
+ * all of its cross-chunk gates induce the SAME chunk pairing: the
+ * exchange for the whole sweep is batched into one gather phase before
+ * the sweep's kernels and one scatter phase after them, each a set of
+ * per-(src, dst) peer transfers. Groups that pair chunks across the
+ * shard boundary are computed on the device owning the group's lowest
+ * member chunk; foreign live members are gathered to it, and every
+ * foreign member of a live group — live or not on entry, since a
+ * cross-chunk kernel writes all members — is scattered back.
+ */
+
+#ifndef QGPU_SCHED_SHARD_HH
+#define QGPU_SCHED_SHARD_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace qgpu
+{
+
+/** One chunk payload crossing a peer link. */
+struct PeerTransfer
+{
+    Index chunk = 0;
+    int src = 0; ///< device the chunk leaves
+    int dst = 0; ///< device the chunk lands on
+};
+
+/**
+ * The cross-device traffic one sweep implies: @c gather ships foreign
+ * live member chunks to their group owner before the sweep's kernels,
+ * @c scatter returns every foreign member of a live group to its home
+ * shard afterwards. Transfers are emitted in deterministic
+ * (group-major, member-minor) order.
+ */
+struct ExchangePlan
+{
+    std::vector<PeerTransfer> gather;
+    std::vector<PeerTransfer> scatter;
+
+    bool empty() const { return gather.empty() && scatter.empty(); }
+};
+
+/**
+ * Assignment of 2^k chunks to devices by top chunk-index bits,
+ * with an optional capacity-limited host remainder (the baseline's
+ * static allocation).
+ */
+class ShardMap
+{
+  public:
+    /** Location value for chunks that stay host-resident. */
+    static constexpr int kHost = -1;
+
+    /**
+     * Balanced contiguous assignment of all @p num_chunks chunks
+     * across @p num_devices devices: device d owns
+     * [d*N/D, (d+1)*N/D), every chunk is device-resident. For D a
+     * power of two dividing N this is the top-log2(D)-bits split.
+     */
+    ShardMap(Index num_chunks, int num_devices);
+
+    /**
+     * Capacity-limited variant: device d owns at most @p caps[d]
+     * chunks, assigned contiguously from chunk 0 on; chunks beyond
+     * the total capacity stay on the host (device() == kHost).
+     */
+    static ShardMap capacityLimited(Index num_chunks,
+                                    const std::vector<Index> &caps);
+
+    Index numChunks() const { return numChunks_; }
+    int numDevices() const
+    {
+        return static_cast<int>(begin_.size()) - 1;
+    }
+
+    /** Owner of chunk @p c: a device id, or kHost. */
+    int device(Index c) const;
+
+    Index ownedBegin(int dev) const { return begin_[dev]; }
+    Index ownedEnd(int dev) const { return begin_[dev + 1]; }
+    Index ownedCount(int dev) const
+    {
+        return begin_[dev + 1] - begin_[dev];
+    }
+
+    /** Chunks left host-resident (0 for the balanced constructor). */
+    Index hostChunks() const
+    {
+        return numChunks_ - begin_.back();
+    }
+
+    /**
+     * Number of top chunk-index bits that select the device, when the
+     * map is exactly a top-bit split (balanced, power-of-two device
+     * count dividing the chunk count); -1 otherwise.
+     */
+    int shardBits() const { return shardBits_; }
+
+    /**
+     * Does flipping chunk-index bit @p bit ever move a chunk across a
+     * shard (or host) boundary? Bits below every boundary's alignment
+     * are device-local: a sweep coupling only those bits pays no
+     * cross-device traffic.
+     */
+    bool bitIsCross(int bit) const;
+
+    /** The subset of @p global_bits (sorted chunk-index positions,
+     *  sched/sweep.hh) that cross a shard boundary. */
+    std::vector<int> crossBits(const std::vector<int> &global_bits) const;
+
+    /** True iff a sweep coupling @p global_bits needs an exchange. */
+    bool isCrossDevice(const std::vector<int> &global_bits) const;
+
+    /**
+     * The device that computes the group of chunks obtained by
+     * expanding @p group over @p global_bits: the owner of the
+     * group's lowest member chunk. Requires a fully device-resident
+     * map (no host remainder).
+     */
+    int groupOwner(Index group,
+                   const std::vector<int> &global_bits) const;
+
+    /**
+     * The exchange the sweep coupling @p global_bits implies under
+     * chunk-liveness predicate @p live (empty = every chunk live):
+     * for every group with at least one live member whose members
+     * span devices, gather the live foreign members to the owner and
+     * scatter every foreign member back. Dead groups move nothing —
+     * a provably-zero chunk is materialized as zeros locally.
+     * Requires a fully device-resident map.
+     */
+    ExchangePlan
+    exchangePlan(const std::vector<int> &global_bits,
+                 const std::function<bool(Index)> &live = {}) const;
+
+  private:
+    ShardMap() = default;
+
+    Index numChunks_ = 0;
+    /** begin_[d]..begin_[d+1] is device d's range; size D+1. The
+     *  remainder [begin_.back(), numChunks_) is host-resident. */
+    std::vector<Index> begin_;
+    int shardBits_ = -1;
+};
+
+} // namespace qgpu
+
+#endif // QGPU_SCHED_SHARD_HH

@@ -9,7 +9,8 @@ DeviceModel::DeviceModel(DeviceSpec spec)
     : spec_(std::move(spec)),
       compute_(spec_.name + ".compute"),
       h2dEngine_(spec_.name + ".h2d"),
-      d2hEngine_(spec_.name + ".d2h")
+      d2hEngine_(spec_.name + ".d2h"),
+      peerEngine_(spec_.name + ".peer")
 {
 }
 
@@ -34,6 +35,7 @@ DeviceModel::reset()
     compute_.reset();
     h2dEngine_.reset();
     d2hEngine_.reset();
+    peerEngine_.reset();
 }
 
 } // namespace qgpu

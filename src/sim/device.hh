@@ -59,9 +59,11 @@ class DeviceModel
     TimedResource &compute() { return compute_; }
     TimedResource &h2dEngine() { return h2dEngine_; }
     TimedResource &d2hEngine() { return d2hEngine_; }
+    TimedResource &peerEngine() { return peerEngine_; }
     const TimedResource &compute() const { return compute_; }
     const TimedResource &h2dEngine() const { return h2dEngine_; }
     const TimedResource &d2hEngine() const { return d2hEngine_; }
+    const TimedResource &peerEngine() const { return peerEngine_; }
 
     /**
      * Duration of a kernel performing @p flops floating-point work
@@ -81,6 +83,9 @@ class DeviceModel
     TimedResource compute_;
     TimedResource h2dEngine_;
     TimedResource d2hEngine_;
+    /** GPU-to-GPU egress port: peer transfers leaving this device
+     *  serialize here, concurrent with compute and the host links. */
+    TimedResource peerEngine_;
 };
 
 } // namespace qgpu

@@ -41,6 +41,17 @@ Machine::contendedHostLink(const LinkModel &raw) const
     return link;
 }
 
+LinkModel
+Machine::peerLink(int src, int dst) const
+{
+    const LinkModel &a = devices_[src].spec().peer;
+    const LinkModel &b = devices_[dst].spec().peer;
+    LinkModel link;
+    link.bandwidth = std::min(a.bandwidth, b.bandwidth);
+    link.latency = std::max(a.latency, b.latency);
+    return link;
+}
+
 void
 Machine::reset()
 {

@@ -49,6 +49,13 @@ class Machine
      */
     LinkModel contendedHostLink(const LinkModel &raw) const;
 
+    /**
+     * The GPU-to-GPU link between devices @p src and @p dst: the two
+     * endpoints' peer links in series, i.e. the lower bandwidth and
+     * the higher fixed latency. Symmetric.
+     */
+    LinkModel peerLink(int src, int dst) const;
+
     /** Reset every engine's availability and busy counters. */
     void reset();
 

@@ -130,5 +130,110 @@ INSTANTIATE_TEST_SUITE_P(
         return name + "_" + kModes[std::get<1>(info.param)].name;
     });
 
+// Peer-heavy mixes for the sharded multi-device paths: a moderate mix
+// exercising peer retry recovery alongside the host-link points, a
+// payload mix on top of peer faults, and a hot peer link that
+// regularly exhausts the retry budget (structured-error path, point
+// "peer").
+constexpr const char *kPeerSpecs[] = {
+    "peer:0.05,h2d:0.02,d2h:0.02",
+    "peer:0.2,codec:0.3,alloc:0.1",
+    "peer:0.7",
+};
+
+class MultiDeviceFaultFuzz
+    : public ::testing::TestWithParam<std::tuple<Version, int>>
+{
+  protected:
+    void TearDown() override { setSimThreads(1); }
+};
+
+TEST_P(MultiDeviceFaultFuzz, ShardedRunsRecoverOrErrorStructurally)
+{
+    const auto &[version, mode_idx] = GetParam();
+    const PruneMode &mode = kModes[mode_idx];
+    constexpr int kMultiSeeds = 30;
+    constexpr int kDevs[] = {2, 4, 8};
+
+    int recovered_runs = 0;
+    int errored_runs = 0;
+    int peer_errors = 0;
+    for (int seed = 0; seed < kMultiSeeds; ++seed) {
+        const int n = 6 + seed % 3;
+        const int devices = kDevs[seed % std::size(kDevs)];
+        const DeviceSpec gpu = (seed / 2) % 2 == 0
+                                   ? machines::v100Nvlink()
+                                   : machines::p4();
+        const Circuit circuit =
+            circuits::makeBenchmark("random", n, seed + 1);
+        setSimThreads(1 + seed % 3);
+
+        ExecOptions o;
+        o.targetChunks = 32;
+        o.codecSampleChunks = 0;
+        o.dynamicChunks = mode.dynamicChunks;
+        o.involvement = mode.involvement;
+        o.faultSpec = "none";
+
+        // Fraction 1.0: the state is resident across the shards, so
+        // the engines take the sharded paths with peer exchange.
+        Machine ref_machine =
+            machines::makeScaled(n, gpu, 1.0, devices);
+        const RunResult ref =
+            makeVersion(version, ref_machine, o)->run(circuit);
+        ASSERT_TRUE(ref.ok()) << "fault-free run failed, seed "
+                              << seed;
+
+        ExecOptions fo = o;
+        fo.verifyChunks = true;
+        fo.faultSpec = kPeerSpecs[seed % std::size(kPeerSpecs)];
+        fo.faultSeed = 0x9e3779b97f4a7c15ull *
+                       static_cast<std::uint64_t>(seed + 1);
+        Machine machine = machines::makeScaled(n, gpu, 1.0, devices);
+        const RunResult r =
+            makeVersion(version, machine, fo)->run(circuit);
+
+        if (!r.ok()) {
+            ++errored_runs;
+            EXPECT_EQ(r.error->code, SimErrorCode::TransferFailed)
+                << "seed " << seed;
+            EXPECT_FALSE(r.error->point.empty());
+            EXPECT_GT(r.error->attempts, fo.transferRetries);
+            EXPECT_EQ(r.stats.get(intkeys::simErrors), 1.0);
+            if (r.error->point == "peer")
+                ++peer_errors;
+            continue;
+        }
+        ++recovered_runs;
+        EXPECT_EQ(r.state.maxAbsDiff(ref.state), 0.0)
+            << versionName(version) << "/" << mode.name
+            << " diverged from its fault-free twin at " << devices
+            << " devices, seed " << seed;
+        EXPECT_LT(r.state.maxAbsDiff(simulateReference(circuit)),
+                  1e-12)
+            << versionName(version) << "/" << mode.name
+            << " diverged from the flat reference, seed " << seed;
+    }
+    EXPECT_GT(recovered_runs, 0)
+        << versionName(version) << "/" << mode.name;
+    EXPECT_EQ(recovered_runs + errored_runs, kMultiSeeds);
+    // The hot-peer spec must actually reach the peer link's
+    // structured-error path at least once across the sweep.
+    EXPECT_GT(peer_errors, 0)
+        << versionName(version) << "/" << mode.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVersions, MultiDeviceFaultFuzz,
+    ::testing::Combine(::testing::ValuesIn(allVersions()),
+                       ::testing::Range(0, 3)),
+    [](const auto &info) {
+        std::string name = versionName(std::get<0>(info.param));
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return name + "_" + kModes[std::get<1>(info.param)].name;
+    });
+
 } // namespace
 } // namespace qgpu

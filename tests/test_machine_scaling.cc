@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the machine model's multi-device plumbing: host-link
+ * DRAM derating (Machine::contendedHostLink), the peer-link
+ * composition rule (Machine::peerLink), and makeScaled's per-GPU
+ * capacity and rate scaling with num_gpus > 1.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+TEST(MachineScaling, ContendedHostLinkDeratesWithDeviceCount)
+{
+    // Unscaled host: 36 GB/s of DRAM bandwidth shared by 2 directions
+    // per device. One device leaves a 12 GB/s PCIe link alone
+    // (36/2 = 18 > 12); four devices squeeze it to 36/8 = 4.5 GB/s.
+    const HostSpec host = machines::xeonSilverHost();
+    Machine one(host, {machines::p100()});
+    const LinkModel raw = one.device(0).spec().h2d;
+    EXPECT_DOUBLE_EQ(one.contendedHostLink(raw).bandwidth,
+                     raw.bandwidth);
+
+    Machine four(host, std::vector<DeviceSpec>(4, machines::p100()));
+    const LinkModel derated = four.contendedHostLink(raw);
+    EXPECT_DOUBLE_EQ(derated.bandwidth,
+                     host.memBandwidth / (2.0 * 4.0));
+    // Latency is a link property, not a DRAM one.
+    EXPECT_DOUBLE_EQ(derated.latency, raw.latency);
+}
+
+TEST(MachineScaling, PeerLinkIsMinBandwidthMaxLatencyAndSymmetric)
+{
+    // Heterogeneous endpoints: the link is the two peer ports in
+    // series — the slower bandwidth and the larger latency win.
+    Machine m(machines::xeonSilverHost(),
+              {machines::p100(), machines::v100Nvlink()});
+    const LinkModel p = m.device(0).spec().peer;   // 10 GB/s, 12 us
+    const LinkModel v = m.device(1).spec().peer;   // 75 GB/s, 4 us
+    const LinkModel link = m.peerLink(0, 1);
+    EXPECT_DOUBLE_EQ(link.bandwidth,
+                     std::min(p.bandwidth, v.bandwidth));
+    EXPECT_DOUBLE_EQ(link.latency, std::max(p.latency, v.latency));
+    const LinkModel back = m.peerLink(1, 0);
+    EXPECT_DOUBLE_EQ(back.bandwidth, link.bandwidth);
+    EXPECT_DOUBLE_EQ(back.latency, link.latency);
+}
+
+TEST(MachineScaling, MakeScaledSplitsCapacityAcrossGpus)
+{
+    // fraction 1.0 over 4 GPUs: each holds a quarter of the state, so
+    // together they hold it all (the sharded-resident trigger).
+    const int n = 10;
+    Machine m = machines::makeScaled(n, machines::p4(), 1.0, 4, n);
+    ASSERT_EQ(m.numDevices(), 4);
+    for (int d = 0; d < 4; ++d)
+        EXPECT_EQ(m.device(d).spec().memBytes, stateBytes(n) / 4);
+    EXPECT_EQ(m.totalDeviceMem(), stateBytes(n));
+}
+
+TEST(MachineScaling, MakeScaledDividesRatesNotLatencies)
+{
+    // 24 qubits at paper size 34: every rate shrinks by 2^10; fixed
+    // latencies stay absolute (they do not scale with state size).
+    const DeviceSpec raw = machines::v100Nvlink();
+    Machine m = machines::makeScaled(24, raw, 1.0 / 16.0, 2, 34);
+    const double scale = 1024.0;
+    const DeviceSpec &s = m.device(0).spec();
+    EXPECT_DOUBLE_EQ(s.flops, raw.flops / scale);
+    EXPECT_DOUBLE_EQ(s.memBandwidth, raw.memBandwidth / scale);
+    EXPECT_DOUBLE_EQ(s.h2d.bandwidth, raw.h2d.bandwidth / scale);
+    EXPECT_DOUBLE_EQ(s.peer.bandwidth, raw.peer.bandwidth / scale);
+    EXPECT_DOUBLE_EQ(s.peer.latency, raw.peer.latency);
+    EXPECT_DOUBLE_EQ(s.kernelLatency, raw.kernelLatency);
+}
+
+TEST(MachineScaling, PeerEngineSchedulesAndResets)
+{
+    Machine m(machines::xeonSilverHost(),
+              std::vector<DeviceSpec>(2, machines::p100()));
+    auto &peer = m.device(0).peerEngine();
+    const VTime done =
+        peer.schedule(0.0, m.peerLink(0, 1).transferTime(1 << 20));
+    EXPECT_GT(done, 0.0);
+    EXPECT_GT(peer.busyTime(), 0.0);
+    m.reset();
+    EXPECT_DOUBLE_EQ(m.device(0).peerEngine().busyTime(), 0.0);
+    EXPECT_DOUBLE_EQ(m.device(0).peerEngine().freeAt(), 0.0);
+}
+
+} // namespace
+} // namespace qgpu

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Multi-device sharding differential harness — the bit-identity
+ * contract across device counts. For every benchmark family, engine
+ * version, and pruning mode, the same circuit runs on 1 (reference),
+ * 2, 4, and 8 devices with the whole state resident across the
+ * shards (fraction 1.0), single- and multi-threaded, on both a
+ * PCIe-ish (p4) and an NVLink-ish (v100nvl) preset. Sharding is a
+ * scheduling concern only: every run must reproduce the single-device
+ * state EXACTLY (maxAbsDiff == 0, not a tolerance), measurement and
+ * snapshot results included. Cross-shard sweeps must also pay their
+ * exchange phases — the timing model is allowed to differ across
+ * device counts, the amplitudes never.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "harness/experiment.hh"
+#include "statevec/measure.hh"
+#include "statevec/snapshot.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+struct PruneMode
+{
+    const char *name;
+    bool dynamicChunks;
+    InvolvementPolicy involvement;
+};
+
+constexpr PruneMode kModes[] = {
+    {"dynamic_perop", true, InvolvementPolicy::PerOp},
+    {"static_perop", false, InvolvementPolicy::PerOp},
+    {"dynamic_nondiag", true, InvolvementPolicy::NonDiagonal},
+};
+
+constexpr int kQubits = 9;
+constexpr int kDeviceCounts[] = {2, 4, 8};
+
+struct Preset
+{
+    const char *name;
+    DeviceSpec (*spec)();
+};
+
+constexpr Preset kPresets[] = {
+    {"p4", machines::p4},           // PCIe-ish peer fabric
+    {"v100nvl", machines::v100Nvlink}, // NVLink-ish peer fabric
+};
+
+class ShardDifferential
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, Version, int>>
+{
+  protected:
+    void TearDown() override { setSimThreads(1); }
+};
+
+TEST_P(ShardDifferential, BitIdenticalAcrossDeviceCounts)
+{
+    const auto &[family, version, mode_idx] = GetParam();
+    const PruneMode &mode = kModes[mode_idx];
+    const Circuit circuit =
+        circuits::makeBenchmark(family, kQubits);
+
+    ExecOptions o;
+    o.targetChunks = 32;
+    o.codecSampleChunks = 0;
+    o.dynamicChunks = mode.dynamicChunks;
+    o.involvement = mode.involvement;
+    o.faultSpec = "none";
+
+    for (const Preset &preset : kPresets) {
+        // Reference: the same version on one device holding the
+        // whole state (the resident path).
+        setSimThreads(1);
+        Machine ref_machine = machines::makeScaled(
+            kQubits, preset.spec(), 1.0, 1);
+        const RunResult ref =
+            makeVersion(version, ref_machine, o)->run(circuit);
+        ASSERT_TRUE(ref.ok());
+        ASSERT_EQ(ref.state.numQubits(), kQubits);
+
+        for (const int devices : kDeviceCounts) {
+            for (const int threads : {1, 0}) {
+                setSimThreads(threads);
+                Machine machine = machines::makeScaled(
+                    kQubits, preset.spec(), 1.0, devices);
+                const RunResult r =
+                    makeVersion(version, machine, o)->run(circuit);
+                ASSERT_TRUE(r.ok())
+                    << preset.name << " x" << devices;
+                // The contract: tolerance ZERO. The functional
+                // update is shared; a shard map may only reshape the
+                // schedule.
+                EXPECT_EQ(r.state.maxAbsDiff(ref.state), 0.0)
+                    << versionName(version) << "/" << mode.name
+                    << " diverged on " << family << " at "
+                    << devices << " devices (" << preset.name
+                    << ", threads=" << threads << ")";
+                EXPECT_DOUBLE_EQ(
+                    r.stats.get(statkeys::gatesApplied),
+                    static_cast<double>(circuit.numGates()));
+                EXPECT_GT(r.totalTime, 0.0);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, ShardDifferential,
+    ::testing::Combine(
+        ::testing::ValuesIn(circuits::benchmarkNames()),
+        ::testing::ValuesIn(allVersions()), ::testing::Range(0, 3)),
+    [](const auto &info) {
+        std::string v = versionName(std::get<1>(info.param));
+        for (char &c : v)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return std::get<0>(info.param) + "_" + v + "_" +
+               kModes[std::get<2>(info.param)].name;
+    });
+
+TEST(ShardDifferential, MeasurementAndSnapshotMatchOnShardedState)
+{
+    // Downstream consumers of a sharded run's state — sampling and
+    // snapshot save/restore — must be indistinguishable from the
+    // single-device run too.
+    const Circuit circuit = circuits::makeBenchmark("qft", kQubits);
+    ExecOptions o;
+    o.targetChunks = 32;
+
+    Machine ref_machine =
+        machines::makeScaled(kQubits, machines::v100Nvlink(), 1.0, 1);
+    const RunResult ref =
+        makeVersion(Version::QGpu, ref_machine, o)->run(circuit);
+    ASSERT_TRUE(ref.ok());
+
+    Machine machine =
+        machines::makeScaled(kQubits, machines::v100Nvlink(), 1.0, 4);
+    const RunResult r =
+        makeVersion(Version::QGpu, machine, o)->run(circuit);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.state.maxAbsDiff(ref.state), 0.0);
+
+    Rng rng_a(1234), rng_b(1234);
+    EXPECT_EQ(sampleCounts(r.state, 500, rng_a),
+              sampleCounts(ref.state, 500, rng_b));
+    for (int q = 0; q < kQubits; ++q)
+        EXPECT_EQ(probabilityOfOne(r.state, q),
+                  probabilityOfOne(ref.state, q));
+
+    std::stringstream buf;
+    saveState(r.state, buf, /*compress=*/true);
+    const StateVector restored = loadState(buf);
+    EXPECT_EQ(restored.maxAbsDiff(ref.state), 0.0);
+}
+
+TEST(ShardDifferential, CrossShardSweepsPayExchangePhases)
+{
+    // QFT couples every pair of qubits, so at 2+ devices some sweeps
+    // must reach across the shard boundary and the exchange counters
+    // must show it; a single device must show none.
+    const Circuit circuit = circuits::makeBenchmark("qft", kQubits);
+    ExecOptions o;
+    o.targetChunks = 32;
+
+    Machine one =
+        machines::makeScaled(kQubits, machines::v100Nvlink(), 1.0, 1);
+    const RunResult r1 =
+        makeVersion(Version::QGpu, one, o)->run(circuit);
+    EXPECT_EQ(r1.stats.get(statkeys::exchangePhases), 0.0);
+    EXPECT_EQ(r1.stats.get(statkeys::exchangeBytes), 0.0);
+
+    for (const int devices : kDeviceCounts) {
+        Machine m = machines::makeScaled(
+            kQubits, machines::v100Nvlink(), 1.0, devices);
+        const RunResult r =
+            makeVersion(Version::QGpu, m, o)->run(circuit);
+        ASSERT_TRUE(r.ok());
+        EXPECT_GE(r.stats.get(statkeys::exchangePhases), 1.0)
+            << devices;
+        EXPECT_GT(r.stats.get(statkeys::exchangeBytes), 0.0)
+            << devices;
+        EXPECT_GT(r.stats.get(statkeys::exchangeChunks), 0.0)
+            << devices;
+        EXPECT_GT(r.stats.get(statkeys::peerTime), 0.0) << devices;
+        // Per-device busy rows exist for multi-device runs.
+        for (int d = 0; d < devices; ++d) {
+            const std::string prefix =
+                "device." + std::to_string(d) + ".";
+            EXPECT_TRUE(r.stats.has(prefix + "busy")) << d;
+            EXPECT_TRUE(r.stats.has(prefix + "peer")) << d;
+        }
+    }
+}
+
+} // namespace
+} // namespace qgpu

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for the multi-device shard map (sched/shard.hh): balanced
+ * and capacity-limited chunk assignment, the cross-boundary bit test
+ * (including boundaries at odd multiples of the stride), group
+ * ownership, and the gather/scatter asymmetry of the exchange plan.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/shard.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+TEST(ShardMap, BalancedRangesArePowerOfTwoTopBitSplit)
+{
+    const ShardMap shard(32, 4);
+    EXPECT_EQ(shard.numChunks(), 32u);
+    EXPECT_EQ(shard.numDevices(), 4);
+    EXPECT_EQ(shard.hostChunks(), 0u);
+    EXPECT_EQ(shard.shardBits(), 2);
+    for (int d = 0; d < 4; ++d) {
+        EXPECT_EQ(shard.ownedBegin(d), static_cast<Index>(8 * d));
+        EXPECT_EQ(shard.ownedCount(d), 8u);
+    }
+    // Top-2-bit split: the device is literally the top two bits of
+    // the 5-bit chunk index.
+    for (Index c = 0; c < 32; ++c)
+        EXPECT_EQ(shard.device(c), static_cast<int>(c >> 3)) << c;
+}
+
+TEST(ShardMap, BalancedHandlesNonPowerOfTwoDeviceCounts)
+{
+    const ShardMap shard(32, 3);
+    EXPECT_EQ(shard.shardBits(), -1);
+    EXPECT_EQ(shard.hostChunks(), 0u);
+    EXPECT_EQ(shard.ownedCount(0) + shard.ownedCount(1) +
+                  shard.ownedCount(2),
+              32u);
+    // Balanced: counts differ by at most one chunk.
+    for (int d = 0; d < 3; ++d) {
+        EXPECT_GE(shard.ownedCount(d), 10u);
+        EXPECT_LE(shard.ownedCount(d), 11u);
+    }
+    EXPECT_EQ(shard.device(0), 0);
+    EXPECT_EQ(shard.device(31), 2);
+}
+
+TEST(ShardMap, MoreDevicesThanChunksLeavesSomeEmpty)
+{
+    const ShardMap shard(2, 4);
+    Index total = 0;
+    for (int d = 0; d < 4; ++d)
+        total += shard.ownedCount(d);
+    EXPECT_EQ(total, 2u);
+    EXPECT_EQ(shard.hostChunks(), 0u);
+}
+
+TEST(ShardMap, CapacityLimitedSpillsToHost)
+{
+    const ShardMap shard = ShardMap::capacityLimited(10, {2, 2});
+    EXPECT_EQ(shard.hostChunks(), 6u);
+    EXPECT_EQ(shard.device(0), 0);
+    EXPECT_EQ(shard.device(1), 0);
+    EXPECT_EQ(shard.device(2), 1);
+    EXPECT_EQ(shard.device(3), 1);
+    for (Index c = 4; c < 10; ++c)
+        EXPECT_EQ(shard.device(c), ShardMap::kHost) << c;
+}
+
+TEST(ShardMap, CapacityLimitedStopsAtTheChunkCount)
+{
+    // The last device's surplus capacity absorbs the remainder.
+    const ShardMap shard = ShardMap::capacityLimited(10, {4, 2, 100});
+    EXPECT_EQ(shard.hostChunks(), 0u);
+    EXPECT_EQ(shard.ownedCount(0), 4u);
+    EXPECT_EQ(shard.ownedCount(1), 2u);
+    EXPECT_EQ(shard.ownedCount(2), 4u);
+}
+
+TEST(ShardMap, BitIsCrossDetectsOddMultipleBoundaries)
+{
+    // 32 chunks on 2 devices: the single internal boundary sits at
+    // 16. Flipping bit 4 pairs (x, x+16), which straddles it for
+    // every x < 16 even though 16 is a multiple of the stride — the
+    // boundary is at an ODD multiple of 16, which is what matters.
+    const ShardMap shard(32, 2);
+    for (int b = 0; b < 4; ++b)
+        EXPECT_FALSE(shard.bitIsCross(b)) << b;
+    EXPECT_TRUE(shard.bitIsCross(4));
+
+    // 4 devices: boundaries 8, 16, 24. Bit 3 crosses (boundary 8 is
+    // an odd multiple of its stride) and bit 4 crosses (boundaries 8
+    // and 24 are not multiples of 32); bits 0-2 stay inside a shard.
+    const ShardMap quad(32, 4);
+    for (int b = 0; b < 3; ++b)
+        EXPECT_FALSE(quad.bitIsCross(b)) << b;
+    EXPECT_TRUE(quad.bitIsCross(3));
+    EXPECT_TRUE(quad.bitIsCross(4));
+}
+
+TEST(ShardMap, CrossBitsFiltersTheSweepSignature)
+{
+    const ShardMap shard(32, 4);
+    EXPECT_TRUE(shard.crossBits({0, 1, 2}).empty());
+    EXPECT_FALSE(shard.isCrossDevice({0, 1, 2}));
+    const std::vector<int> cross = shard.crossBits({1, 3, 4});
+    EXPECT_EQ(cross, (std::vector<int>{3, 4}));
+    EXPECT_TRUE(shard.isCrossDevice({1, 3, 4}));
+    EXPECT_FALSE(shard.isCrossDevice({}));
+}
+
+TEST(ShardMap, GroupOwnerIsTheLowestMembersDevice)
+{
+    const ShardMap shard(32, 4);
+    // Coupling bits {3, 4}: a group's members are base + {0, 8, 16,
+    // 24}, and the base always has bits 3-4 clear (base < 8), so the
+    // owner is device 0 for every group.
+    for (Index g = 0; g < 8; ++g)
+        EXPECT_EQ(shard.groupOwner(g, {3, 4}), 0) << g;
+    // Coupling only bit 3: bases have bit 3 clear; base 16-23 belongs
+    // to device 2.
+    EXPECT_EQ(shard.groupOwner(0, {3}), 0);
+    const int owner_hi = shard.groupOwner(8, {3});
+    EXPECT_EQ(owner_hi, 2); // group 8 expands over base 16
+}
+
+TEST(ShardMap, ExchangePlanEmptyForDeviceLocalSweeps)
+{
+    const ShardMap shard(8, 2);
+    EXPECT_TRUE(shard.exchangePlan({}).empty());
+    EXPECT_TRUE(shard.exchangePlan({0, 1}).empty());
+}
+
+TEST(ShardMap, ExchangePlanGathersAndScattersForeignMembers)
+{
+    // 8 chunks on 2 devices (boundary 4); bit 2 pairs (c, c+4)
+    // across it. Owner of every group is device 0, so chunks 4-7 are
+    // the foreign members.
+    const ShardMap shard(8, 2);
+    const ExchangePlan plan = shard.exchangePlan({2});
+    ASSERT_EQ(plan.gather.size(), 4u);
+    ASSERT_EQ(plan.scatter.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(plan.gather[i].chunk, static_cast<Index>(4 + i));
+        EXPECT_EQ(plan.gather[i].src, 1);
+        EXPECT_EQ(plan.gather[i].dst, 0);
+        EXPECT_EQ(plan.scatter[i].chunk, static_cast<Index>(4 + i));
+        EXPECT_EQ(plan.scatter[i].src, 0);
+        EXPECT_EQ(plan.scatter[i].dst, 1);
+    }
+}
+
+TEST(ShardMap, ExchangePlanSkipsDeadGroupsButScattersDeadMembers)
+{
+    const ShardMap shard(8, 2);
+    // Only chunk 0 is live: group (0, 4) is live (one live member),
+    // groups (1,5), (2,6), (3,7) are fully dead and move nothing.
+    const auto live = [](Index c) { return c == 0; };
+    const ExchangePlan plan = shard.exchangePlan({2}, live);
+    // Gather ships only LIVE foreign members — chunk 4 is dead, and a
+    // provably-zero chunk is materialized as zeros at the owner.
+    EXPECT_TRUE(plan.gather.empty());
+    // Scatter ships EVERY foreign member of the live group: the
+    // cross-chunk kernel writes both members, so chunk 4 now holds
+    // real amplitudes that must go home.
+    ASSERT_EQ(plan.scatter.size(), 1u);
+    EXPECT_EQ(plan.scatter[0].chunk, 4u);
+    EXPECT_EQ(plan.scatter[0].src, 0);
+    EXPECT_EQ(plan.scatter[0].dst, 1);
+}
+
+TEST(ShardMap, ExchangePlanFourDevices)
+{
+    // 16 chunks on 4 devices (4 each); bit 3 pairs shards (0,2) and
+    // (1,3). Every transfer's endpoints must differ and agree with
+    // the map.
+    const ShardMap shard(16, 4);
+    const ExchangePlan plan = shard.exchangePlan({3});
+    ASSERT_EQ(plan.gather.size(), 8u);
+    ASSERT_EQ(plan.scatter.size(), 8u);
+    for (const PeerTransfer &t : plan.gather) {
+        EXPECT_NE(t.src, t.dst);
+        EXPECT_EQ(t.src, shard.device(t.chunk));
+    }
+    for (const PeerTransfer &t : plan.scatter) {
+        EXPECT_NE(t.src, t.dst);
+        EXPECT_EQ(t.dst, shard.device(t.chunk));
+    }
+}
+
+} // namespace
+} // namespace qgpu
