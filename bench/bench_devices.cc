@@ -16,7 +16,9 @@
  * The host-side simulation is functional work, so rows where the
  * device count exceeds the hardware thread count are flagged
  * oversubscribed (the virtual times are unaffected; only wall_seconds
- * is).
+ * is). On a single-hardware-thread host every multi-device row is in
+ * that regime, so the file additionally carries a top-level
+ * "warning": "oversubscribed" and a note goes to stderr.
  */
 
 #include <cstdio>
@@ -91,6 +93,12 @@ main(int argc, char **argv)
     };
     const int device_counts[] = {1, 2, 4, 8};
     const int hw = ThreadPool::hardwareThreads();
+    if (hw == 1)
+        std::fprintf(
+            stderr,
+            "bench_devices: warning: only one hardware thread; "
+            "every multi-device row is oversubscribed (virtual "
+            "times are unaffected, wall_seconds is not)\n");
     setSimThreads(0); // all cores for the functional work
 
     std::printf("bench_devices: %s engine, %d qubits, fraction 1.0 "
@@ -168,8 +176,10 @@ main(int argc, char **argv)
     out.precision(9);
     out << "{\"bench\": \"devices\", \"engine\": \"" << engine
         << "\", \"qubits\": " << qubits
-        << ", \"fraction\": 1.0, \"hardware_threads\": " << hw
-        << ",\n \"entries\": [";
+        << ", \"fraction\": 1.0, \"hardware_threads\": " << hw;
+    if (hw == 1)
+        out << ", \"warning\": \"oversubscribed\"";
+    out << ",\n \"entries\": [";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
         out << (i == 0 ? "" : ",") << "\n  {\"preset\": \""

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared argument helpers for the google-benchmark micro suites
+ * (bench_micro_kernels / bench_micro_parallel / bench_micro_gfc):
+ * thread-count registration against the real hardware concurrency, so
+ * every suite sweeps the same worker counts the same way.
+ */
+
+#ifndef QGPU_BENCH_MICRO_COMMON_HH
+#define QGPU_BENCH_MICRO_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <initializer_list>
+
+#include "common/thread_pool.hh"
+
+namespace qgpu
+{
+namespace bench
+{
+
+/** Register thread counts 1, 2, 4, and hardware (deduplicated). */
+inline void
+threadArgs(benchmark::internal::Benchmark *b)
+{
+    const int hw = ThreadPool::hardwareThreads();
+    int prev = 0;
+    for (int t : {1, 2, 4, hw}) {
+        if (t > prev) {
+            b->Arg(t);
+            prev = t;
+        }
+    }
+}
+
+/**
+ * Register {qubits, threads} pairs: every register size at one thread
+ * and, when the host has more, at the full hardware thread count —
+ * the serial and saturated cost of each shape.
+ */
+inline void
+qubitThreadArgs(benchmark::internal::Benchmark *b,
+                std::initializer_list<int> qubit_counts)
+{
+    const int hw = ThreadPool::hardwareThreads();
+    for (int q : qubit_counts) {
+        b->Args({q, 1});
+        if (hw > 1)
+            b->Args({q, hw});
+    }
+}
+
+} // namespace bench
+} // namespace qgpu
+
+#endif // QGPU_BENCH_MICRO_COMMON_HH

@@ -6,21 +6,30 @@
  *
  * Two groups:
  *  - BM_Apply*: end-to-end StateVector::apply cost (threading and
- *    dispatch included), per gate shape and register size.
+ *    dispatch included), per gate shape and register size, at one
+ *    thread and at the full hardware thread count (the same serial /
+ *    saturated pairing bench_micro_parallel records for the chunked
+ *    layer, via the shared bench_micro_common helper).
  *  - BM_Kind*: single-thread generic-vs-specialized comparison per
  *    KernelKind on one raw buffer. "Generic" is the accessor-based
  *    kernels::applyK reference (the pre-dispatch k-qubit path),
  *    "Routed" is kernels::applyGate (the old shape routing, kept as a
  *    regression guard), "Dispatch" is the specialized contiguous
- *    kernel behind applyKernel. The ISSUE acceptance bar is
- *    Dispatch >= 2x Generic for dense-1q, diag-1q/2q, and ctrl-1q on
- *    chunk-local (low) targets.
+ *    kernel behind applyKernel, and "DispatchFast" is the same spec
+ *    through the fast-math tier entry point (contracted-FMA codegen
+ *    when the build compiled it; the label notes the exact fallback
+ *    otherwise). The ISSUE acceptance bar is Dispatch >= 2x Generic
+ *    for dense-1q, diag-1q/2q, and ctrl-1q on chunk-local (low)
+ *    targets.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
+#include "bench_micro_common.hh"
+#include "common/parallel.hh"
 #include "common/rng.hh"
 #include "statevec/kernel_dispatch.hh"
 #include "statevec/kernels.hh"
@@ -35,54 +44,73 @@ void
 BM_Apply1q(benchmark::State &bench_state)
 {
     const int n = static_cast<int>(bench_state.range(0));
+    setSimThreads(static_cast<int>(bench_state.range(1)));
     StateVector state(n);
     const Gate h(GateKind::H, {n / 2});
     for (auto _ : bench_state) {
         state.apply(h);
         benchmark::DoNotOptimize(state.amplitudes().data());
     }
+    setSimThreads(1);
     bench_state.SetItemsProcessed(
         static_cast<std::int64_t>(bench_state.iterations()) *
         static_cast<std::int64_t>(state.size()));
 }
-BENCHMARK(BM_Apply1q)->Arg(12)->Arg(16)->Arg(20);
+BENCHMARK(BM_Apply1q)
+    ->Apply([](benchmark::internal::Benchmark *b) {
+        bench::qubitThreadArgs(b, {12, 16, 20});
+    })
+    ->UseRealTime();
 
 void
 BM_ApplyDiag(benchmark::State &bench_state)
 {
     const int n = static_cast<int>(bench_state.range(0));
+    setSimThreads(static_cast<int>(bench_state.range(1)));
     StateVector state(n);
     const Gate cp(GateKind::CP, {0, n - 1}, {0.37});
     for (auto _ : bench_state) {
         state.apply(cp);
         benchmark::DoNotOptimize(state.amplitudes().data());
     }
+    setSimThreads(1);
     bench_state.SetItemsProcessed(
         static_cast<std::int64_t>(bench_state.iterations()) *
         static_cast<std::int64_t>(state.size()));
 }
-BENCHMARK(BM_ApplyDiag)->Arg(12)->Arg(16)->Arg(20);
+BENCHMARK(BM_ApplyDiag)
+    ->Apply([](benchmark::internal::Benchmark *b) {
+        bench::qubitThreadArgs(b, {12, 16, 20});
+    })
+    ->UseRealTime();
 
 void
 BM_Apply2q(benchmark::State &bench_state)
 {
     const int n = static_cast<int>(bench_state.range(0));
+    setSimThreads(static_cast<int>(bench_state.range(1)));
     StateVector state(n);
     const Gate cx(GateKind::CX, {1, n - 2});
     for (auto _ : bench_state) {
         state.apply(cx);
         benchmark::DoNotOptimize(state.amplitudes().data());
     }
+    setSimThreads(1);
     bench_state.SetItemsProcessed(
         static_cast<std::int64_t>(bench_state.iterations()) *
         static_cast<std::int64_t>(state.size()));
 }
-BENCHMARK(BM_Apply2q)->Arg(12)->Arg(16)->Arg(20);
+BENCHMARK(BM_Apply2q)
+    ->Apply([](benchmark::internal::Benchmark *b) {
+        bench::qubitThreadArgs(b, {12, 16, 20});
+    })
+    ->UseRealTime();
 
 void
 BM_ApplyFused4q(benchmark::State &bench_state)
 {
     const int n = static_cast<int>(bench_state.range(0));
+    setSimThreads(static_cast<int>(bench_state.range(1)));
     StateVector state(n);
     // A dense 4-qubit custom gate, as fusion produces.
     const GateMatrix m = GateMatrix::identity(16);
@@ -91,11 +119,16 @@ BM_ApplyFused4q(benchmark::State &bench_state)
         state.apply(g);
         benchmark::DoNotOptimize(state.amplitudes().data());
     }
+    setSimThreads(1);
     bench_state.SetItemsProcessed(
         static_cast<std::int64_t>(bench_state.iterations()) *
         static_cast<std::int64_t>(state.size()));
 }
-BENCHMARK(BM_ApplyFused4q)->Arg(12)->Arg(16);
+BENCHMARK(BM_ApplyFused4q)
+    ->Apply([](benchmark::internal::Benchmark *b) {
+        bench::qubitThreadArgs(b, {12, 16});
+    })
+    ->UseRealTime();
 
 // ---------------------------------------------------------------------
 // Per-kind generic vs specialized, single thread, raw buffer.
@@ -200,6 +233,35 @@ BM_KindDispatch(benchmark::State &bench_state)
         static_cast<std::int64_t>(amps.size()));
 }
 BENCHMARK(BM_KindDispatch)->DenseRange(0, numKernelKinds - 1);
+
+/**
+ * Fast-math tier of the same specialized kernels: contracted-FMA /
+ * wider-vector codegen when the build compiled the fast TU
+ * (QGPU_FAST_MATH=ON); otherwise kernfast falls back to the exact
+ * kernels and the row's label says so. The delta over BM_KindDispatch
+ * is what --fast-math buys per kernel kind on this machine.
+ */
+void
+BM_KindDispatchFast(benchmark::State &bench_state)
+{
+    const auto kind = static_cast<KernelKind>(bench_state.range(0));
+    const Gate gate = kindGate(kind);
+    const KernelSpec spec = makeKernelSpec(gate);
+    std::vector<Amp> amps = kindBuffer();
+    Amp *data = amps.data();
+    const Index items = kernelWorkItems(spec, kKindQubits);
+    for (auto _ : bench_state) {
+        kernfast::applyKernelFast(spec, data, kKindQubits, 0, items);
+        benchmark::DoNotOptimize(data);
+    }
+    bench_state.SetLabel(std::string(kernelKindName(kind)) +
+                         (fastMathCompiled() ? "/fma"
+                                             : "/exact-fallback"));
+    bench_state.SetItemsProcessed(
+        static_cast<std::int64_t>(bench_state.iterations()) *
+        static_cast<std::int64_t>(amps.size()));
+}
+BENCHMARK(BM_KindDispatchFast)->DenseRange(0, numKernelKinds - 1);
 
 } // namespace
 } // namespace qgpu

@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_common.hh"
 #include "circuits/circuits.hh"
 #include "common/parallel.hh"
 #include "common/rng.hh"
@@ -23,19 +24,7 @@ namespace qgpu
 namespace
 {
 
-/** Register thread counts 1, 2, 4, and hardware (deduplicated). */
-void
-threadArgs(benchmark::internal::Benchmark *b)
-{
-    const int hw = ThreadPool::hardwareThreads();
-    int prev = 0;
-    for (int t : {1, 2, 4, hw}) {
-        if (t > prev) {
-            b->Arg(t);
-            prev = t;
-        }
-    }
-}
+using bench::threadArgs;
 
 constexpr int kQubits = 18;
 constexpr int kChunkBits = kQubits - 8; // 256 chunks

@@ -8,7 +8,7 @@
  * layer's scaling on the current machine.
  *
  * Usage: bench_wallclock [output.json] [--qubits n] [--repeats r]
- *                        [--threads a,b,...]
+ *                        [--threads a,b,...] [--tier-qubits n]
  *
  * Default thread counts are {1, 2, 4, hardware_concurrency}
  * (deduplicated), so the JSON always contains a serial entry plus a
@@ -18,10 +18,19 @@
  * dispatch layer, so the entry carries threads_effective and an
  * oversubscribed flag, plus its speedup over the family's serial
  * entry and the sweep counters (sweeps = full passes over the state;
- * gate-by-gate execution would pay one pass per gate). The JSON also
- * records the per-kernel-kind invocation/amplitude counters (kernel.*
- * from the dispatch layer) accumulated over the whole run, and a
- * per-family sweep_table (scripts/bench_sweeps.sh renders it).
+ * gate-by-gate execution would pay one pass per gate). On a
+ * single-hardware-thread host the whole file additionally carries a
+ * top-level "warning": "oversubscribed" (scaling entries are then
+ * meaningless). The JSON also records the per-kernel-kind
+ * invocation/amplitude counters (kernel.* from the dispatch layer)
+ * accumulated over the whole run, a per-family sweep_table
+ * (scripts/bench_sweeps.sh renders it), and a tier_sweep: every
+ * family through the transfer-bound naive streaming engine at one
+ * thread under each execution tier (exact / fast64 / fp32), with the
+ * modeled-virtual-time speedup over the exact tier and the
+ * max-absolute amplitude error against the exact tier's final state.
+ * fp32 halves every modeled transfer byte, so its speedup on these
+ * transfer-bound runs is the headline storage-precision number.
  */
 
 #include <algorithm>
@@ -37,6 +46,7 @@
 #include "common/metrics.hh"
 #include "common/parallel.hh"
 #include "common/thread_pool.hh"
+#include "harness/experiment.hh"
 #include "sched/sweep.hh"
 #include "statevec/apply.hh"
 
@@ -55,6 +65,17 @@ struct Entry
     double speedup; // family's first (serial) entry over this one
     std::size_t gates;
     std::size_t statePasses; // sweeps executed = passes over the state
+};
+
+/** One (family, execution tier) cell of the tier sweep. */
+struct TierRow
+{
+    std::string family;
+    std::string tier;
+    double modelSeconds; // virtual time of the modeled naive run
+    double wallSeconds;
+    double speedup;     // exact tier's modelSeconds over this one
+    double maxAbsError; // vs the exact tier's final amplitudes
 };
 
 /** Passes-over-the-state accounting for one circuit at a chunk size. */
@@ -105,6 +126,7 @@ main(int argc, char **argv)
     std::string out_path = "BENCH_wallclock.json";
     int qubits = 18;
     int repeats = 3;
+    int tier_qubits = 14;
     const int hw = ThreadPool::hardwareThreads();
     std::vector<int> threads = {1, 2, 4, hw};
     std::sort(threads.begin(), threads.end());
@@ -122,6 +144,8 @@ main(int argc, char **argv)
             qubits = std::atoi(value().c_str());
         } else if (flag == "--repeats") {
             repeats = std::atoi(value().c_str());
+        } else if (flag == "--tier-qubits") {
+            tier_qubits = std::atoi(value().c_str());
         } else if (flag == "--threads") {
             threads.clear();
             std::string list = value();
@@ -134,8 +158,15 @@ main(int argc, char **argv)
             QGPU_FATAL("unknown flag '", flag, "'");
         }
     }
-    if (qubits < 10 || repeats < 1 || threads.empty())
+    if (qubits < 10 || repeats < 1 || threads.empty() ||
+        tier_qubits < 10)
         QGPU_FATAL("bad arguments");
+    if (hw == 1)
+        std::fprintf(
+            stderr,
+            "bench_wallclock: warning: only one hardware thread; "
+            "every multi-thread entry is oversubscribed and the "
+            "scaling numbers are not meaningful on this host\n");
 
     const std::vector<std::string> families = {"qft", "gs", "hchain",
                                                "iqp"};
@@ -184,6 +215,66 @@ main(int argc, char **argv)
         }
     }
 
+    // Tier sweep: one thread, transfer-bound modeled runs (naive
+    // streaming engine, device memory 1/16 of the state), once per
+    // execution tier. fast64 flips the kernels to the contracted-FMA
+    // tier (same bytes moved, wall-time effect only); fp32 stores
+    // amplitudes in single precision, halving every modeled H2D/D2H
+    // byte, which is where its ~2x virtual-time speedup comes from.
+    struct TierSpec
+    {
+        const char *name;
+        bool fast;
+        Precision prec;
+    };
+    const TierSpec tier_specs[] = {
+        {"exact", false, Precision::f64},
+        {"fast64", true, Precision::f64},
+        {"fp32", false, Precision::f32},
+    };
+    std::printf("tier sweep: naive engine, %d qubits, 1 thread\n",
+                tier_qubits);
+    setSimThreads(1);
+    std::vector<TierRow> tier_rows;
+    for (const auto &family : families) {
+        const Circuit circuit =
+            circuits::makeBenchmark(family, tier_qubits);
+        double exact_model = 0.0;
+        StateVector exact_state{1};
+        for (const TierSpec &tier : tier_specs) {
+            ExecOptions options = harness::benchOptions();
+            options.keepState = true;
+            options.fastMath = tier.fast;
+            options.precision = tier.prec;
+            Machine machine = harness::benchMachine(tier_qubits);
+            const RunResult r =
+                harness::runOn("naive", machine, circuit, options);
+            if (!r.ok())
+                QGPU_FATAL(family, " errored on tier ", tier.name);
+
+            TierRow row;
+            row.family = family;
+            row.tier = tier.name;
+            row.modelSeconds = r.totalTime;
+            row.wallSeconds = r.wallSeconds;
+            if (exact_state.numQubits() == 1) {
+                exact_model = r.totalTime;
+                exact_state = r.state;
+            }
+            row.speedup = exact_model / r.totalTime;
+            double err = 0.0;
+            for (Index i = 0; i < r.state.size(); ++i)
+                err = std::max(err,
+                               std::abs(r.state[i] - exact_state[i]));
+            row.maxAbsError = err;
+            std::printf("  %-8s %-6s: %9.3f model s  (x%.2f, "
+                        "max err %.3g)\n",
+                        family.c_str(), tier.name, row.modelSeconds,
+                        row.speedup, row.maxAbsError);
+            tier_rows.push_back(std::move(row));
+        }
+    }
+
     std::ofstream out(out_path);
     if (!out)
         QGPU_FATAL("cannot write '", out_path, "'");
@@ -191,7 +282,10 @@ main(int argc, char **argv)
     out << "{\"bench\": \"wallclock\", \"qubits\": " << qubits
         << ", \"chunk_bits\": " << chunk_bits
         << ", \"repeats\": " << repeats
-        << ", \"hardware_threads\": " << hw << ",\n \"entries\": [";
+        << ", \"hardware_threads\": " << hw;
+    if (hw == 1)
+        out << ", \"warning\": \"oversubscribed\"";
+    out << ",\n \"entries\": [";
     for (std::size_t i = 0; i < entries.size(); ++i) {
         const auto &e = entries[i];
         out << (i == 0 ? "" : ",") << "\n  {\"family\": \""
@@ -216,7 +310,19 @@ main(int argc, char **argv)
                 static_cast<double>(s.sweeps))
             << "}";
     }
-    out << "\n ],\n \"kernel_counters\": {";
+    out << "\n ],\n \"tier_sweep\": {\"engine\": \"naive\", "
+        << "\"qubits\": " << tier_qubits << ", \"threads\": 1, "
+        << "\"entries\": [";
+    for (std::size_t i = 0; i < tier_rows.size(); ++i) {
+        const TierRow &r = tier_rows[i];
+        out << (i == 0 ? "" : ",") << "\n  {\"family\": \""
+            << r.family << "\", \"tier\": \"" << r.tier
+            << "\", \"model_seconds\": " << r.modelSeconds
+            << ", \"wall_seconds\": " << r.wallSeconds
+            << ", \"speedup_vs_exact\": " << r.speedup
+            << ", \"max_abs_error\": " << r.maxAbsError << "}";
+    }
+    out << "\n ]},\n \"kernel_counters\": {";
     const auto &mr = MetricsRegistry::global();
     bool first = true;
     for (const auto &name : mr.counterNames()) {

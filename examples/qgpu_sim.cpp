@@ -50,6 +50,9 @@ struct Args
     bool sweep_stats = false;
     bool verify_chunks = false;
     int verify_sample = 8;
+    bool fast_math = false;
+    std::string precision;
+    double adaptive_threshold = -1.0; // < 0: keep the default
     std::string fault_spec = "env";
     std::uint64_t fault_seed = 0x517e57ull;
     std::string trace_path;
@@ -97,6 +100,18 @@ usage(const char *argv0)
         "  --verify-sample <k>   max chunks verified per sweep "
         "(rotating window;\n"
         "                        0 = every chunk; default 8)\n"
+        "  --fast-math           run the contracted-FMA kernel tier "
+        "(1e-12 accuracy\n"
+        "                        contract; also $QGPU_FAST_MATH=1)\n"
+        "  --precision <p>       amplitude storage precision: "
+        "f64|f32|adaptive\n"
+        "                        (f32 halves every modeled transfer; "
+        "1e-5 contract)\n"
+        "  --adaptive-threshold <t>\n"
+        "                        adaptive mode: chunks whose largest "
+        "amplitude\n"
+        "                        component is below t stay f64 "
+        "(default 1e-6)\n"
         "  --fault-spec <spec>   inject faults, e.g. "
         "\"d2h:0.01,codec:0.005\" (points: h2d,\n"
         "                        d2h, peer, codec, alloc; default: "
@@ -171,6 +186,12 @@ parse(int argc, char **argv)
             args.verify_chunks = true;
         else if (flag == "--verify-sample")
             args.verify_sample = std::atoi(value().c_str());
+        else if (flag == "--fast-math")
+            args.fast_math = true;
+        else if (flag == "--precision")
+            args.precision = value();
+        else if (flag == "--adaptive-threshold")
+            args.adaptive_threshold = std::atof(value().c_str());
         else if (flag == "--fault-spec")
             args.fault_spec = value();
         else if (flag == "--fault-seed")
@@ -234,6 +255,18 @@ main(int argc, char **argv)
     options.verifySampleChunks = args.verify_sample;
     options.faultSpec = args.fault_spec;
     options.faultSeed = args.fault_seed;
+    if (args.fast_math)
+        options.fastMath = true; // env opt-in already seeded the default
+    if (!args.precision.empty() &&
+        !parsePrecision(args.precision, options.precision))
+        QGPU_FATAL("unknown precision '", args.precision,
+                   "' (expected f64, f32, or adaptive)");
+    if (args.adaptive_threshold >= 0.0)
+        options.adaptiveThreshold = args.adaptive_threshold;
+    if (options.fastMath || options.precision != Precision::f64)
+        std::printf("tiers:   kernels=%s, storage=%s\n",
+                    options.fastMath ? "fast-math" : "exact",
+                    precisionName(options.precision));
     const RunResult result =
         harness::runOn(args.engine, machine, circuit, options);
 

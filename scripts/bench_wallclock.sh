@@ -2,12 +2,18 @@
 # Build (if needed) and run the wall-clock scaling bench, producing
 # BENCH_wallclock.json in the repo root: real seconds per circuit
 # family at 1/2/4/hardware host threads (deduplicated), min over
-# repeats, plus the per-kernel-kind dispatch counters. See
-# bench/bench_wallclock.cc for the JSON schema.
+# repeats, plus the per-kernel-kind dispatch counters and the
+# execution-tier sweep (exact / fast64 / fp32 through the
+# transfer-bound naive engine at one thread, with per-tier speedup
+# over exact and max-abs amplitude error columns — fp32 halves every
+# modeled transfer byte, so its speedup is the headline number). See
+# bench/bench_wallclock.cc for the JSON schema. On a single-core host
+# the JSON carries a top-level "warning": "oversubscribed".
 #
 # Usage: scripts/bench_wallclock.sh [extra bench_wallclock args...]
 #   BUILD_DIR=...  override the build directory (default build)
 #   OUT=...        override the output path (default BENCH_wallclock.json)
+#   Pass --tier-qubits n to resize the tier sweep (default 14).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

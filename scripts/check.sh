@@ -3,7 +3,7 @@
 # test suite. This is the gate every PR must keep green (ROADMAP
 # "Tier-1 verify").
 #
-# Usage: scripts/check.sh [--tsan] [--asan]
+# Usage: scripts/check.sh [--tsan] [--asan] [--fast-math]
 #   --tsan         additionally build with -DQGPU_SANITIZE=thread (in
 #                  its own build-tsan directory) and run the
 #                  parallelism-focused tests under ThreadSanitizer
@@ -11,6 +11,11 @@
 #                  its own build-asan directory) and run the fault/
 #                  integrity suites -- including the tier2 differential
 #                  fuzz sweep -- under AddressSanitizer
+#   --fast-math    additionally rerun the versions-differential and
+#                  kernel-dispatch suites with QGPU_FAST_MATH=1 in the
+#                  environment, so every engine executes on the
+#                  contracted-FMA kernel tier and the 1e-12 accuracy
+#                  contract is exercised end to end
 #
 # The default pass also rebuilds the kernel differential suite with
 # -DQGPU_NATIVE=ON (build-check-native) and reruns it there, so the
@@ -28,17 +33,56 @@ JOBS="${JOBS:-$(nproc)}"
 
 RUN_TSAN=0
 RUN_ASAN=0
+RUN_FAST_MATH=0
 for arg in "$@"; do
     case "$arg" in
         --tsan) RUN_TSAN=1 ;;
         --asan) RUN_ASAN=1 ;;
+        --fast-math) RUN_FAST_MATH=1 ;;
         *) echo "unknown argument: $arg" >&2; exit 2 ;;
     esac
 done
 
+# Refuse to reuse a build directory whose cache was configured with
+# different flags than this pass needs. A stale cache fails silently in
+# the worst way: a build-tsan left over from a plain configure would
+# "pass" every test without ThreadSanitizer instrumented, and a
+# build-check-native carrying QGPU_NATIVE=OFF would re-certify the
+# bit-identity contract against the exact same codegen it already ran.
+require_cache() {
+    local dir="$1" cache="$1/CMakeCache.txt" kv var want have
+    shift
+    [ -f "$cache" ] || return 0
+    for kv in "$@"; do
+        var="${kv%%=*}"
+        want="${kv#*=}"
+        have=$(sed -n "s/^${var}:[A-Z]*=//p" "$cache")
+        if [ "$have" != "$want" ]; then
+            echo "error: $dir is configured with ${var}='${have}' but" >&2
+            echo "       this pass needs ${var}='${want}'. Delete the" >&2
+            echo "       directory (rm -rf $dir) and rerun." >&2
+            exit 2
+        fi
+    done
+}
+
+require_cache "$BUILD_DIR" "QGPU_SANITIZE=" "QGPU_NATIVE=OFF"
 cmake -B "$BUILD_DIR" -S . -DCMAKE_CXX_FLAGS="-Werror"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS"
+
+if [ "$RUN_FAST_MATH" -eq 1 ]; then
+    # Same binaries, fast tier forced on through the environment: every
+    # engine run flips to the contracted-FMA kernels, and the
+    # versions-differential suite's cross-version agreement plus the
+    # kernel-dispatch specialized-vs-generic checks hold within the
+    # documented fast-math contract (DESIGN.md "Fast-math & precision
+    # tiers").
+    echo "== fast-math tier pass (QGPU_FAST_MATH=1, $BUILD_DIR) =="
+    QGPU_FAST_MATH=1 ctest --test-dir "$BUILD_DIR" \
+        --output-on-failure -j "$JOBS" \
+        -R 'VersionsDifferential|KernelDispatch|Precision'
+fi
 
 # Kernel differential suite again under -march=native: FMA contraction
 # or wider vectors must not break the bit-identity contract
@@ -47,6 +91,7 @@ ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS"
 # vfmaddsub through either set regardless of -ffp-contract).
 NATIVE_DIR="${NATIVE_DIR:-build-check-native}"
 echo "== QGPU_NATIVE kernel differential pass ($NATIVE_DIR) =="
+require_cache "$NATIVE_DIR" "QGPU_NATIVE=ON" "QGPU_SANITIZE="
 cmake -B "$NATIVE_DIR" -S . -DQGPU_NATIVE=ON
 cmake --build "$NATIVE_DIR" -j "$JOBS" --target test_kernel_dispatch \
     test_sweep_executor test_shard_differential
@@ -62,6 +107,7 @@ ctest --test-dir "$NATIVE_DIR" --output-on-failure -j "$JOBS" \
 if [ "$RUN_TSAN" -eq 1 ]; then
     TSAN_DIR="${TSAN_DIR:-build-tsan}"
     echo "== ThreadSanitizer pass ($TSAN_DIR) =="
+    require_cache "$TSAN_DIR" "QGPU_SANITIZE=thread"
     cmake -B "$TSAN_DIR" -S . -DQGPU_SANITIZE=thread
     cmake --build "$TSAN_DIR" -j "$JOBS" --target test_common \
         test_statevec test_compress test_thread_determinism \
@@ -79,6 +125,7 @@ fi
 if [ "$RUN_ASAN" -eq 1 ]; then
     ASAN_DIR="${ASAN_DIR:-build-asan}"
     echo "== AddressSanitizer fault/fuzz pass ($ASAN_DIR) =="
+    require_cache "$ASAN_DIR" "QGPU_SANITIZE=address"
     cmake -B "$ASAN_DIR" -S . -DQGPU_SANITIZE=address
     cmake --build "$ASAN_DIR" -j "$JOBS" --target test_fault \
         test_fault_fuzz test_compress test_engines

@@ -1,0 +1,145 @@
+#include "common/cacheinfo.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+namespace qgpu
+{
+
+namespace
+{
+
+// Parse "48K", "2048K", "36M", "268435456", ... Returns 0 on failure.
+std::uint64_t
+parseSize(const std::string &text)
+{
+    std::size_t pos = 0;
+    std::uint64_t value = 0;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        value = value * 10 + static_cast<std::uint64_t>(text[pos] - '0');
+        ++pos;
+    }
+    if (pos == 0)
+        return 0;
+    if (pos < text.size()) {
+        switch (std::toupper(static_cast<unsigned char>(text[pos]))) {
+        case 'K': value <<= 10; break;
+        case 'M': value <<= 20; break;
+        case 'G': value <<= 30; break;
+        case '\n':
+        case '\r':
+        case ' ': break;
+        default: return 0;
+        }
+    }
+    return value;
+}
+
+std::string
+readLine(const std::string &path)
+{
+    std::ifstream in(path);
+    std::string line;
+    if (in)
+        std::getline(in, line);
+    return line;
+}
+
+// Read cpu0's cache levels from sysfs. Unified caches count for L2/L3;
+// only the Data/Unified index feeds L1d.
+bool
+readSysfs(CacheGeometry &g)
+{
+    bool any = false;
+    for (int index = 0; index < 8; ++index) {
+        const std::string base =
+            "/sys/devices/system/cpu/cpu0/cache/index" +
+            std::to_string(index) + "/";
+        const std::string level = readLine(base + "level");
+        if (level.empty())
+            continue;
+        const std::string type = readLine(base + "type");
+        if (type == "Instruction")
+            continue;
+        const std::uint64_t size = parseSize(readLine(base + "size"));
+        if (size == 0)
+            continue;
+        if (level == "1")
+            g.l1dBytes = size;
+        else if (level == "2")
+            g.l2Bytes = size;
+        else if (level == "3")
+            g.l3Bytes = size;
+        else
+            continue;
+        any = true;
+    }
+    return any;
+}
+
+bool
+envOverride(const char *name, std::uint64_t &out)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return false;
+    const std::uint64_t parsed = parseSize(value);
+    if (parsed == 0)
+        return false;
+    out = parsed;
+    return true;
+}
+
+int
+floorLog2(std::uint64_t v)
+{
+    return v == 0 ? 0 : 63 - std::countl_zero(v);
+}
+
+} // namespace
+
+CacheGeometry
+detectCacheGeometry()
+{
+    CacheGeometry g;
+    g.detected = readSysfs(g);
+    g.detected |= envOverride("QGPU_L1D_BYTES", g.l1dBytes);
+    g.detected |= envOverride("QGPU_L2_BYTES", g.l2Bytes);
+    g.detected |= envOverride("QGPU_L3_BYTES", g.l3Bytes);
+    return g;
+}
+
+const CacheGeometry &
+cacheGeometry()
+{
+    static const CacheGeometry g = detectCacheGeometry();
+    return g;
+}
+
+int
+sweepTileBits(const CacheGeometry &g)
+{
+    const int bits = floorLog2(g.l2Bytes / 2 / ampBytes);
+    return std::clamp(bits, 10, 26);
+}
+
+Index
+codecGrainWords(const CacheGeometry &g)
+{
+    const std::uint64_t words = 4 * g.l1dBytes / sizeof(std::uint64_t);
+    return std::clamp<std::uint64_t>(words, Index{1} << 12,
+                                     Index{1} << 17);
+}
+
+std::size_t
+scratchRetainAmps(const CacheGeometry &g)
+{
+    return static_cast<std::size_t>(g.l3Bytes / 2 / ampBytes);
+}
+
+} // namespace qgpu

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Detected CPU cache geometry and the block sizes derived from it.
+ *
+ * The sweep executor chains many kernels over a cache-resident tile
+ * (sched/sweep.hh), the codec splits its passes into per-thread
+ * slices, and the group scratch buffer is recycled across groups —
+ * all three previously used fixed constants. The right numbers depend
+ * on the machine: a tile that fits half of L2 keeps the chained
+ * kernels' working set resident, a codec slice of a few L1 capacities
+ * amortizes task-handoff overhead, and scratch capacity worth keeping
+ * is bounded by what L3 could ever serve quickly.
+ *
+ * Geometry is read once from
+ * /sys/devices/system/cpu/cpu0/cache/index* (Linux); every level can
+ * be overridden with QGPU_L1D_BYTES / QGPU_L2_BYTES / QGPU_L3_BYTES
+ * (plain bytes, or with a K/M/G suffix). Unparseable or missing
+ * levels fall back to conservative defaults (32K / 1M / 8M).
+ *
+ * All derived sizes are pure functions of the geometry, so overriding
+ * the environment variables reproduces another machine's blocking
+ * exactly — the differential contracts do not depend on any of this
+ * (tiling splits kernels on work-item boundaries, which is
+ * bit-identical by the kernel range contract in kernel_dispatch.hh).
+ */
+
+#ifndef QGPU_COMMON_CACHEINFO_HH
+#define QGPU_COMMON_CACHEINFO_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace qgpu
+{
+
+/** Per-core data-cache capacities in bytes. */
+struct CacheGeometry
+{
+    std::uint64_t l1dBytes = 32u * 1024;
+    std::uint64_t l2Bytes = 1024u * 1024;
+    std::uint64_t l3Bytes = 8u * 1024 * 1024;
+
+    /** True when at least one level was read from sysfs (as opposed
+     *  to the fallback defaults); env overrides also count. */
+    bool detected = false;
+};
+
+/**
+ * Detect geometry afresh: sysfs first, then env overrides, then
+ * defaults for anything still missing. Exposed (rather than only the
+ * cached accessor) so tests can exercise the override parsing.
+ */
+CacheGeometry detectCacheGeometry();
+
+/** The process-wide geometry, detected once on first use. */
+const CacheGeometry &cacheGeometry();
+
+/**
+ * log2 of the sweep tile, in amplitudes: the largest power of two
+ * whose amplitudes fill at most half of L2 (the other half is left
+ * for the gate LUTs, the chunk's neighbours, and prefetch), clamped
+ * to [10, 26]. applySweepChunked re-clamps per sweep so a tile never
+ * splits a kernel's target span.
+ */
+int sweepTileBits(const CacheGeometry &g = cacheGeometry());
+
+/**
+ * Codec pass grain in 64-bit words: the minimum slice of a GFC
+ * compress/decompress pass worth handing to another thread — four L1
+ * capacities, clamped to [2^12, 2^17]. Affects slicing only, never
+ * bytes: the stream layout is fixed by the segment count.
+ */
+Index codecGrainWords(const CacheGeometry &g = cacheGeometry());
+
+/**
+ * Amplitude capacity worth RETAINING in a recycled scratch buffer
+ * (GroupScratch): half of L3. Buffers grow past this for a single
+ * oversized group but are trimmed back afterwards instead of pinning
+ * the high-water mark for the rest of the run.
+ */
+std::size_t scratchRetainAmps(const CacheGeometry &g = cacheGeometry());
+
+} // namespace qgpu
+
+#endif // QGPU_COMMON_CACHEINFO_HH

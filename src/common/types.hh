@@ -9,6 +9,7 @@
 #include <complex>
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 
 namespace qgpu
 {
@@ -24,6 +25,81 @@ using VTime = double;
 
 /** Bytes occupied by one amplitude. */
 inline constexpr std::size_t ampBytes = sizeof(Amp);
+
+/**
+ * Amplitude storage precision. Computation always runs in double; the
+ * precision selects how amplitudes are STORED between sweeps, which is
+ * what every modeled transfer and the GFC codec move. @c f32 rounds
+ * each component through IEEE single precision at sweep boundaries
+ * (halving bytes per amplitude); @c adaptive keeps a per-chunk lane,
+ * promoting a chunk back to f64 when its max-amplitude magnitude falls
+ * below a configurable threshold.
+ */
+enum class Precision
+{
+    f64,
+    f32,
+    adaptive,
+};
+
+/** Canonical name of a precision mode ("f64" / "f32" / "adaptive"). */
+constexpr const char *
+precisionName(Precision p)
+{
+    switch (p) {
+    case Precision::f32: return "f32";
+    case Precision::adaptive: return "adaptive";
+    case Precision::f64: break;
+    }
+    return "f64";
+}
+
+/**
+ * Parse a precision name as printed by precisionName. Returns false
+ * (leaving @p out untouched) for anything else.
+ */
+inline bool
+parsePrecision(std::string_view name, Precision &out)
+{
+    if (name == "f64" || name == "double") {
+        out = Precision::f64;
+    } else if (name == "f32" || name == "single") {
+        out = Precision::f32;
+    } else if (name == "adaptive") {
+        out = Precision::adaptive;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+/** Stored bytes per amplitude under a (uniform) precision lane. */
+constexpr std::size_t
+ampStoredBytes(bool f32_lane)
+{
+    return f32_lane ? 2 * sizeof(float) : sizeof(Amp);
+}
+
+/**
+ * Round one amplitude through fp32 storage: each component is the
+ * nearest IEEE single, widened back to double. This is the exact value
+ * an fp32-resident chunk holds after a store/load cycle.
+ *
+ * The components are forced through volatile float slots: GCC 12's
+ * complex lowering at -O2 otherwise folds the double->float->double
+ * round trip of std::complex components into a no-op move, silently
+ * skipping the rounding (plain double values are narrowed correctly;
+ * only the complex-typed path miscompiles). Bulk quantization should
+ * prefer iterating a raw double view, which both rounds correctly
+ * and vectorizes — see ChunkedStateVector::refreshPrecision.
+ */
+inline Amp
+quantizeAmpF32(Amp a)
+{
+    volatile float re = static_cast<float>(a.real());
+    volatile float im = static_cast<float>(a.imag());
+    return Amp{static_cast<double>(re), static_cast<double>(im)};
+}
 
 /** Number of amplitudes in an n-qubit state vector. */
 constexpr Index

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <bit>
 #include <cstring>
+#include <type_traits>
 
 #include "common/bits.hh"
+#include "common/cacheinfo.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 
@@ -15,43 +17,77 @@ namespace qgpu
 namespace
 {
 
-/** Bit-pattern of a double as an unsigned integer. */
-std::uint64_t
-toBits(double v)
+/**
+ * The codec runs in two lane widths: the classic GFC stream of
+ * 64-bit doubles, and an fp32 lane (for Precision::f32 chunks) where
+ * every element is a 32-bit float. The structure is identical — only
+ * the word width changes — so the helpers are templated on the
+ * floating type. @c WordOf maps it to the raw-bit integer.
+ */
+template <typename Fp>
+struct WordOf;
+
+template <>
+struct WordOf<double>
 {
-    return std::bit_cast<std::uint64_t>(v);
+    using type = std::uint64_t;
+};
+
+template <>
+struct WordOf<float>
+{
+    using type = std::uint32_t;
+};
+
+template <typename Fp>
+using Word = typename WordOf<Fp>::type;
+
+/** Bit-pattern of a floating value as an unsigned integer. */
+template <typename Fp>
+Word<Fp>
+toBits(Fp v)
+{
+    return std::bit_cast<Word<Fp>>(v);
 }
 
-double
-fromBits(std::uint64_t bits)
+template <typename Fp>
+Fp
+fromBits(Word<Fp> bits)
 {
-    return std::bit_cast<double>(bits);
+    return std::bit_cast<Fp>(bits);
 }
 
-/** Leading-zero bytes of a 64-bit magnitude, capped at 7. */
+/**
+ * Leading-zero bytes of a magnitude, capped at sizeof(word) - 1 so a
+ * zero residual still emits one payload byte (the 3-bit nibble field
+ * holds up to 7, which also covers the fp32 cap of 3).
+ */
+template <typename W>
 int
-leadingZeroBytes(std::uint64_t mag)
+leadingZeroBytes(W mag)
 {
     const int lz_bits = std::countl_zero(mag);
-    return std::min(lz_bits / 8, 7);
+    return std::min(lz_bits / 8, static_cast<int>(sizeof(W)) - 1);
 }
 
+template <typename W>
 struct Residual
 {
     bool negative;
-    std::uint64_t magnitude;
+    W magnitude;
 };
 
 /**
- * Residual between bit patterns, computed modulo 2^64 so that
+ * Residual between bit patterns, computed modulo 2^width so that
  * reconstruction (prev + signed residual) is exact for every input.
  */
-Residual
-residualOf(std::uint64_t cur, std::uint64_t prev)
+template <typename W>
+Residual<W>
+residualOf(W cur, W prev)
 {
-    const std::uint64_t diff = cur - prev; // mod 2^64
-    if (diff > (std::uint64_t{1} << 63))
-        return {true, ~diff + 1}; // -diff mod 2^64
+    const W diff = static_cast<W>(cur - prev); // mod 2^width
+    if (diff > static_cast<W>(W{1} << (8 * sizeof(W) - 1)))
+        return {true, static_cast<W>(~diff + 1)}; // -diff mod 2^width
     return {false, diff};
 }
 
@@ -61,33 +97,46 @@ residualOf(std::uint64_t cur, std::uint64_t prev)
  * i - warp: the residual is a pure function of two inputs, which is
  * what makes the codec parallel over element ranges.
  */
-Residual
-elementResidual(const double *seg, std::uint64_t i, int warp)
+template <typename Fp>
+Residual<Word<Fp>>
+elementResidual(const Fp *seg, std::uint64_t i, int warp)
 {
-    const std::uint64_t cur = toBits(seg[i]);
-    const std::uint64_t prev =
+    const Word<Fp> cur = toBits(seg[i]);
+    const Word<Fp> prev =
         i >= static_cast<std::uint64_t>(warp)
             ? toBits(seg[i - static_cast<std::uint64_t>(warp)])
-            : 0;
+            : Word<Fp>{0};
     return residualOf(cur, prev);
 }
 
 /** Payload bytes of elements [lo, hi) of a segment. */
+template <typename Fp>
 std::uint64_t
-payloadBytesRange(const double *seg, std::uint64_t lo,
-                  std::uint64_t hi, int warp)
+payloadBytesRange(const Fp *seg, std::uint64_t lo, std::uint64_t hi,
+                  int warp)
 {
     std::uint64_t total = 0;
     for (std::uint64_t i = lo; i < hi; ++i) {
-        const Residual r = elementResidual(seg, i, warp);
+        const auto r = elementResidual(seg, i, warp);
         total += static_cast<std::uint64_t>(
-            8 - leadingZeroBytes(r.magnitude));
+            static_cast<int>(sizeof(Word<Fp>)) -
+            leadingZeroBytes(r.magnitude));
     }
     return total;
 }
 
-/** Minimum elements per concurrent codec range. */
-constexpr std::uint64_t kCodecGrain = 1 << 14;
+/**
+ * Minimum elements per concurrent codec range, derived from the L1d
+ * size (common/cacheinfo.hh) so each range's working set stays
+ * cache-resident; env-overridable via QGPU_L1D_BYTES.
+ */
+std::uint64_t
+codecGrain()
+{
+    static const std::uint64_t grain =
+        static_cast<std::uint64_t>(codecGrainWords());
+    return grain;
+}
 
 /**
  * Split [0, m) into at most @p threads ranges on even element
@@ -98,7 +147,7 @@ std::vector<std::pair<std::uint64_t, std::uint64_t>>
 evenRanges(std::uint64_t m, int threads)
 {
     const std::uint64_t want =
-        std::max<std::uint64_t>(1, m / kCodecGrain);
+        std::max<std::uint64_t>(1, m / codecGrain());
     const int parts = static_cast<int>(std::min<std::uint64_t>(
         threads < 1 ? 1 : threads, want));
     std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
@@ -124,12 +173,13 @@ evenRanges(std::uint64_t m, int threads)
  * nibble area (disjoint bytes per even-aligned range), payload bytes
  * starting at @p payload.
  */
+template <typename Fp>
 void
-encodeRange(const double *seg, std::uint64_t lo, std::uint64_t hi,
+encodeRange(const Fp *seg, std::uint64_t lo, std::uint64_t hi,
             int warp, std::uint8_t *nib_area, std::uint8_t *payload)
 {
     for (std::uint64_t i = lo; i < hi; ++i) {
-        const Residual r = elementResidual(seg, i, warp);
+        const auto r = elementResidual(seg, i, warp);
         const int lzb = leadingZeroBytes(r.magnitude);
         const std::uint8_t nib =
             static_cast<std::uint8_t>((r.negative ? 8 : 0) | lzb);
@@ -138,7 +188,7 @@ encodeRange(const double *seg, std::uint64_t lo, std::uint64_t hi,
         else
             nib_area[i / 2] |= static_cast<std::uint8_t>(nib << 4);
 
-        const int bytes = 8 - lzb;
+        const int bytes = static_cast<int>(sizeof(Word<Fp>)) - lzb;
         for (int b = 0; b < bytes; ++b)
             *payload++ =
                 static_cast<std::uint8_t>(r.magnitude >> (8 * b));
@@ -146,14 +196,15 @@ encodeRange(const double *seg, std::uint64_t lo, std::uint64_t hi,
 }
 
 /**
- * Encode one whole segment of @p m doubles into @p dst (layout:
+ * Encode one whole segment of @p m words into @p dst (layout:
  * (m+1)/2 nibble bytes, then payload). @p dst must hold exactly the
  * segment's compressed size; @p threads > 1 fans element ranges out
  * across the pool with output bit-identical to the serial order.
  */
+template <typename Fp>
 void
-encodeSegment(const double *seg, std::uint64_t m, int warp,
-              int threads, std::uint8_t *dst)
+encodeSegment(const Fp *seg, std::uint64_t m, int warp, int threads,
+              std::uint8_t *dst)
 {
     const std::uint64_t nib_len = (m + 1) / 2;
     const auto ranges = evenRanges(m, threads);
@@ -194,21 +245,24 @@ nibbleAt(const std::uint8_t *nib_area, std::uint64_t i)
 }
 
 /**
- * Decode one segment of @p m doubles from @p src (sized @p seg_bytes,
+ * Decode one segment of @p m words from @p src (sized @p seg_bytes,
  * validated against the nibble-derived layout) into @p out.
  *
  * The parallel path reconstructs each lane's running value with a
- * prefix combine: residual addends are mod-2^64 integers, so partial
- * per-range, per-lane sums compose exactly, and every range can
- * decode independently from its combined lane start state.
+ * prefix combine: residual addends are mod-2^width integers, so
+ * partial per-range, per-lane sums compose exactly, and every range
+ * can decode independently from its combined lane start state.
  */
+template <typename Fp>
 void
 decodeSegment(const std::uint8_t *src, std::uint64_t seg_bytes,
-              std::uint64_t m, int warp, int threads, double *out)
+              std::uint64_t m, int warp, int threads, Fp *out)
 {
+    using W = Word<Fp>;
+    constexpr int word_bytes = static_cast<int>(sizeof(W));
     const std::uint64_t nib_len = (m + 1) / 2;
     if (seg_bytes < nib_len)
-        QGPU_PANIC("GFC segment of ", m, " doubles shorter (",
+        QGPU_PANIC("GFC segment of ", m, " words shorter (",
                    seg_bytes, " bytes) than its nibble area");
     const std::uint8_t *payload_area = src + nib_len;
     const std::uint64_t payload_len = seg_bytes - nib_len;
@@ -227,7 +281,7 @@ decodeSegment(const std::uint8_t *src, std::uint64_t seg_bytes,
                 for (std::uint64_t i = ranges[r].first;
                      i < ranges[r].second; ++i)
                     total += static_cast<std::uint64_t>(
-                        8 - (nibbleAt(src, i) & 0x7));
+                        word_bytes - (nibbleAt(src, i) & 0x7));
                 offset[r + 1] = total;
             }
         },
@@ -240,7 +294,7 @@ decodeSegment(const std::uint8_t *src, std::uint64_t seg_bytes,
 
     // Pass 2: decode each range's signed residual addends (stashed
     // in out as raw bit patterns) and its per-lane addend sums.
-    std::vector<std::uint64_t> lane_sums(
+    std::vector<W> lane_sums(
         num_ranges * static_cast<std::size_t>(warp), 0);
     parallelFor(
         0, num_ranges, threads,
@@ -248,28 +302,27 @@ decodeSegment(const std::uint8_t *src, std::uint64_t seg_bytes,
             for (std::uint64_t r = lo; r < hi; ++r) {
                 const std::uint8_t *payload =
                     payload_area + offset[r];
-                std::uint64_t *lanes =
-                    lane_sums.data() +
-                    r * static_cast<std::uint64_t>(warp);
+                W *lanes = lane_sums.data() +
+                           r * static_cast<std::uint64_t>(warp);
                 for (std::uint64_t i = ranges[r].first;
                      i < ranges[r].second; ++i) {
                     const std::uint8_t nib = nibbleAt(src, i);
-                    const int bytes = 8 - (nib & 0x7);
-                    std::uint64_t mag = 0;
+                    const int bytes = word_bytes - (nib & 0x7);
+                    W mag = 0;
                     for (int b = 0; b < bytes; ++b)
-                        mag |= static_cast<std::uint64_t>(*payload++)
-                               << (8 * b);
-                    const std::uint64_t addend =
-                        (nib & 0x8) ? ~mag + 1 : mag; // mod 2^64
+                        mag |= static_cast<W>(*payload++) << (8 * b);
+                    const W addend = (nib & 0x8)
+                                         ? static_cast<W>(~mag + 1)
+                                         : mag; // mod 2^width
                     lanes[i % uwarp] += addend;
-                    out[i] = fromBits(addend);
+                    out[i] = fromBits<Fp>(addend);
                 }
             }
         },
         1);
 
     // Serial combine: lane start states per range.
-    std::vector<std::uint64_t> lane_base(lane_sums.size(), 0);
+    std::vector<W> lane_base(lane_sums.size(), 0);
     for (std::size_t r = 1; r < num_ranges; ++r)
         for (int l = 0; l < warp; ++l)
             lane_base[r * static_cast<std::size_t>(warp) + l] =
@@ -282,17 +335,16 @@ decodeSegment(const std::uint8_t *src, std::uint64_t seg_bytes,
     parallelFor(
         0, num_ranges, threads,
         [&](std::uint64_t lo, std::uint64_t hi) {
-            std::vector<std::uint64_t> lane(
-                static_cast<std::size_t>(warp));
+            std::vector<W> lane(static_cast<std::size_t>(warp));
             for (std::uint64_t r = lo; r < hi; ++r) {
                 std::copy_n(lane_base.data() +
                                 r * static_cast<std::uint64_t>(warp),
                             warp, lane.begin());
                 for (std::uint64_t i = ranges[r].first;
                      i < ranges[r].second; ++i) {
-                    std::uint64_t &v = lane[i % uwarp];
-                    v += toBits(out[i]); // addend, mod 2^64
-                    out[i] = fromBits(v);
+                    W &v = lane[i % uwarp];
+                    v += toBits(out[i]); // addend, mod 2^width
+                    out[i] = fromBits<Fp>(v);
                 }
             }
         },
@@ -313,27 +365,29 @@ putU64(std::uint8_t *dst, std::uint64_t v)
         dst[b] = static_cast<std::uint8_t>(v >> (8 * b));
 }
 
-} // namespace
-
-GfcCodec::GfcCodec(int warp_size, int segments)
-    : warpSize_(warp_size), segments_(segments)
+std::uint64_t
+headerBytesFor(std::uint64_t count, int segments)
 {
-    if (warp_size < 1 || segments < 1)
-        QGPU_FATAL("invalid GFC configuration: warp ", warp_size,
-                   ", segments ", segments);
+    const std::uint64_t per =
+        bits::ceilDiv(count, static_cast<std::uint64_t>(segments));
+    const std::uint64_t num_segs =
+        per == 0 ? 0 : bits::ceilDiv(count, per);
+    return 8 + 4 + 4 * num_segs;
 }
 
+template <typename Fp>
 CompressedBlock
-GfcCodec::compress(const double *data, std::uint64_t count) const
+compressImpl(const Fp *data, std::uint64_t count, int warp,
+             int segments)
 {
     CompressedBlock block;
     block.numDoubles = count;
+    block.f32 = std::is_same_v<Fp, float>;
 
     const std::uint64_t per =
-        bits::ceilDiv(count, static_cast<std::uint64_t>(segments_));
+        bits::ceilDiv(count, static_cast<std::uint64_t>(segments));
     const int num_segs =
-        per == 0 ? 0
-                 : static_cast<int>(bits::ceilDiv(count, per));
+        per == 0 ? 0 : static_cast<int>(bits::ceilDiv(count, per));
     const int threads = simThreads();
 
     // Pass 1: exact size of every segment, so the stream is written
@@ -360,22 +414,22 @@ GfcCodec::compress(const double *data, std::uint64_t count) const
                         a, b, inner,
                         [&](std::uint64_t l, std::uint64_t h) {
                             sum.fetch_add(
-                                payloadBytesRange(data, l, h,
-                                                  warpSize_),
+                                payloadBytesRange(data, l, h, warp),
                                 std::memory_order_relaxed);
                         },
-                        kCodecGrain);
+                        codecGrain());
                     payload = sum.load();
                 } else {
-                    payload =
-                        payloadBytesRange(data + a, 0, m, warpSize_);
+                    payload = payloadBytesRange(data + a,
+                                                std::uint64_t{0}, m,
+                                                warp);
                 }
                 seg_bytes[s] = (m + 1) / 2 + payload;
             }
         },
         1);
 
-    const std::uint64_t header = headerBytes(count);
+    const std::uint64_t header = headerBytesFor(count, segments);
     std::uint64_t total = header;
     for (int s = 0; s < num_segs; ++s)
         total += seg_bytes[s];
@@ -397,7 +451,7 @@ GfcCodec::compress(const double *data, std::uint64_t count) const
         [&](std::uint64_t lo, std::uint64_t hi) {
             for (std::uint64_t s = lo; s < hi; ++s) {
                 const auto [a, b] = seg_span(static_cast<int>(s));
-                encodeSegment(data + a, b - a, warpSize_, inner,
+                encodeSegment(data + a, b - a, warp, inner,
                               out.data() + seg_start[s]);
             }
         },
@@ -405,15 +459,10 @@ GfcCodec::compress(const double *data, std::uint64_t count) const
     return block;
 }
 
-CompressedBlock
-GfcCodec::compressAmps(const Amp *data, std::uint64_t count) const
-{
-    static_assert(sizeof(Amp) == 2 * sizeof(double));
-    return compress(reinterpret_cast<const double *>(data), 2 * count);
-}
-
+template <typename Fp>
 void
-GfcCodec::decompress(const CompressedBlock &block, double *out) const
+decompressImpl(const CompressedBlock &block, Fp *out, int warp,
+               int segments)
 {
     const auto &in = block.bytes;
     std::size_t pos = 0;
@@ -440,7 +489,7 @@ GfcCodec::decompress(const CompressedBlock &block, double *out) const
         len = get_u32();
 
     const std::uint64_t per =
-        bits::ceilDiv(count, static_cast<std::uint64_t>(segments_));
+        bits::ceilDiv(count, static_cast<std::uint64_t>(segments));
     std::vector<std::uint64_t> seg_start(num_segs + 1, pos);
     for (std::uint32_t s = 0; s < num_segs; ++s)
         seg_start[s + 1] = seg_start[s] + seg_len[s];
@@ -459,43 +508,21 @@ GfcCodec::decompress(const CompressedBlock &block, double *out) const
                     static_cast<std::uint64_t>(s) * per;
                 const std::uint64_t b = std::min(count, a + per);
                 decodeSegment(in.data() + seg_start[s], seg_len[s],
-                              b - a, warpSize_, inner, out + a);
+                              b - a, warp, inner, out + a);
             }
         },
         1);
 }
 
-void
-GfcCodec::decompressAmps(const CompressedBlock &block, Amp *out) const
-{
-    decompress(block, reinterpret_cast<double *>(out));
-}
-
+template <typename Fp>
 std::uint64_t
-GfcCodec::headerBytes(std::uint64_t count) const
+compressedSizeImpl(const Fp *data, std::uint64_t count, int warp,
+                   int segments)
 {
     const std::uint64_t per =
-        bits::ceilDiv(count, static_cast<std::uint64_t>(segments_));
-    const std::uint64_t num_segs =
-        per == 0 ? 0 : bits::ceilDiv(count, per);
-    return 8 + 4 + 4 * num_segs;
-}
-
-std::uint64_t
-GfcCodec::compressedPayloadSize(const double *data,
-                                std::uint64_t count) const
-{
-    return compressedSize(data, count) - headerBytes(count);
-}
-
-std::uint64_t
-GfcCodec::compressedSize(const double *data, std::uint64_t count) const
-{
-    const std::uint64_t per =
-        bits::ceilDiv(count, static_cast<std::uint64_t>(segments_));
+        bits::ceilDiv(count, static_cast<std::uint64_t>(segments));
     const int num_segs =
-        per == 0 ? 0
-                 : static_cast<int>(bits::ceilDiv(count, per));
+        per == 0 ? 0 : static_cast<int>(bits::ceilDiv(count, per));
 
     // Residuals are pure functions of (element, element - warp), and
     // byte counts add associatively, so the size splits freely over
@@ -511,19 +538,18 @@ GfcCodec::compressedSize(const double *data, std::uint64_t count) const
                 const std::uint64_t b = std::min(count, a + per);
                 if (num_segs > 1) {
                     payload.fetch_add(
-                        payloadBytesRange(data + a, 0, b - a,
-                                          warpSize_),
+                        payloadBytesRange(data + a, std::uint64_t{0},
+                                          b - a, warp),
                         std::memory_order_relaxed);
                 } else {
                     parallelFor(
                         a, b, threads,
                         [&](std::uint64_t l, std::uint64_t h) {
                             payload.fetch_add(
-                                payloadBytesRange(data, l, h,
-                                                  warpSize_),
+                                payloadBytesRange(data, l, h, warp),
                                 std::memory_order_relaxed);
                         },
-                        kCodecGrain);
+                        codecGrain());
                 }
             }
         },
@@ -536,6 +562,127 @@ GfcCodec::compressedSize(const double *data, std::uint64_t count) const
         total += (hi - lo + 1) / 2; // nibbles
     }
     return total + payload.load();
+}
+
+} // namespace
+
+GfcCodec::GfcCodec(int warp_size, int segments)
+    : warpSize_(warp_size), segments_(segments)
+{
+    if (warp_size < 1 || segments < 1)
+        QGPU_FATAL("invalid GFC configuration: warp ", warp_size,
+                   ", segments ", segments);
+}
+
+CompressedBlock
+GfcCodec::compress(const double *data, std::uint64_t count) const
+{
+    return compressImpl(data, count, warpSize_, segments_);
+}
+
+CompressedBlock
+GfcCodec::compressAmps(const Amp *data, std::uint64_t count) const
+{
+    static_assert(sizeof(Amp) == 2 * sizeof(double));
+    return compress(reinterpret_cast<const double *>(data), 2 * count);
+}
+
+CompressedBlock
+GfcCodec::compressF32(const float *data, std::uint64_t count) const
+{
+    return compressImpl(data, count, warpSize_, segments_);
+}
+
+CompressedBlock
+GfcCodec::compressAmpsF32(const Amp *data, std::uint64_t count) const
+{
+    // Narrow the (already fp32-quantized) components into a float
+    // scratch and compress that: the stream then models exactly what
+    // an fp32-lane chunk ships over the wire.
+    const double *raw = reinterpret_cast<const double *>(data);
+    const std::uint64_t n = 2 * count;
+    std::vector<float> narrow(n);
+    parallelFor(
+        0, n, simThreads(),
+        [&](std::uint64_t lo, std::uint64_t hi) {
+            for (std::uint64_t i = lo; i < hi; ++i)
+                narrow[i] = static_cast<float>(raw[i]);
+        },
+        codecGrain());
+    return compressF32(narrow.data(), n);
+}
+
+void
+GfcCodec::decompress(const CompressedBlock &block, double *out) const
+{
+    if (block.f32)
+        QGPU_PANIC("f32-lane GFC block decompressed as f64");
+    decompressImpl(block, out, warpSize_, segments_);
+}
+
+void
+GfcCodec::decompressAmps(const CompressedBlock &block, Amp *out) const
+{
+    decompress(block, reinterpret_cast<double *>(out));
+}
+
+void
+GfcCodec::decompressF32(const CompressedBlock &block, float *out) const
+{
+    if (!block.f32)
+        QGPU_PANIC("f64 GFC block decompressed as f32 lane");
+    decompressImpl(block, out, warpSize_, segments_);
+}
+
+void
+GfcCodec::decompressAmpsF32(const CompressedBlock &block,
+                            Amp *out) const
+{
+    std::vector<float> narrow(block.numDoubles);
+    decompressF32(block, narrow.data());
+    // Widening float -> double is exact, so the reconstructed Amp
+    // components equal the quantized values that were compressed.
+    double *raw = reinterpret_cast<double *>(out);
+    parallelFor(
+        0, block.numDoubles, simThreads(),
+        [&](std::uint64_t lo, std::uint64_t hi) {
+            for (std::uint64_t i = lo; i < hi; ++i)
+                raw[i] = static_cast<double>(narrow[i]);
+        },
+        codecGrain());
+}
+
+std::uint64_t
+GfcCodec::headerBytes(std::uint64_t count) const
+{
+    return headerBytesFor(count, segments_);
+}
+
+std::uint64_t
+GfcCodec::compressedPayloadSize(const double *data,
+                                std::uint64_t count) const
+{
+    return compressedSize(data, count) - headerBytes(count);
+}
+
+std::uint64_t
+GfcCodec::compressedPayloadSizeF32(const float *data,
+                                   std::uint64_t count) const
+{
+    return compressedSizeF32(data, count) - headerBytes(count);
+}
+
+std::uint64_t
+GfcCodec::compressedSize(const double *data, std::uint64_t count) const
+{
+    return compressedSizeImpl(data, count, warpSize_, segments_);
+}
+
+std::uint64_t
+GfcCodec::compressedSizeF32(const float *data,
+                            std::uint64_t count) const
+{
+    return compressedSizeImpl(data, count, warpSize_, segments_);
 }
 
 std::vector<CompressedBlock>

@@ -33,17 +33,24 @@
 namespace qgpu
 {
 
-/** A compressed run of doubles. */
+/**
+ * A compressed run of floating-point words. Classic GFC streams hold
+ * doubles; fp32-lane streams (see GfcCodec::compressF32) hold floats
+ * and set @c f32. @c numDoubles counts words of the stream's lane
+ * width (the name predates the fp32 lane).
+ */
 struct CompressedBlock
 {
     std::vector<std::uint8_t> bytes;
     std::uint64_t numDoubles = 0;
+    /** True when the stream's words are fp32 lanes. */
+    bool f32 = false;
 
     std::uint64_t compressedBytes() const { return bytes.size(); }
     std::uint64_t
     originalBytes() const
     {
-        return numDoubles * sizeof(double);
+        return numDoubles * (f32 ? sizeof(float) : sizeof(double));
     }
     /** original/compressed; > 1 means the data shrank. */
     double
@@ -90,11 +97,45 @@ class GfcCodec
     void decompressAmps(const CompressedBlock &block, Amp *out) const;
 
     /**
+     * Compress @p count floats in the fp32 lane: the same stream
+     * layout with 32-bit words (2-bit-effective leading-zero-byte
+     * counts, residuals mod 2^32). Lossless for every float input
+     * including NaN payloads; serial/parallel byte-identity holds
+     * exactly as in the f64 lane.
+     */
+    CompressedBlock compressF32(const float *data,
+                                std::uint64_t count) const;
+
+    /**
+     * Compress an fp32-lane amplitude chunk: each (already
+     * fp32-quantized, see quantizeAmpF32) component is narrowed to
+     * float and compressed in the fp32 lane — exactly the bytes a
+     * Precision::f32 chunk ships.
+     */
+    CompressedBlock compressAmpsF32(const Amp *data,
+                                    std::uint64_t count) const;
+
+    /** Decompress an fp32-lane block into numDoubles floats. */
+    void decompressF32(const CompressedBlock &block, float *out) const;
+
+    /**
+     * Decompress an fp32-lane block into numDoubles/2 amplitudes,
+     * widening each component to double (exact, so the result equals
+     * the quantized values that were compressed).
+     */
+    void decompressAmpsF32(const CompressedBlock &block,
+                           Amp *out) const;
+
+    /**
      * Size in bytes the block would compress to, without materializing
      * the stream (used when only the ratio is needed).
      */
     std::uint64_t compressedSize(const double *data,
                                  std::uint64_t count) const;
+
+    /** compressedSize for an fp32-lane stream of @p count floats. */
+    std::uint64_t compressedSizeF32(const float *data,
+                                    std::uint64_t count) const;
 
     /** Fixed stream overhead (headers + segment table) for @p count
      *  doubles. compressedSize = headerBytes + payload. */
@@ -108,6 +149,10 @@ class GfcCodec
      */
     std::uint64_t compressedPayloadSize(const double *data,
                                         std::uint64_t count) const;
+
+    /** compressedPayloadSize for an fp32-lane stream. */
+    std::uint64_t compressedPayloadSizeF32(const float *data,
+                                           std::uint64_t count) const;
 
   private:
     int warpSize_;

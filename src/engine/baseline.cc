@@ -28,7 +28,13 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
     const int chunk_bits = baseChunkBits(n);
 
     ChunkedStateVector state(n, chunk_bits);
+    if (options().precision != Precision::f64)
+        state.setPrecision(options().precision,
+                           options().adaptiveThreshold);
     const Index num_chunks = state.numChunks();
+    // Lane-aware chunk size: halved under Precision::f32, the wide
+    // (f64) size under adaptive — the baseline prices its uniform
+    // static allocation at the capacity-planning width.
     const std::uint64_t chunk_bytes = state.chunkBytes();
 
     // Static allocation (sched/shard.hh): device d owns a contiguous
@@ -71,7 +77,9 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
         prev_end = std::max(prev_end, done);
     }
 
-    const double per_amp_bytes = 2.0 * ampBytes; // read + write
+    const double per_amp_bytes =
+        2.0 * static_cast<double>(ampStoredBytes(
+                  options().precision == Precision::f32)); // r + w
 
     // Functional updates run sweep-at-a-time (one chunk-major pass
     // per sweep, sched/sweep.hh); the per-gate loop below only shapes
@@ -86,6 +94,7 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
                               gates.subspan(sw.begin, sw.size()),
                               sw.globalBits);
             sweep_end = sw.end;
+            state.refreshPrecision();
         }
         const Gate &gate = gates[gi];
         const GatePlan plan(gate, n, chunk_bits);

@@ -1,14 +1,27 @@
 #include "engine/execution.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "fault/integrity.hh"
+#include "statevec/kernel_dispatch.hh"
 
 namespace qgpu
 {
+
+bool
+ExecOptions::defaultFastMath()
+{
+    static const bool enabled = [] {
+        const char *v = std::getenv("QGPU_FAST_MATH");
+        return v != nullptr && *v != '\0' &&
+               std::string_view{v} != "0";
+    }();
+    return enabled;
+}
 
 ExecutionEngine::ExecutionEngine(Machine &machine, ExecOptions options)
     : machine_(machine), options_(std::move(options))
@@ -25,6 +38,12 @@ ExecutionEngine::run(const Circuit &circuit)
     result.engine = name();
     if (options_.recordTrace || options_.recordTimeline)
         result.trace.enable();
+
+    // The kernel tier is a process-global read by makeKernelSpec;
+    // scope the opt-in to this run so interleaved exact runs (e.g.
+    // the differential reference) are unaffected.
+    const ScopedKernelTier tier(options_.fastMath ? KernelTier::Fast
+                                                  : kernelTier());
 
     StateVector state{circuit.numQubits()};
     try {

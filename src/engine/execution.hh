@@ -152,6 +152,35 @@ struct ExecOptions
      * structured SimError.
      */
     int transferRetries = 3;
+
+    /**
+     * Run the fast-math kernel tier (kernel_dispatch.hh,
+     * KernelTier::Fast): contracted-FMA duplicates of the specialized
+     * kernels, accuracy-bounded at 1e-12 against the exact tier.
+     * Defaults to the QGPU_FAST_MATH environment flag (see
+     * defaultFastMath) so the CLI/env opt-in reaches every engine;
+     * the default tier stays bit-identical when this is off.
+     */
+    bool fastMath = defaultFastMath();
+
+    /**
+     * Amplitude storage precision (common/types.hh). f32 halves the
+     * bytes every modeled transfer and the GFC codec move, at a 1e-5
+     * accuracy contract; adaptive keeps low-magnitude chunks in the
+     * f64 lane (see adaptiveThreshold). Computation stays double.
+     */
+    Precision precision = Precision::f64;
+
+    /**
+     * Adaptive mode's promotion threshold: a chunk whose largest
+     * amplitude component magnitude is below this stays in the f64
+     * lane instead of being rounded to fp32.
+     */
+    double adaptiveThreshold = 1e-6;
+
+    /** True when QGPU_FAST_MATH is set to a non-empty, non-"0" value
+     *  in the environment (read once per process). */
+    static bool defaultFastMath();
 };
 
 /** Outcome of one engine run. */

@@ -88,7 +88,12 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
     Machine &m = machine();
     const int n = ordered.numQubits();
     const int num_devs = m.numDevices();
-    const double per_amp_bytes = 2.0 * ampBytes; // read + write
+    // Storage lane width drives every modeled byte count. f32 halves
+    // it; adaptive plans capacity at the wide lane (chunks may be
+    // promoted at any sweep) and accounts per chunk where it matters.
+    const bool narrow = options().precision == Precision::f32;
+    const double per_amp_bytes =
+        2.0 * static_cast<double>(ampStoredBytes(narrow)); // r + w
 
     const int base_bits = baseChunkBits(n);
     const int min_bits = std::clamp(n - 14, 0, base_bits);
@@ -99,6 +104,9 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
         dynamic ? mask.dynamicChunkBits(min_bits, base_bits)
                 : base_bits;
     ChunkedStateVector state(n, chunk_bits);
+    if (options().precision != Precision::f64)
+        state.setPrecision(options().precision,
+                           options().adaptiveThreshold);
 
     // Fault injection + chunk integrity (fault/integrity.hh). The
     // compressed sidecar — a real GFC roundtrip per shipped chunk —
@@ -123,29 +131,50 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
     double fallback_ratio = 1.0;
     // Measure the GFC ratio over a run of chunks, concatenated so the
     // lane structure spans chunk boundaries the way it spans a
-    // paper-scale chunk. Returns original/compressed, floored at 1
-    // (the raw escape hatch: incompressible data ships as-is).
+    // paper-scale chunk. Chunks are grouped by storage lane: f64-lane
+    // chunks price the classic stream, fp32-lane chunks price the
+    // narrow stream over their float components (what actually ships).
+    // Returns original/compressed, floored at 1 (the raw escape
+    // hatch: incompressible data ships as-is).
     std::vector<Amp> scratch;
+    std::vector<Amp> scratch32;
+    std::vector<float> narrow_buf;
     const auto measure_ratio = [&](const std::vector<Index> &chunks,
                                    std::size_t max_chunks) {
         scratch.clear();
+        scratch32.clear();
         const std::size_t take =
             max_chunks == 0 ? chunks.size()
                             : std::min(chunks.size(), max_chunks);
         for (std::size_t i = 0; i < take; ++i) {
             const auto &data = state.chunk(chunks[i]);
-            scratch.insert(scratch.end(), data.begin(), data.end());
+            auto &dst =
+                state.chunkIsF32(chunks[i]) ? scratch32 : scratch;
+            dst.insert(dst.end(), data.begin(), data.end());
         }
-        if (scratch.empty())
+        if (scratch.empty() && scratch32.empty())
             return 1.0;
         const double raw =
-            static_cast<double>(scratch.size()) * ampBytes;
-        const double comp =
-            std::max(1.0, static_cast<double>(
-                              codec_.compressedPayloadSize(
-                                  reinterpret_cast<const double *>(
-                                      scratch.data()),
-                                  2 * scratch.size())));
+            static_cast<double>(scratch.size()) * ampBytes +
+            static_cast<double>(scratch32.size()) *
+                static_cast<double>(ampStoredBytes(true));
+        double comp = 0.0;
+        if (!scratch.empty()) {
+            comp += static_cast<double>(codec_.compressedPayloadSize(
+                reinterpret_cast<const double *>(scratch.data()),
+                2 * scratch.size()));
+        }
+        if (!scratch32.empty()) {
+            narrow_buf.resize(2 * scratch32.size());
+            const double *raw_comp =
+                reinterpret_cast<const double *>(scratch32.data());
+            for (std::size_t i = 0; i < narrow_buf.size(); ++i)
+                narrow_buf[i] = static_cast<float>(raw_comp[i]);
+            comp += static_cast<double>(
+                codec_.compressedPayloadSizeF32(narrow_buf.data(),
+                                                narrow_buf.size()));
+        }
+        comp = std::max(1.0, comp);
         return std::max(1.0, raw / comp);
     };
     auto reset_comp_sizes = [&] {
@@ -219,6 +248,12 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
                 state, all_gates.subspan(sw.begin, sw.size()),
                 sw.globalBits, chunk_dead);
             sweep_end = sw.end;
+            // Re-apply the storage-precision policy to the post-sweep
+            // data before anything ships or is checksummed: fp32-lane
+            // chunks are rounded here, so every later reader (codec
+            // sample, integrity ledger, functional state) sees the
+            // same stored values.
+            state.refreshPrecision();
             // The sweep rewrote chunk data: ship-time checksums from
             // before it are stale.
             guard.beginEpoch();
@@ -317,7 +352,8 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
                             guard.onReceive(
                                 state.chunk(c), c,
                                 static_cast<std::int64_t>(gate_idx),
-                                injector, stats);
+                                injector, stats,
+                                state.chunkIsF32(c));
                         }
                         if (options().compress) {
                             in_bytes += comp_size[c];
@@ -330,8 +366,8 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
                                     chunk_bytes);
                             }
                         } else {
-                            in_bytes +=
-                                static_cast<double>(chunk_bytes);
+                            in_bytes += static_cast<double>(
+                                state.chunkStoredBytes(c));
                         }
                     }
                     if (live_out(c))
@@ -450,8 +486,9 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
                 stats.add(statkeys::compressIn, out_raw);
                 stats.add(statkeys::compressOut, out_bytes);
             } else {
-                out_bytes = static_cast<double>(out_chunks.size()) *
-                            static_cast<double>(chunk_bytes);
+                for (Index c : out_chunks)
+                    out_bytes += static_cast<double>(
+                        state.chunkStoredBytes(c));
             }
 
             // Compress/D2H-time integrity: checksum every tracked
@@ -465,7 +502,8 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
                         continue;
                     guard.onShip(state.chunk(c), c,
                                  static_cast<std::int64_t>(gate_idx),
-                                 injector, stats);
+                                 injector, stats,
+                                 state.chunkIsF32(c));
                 }
             }
 
@@ -516,6 +554,9 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
     (void)gate_idx;
 
     stats.set("chunks.final", static_cast<double>(state.numChunks()));
+    if (state.precision() == Precision::adaptive)
+        stats.set("precision.promoted_chunks",
+                  static_cast<double>(state.promotedChunks()));
     return state.toFlat();
 }
 
@@ -529,9 +570,14 @@ StreamingEngine::executeResident(const Circuit &circuit,
     auto &dev = m.device(0);
     const int n = circuit.numQubits();
     const int chunk_bits = baseChunkBits(n);
-    const double per_amp_bytes = 2.0 * ampBytes;
+    const bool narrow = options().precision == Precision::f32;
+    const double per_amp_bytes =
+        2.0 * static_cast<double>(ampStoredBytes(narrow));
 
     ChunkedStateVector state(n, chunk_bits);
+    if (options().precision != Precision::f64)
+        state.setPrecision(options().precision,
+                           options().adaptiveThreshold);
     InvolvementMask mask(n, options().involvement);
 
     // The resident path moves the state across the bus exactly twice;
@@ -541,8 +587,11 @@ StreamingEngine::executeResident(const Circuit &circuit,
                            options().faultSeed);
     const int retries = options().transferRetries;
 
-    // One bulk upload, kernels only, one bulk download.
-    const std::uint64_t total_bytes = stateBytes(n);
+    // One bulk upload, kernels only, one bulk download. The bulk
+    // transfers are priced at the stored (lane-aware) size; the
+    // download re-reads it after the run since adaptive lanes may
+    // have shifted.
+    std::uint64_t total_bytes = state.totalStoredBytes();
     VTime t = guardedTransfer(
         &injector, FaultPoint::H2D, retries, -1, stats, 0.0,
         [&](VTime s) {
@@ -580,6 +629,7 @@ StreamingEngine::executeResident(const Circuit &circuit,
                 state, all_gates.subspan(sw.begin, sw.size()),
                 sw.globalBits, chunk_dead);
             sweep_end = sw.end;
+            state.refreshPrecision();
         }
         ++gate_idx;
         const GatePlan plan(gate, n, chunk_bits);
@@ -614,6 +664,7 @@ StreamingEngine::executeResident(const Circuit &circuit,
             mask.involve(gate);
     }
 
+    total_bytes = state.totalStoredBytes();
     guardedTransfer(
         &injector, FaultPoint::D2H, retries,
         static_cast<std::int64_t>(circuit.numGates()), stats, t,
@@ -628,6 +679,9 @@ StreamingEngine::executeResident(const Circuit &circuit,
             return done;
         });
 
+    if (state.precision() == Precision::adaptive)
+        stats.set("precision.promoted_chunks",
+                  static_cast<double>(state.promotedChunks()));
     return state.toFlat();
 }
 
@@ -641,14 +695,18 @@ StreamingEngine::executeSharded(const Circuit &circuit,
     const int n = circuit.numQubits();
     const int num_devs = m.numDevices();
     const int chunk_bits = baseChunkBits(n);
-    const double per_amp_bytes = 2.0 * ampBytes;
+    const bool narrow = options().precision == Precision::f32;
+    const double per_amp_bytes =
+        2.0 * static_cast<double>(ampStoredBytes(narrow));
 
     // The shard map is fixed for the run: chunk geometry stays at the
     // base size (a rechunk would re-shard the whole state, costing the
     // very all-to-all the top-bit split avoids), and exchanges ship
     // raw chunks — at NVLink-class peer bandwidth the codec is a loss.
     ChunkedStateVector state(n, chunk_bits);
-    const std::uint64_t chunk_bytes = state.chunkBytes();
+    if (options().precision != Precision::f64)
+        state.setPrecision(options().precision,
+                           options().adaptiveThreshold);
     const ShardMap shard(state.numChunks(), num_devs);
     InvolvementMask mask(n, options().involvement);
 
@@ -676,6 +734,17 @@ StreamingEngine::executeSharded(const Circuit &circuit,
     // chain from here.
     std::vector<VTime> dev_t(num_devs, 0.0);
 
+    // Per-device stored bytes of its shard under current lanes (in
+    // uniform modes this is just ownedCount * chunkBytes; adaptive
+    // mixes lanes, so sum per chunk).
+    const auto shard_stored_bytes = [&](int d) {
+        std::uint64_t bytes = 0;
+        for (Index c = 0; c < state.numChunks(); ++c)
+            if (shard.device(c) == d)
+                bytes += state.chunkStoredBytes(c);
+        return bytes;
+    };
+
     // Initial upload: every device loads its shard over its own host
     // link, all links concurrent but DRAM-contended.
     for (int d = 0; d < num_devs; ++d) {
@@ -683,7 +752,7 @@ StreamingEngine::executeSharded(const Circuit &circuit,
         if (owned == 0)
             continue;
         auto &dev = m.device(d);
-        const std::uint64_t bytes = owned * chunk_bytes;
+        const std::uint64_t bytes = shard_stored_bytes(d);
         dev_t[d] = guardedTransfer(
             &injector, FaultPoint::H2D, retries, -1, stats, 0.0,
             [&](VTime s) {
@@ -727,13 +796,15 @@ StreamingEngine::executeSharded(const Circuit &circuit,
                 pair_bytes[static_cast<std::size_t>(t.src) *
                                num_devs +
                            t.dst] +=
-                    static_cast<double>(chunk_bytes);
+                    static_cast<double>(
+                        state.chunkStoredBytes(t.chunk));
                 // Ship-time checksum/sidecar against the sender's
                 // ledger (idempotent within the epoch).
                 if (guarded && guards[t.src].needsShip(t.chunk))
-                    guards[t.src].onShip(state.chunk(t.chunk),
-                                         t.chunk, gate_tag, injector,
-                                         stats);
+                    guards[t.src].onShip(
+                        state.chunk(t.chunk), t.chunk, gate_tag,
+                        injector, stats,
+                        state.chunkIsF32(t.chunk));
             }
             std::fill(arrive.begin(), arrive.end(), 0.0);
             for (int s = 0; s < num_devs; ++s) {
@@ -775,7 +846,8 @@ StreamingEngine::executeSharded(const Circuit &circuit,
                     if (guards[t.src].needsReceive(t.chunk))
                         guards[t.src].onReceive(
                             state.chunk(t.chunk), t.chunk, gate_tag,
-                            injector, stats);
+                            injector, stats,
+                            state.chunkIsF32(t.chunk));
                 }
             }
         };
@@ -806,6 +878,9 @@ StreamingEngine::executeSharded(const Circuit &circuit,
         applySweepChunked(state,
                           all_gates.subspan(sw.begin, sw.size()),
                           sw.globalBits, chunk_dead);
+        // Round fp32-lane chunks (and re-tag adaptive lanes) before
+        // the scatter ships or checksums the post-sweep data.
+        state.refreshPrecision();
 
         // During the sweep a chunk resides on the owner of its sweep
         // group (its home unless it was just gathered): the owner of
@@ -903,7 +978,7 @@ StreamingEngine::executeSharded(const Circuit &circuit,
         if (owned == 0)
             continue;
         auto &dev = m.device(d);
-        const std::uint64_t bytes = owned * chunk_bytes;
+        const std::uint64_t bytes = shard_stored_bytes(d);
         guardedTransfer(
             &injector, FaultPoint::D2H, retries,
             static_cast<std::int64_t>(circuit.numGates()), stats,
@@ -921,6 +996,9 @@ StreamingEngine::executeSharded(const Circuit &circuit,
 
     stats.set("chunks.final",
               static_cast<double>(state.numChunks()));
+    if (state.precision() == Precision::adaptive)
+        stats.set("precision.promoted_chunks",
+                  static_cast<double>(state.promotedChunks()));
     return state.toFlat();
 }
 

@@ -81,7 +81,7 @@ ChunkIntegrity::reset(Index num_chunks)
 void
 ChunkIntegrity::onShip(std::span<const Amp> data, Index c,
                        std::int64_t gate, FaultInjector &injector,
-                       StatSet &stats)
+                       StatSet &stats, bool f32_lane)
 {
     (void)gate;
     if (!active())
@@ -91,10 +91,16 @@ ChunkIntegrity::onShip(std::span<const Amp> data, Index c,
     Entry &entry = ledger_[c];
     if (entry.computedEpoch == epoch_)
         return; // already shipped this epoch; data unchanged
+    // fp32-lane data is already quantized, so the checksum over the
+    // doubles commutes with the narrow/widen round trip the sidecar
+    // (and the real bus) performs.
     entry.sum = checksumAmps(data);
     entry.computedEpoch = epoch_;
     entry.verifiedEpoch = -1;
+    entry.f32Lane = f32_lane ? 1 : 0;
     stats.add(intkeys::checksumComputed, 1.0);
+    if (f32_lane)
+        stats.add(intkeys::laneF32, 1.0);
 
     if (codec_ == nullptr)
         return;
@@ -109,7 +115,9 @@ ChunkIntegrity::onShip(std::span<const Amp> data, Index c,
         stats.add(intkeys::fallbackRaw, 1.0);
         return;
     }
-    side.block = codec_->compressAmps(data.data(), data.size());
+    side.block = f32_lane
+                     ? codec_->compressAmpsF32(data.data(), data.size())
+                     : codec_->compressAmps(data.data(), data.size());
     // The sender checksums the stream it put on the bus; corruption
     // happens in flight, after the checksum is recorded.
     side.streamSum = checksumBytes(side.block.bytes.data(),
@@ -124,7 +132,7 @@ ChunkIntegrity::onShip(std::span<const Amp> data, Index c,
 void
 ChunkIntegrity::onReceive(std::span<const Amp> data, Index c,
                           std::int64_t gate, FaultInjector &injector,
-                          StatSet &stats)
+                          StatSet &stats, bool f32_lane)
 {
     if (!active())
         return;
@@ -134,6 +142,12 @@ ChunkIntegrity::onReceive(std::span<const Amp> data, Index c,
     if (entry.verifiedEpoch == epoch_)
         return; // already verified this epoch
     entry.verifiedEpoch = epoch_;
+    if ((entry.f32Lane != 0) != f32_lane) {
+        // Lanes only change at sweep boundaries (epochs), so a
+        // ship/receive disagreement is a scheduling bug; surface it as
+        // a counter and verify via the ship-time lane regardless.
+        stats.add(intkeys::laneMismatch, 1.0);
+    }
 
     bool payload_ok = false;
     if (codec_ != nullptr && sidecars_[c].epoch == epoch_ &&
@@ -152,7 +166,16 @@ ChunkIntegrity::onReceive(std::span<const Amp> data, Index c,
             stats.add(intkeys::fallbackRaw, 1.0);
         } else {
             scratch_.resize(side.block.numDoubles);
-            codec_->decompress(side.block, scratch_.data());
+            if (side.block.f32) {
+                // Decode the narrow stream and widen (exactly) back
+                // to doubles so the ship-time checksum applies.
+                scratchF32_.resize(side.block.numDoubles);
+                codec_->decompressF32(side.block, scratchF32_.data());
+                for (std::size_t i = 0; i < scratchF32_.size(); ++i)
+                    scratch_[i] = static_cast<double>(scratchF32_[i]);
+            } else {
+                codec_->decompress(side.block, scratch_.data());
+            }
             if (checksumBytes(scratch_.data(),
                               scratch_.size() * sizeof(double)) !=
                 entry.sum) {

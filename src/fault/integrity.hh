@@ -62,6 +62,11 @@ inline constexpr const char *checksumMismatch =
     "integrity.checksum.mismatch";
 inline constexpr const char *fallbackRaw = "integrity.fallback.raw";
 inline constexpr const char *simErrors = "integrity.sim_error";
+/** Chunks shipped in the fp32 storage lane (Precision::f32/adaptive). */
+inline constexpr const char *laneF32 = "integrity.lane.f32";
+/** Receives whose lane disagreed with the ship-time lane (a pipeline
+ *  bug: lanes only change at sweep boundaries, i.e. epochs). */
+inline constexpr const char *laneMismatch = "integrity.lane.mismatch";
 
 /** "integrity.fault.<point>". */
 const char *faultKey(FaultPoint point);
@@ -145,10 +150,15 @@ class ChunkIntegrity
     /**
      * Ship chunk @p c (compress/D2H time): record its checksum and
      * refresh the compressed sidecar, injecting codec/alloc faults.
-     * Idempotent within an epoch.
+     * Idempotent within an epoch. @p f32_lane records the chunk's
+     * storage lane (ChunkedStateVector::chunkIsF32): the checksum is
+     * always taken over the (possibly fp32-quantized) doubles, but an
+     * fp32-lane sidecar compresses the narrowed floats — the bytes
+     * that actually cross the bus.
      */
     void onShip(std::span<const Amp> data, Index c, std::int64_t gate,
-                FaultInjector &injector, StatSet &stats);
+                FaultInjector &injector, StatSet &stats,
+                bool f32_lane = false);
 
     /**
      * Receive chunk @p c (H2D/decompress time): verify the sidecar
@@ -156,11 +166,14 @@ class ChunkIntegrity
      * mismatch) and the raw copy against the ledger. Throws
      * SimException on a raw-copy mismatch, which no fallback can
      * repair. Idempotent within an epoch; no-op for chunks not shipped
-     * this epoch.
+     * this epoch. @p f32_lane is the receiver's view of the chunk's
+     * lane; disagreement with the ship-time lane is counted under
+     * integrity.lane.mismatch (lanes are stable within an epoch, so a
+     * mismatch indicates a pipeline bug, not data corruption).
      */
     void onReceive(std::span<const Amp> data, Index c,
                    std::int64_t gate, FaultInjector &injector,
-                   StatSet &stats);
+                   StatSet &stats, bool f32_lane = false);
 
   private:
     struct Entry
@@ -168,6 +181,8 @@ class ChunkIntegrity
         std::uint64_t sum = 0;
         std::int64_t computedEpoch = -1;
         std::int64_t verifiedEpoch = -1;
+        /** Storage lane the chunk shipped in (1 = fp32). */
+        std::uint8_t f32Lane = 0;
     };
 
     struct Sidecar
@@ -195,6 +210,8 @@ class ChunkIntegrity
     std::vector<Entry> ledger_;
     std::vector<Sidecar> sidecars_;
     std::vector<double> scratch_;
+    /** Narrow-lane decode scratch for fp32 sidecars. */
+    std::vector<float> scratchF32_;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/cacheinfo.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "common/parallel.hh"
@@ -175,6 +176,22 @@ applySpecToChunk(ChunkedStateVector &state, const KernelSpec &spec,
 }
 
 /**
+ * Size the recycled gather buffer for @p need amplitudes. A capacity
+ * left over from a larger group is dropped first when it exceeds what
+ * L3 could ever serve quickly (common/cacheinfo.hh): one oversized
+ * group may grow the buffer, but it must not pin the high-water mark
+ * for the rest of the run.
+ */
+void
+prepareGathered(GroupScratch &scratch, std::size_t need)
+{
+    const std::size_t cap = scratch.gathered.capacity();
+    if (cap > need && cap > scratchRetainAmps())
+        std::vector<Amp>().swap(scratch.gathered);
+    scratch.gathered.resize(need);
+}
+
+/**
  * Case-2 body with scratch.members already filled: gather the member
  * chunks into the worker's contiguous register, run the specialized
  * kernel there, and scatter back. @p spec is built from the gate with
@@ -187,7 +204,7 @@ applyGroupPrepared(ChunkedStateVector &state, const KernelSpec &spec,
 {
     const int sub_qubits =
         state.chunkBits() + static_cast<int>(plan.globalBits().size());
-    scratch.gathered.resize(stateSize(sub_qubits));
+    prepareGathered(scratch, stateSize(sub_qubits));
     state.gatherChunks(scratch.members, scratch.gathered.data());
     applyKernel(spec, scratch.gathered.data(), sub_qubits);
     state.scatterChunks(scratch.members, scratch.gathered.data());
@@ -463,7 +480,37 @@ applySweepChunked(ChunkedStateVector &state,
 
     if (global_bits.empty()) {
         // Chunk-local sweep: each chunk is loaded once and every gate
-        // chains over it while it is cache-resident.
+        // chains over it while it is cache-resident. A chunk that
+        // out-sizes the cache-derived sweep tile (common/cacheinfo.hh)
+        // is processed in aligned 2^tile_bits sub-blocks instead, so
+        // each op reads amplitudes the previous op just wrote while
+        // they are still L2-resident. The tile is widened until it
+        // clears every chunk-local target/control bit of the sweep:
+        // aligned tiles then contain whole work items of every op, so
+        // tiling only splits kernel ranges on work-item boundaries —
+        // bit-identical by the kernel range contract.
+        int tile_bits = sweepTileBits();
+        for (const SweepOp &op : ops) {
+            if (op.diag) {
+                for (const auto &[q, j] : op.low)
+                    tile_bits = std::max(tile_bits, q + 1);
+            } else {
+                for (int q : op.spec.qubits)
+                    tile_bits = std::max(tile_bits, q + 1);
+            }
+        }
+        tile_bits = std::min(tile_bits, chunk_bits);
+        const Index num_tiles = chunk_size >> tile_bits;
+        const Index tile_amps = Index{1} << tile_bits;
+        // Work items per tile for the non-diagonal ops: every op's
+        // item count is a power of two dividing the chunk's amplitude
+        // count, so it splits evenly across aligned tiles.
+        std::vector<Index> op_tile_items(ops.size(), 0);
+        for (std::size_t i = 0; i < ops.size(); ++i)
+            if (!ops[i].diag)
+                op_tile_items[i] =
+                    kernelWorkItems(ops[i].spec, chunk_bits) /
+                    num_tiles;
         parallelFor(
             0, state.numChunks(), threads,
             [&](std::uint64_t lo, std::uint64_t hi) {
@@ -471,18 +518,27 @@ applySweepChunked(ChunkedStateVector &state,
                     if (zero && zero(c))
                         continue;
                     Amp *data = state.chunk(c).data();
-                    for (const SweepOp &op : ops) {
-                        if (!op.diag) {
-                            applyKernel(op.spec, data, chunk_bits);
-                            continue;
+                    for (Index t = 0; t < num_tiles; ++t) {
+                        const Index a0 = t << tile_bits;
+                        for (std::size_t i = 0; i < ops.size(); ++i) {
+                            const SweepOp &op = ops[i];
+                            if (!op.diag) {
+                                const Index per = op_tile_items[i];
+                                applyKernel(op.spec, data, chunk_bits,
+                                            t * per, (t + 1) * per);
+                                continue;
+                            }
+                            // op.low bits all fall below tile_bits, so
+                            // slice-local offsets select the same
+                            // diagonal entries as chunk offsets.
+                            int fixed = 0;
+                            for (const auto &[g, j] : op.groupSel)
+                                fixed |= static_cast<int>(
+                                             bits::testBit(c, g))
+                                         << j;
+                            applyDiagFolded(data + a0, tile_amps,
+                                            fixed, op.low, op.dm);
                         }
-                        int fixed = 0;
-                        for (const auto &[g, j] : op.groupSel)
-                            fixed |=
-                                static_cast<int>(bits::testBit(c, g))
-                                << j;
-                        applyDiagFolded(data, chunk_size, fixed,
-                                        op.low, op.dm);
                     }
                 }
             },
@@ -525,7 +581,7 @@ applySweepChunked(ChunkedStateVector &state,
                     }
                     if (!any_live)
                         continue;
-                    scratch.gathered.resize(stateSize(sub_qubits));
+                    prepareGathered(scratch, stateSize(sub_qubits));
                     state.gatherChunks(scratch.members,
                                        scratch.gathered.data());
                     Amp *reg = scratch.gathered.data();

@@ -84,7 +84,10 @@ class GatePlan
  * gathered into @c gathered, updated there by the specialized
  * contiguous kernels (statevec/kernel_dispatch.hh), and scattered
  * back; reusing one instance per worker keeps the hot loop free of
- * per-group heap allocation.
+ * per-group heap allocation. Capacity retained across groups is
+ * bounded by scratchRetainAmps() (common/cacheinfo.hh): a single
+ * oversized group may grow the buffer, but the excess is released
+ * before the next gather instead of pinning the high-water mark.
  */
 struct GroupScratch
 {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
 
 namespace qgpu
 {
@@ -36,6 +37,10 @@ ChunkedStateVector::rechunk(int new_bits)
         next[i >> new_bits][i & bits::lowMask(new_bits)] = amp(i);
     chunks_ = std::move(next);
     chunkBits_ = new_bits;
+    // Lane tags are per chunk; re-derive them for the new partition.
+    // Amplitudes in fp32 lanes are already rounded, so no re-quantize
+    // is needed (rounding is idempotent).
+    retagChunks();
 }
 
 bool
@@ -95,6 +100,87 @@ ChunkedStateVector::norm() const
         for (const Amp &a : c)
             sum += std::norm(a);
     return sum;
+}
+
+void
+ChunkedStateVector::setPrecision(Precision p, double promote_threshold)
+{
+    precision_ = p;
+    promoteThreshold_ = promote_threshold;
+    refreshPrecision();
+}
+
+void
+ChunkedStateVector::retagChunks()
+{
+    if (precision_ == Precision::f64) {
+        chunkF32_.clear();
+        return;
+    }
+    chunkF32_.assign(numChunks(), 1);
+    if (precision_ != Precision::adaptive)
+        return;
+    for (Index c = 0; c < numChunks(); ++c) {
+        double max_mag = 0.0;
+        for (const Amp &a : chunks_[c]) {
+            max_mag = std::max(max_mag, std::abs(a.real()));
+            max_mag = std::max(max_mag, std::abs(a.imag()));
+        }
+        if (max_mag < promoteThreshold_)
+            chunkF32_[c] = 0;
+    }
+}
+
+void
+ChunkedStateVector::refreshPrecision()
+{
+    if (precision_ == Precision::f64) {
+        chunkF32_.clear();
+        return;
+    }
+    retagChunks();
+    const double cost =
+        static_cast<double>(chunkSize()) * sizeof(Amp);
+    parallelFor(
+        Index{0}, numChunks(), simThreads(),
+        [&](Index cb, Index ce) {
+            for (Index c = cb; c < ce; ++c) {
+                if (!chunkIsF32(c))
+                    continue;
+                // Quantize through the raw double view: identical to
+                // quantizeAmpF32 per component, but free of the
+                // complex-typed narrowing that GCC 12 miscompiles
+                // (see quantizeAmpF32) and vectorizable.
+                double *raw =
+                    reinterpret_cast<double *>(chunks_[c].data());
+                const Index lanes = 2 * chunkSize();
+                for (Index i = 0; i < lanes; ++i)
+                    raw[i] = static_cast<double>(
+                        static_cast<float>(raw[i]));
+            }
+        },
+        1, cost);
+}
+
+std::uint64_t
+ChunkedStateVector::totalStoredBytes() const
+{
+    std::uint64_t sum = 0;
+    for (Index c = 0; c < numChunks(); ++c)
+        sum += chunkStoredBytes(c);
+    return sum;
+}
+
+Index
+ChunkedStateVector::promotedChunks() const
+{
+    if (precision_ != Precision::adaptive)
+        return 0;
+    Index n = 0;
+    for (Index c = 0; c < numChunks(); ++c)
+        if (!chunkIsF32(c))
+            ++n;
+    return n;
 }
 
 } // namespace qgpu

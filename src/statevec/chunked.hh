@@ -33,7 +33,21 @@ class ChunkedStateVector
     int chunkBits() const { return chunkBits_; }
     Index numChunks() const { return Index{1} << (numQubits_ - chunkBits_); }
     Index chunkSize() const { return Index{1} << chunkBits_; }
-    std::uint64_t chunkBytes() const { return chunkSize() * ampBytes; }
+
+    /**
+     * Stored bytes of one chunk — the unit every modeled H2D/D2H/peer
+     * transfer and capacity computation is priced in. Halves in f32
+     * mode. Adaptive mode reports the f64 size here (chunks start in
+     * the fp32 lane but may be promoted at any sweep, so uniform
+     * capacity planning must assume the larger lane); per-chunk
+     * accounting uses chunkStoredBytes.
+     */
+    std::uint64_t chunkBytes() const
+    {
+        return chunkSize() * (precision_ == Precision::f32
+                                  ? ampStoredBytes(true)
+                                  : ampBytes);
+    }
 
     std::vector<Amp> &chunk(Index c) { return chunks_[c]; }
     const std::vector<Amp> &chunk(Index c) const { return chunks_[c]; }
@@ -74,10 +88,64 @@ class ChunkedStateVector
     /** Sum of |a_i|^2 over all chunks. */
     double norm() const;
 
+    /** Storage precision mode (Precision::f64 unless selected). */
+    Precision precision() const { return precision_; }
+
+    /** Adaptive promotion threshold (see setPrecision). */
+    double promoteThreshold() const { return promoteThreshold_; }
+
+    /**
+     * Select the storage precision (common/types.hh). @c f32 places
+     * every chunk in the fp32 lane and rounds it immediately;
+     * @c adaptive tags chunks individually — a chunk whose largest
+     * amplitude component magnitude falls below
+     * @p promote_threshold is promoted to (kept in) the f64 lane,
+     * everything else lives in the fp32 lane; @c f64 clears all tags.
+     * Computation is always double: the lane only decides how the
+     * chunk is STORED between sweeps, i.e. what the transfers and the
+     * codec move.
+     */
+    void setPrecision(Precision p, double promote_threshold = 1e-6);
+
+    /**
+     * Re-apply the precision policy after a sweep's functional
+     * updates: adaptive mode re-tags every chunk, then each fp32-lane
+     * chunk is rounded through fp32 storage (quantizeAmpF32). No-op
+     * in f64 mode. Elementwise and lane decisions are per chunk, so
+     * the result is independent of thread count and chunk geometry
+     * only decides tag granularity.
+     */
+    void refreshPrecision();
+
+    /** True when chunk @p c currently lives in the fp32 lane. */
+    bool chunkIsF32(Index c) const
+    {
+        return !chunkF32_.empty() && chunkF32_[c] != 0;
+    }
+
+    /** Stored bytes of chunk @p c under its current lane. */
+    std::uint64_t chunkStoredBytes(Index c) const
+    {
+        return chunkSize() * ampStoredBytes(chunkIsF32(c));
+    }
+
+    /** Stored bytes of the whole register under current lanes. */
+    std::uint64_t totalStoredBytes() const;
+
+    /** Chunks currently in the f64 lane due to adaptive promotion
+     *  (0 outside adaptive mode). */
+    Index promotedChunks() const;
+
   private:
+    void retagChunks();
+
     int numQubits_;
     int chunkBits_;
     std::vector<std::vector<Amp>> chunks_;
+    Precision precision_ = Precision::f64;
+    double promoteThreshold_ = 1e-6;
+    /** Per-chunk lane tag (1 = fp32); empty in f64 mode. */
+    std::vector<std::uint8_t> chunkF32_;
 };
 
 } // namespace qgpu

@@ -26,7 +26,24 @@ cmul(const Amp &a, const Amp &b)
                a.real() * b.imag() + a.imag() * b.real()};
 }
 
+// Written only from test/bench/engine setup code (setKernelTier is
+// documented as a serial-phase knob, like setSimThreads); read in
+// makeKernelSpec, which runs outside the parallel kernel loops.
+KernelTier g_kernel_tier = KernelTier::Exact;
+
 } // namespace
+
+KernelTier
+kernelTier()
+{
+    return g_kernel_tier;
+}
+
+void
+setKernelTier(KernelTier tier)
+{
+    g_kernel_tier = tier;
+}
 
 const char *
 kernelKindName(KernelKind kind)
@@ -253,6 +270,7 @@ KernelSpec
 makeKernelSpec(const Gate &gate)
 {
     KernelSpec s;
+    s.tier = kernelTier();
     s.qubits = gate.qubits;
     const int k = gate.numQubits();
 
@@ -385,6 +403,10 @@ applyKernel(const KernelSpec &spec, Amp *data, int num_qubits,
     end = std::min(end, kernelWorkItems(spec, num_qubits));
     if (begin >= end)
         return;
+    if (spec.tier == KernelTier::Fast) {
+        kernfast::applyKernelFast(spec, data, num_qubits, begin, end);
+        return;
+    }
     switch (spec.kind) {
       case KernelKind::Diag1q:
         kern::diag1(data, spec.target, spec.m1[0], spec.m1[1], begin,

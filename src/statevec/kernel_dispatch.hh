@@ -58,6 +58,56 @@ inline constexpr int numKernelKinds = 8;
 const char *kernelKindName(KernelKind kind);
 
 /**
+ * Execution tier a spec is lowered for. @c Exact runs the default
+ * kernels, bit-identical (tolerance 0) to kernels.hh. @c Fast runs
+ * the duplicated kernels in kernel_fast.cc, compiled with
+ * -ffp-contract=fast and the host's FMA/AVX-512 instruction sets
+ * (CMake option QGPU_FAST_MATH): same arithmetic, contracted
+ * rounding, accuracy-bounded at 1e-12 against Exact by the
+ * differential suites.
+ */
+enum class KernelTier
+{
+    Exact,
+    Fast,
+};
+
+/**
+ * Process-wide tier makeKernelSpec lowers new specs for. Defaults to
+ * Exact; engines set it (scoped) from ExecOptions::fastMath, benches
+ * and tests set it directly. Deliberately NOT read from the
+ * environment here: QGPU_FAST_MATH=1 opts the ENGINES in (see
+ * ExecOptions), while direct kernel users — including the tolerance-0
+ * differential suites — stay exact unless they ask.
+ */
+KernelTier kernelTier();
+void setKernelTier(KernelTier tier);
+
+/**
+ * True when kernel_fast.cc was compiled with the fast-math flag set
+ * (QGPU_FAST_MATH=ON). When false the Fast tier still dispatches to
+ * the duplicated kernels, which then compile under the default flags
+ * and meet the 1e-12 contract trivially.
+ */
+bool fastMathCompiled();
+
+/** RAII tier override for engines/benches: set on entry, restore. */
+class ScopedKernelTier
+{
+  public:
+    explicit ScopedKernelTier(KernelTier tier) : prev_(kernelTier())
+    {
+        setKernelTier(tier);
+    }
+    ~ScopedKernelTier() { setKernelTier(prev_); }
+    ScopedKernelTier(const ScopedKernelTier &) = delete;
+    ScopedKernelTier &operator=(const ScopedKernelTier &) = delete;
+
+  private:
+    KernelTier prev_;
+};
+
+/**
  * A gate lowered to its kernel class: targets pre-sorted, control
  * mask precomputed, and the (small) matrix copied into inline
  * storage. Built once per gate with makeKernelSpec, then applied to
@@ -91,6 +141,9 @@ struct KernelSpec
 
     /** Full matrix for Dense2q / DenseK / DiagK. */
     GateMatrix matrix{2};
+
+    /** Tier the spec was lowered for (kernelTier() at build time). */
+    KernelTier tier = KernelTier::Exact;
 };
 
 /** Classify @p gate and lower it to a KernelSpec (once per gate). */
@@ -174,6 +227,42 @@ void dense2(Amp *data, int q0, int q1, const Amp *m, Index begin,
             Index end);
 
 } // namespace kern
+
+/**
+ * Fast-tier duplicates of the kern:: kernels plus the dense k-qubit
+ * matvec, defined in kernel_fast.cc — a separate translation unit so
+ * CMake can hand it -ffp-contract=fast and the native FMA/AVX-512
+ * sets without touching the exact tier's code generation. Signatures
+ * and work-item spaces match kern:: exactly; results are within
+ * 1e-12 of the exact kernels (contracted rounding only).
+ */
+namespace kernfast
+{
+
+void scale(Amp *data, Amp f, Index begin, Index end);
+void diag1(Amp *data, int t, Amp d0, Amp d1, Index begin, Index end);
+void diag2(Amp *data, int t_lo, int t_hi, const Amp *lut,
+           Index begin, Index end);
+void diagK(Amp *data, const std::vector<int> &qubits,
+           const GateMatrix &m, Index begin, Index end);
+void dense1(Amp *data, int t, const Amp *m, Index begin, Index end);
+void perm1(Amp *data, int t, Amp m01, Amp m10, Index begin,
+           Index end);
+void ctrl1(Amp *data, int t, const std::vector<int> &fixed_sorted,
+           Index cmask, const Amp *m, Index begin, Index end);
+void dense2(Amp *data, int q0, int q1, const Amp *m, Index begin,
+            Index end);
+
+/** Dense k>=3 matvec over group indices [begin, end). */
+void denseK(Amp *data, int num_qubits,
+            const std::vector<int> &qubits, const GateMatrix &m,
+            Index begin, Index end);
+
+/** Fast-tier dispatch, mirroring applyKernel's switch. */
+void applyKernelFast(const KernelSpec &spec, Amp *data,
+                     int num_qubits, Index begin, Index end);
+
+} // namespace kernfast
 
 } // namespace qgpu
 

@@ -54,6 +54,17 @@ class StateVector
     /** Reset to |0...0>. */
     void reset();
 
+    /**
+     * Round every amplitude through fp32 storage (quantizeAmpF32) —
+     * the flat-state counterpart of the chunked fp32 lane, used by
+     * reference computations for the fp32 precision tier.
+     */
+    void quantizeF32()
+    {
+        for (Amp &a : amps_)
+            a = quantizeAmpF32(a);
+    }
+
   private:
     int numQubits_;
     std::vector<Amp> amps_;

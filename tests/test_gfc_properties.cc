@@ -224,5 +224,179 @@ TEST(GfcProperties, PayloadSizePlusHeaderIsTotal)
               codec.compressedSize(data.data(), data.size()));
 }
 
+// ---------------------------------------------------------------------
+// fp32 lane (GfcCodec::compressF32 and friends): the same stream
+// layout over 32-bit words, mirroring the f64 property suite above.
+// ---------------------------------------------------------------------
+
+void
+expectRoundTripF32(const GfcCodec &codec,
+                   const std::vector<float> &data)
+{
+    const CompressedBlock block =
+        codec.compressF32(data.data(), data.size());
+    ASSERT_EQ(block.numDoubles, data.size());
+    ASSERT_TRUE(block.f32);
+    ASSERT_EQ(codec.compressedSizeF32(data.data(), data.size()),
+              block.compressedBytes());
+    std::vector<float> out(data.size(), -7.0f);
+    codec.decompressF32(block, out.data());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(data[i]),
+                  std::bit_cast<std::uint32_t>(out[i]))
+            << "index " << i << " of " << data.size();
+    }
+}
+
+float
+randomAmplitudeValueF32(Rng &rng)
+{
+    switch (rng.nextBelow(6)) {
+      case 0: return 0.0f;
+      case 1: return -0.0f;
+      case 2:
+        return static_cast<float>(rng.nextBelow(1000) + 1) *
+               std::numeric_limits<float>::denorm_min();
+      case 3:
+        return (rng.nextBool(0.5) ? 1.0f : -1.0f) *
+               std::ldexp(static_cast<float>(rng.nextDouble()), -100);
+      case 4:
+        return rng.nextBool(0.5) ? 0.08838835f : -0.08838835f;
+      default:
+        return static_cast<float>(rng.nextDouble()) * 2.0f - 1.0f;
+    }
+}
+
+TEST(GfcPropertiesF32, FuzzRoundTripAcrossConfigs)
+{
+    const int warps[] = {1, 3, 32};
+    const int segments[] = {1, 2, 32};
+    Rng rng(20260809);
+    for (int iter = 0; iter < 60; ++iter) {
+        const int warp = warps[rng.nextBelow(3)];
+        const int segs = segments[rng.nextBelow(3)];
+        const std::size_t count = rng.nextBelow(700);
+        std::vector<float> data(count);
+        for (auto &v : data)
+            v = randomAmplitudeValueF32(rng);
+        GfcCodec codec(warp, segs);
+        expectRoundTripF32(codec, data);
+    }
+}
+
+TEST(GfcPropertiesF32, InfAndNanPayloadsRoundTripBitExactly)
+{
+    const float qnan = std::numeric_limits<float>::quiet_NaN();
+    const float payload_nan = std::bit_cast<float>(
+        std::bit_cast<std::uint32_t>(qnan) | 0xbeefu);
+    const float neg_nan = std::bit_cast<float>(
+        std::bit_cast<std::uint32_t>(qnan) | (1u << 31));
+    const float inf = std::numeric_limits<float>::infinity();
+
+    std::vector<float> data;
+    Rng rng(405);
+    for (int i = 0; i < 300; ++i) {
+        switch (i % 6) {
+          case 0: data.push_back(inf); break;
+          case 1: data.push_back(-inf); break;
+          case 2: data.push_back(qnan); break;
+          case 3: data.push_back(payload_nan); break;
+          case 4: data.push_back(neg_nan); break;
+          default:
+            data.push_back(randomAmplitudeValueF32(rng));
+            break;
+        }
+    }
+    for (const int segs : {1, 4, 32}) {
+        GfcCodec codec(8, segs);
+        expectRoundTripF32(codec, data);
+    }
+}
+
+TEST(GfcPropertiesF32, SerialAndParallelStreamsAreByteIdentical)
+{
+    Rng rng(31338);
+    std::vector<float> data(4099);
+    for (auto &v : data)
+        v = randomAmplitudeValueF32(rng);
+
+    for (const int segs : {1, 32}) {
+        const GfcCodec codec(32, segs);
+        setSimThreads(1);
+        const CompressedBlock serial =
+            codec.compressF32(data.data(), data.size());
+        setSimThreads(4);
+        const CompressedBlock parallel =
+            codec.compressF32(data.data(), data.size());
+        EXPECT_EQ(serial.bytes, parallel.bytes)
+            << "segments " << segs;
+
+        std::vector<float> out(data.size(), -7.0f);
+        codec.decompressF32(serial, out.data());
+        setSimThreads(1);
+        for (std::size_t i = 0; i < data.size(); ++i)
+            ASSERT_EQ(std::bit_cast<std::uint32_t>(data[i]),
+                      std::bit_cast<std::uint32_t>(out[i]))
+                << "segments " << segs << ", index " << i;
+    }
+}
+
+TEST(GfcPropertiesF32, PayloadSizePlusHeaderIsTotal)
+{
+    Rng rng(6);
+    std::vector<float> data(513);
+    for (auto &v : data)
+        v = randomAmplitudeValueF32(rng);
+    GfcCodec codec(32, 4);
+    EXPECT_EQ(codec.headerBytes(data.size()) +
+                  codec.compressedPayloadSizeF32(data.data(),
+                                                 data.size()),
+              codec.compressedSizeF32(data.data(), data.size()));
+}
+
+TEST(GfcPropertiesF32, AmpRoundTripEqualsQuantizedInput)
+{
+    // compressAmpsF32 narrows each (pre-quantized) component to
+    // float; decompressAmpsF32 widens exactly. So the round trip
+    // reproduces quantizeAmpF32 of the input bit-for-bit.
+    Rng rng(77);
+    std::vector<Amp> amps(300);
+    for (auto &a : amps)
+        a = quantizeAmpF32(Amp(rng.nextDouble() - 0.5,
+                               rng.nextDouble() - 0.5));
+    GfcCodec codec(32, 4);
+    const CompressedBlock block =
+        codec.compressAmpsF32(amps.data(), amps.size());
+    ASSERT_TRUE(block.f32);
+    ASSERT_EQ(block.numDoubles, amps.size() * 2);
+    std::vector<Amp> out(amps.size());
+    codec.decompressAmpsF32(block, out.data());
+    for (std::size_t i = 0; i < amps.size(); ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(amps[i].real()),
+                  std::bit_cast<std::uint64_t>(out[i].real()))
+            << "amp " << i;
+        ASSERT_EQ(std::bit_cast<std::uint64_t>(amps[i].imag()),
+                  std::bit_cast<std::uint64_t>(out[i].imag()))
+            << "amp " << i;
+    }
+}
+
+TEST(GfcPropertiesF32, LaneFlagGuardsPanicOnMismatch)
+{
+    // Feeding a stream to the wrong lane's decoder would silently
+    // misparse word widths; both directions must panic instead.
+    GfcCodec codec(8, 2);
+    const std::vector<float> floats(64, 0.25f);
+    const std::vector<double> doubles(64, 0.25);
+    const CompressedBlock narrow =
+        codec.compressF32(floats.data(), floats.size());
+    const CompressedBlock wide =
+        codec.compress(doubles.data(), doubles.size());
+    std::vector<double> out64(64);
+    std::vector<float> out32(64);
+    EXPECT_DEATH(codec.decompress(narrow, out64.data()), "f32");
+    EXPECT_DEATH(codec.decompressF32(wide, out32.data()), "f32");
+}
+
 } // namespace
 } // namespace qgpu
