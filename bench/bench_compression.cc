@@ -1,0 +1,339 @@
+/**
+ * @file
+ * bench_compression - host-RAM footprint and overhead of the
+ * compressed-resident chunk storage backend, emitted as JSON.
+ *
+ * Both sections run the flagship qgpu engine version (pruning +
+ * reordering + compression -- the paper's full recipe), because that
+ * is what makes cold storage pay: pruning keeps uninvolved chunks
+ * zero, and zero chunks cost the residency layer nothing. The dense
+ * mid-circuit states of an unpruned sweep are the GFC codec's worst
+ * case and barely compress; the pruned register is its best case.
+ *
+ *  1. Family table: every benchmark family runs once under raw
+ *     storage and once under `compressed` storage with a bounded
+ *     working set, at the same qubit count. Per family the JSON
+ *     records the raw register size, the compressed run's peak host
+ *     bytes (resident working set + cold streams, the high-water
+ *     mark tracked by the residency layer), the compression ratio
+ *     raw/peak, the wall-clock overhead vs the raw run, and the
+ *     eviction/refill counters. Every compressed run is asserted
+ *     bit-identical to its raw twin.
+ *
+ *  2. Budget sweep: at a fixed host-RAM budget, the largest register
+ *     raw storage can hold is floor(log2(budget/16)) qubits. For
+ *     each budget family the sweep pushes the qubit count past that
+ *     limit under compressed storage -- chunk geometry and working
+ *     set sized from the budget -- until the register's peak host
+ *     footprint no longer fits. The headline number is
+ *     qubits_gained: how many qubits past the raw ceiling still fit
+ *     in the SAME budget. (The harness itself materializes a flat
+ *     copy of the final state for verification; the budget metric is
+ *     the bounded register the storage layer manages.)
+ *
+ * Usage: bench_compression [output.json] [--qubits n]
+ *                          [--budget size] [--max-extra n]
+ *                          [--families a,b,...]
+ *                          [--budget-families a,b,...]
+ *   --qubits n     family-table register size (default 12)
+ *   --budget size  host-RAM budget for the sweep, e.g. 1M, 16M
+ *                  (default 1M)
+ *   --max-extra n  stop the sweep n qubits past the raw ceiling
+ *                  (default 8)
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "circuits/circuits.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "common/parallel.hh"
+#include "harness/experiment.hh"
+
+using namespace qgpu;
+
+namespace
+{
+
+/** "16M" / "1G" / "262144" -> bytes; 0 on parse failure. */
+std::uint64_t
+parseBytes(const std::string &text)
+{
+    std::size_t pos = 0;
+    std::uint64_t value = 0;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        value = value * 10 +
+                static_cast<std::uint64_t>(text[pos] - '0');
+        ++pos;
+    }
+    if (pos == 0)
+        return 0;
+    if (pos < text.size()) {
+        switch (std::toupper(static_cast<unsigned char>(text[pos]))) {
+        case 'K': value <<= 10; break;
+        case 'M': value <<= 20; break;
+        case 'G': value <<= 30; break;
+        default: return 0;
+        }
+    }
+    return value;
+}
+
+std::vector<std::string>
+splitList(std::string list)
+{
+    std::vector<std::string> out;
+    for (char *tok = std::strtok(list.data(), ","); tok != nullptr;
+         tok = std::strtok(nullptr, ","))
+        out.emplace_back(tok);
+    return out;
+}
+
+struct FamilyRow
+{
+    std::string family;
+    int qubits = 0;
+    double rawSeconds = 0.0;
+    double compressedSeconds = 0.0;
+    std::uint64_t rawBytes = 0;
+    std::uint64_t peakHostBytes = 0;
+    std::uint64_t finalColdBytes = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t refills = 0;
+};
+
+struct BudgetRow
+{
+    std::string family;
+    int qubits = 0;
+    Index workingSet = 0;
+    std::uint64_t peakHostBytes = 0;
+    double seconds = 0.0;
+    bool fits = false;
+};
+
+/** Options shared by every run: engine-default chunk geometry (the
+ *  dynamic selector's fine chunks are what let pruning and reorder
+ *  keep cold chunks zero), no codec sampling sidecar, ambient fault
+ *  spec ignored. */
+ExecOptions
+runOptions()
+{
+    ExecOptions o;
+    o.codecSampleChunks = 0;
+    o.faultSpec = "none";
+    return o;
+}
+
+/** One qgpu-engine run; fatal on a structured error. */
+RunResult
+runEngine(const Circuit &circuit, const ExecOptions &options)
+{
+    Machine machine = machines::makeScaled(
+        circuit.numQubits(), machines::v100Nvlink(), 1.0, 1);
+    RunResult r =
+        makeVersion(Version::QGpu, machine, options)->run(circuit);
+    if (!r.ok())
+        QGPU_FATAL(circuit.numQubits(), "-qubit run errored: ",
+                   r.error->toString());
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_compression.json";
+    int qubits = 12;
+    int max_extra = 8;
+    std::uint64_t budget = 1ull << 20; // 1 MiB
+    std::vector<std::string> families = circuits::benchmarkNames();
+    std::vector<std::string> budget_families = {"bv", "qft"};
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                QGPU_FATAL("missing value for ", flag);
+            return argv[++i];
+        };
+        if (flag == "--qubits") {
+            qubits = std::atoi(value().c_str());
+        } else if (flag == "--budget") {
+            budget = parseBytes(value());
+        } else if (flag == "--max-extra") {
+            max_extra = std::atoi(value().c_str());
+        } else if (flag == "--families") {
+            families = splitList(value());
+        } else if (flag == "--budget-families") {
+            budget_families = splitList(value());
+        } else if (!flag.empty() && flag[0] != '-') {
+            out_path = flag;
+        } else {
+            QGPU_FATAL("unknown flag '", flag, "'");
+        }
+    }
+    if (qubits < 8 || budget < (1u << 16) || max_extra < 1)
+        QGPU_FATAL("bad arguments");
+    setSimThreads(1);
+
+    // Section 1: per-family footprint and overhead at equal qubits.
+    // An 8-chunk working set against the engine's default geometry
+    // keeps eviction active on every family.
+    const Index working_set = 8;
+    std::printf("bench_compression: family table at %d qubits "
+                "(working set %lld chunks)\n",
+                qubits, static_cast<long long>(working_set));
+    std::vector<FamilyRow> rows;
+    for (const std::string &family : families) {
+        const Circuit circuit =
+            circuits::makeBenchmark(family, qubits);
+
+        FamilyRow row;
+        row.family = family;
+        row.qubits = qubits;
+        row.rawBytes = stateBytes(qubits);
+        const RunResult raw = runEngine(circuit, runOptions());
+        row.rawSeconds = raw.wallSeconds;
+
+        ExecOptions o = runOptions();
+        o.storage = StorageKind::Compressed;
+        o.workingSetChunks = working_set;
+        const RunResult r = runEngine(circuit, o);
+        row.compressedSeconds = r.wallSeconds;
+        if (r.state.maxAbsDiff(raw.state) != 0.0)
+            QGPU_FATAL(family, " compressed run diverged from raw");
+        row.peakHostBytes = static_cast<std::uint64_t>(
+            r.stats.get(statkeys::storagePeakBytes));
+        row.finalColdBytes = static_cast<std::uint64_t>(
+            r.stats.get(statkeys::storageColdBytes));
+        row.evictions = static_cast<std::uint64_t>(
+            r.stats.get(statkeys::storageEvictions));
+        row.refills = static_cast<std::uint64_t>(
+            r.stats.get(statkeys::storageMisses));
+        rows.push_back(row);
+        std::printf("  %-8s raw %8llu B, peak %8llu B (x%5.2f), "
+                    "overhead x%.2f, %llu evictions\n",
+                    family.c_str(),
+                    static_cast<unsigned long long>(row.rawBytes),
+                    static_cast<unsigned long long>(row.peakHostBytes),
+                    static_cast<double>(row.rawBytes) /
+                        static_cast<double>(row.peakHostBytes),
+                    row.compressedSeconds /
+                        std::max(row.rawSeconds, 1e-9),
+                    static_cast<unsigned long long>(row.evictions));
+    }
+
+    // Section 2: largest register per family inside a fixed budget.
+    // Raw storage caps out where the full register no longer fits;
+    // compressed storage keeps going until working set + cold streams
+    // overflow the same budget. The working set is sized so that at
+    // the engine's default ~256-chunk geometry the resident chunks
+    // take at most half the budget, leaving the other half for cold
+    // streams; whether a run actually stayed inside the budget is
+    // judged post-hoc from the residency layer's high-water mark.
+    int raw_max = 0;
+    while (stateBytes(raw_max + 1) <= budget)
+        ++raw_max;
+    std::printf("budget sweep: %llu B budget, raw ceiling %d "
+                "qubits\n",
+                static_cast<unsigned long long>(budget), raw_max);
+    std::vector<BudgetRow> budget_rows;
+    std::vector<std::pair<std::string, int>> gained;
+    for (const std::string &family : budget_families) {
+        int best = raw_max;
+        for (int n = raw_max + 1; n <= raw_max + max_extra; ++n) {
+            const std::uint64_t default_chunk_bytes =
+                std::max<std::uint64_t>(stateBytes(n) / 256,
+                                        sizeof(Amp));
+            const Index ws = std::max<Index>(
+                4,
+                static_cast<Index>(budget / 2 / default_chunk_bytes));
+
+            BudgetRow row;
+            row.family = family;
+            row.qubits = n;
+            row.workingSet = ws;
+            const Circuit circuit =
+                circuits::makeBenchmark(family, n);
+            ExecOptions o = runOptions();
+            o.storage = StorageKind::Compressed;
+            o.workingSetChunks = ws;
+            const RunResult r = runEngine(circuit, o);
+            row.seconds = r.wallSeconds;
+            row.peakHostBytes = static_cast<std::uint64_t>(
+                r.stats.get(statkeys::storagePeakBytes));
+            row.fits = row.peakHostBytes <= budget;
+            budget_rows.push_back(row);
+            std::printf("  %-8s %2d qubits: peak %10llu B  %s  "
+                        "(%.2f s)\n",
+                        family.c_str(), n,
+                        static_cast<unsigned long long>(
+                            row.peakHostBytes),
+                        row.fits ? "fits    " : "OVERFLOW",
+                        row.seconds);
+            if (!row.fits)
+                break;
+            best = n;
+        }
+        gained.emplace_back(family, best - raw_max);
+        std::printf("  %-8s -> %d qubits in budget (raw ceiling %d, "
+                    "+%d qubits)\n",
+                    family.c_str(), best, raw_max, best - raw_max);
+    }
+
+    std::ofstream out(out_path);
+    if (!out)
+        QGPU_FATAL("cannot write '", out_path, "'");
+    out.precision(9);
+    out << "{\"bench\": \"compression\", \"engine\": \"qgpu\", "
+        << "\"qubits\": " << qubits
+        << ", \"working_set_chunks\": " << working_set
+        << ",\n \"families\": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const FamilyRow &r = rows[i];
+        out << (i == 0 ? "" : ",") << "\n  {\"family\": \""
+            << r.family << "\", \"qubits\": " << r.qubits
+            << ", \"raw_bytes\": " << r.rawBytes
+            << ", \"peak_host_bytes\": " << r.peakHostBytes
+            << ", \"compression_ratio\": "
+            << (static_cast<double>(r.rawBytes) /
+                static_cast<double>(r.peakHostBytes))
+            << ", \"final_cold_bytes\": " << r.finalColdBytes
+            << ", \"raw_seconds\": " << r.rawSeconds
+            << ", \"compressed_seconds\": " << r.compressedSeconds
+            << ", \"overhead_vs_raw\": "
+            << (r.compressedSeconds /
+                std::max(r.rawSeconds, 1e-9))
+            << ", \"evictions\": " << r.evictions
+            << ", \"refills\": " << r.refills << "}";
+    }
+    out << "\n ],\n \"budget_sweep\": {\"budget_bytes\": " << budget
+        << ", \"raw_max_qubits\": " << raw_max << ", \"entries\": [";
+    for (std::size_t i = 0; i < budget_rows.size(); ++i) {
+        const BudgetRow &r = budget_rows[i];
+        out << (i == 0 ? "" : ",") << "\n  {\"family\": \""
+            << r.family << "\", \"qubits\": " << r.qubits
+            << ", \"working_set_chunks\": " << r.workingSet
+            << ", \"peak_host_bytes\": " << r.peakHostBytes
+            << ", \"seconds\": " << r.seconds
+            << ", \"fits\": " << (r.fits ? "true" : "false") << "}";
+    }
+    out << "\n ], \"qubits_gained\": {";
+    for (std::size_t i = 0; i < gained.size(); ++i)
+        out << (i == 0 ? "" : ", ") << "\"" << gained[i].first
+            << "\": " << gained[i].second;
+    out << "}}}\n";
+    std::printf("wrote %s (%zu families, %zu budget rows)\n",
+                out_path.c_str(), rows.size(), budget_rows.size());
+    return 0;
+}

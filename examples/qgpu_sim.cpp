@@ -23,6 +23,7 @@
 #include "common/parallel.hh"
 #include "harness/experiment.hh"
 #include "qc/qasm.hh"
+#include "statevec/kernel_dispatch.hh"
 #include "statevec/measure.hh"
 
 using namespace qgpu;
@@ -53,6 +54,10 @@ struct Args
     bool fast_math = false;
     std::string precision;
     double adaptive_threshold = -1.0; // < 0: keep the default
+    std::string storage;
+    long long working_set = 0;
+    std::string spill_dir;
+    bool storage_stats = false;
     std::string fault_spec = "env";
     std::uint64_t fault_seed = 0x517e57ull;
     std::string trace_path;
@@ -112,6 +117,21 @@ usage(const char *argv0)
         "amplitude\n"
         "                        component is below t stay f64 "
         "(default 1e-6)\n"
+        "  --storage <kind>      chunk storage backend: "
+        "raw|compressed|spill\n"
+        "                        (cold chunks GFC-encoded in host "
+        "memory / paged to\n"
+        "                        a scratch file; bit-identical to "
+        "raw)\n"
+        "  --working-set <k>     max decompressed chunks kept "
+        "resident (0 = auto:\n"
+        "                        a quarter of host RAM)\n"
+        "  --spill-dir <dir>     scratch directory for --storage "
+        "spill (default:\n"
+        "                        $TMPDIR or /tmp)\n"
+        "  --storage-stats       print storage.* counters (working-"
+        "set hits,\n"
+        "                        evictions, compressed bytes)\n"
         "  --fault-spec <spec>   inject faults, e.g. "
         "\"d2h:0.01,codec:0.005\" (points: h2d,\n"
         "                        d2h, peer, codec, alloc; default: "
@@ -192,6 +212,14 @@ parse(int argc, char **argv)
             args.precision = value();
         else if (flag == "--adaptive-threshold")
             args.adaptive_threshold = std::atof(value().c_str());
+        else if (flag == "--storage")
+            args.storage = value();
+        else if (flag == "--working-set")
+            args.working_set = std::atoll(value().c_str());
+        else if (flag == "--spill-dir")
+            args.spill_dir = value();
+        else if (flag == "--storage-stats")
+            args.storage_stats = true;
         else if (flag == "--fault-spec")
             args.fault_spec = value();
         else if (flag == "--fault-seed")
@@ -263,10 +291,24 @@ main(int argc, char **argv)
                    "' (expected f64, f32, or adaptive)");
     if (args.adaptive_threshold >= 0.0)
         options.adaptiveThreshold = args.adaptive_threshold;
-    if (options.fastMath || options.precision != Precision::f64)
-        std::printf("tiers:   kernels=%s, storage=%s\n",
-                    options.fastMath ? "fast-math" : "exact",
-                    precisionName(options.precision));
+    if (!args.storage.empty() &&
+        !parseStorageKind(args.storage, options.storage))
+        QGPU_FATAL("unknown storage kind '", args.storage,
+                   "' (expected raw, compressed, or spill)");
+    if (args.working_set > 0)
+        options.workingSetChunks = static_cast<Index>(args.working_set);
+    options.spillDir = args.spill_dir;
+    if (options.fastMath || options.precision != Precision::f64 ||
+        options.storage != StorageKind::Raw)
+        std::printf("tiers:   kernels=%s, precision=%s, "
+                    "chunk-storage=%s\n",
+                    options.fastMath
+                        ? (fastMathCompiled()
+                               ? "fast-math(compiled)"
+                               : "fast-math(fallback-exact)")
+                        : "exact",
+                    precisionName(options.precision),
+                    storageKindName(options.storage));
     const RunResult result =
         harness::runOn(args.engine, machine, circuit, options);
 
@@ -342,6 +384,23 @@ main(int argc, char **argv)
         if (!any)
             std::printf("  (none -- single device, or no "
                         "cross-shard sweeps)\n");
+    }
+    if (args.storage_stats) {
+        // storage.* counters from the bounded-residency layer
+        // (statevec/chunk_storage.hh), exported into the run's stats
+        // by exportStorageStats.
+        std::printf("\nchunk storage:\n");
+        bool any = false;
+        for (const auto &name : result.stats.names()) {
+            if (name.rfind("storage.", 0) != 0)
+                continue;
+            std::printf("  %-28s %g\n", name.c_str(),
+                        result.stats.get(name));
+            any = true;
+        }
+        if (!any)
+            std::printf("  (raw storage -- no bounded working "
+                        "set)\n");
     }
     if (args.timeline)
         std::printf("\n%s", result.timeline.render(100).c_str());

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Build (if needed) and run the compressed-resident storage bench,
+# producing BENCH_compression.json in the repo root. Two sections,
+# both through the flagship qgpu engine (pruning + reorder +
+# compression): a per-family table at equal qubits (raw register
+# bytes vs the bounded run's peak host bytes, compression ratio,
+# wall-clock overhead vs raw, eviction/refill counters; every
+# compressed run is asserted bit-identical to its raw twin), and a
+# fixed host-RAM budget sweep that pushes each budget family past the
+# raw-storage qubit ceiling until the register's peak host footprint
+# overflows the budget. The headline "qubits_gained" map records how
+# many qubits past the raw ceiling still fit in the same budget; the
+# acceptance bar is >= +4 on at least one family. See
+# bench/bench_compression.cc for the JSON schema and flags.
+#
+# Usage: scripts/bench_compression.sh [extra bench_compression args...]
+#   BUILD_DIR=...  override the build directory (default build)
+#   OUT=...        override the output path (default
+#                  BENCH_compression.json)
+#   Pass --budget 16M / --budget-families bv,qft,... to resize the
+#   budget sweep.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_compression.json}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_compression \
+    >/dev/null
+
+"$BUILD_DIR/bench/bench_compression" "$OUT" "$@"

@@ -11,11 +11,14 @@
 #                  its own build-asan directory) and run the fault/
 #                  integrity suites -- including the tier2 differential
 #                  fuzz sweep -- under AddressSanitizer
-#   --fast-math    additionally rerun the versions-differential and
-#                  kernel-dispatch suites with QGPU_FAST_MATH=1 in the
-#                  environment, so every engine executes on the
-#                  contracted-FMA kernel tier and the 1e-12 accuracy
-#                  contract is exercised end to end
+#   --fast-math    additionally build with -DQGPU_FAST_MATH=ON (in its
+#                  own build-check-fast directory, so the contracted
+#                  kernel TU is actually compiled), assert via a smoke
+#                  run that the fast tier is the compiled one rather
+#                  than the exact fallback, and rerun the
+#                  versions-differential / kernel-dispatch / precision
+#                  suites there with QGPU_FAST_MATH=1 so the 1e-12
+#                  accuracy contract is exercised end to end
 #
 # The default pass also rebuilds the kernel differential suite with
 # -DQGPU_NATIVE=ON (build-check-native) and reruns it there, so the
@@ -72,14 +75,36 @@ cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS"
 
 if [ "$RUN_FAST_MATH" -eq 1 ]; then
-    # Same binaries, fast tier forced on through the environment: every
-    # engine run flips to the contracted-FMA kernels, and the
-    # versions-differential suite's cross-version agreement plus the
-    # kernel-dispatch specialized-vs-generic checks hold within the
-    # documented fast-math contract (DESIGN.md "Fast-math & precision
-    # tiers").
-    echo "== fast-math tier pass (QGPU_FAST_MATH=1, $BUILD_DIR) =="
-    QGPU_FAST_MATH=1 ctest --test-dir "$BUILD_DIR" \
+    # A dedicated build: the contracted-FMA kernel TU only exists when
+    # the tree is configured with -DQGPU_FAST_MATH=ON, so rerunning the
+    # suites against the default build would silently exercise the
+    # exact fallback and certify nothing. The smoke run pins this down
+    # before any suite runs: the tiers banner must say
+    # fast-math(compiled), i.e. fastMathCompiled() is true.
+    FAST_DIR="${FAST_DIR:-build-check-fast}"
+    echo "== fast-math tier pass (QGPU_FAST_MATH=ON, $FAST_DIR) =="
+    require_cache "$FAST_DIR" "QGPU_FAST_MATH=ON" "QGPU_SANITIZE=" \
+        "QGPU_NATIVE=OFF"
+    cmake -B "$FAST_DIR" -S . -DQGPU_FAST_MATH=ON \
+        -DCMAKE_CXX_FLAGS="-Werror"
+    cmake --build "$FAST_DIR" -j "$JOBS" --target qgpu_sim_cli \
+        test_differential test_kernel_dispatch test_precision_tiers
+    banner=$("$FAST_DIR"/examples/qgpu_sim --circuit bv --qubits 6 \
+        --engine qgpu --fast-math | grep '^tiers:')
+    case "$banner" in
+        *'fast-math(compiled)'*) ;;
+        *)
+            echo "error: fast-math smoke run reports '$banner' --" >&2
+            echo "       expected kernels=fast-math(compiled); the" >&2
+            echo "       contracted kernel TU was not built." >&2
+            exit 1 ;;
+    esac
+    # With the compiled tier proven present, force it on through the
+    # environment: the versions-differential suite's cross-version
+    # agreement plus the kernel-dispatch specialized-vs-generic and
+    # precision-tier checks must hold within the documented fast-math
+    # contract (DESIGN.md "Fast-math & precision tiers").
+    QGPU_FAST_MATH=1 ctest --test-dir "$FAST_DIR" \
         --output-on-failure -j "$JOBS" \
         -R 'VersionsDifferential|KernelDispatch|Precision'
 fi
@@ -128,13 +153,16 @@ if [ "$RUN_ASAN" -eq 1 ]; then
     require_cache "$ASAN_DIR" "QGPU_SANITIZE=address"
     cmake -B "$ASAN_DIR" -S . -DQGPU_SANITIZE=address
     cmake --build "$ASAN_DIR" -j "$JOBS" --target test_fault \
-        test_fault_fuzz test_compress test_engines
+        test_fault_fuzz test_compress test_engines \
+        test_chunk_storage test_storage_differential test_storage_fuzz
     # The fault-injection surface: the unit suite, the long tier2
     # differential fuzz sweep (50 seeds x every engine version x three
     # prune modes, recovery must be bit-identical or a structured
     # SimError), the codec property tests the sidecar leans on, and
-    # the engine edge cases. Corruption, fallback, and retry paths all
+    # the engine edge cases. The bounded-storage suites ride along:
+    # eviction, spill-file I/O, codec retry, and the storage fuzz leg
+    # (codec/alloc faults armed during eviction and refill) all
     # shuffle heap buffers, which is exactly what ASan watches.
     ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" \
-        -R 'Checksum|FaultSpec|FaultInjector|SimError|GuardedTransfer|FaultSmoke|FaultFuzz|GfcProperties|EdgeCases'
+        -R 'Checksum|FaultSpec|FaultInjector|SimError|GuardedTransfer|FaultSmoke|FaultFuzz|GfcProperties|EdgeCases|ColdStoreRoundTrip|BoundedState|StorageDifferential|StorageFuzz'
 fi

@@ -142,4 +142,40 @@ scratchRetainAmps(const CacheGeometry &g)
     return static_cast<std::size_t>(g.l3Bytes / 2 / ampBytes);
 }
 
+std::uint64_t
+detectHostRamBytes()
+{
+    std::uint64_t bytes = 0;
+    if (envOverride("QGPU_HOST_RAM_BYTES", bytes))
+        return bytes;
+    // /proc/meminfo: "MemTotal:       16054256 kB"
+    std::ifstream in("/proc/meminfo");
+    std::string line;
+    while (in && std::getline(in, line)) {
+        if (line.rfind("MemTotal:", 0) != 0)
+            continue;
+        std::size_t pos = line.find_first_of("0123456789");
+        if (pos == std::string::npos)
+            break;
+        std::uint64_t kib = 0;
+        while (pos < line.size() &&
+               std::isdigit(static_cast<unsigned char>(line[pos]))) {
+            kib = kib * 10 +
+                  static_cast<std::uint64_t>(line[pos] - '0');
+            ++pos;
+        }
+        if (kib > 0)
+            return kib << 10;
+        break;
+    }
+    return std::uint64_t{8} << 30;
+}
+
+std::uint64_t
+hostRamBytes()
+{
+    static const std::uint64_t bytes = detectHostRamBytes();
+    return bytes;
+}
+
 } // namespace qgpu

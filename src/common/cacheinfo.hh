@@ -81,6 +81,18 @@ Index codecGrainWords(const CacheGeometry &g = cacheGeometry());
  */
 std::size_t scratchRetainAmps(const CacheGeometry &g = cacheGeometry());
 
+/**
+ * Detect total host RAM afresh: QGPU_HOST_RAM_BYTES (plain bytes or
+ * K/M/G suffix) wins, then /proc/meminfo MemTotal, then a
+ * conservative 8G default. Exposed so tests can exercise the
+ * override; hostRamBytes() is the cached accessor everything else
+ * uses (it sizes the default compressed-storage working set).
+ */
+std::uint64_t detectHostRamBytes();
+
+/** The process-wide host RAM size, detected once on first use. */
+std::uint64_t hostRamBytes();
+
 } // namespace qgpu
 
 #endif // QGPU_COMMON_CACHEINFO_HH

@@ -54,6 +54,23 @@
  *   integrity.sim_error           runs ended by a structured SimError
  *   runs.failed                   runs whose RunResult carries an
  *                                 error (harness::publishRunMetrics)
+ *
+ * Chunk-storage counters (statevec/chunk_storage.hh; per-run gauges
+ * and counters exported by exportStorageStats and mirrored here by
+ * ExecutionEngine::run, nonzero entries only):
+ *   storage.compressed_chunks   chunks in the cold backend at run end
+ *   storage.evictions           working-set evictions performed
+ *   storage.decompress_hits     accesses served by a resident slot
+ *   storage.decompress_misses   accesses that decoded from cold
+ *   storage.zero_fills          refills served by zero-filling
+ *   storage.resident_bytes      decompressed working-set bytes
+ *   storage.cold_bytes          compressed host bytes (cold chunks)
+ *   storage.spill_bytes         scratch-file bytes (spill backend)
+ *   storage.peak_host_bytes     high-water resident + cold bytes
+ *   storage.verified            payload checksums verified on decode
+ *   storage.retries             eviction-write verification retries
+ *   storage.fallback_raw        evictions degraded to raw payloads
+ *   storage.working_set         configured resident-chunk bound
  */
 
 #ifndef QGPU_COMMON_METRICS_HH

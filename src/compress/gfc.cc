@@ -376,11 +376,10 @@ headerBytesFor(std::uint64_t count, int segments)
 }
 
 template <typename Fp>
-CompressedBlock
-compressImpl(const Fp *data, std::uint64_t count, int warp,
-             int segments)
+void
+compressIntoImpl(const Fp *data, std::uint64_t count, int warp,
+                 int segments, CompressedBlock &block)
 {
-    CompressedBlock block;
     block.numDoubles = count;
     block.f32 = std::is_same_v<Fp, float>;
 
@@ -456,6 +455,15 @@ compressImpl(const Fp *data, std::uint64_t count, int warp,
             }
         },
         1);
+}
+
+template <typename Fp>
+CompressedBlock
+compressImpl(const Fp *data, std::uint64_t count, int warp,
+             int segments)
+{
+    CompressedBlock block;
+    compressIntoImpl(data, count, warp, segments, block);
     return block;
 }
 
@@ -610,6 +618,29 @@ GfcCodec::compressAmpsF32(const Amp *data, std::uint64_t count) const
         },
         codecGrain());
     return compressF32(narrow.data(), n);
+}
+
+void
+GfcCodec::compressInto(const double *data, std::uint64_t count,
+                       CompressedBlock &out) const
+{
+    compressIntoImpl(data, count, warpSize_, segments_, out);
+}
+
+void
+GfcCodec::compressAmpsInto(const Amp *data, std::uint64_t count,
+                           CompressedBlock &out) const
+{
+    static_assert(sizeof(Amp) == 2 * sizeof(double));
+    compressInto(reinterpret_cast<const double *>(data), 2 * count,
+                 out);
+}
+
+void
+GfcCodec::compressF32Into(const float *data, std::uint64_t count,
+                          CompressedBlock &out) const
+{
+    compressIntoImpl(data, count, warpSize_, segments_, out);
 }
 
 void

@@ -115,6 +115,23 @@ class GfcCodec
     CompressedBlock compressAmpsF32(const Amp *data,
                                     std::uint64_t count) const;
 
+    /**
+     * In-place variant of compress: encode into @p out, reusing its
+     * byte buffer's capacity. The repeated store/evict cycles of the
+     * compressed-resident chunk storage lean on this to avoid a fresh
+     * stream allocation per eviction.
+     */
+    void compressInto(const double *data, std::uint64_t count,
+                      CompressedBlock &out) const;
+
+    /** In-place variant of compressAmps. */
+    void compressAmpsInto(const Amp *data, std::uint64_t count,
+                          CompressedBlock &out) const;
+
+    /** In-place variant of compressF32. */
+    void compressF32Into(const float *data, std::uint64_t count,
+                         CompressedBlock &out) const;
+
     /** Decompress an fp32-lane block into numDoubles floats. */
     void decompressF32(const CompressedBlock &block, float *out) const;
 

@@ -27,7 +27,13 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
     const int n = circuit.numQubits();
     const int chunk_bits = baseChunkBits(n);
 
-    ChunkedStateVector state(n, chunk_bits);
+    // Transfer faults apply to the baseline's bus traffic too: the
+    // initial load, the per-gate reactive exchanges, and the final
+    // drain all retry under the shared bounded-retry policy.
+    FaultInjector injector(FaultSpec::resolve(options().faultSpec),
+                           options().faultSeed);
+    ChunkedStateVector state(n, chunk_bits,
+                             makeStorageConfig(options(), &injector));
     if (options().precision != Precision::f64)
         state.setPrecision(options().precision,
                            options().adaptiveThreshold);
@@ -39,6 +45,9 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
 
     // Static allocation (sched/shard.hh): device d owns a contiguous
     // range bounded by its memory; the remainder stays host-resident.
+    // No device map is set for eviction: capacity-limited maps leave
+    // overflow chunks on the host (kHost), so the balanced-share
+    // heuristic would be meaningless here.
     std::vector<Index> caps(m.numDevices());
     for (int d = 0; d < m.numDevices(); ++d)
         caps[d] = m.device(d).spec().memBytes / chunk_bytes;
@@ -49,12 +58,6 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
     stats.set("chunks.on_device",
               static_cast<double>(num_chunks - host_chunks));
     stats.set("chunks.on_host", static_cast<double>(host_chunks));
-
-    // Transfer faults apply to the baseline's bus traffic too: the
-    // initial load, the per-gate reactive exchanges, and the final
-    // drain all retry under the shared bounded-retry policy.
-    FaultInjector injector(FaultSpec::resolve(options().faultSpec),
-                           options().faultSeed);
     const int retries = options().transferRetries;
 
     // Initial load of the static device region.
@@ -350,6 +353,7 @@ BaselineEngine::execute(const Circuit &circuit, RunResult &result)
     // scheduling a zero-length marker.
     m.host().compute().schedule(prev_end, 0.0);
 
+    exportStorageStats(state, stats);
     return state.toFlat();
 }
 

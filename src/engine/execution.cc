@@ -6,11 +6,59 @@
 #include "common/bits.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
+#include "fault/injector.hh"
 #include "fault/integrity.hh"
+#include "statevec/chunked.hh"
 #include "statevec/kernel_dispatch.hh"
 
 namespace qgpu
 {
+
+StorageConfig
+makeStorageConfig(const ExecOptions &options, FaultInjector *injector)
+{
+    StorageConfig cfg;
+    cfg.kind = options.storage;
+    cfg.workingSetChunks = options.workingSetChunks;
+    cfg.spillDir = options.spillDir;
+    cfg.injector = injector;
+    cfg.retries = options.transferRetries;
+    return cfg;
+}
+
+void
+exportStorageStats(const ChunkedStateVector &state, StatSet &stats)
+{
+    if (!state.boundedStorage())
+        return;
+    const StorageStats s = state.storageStats();
+    stats.set(statkeys::storageCold,
+              static_cast<double>(s.coldChunks));
+    stats.set(statkeys::storageEvictions,
+              static_cast<double>(s.evictions));
+    stats.set(statkeys::storageHits,
+              static_cast<double>(s.decompressHits));
+    stats.set(statkeys::storageMisses,
+              static_cast<double>(s.decompressMisses));
+    stats.set(statkeys::storageZeroFills,
+              static_cast<double>(s.zeroFills));
+    stats.set(statkeys::storageResidentBytes,
+              static_cast<double>(s.residentBytes));
+    stats.set(statkeys::storageColdBytes,
+              static_cast<double>(s.coldBytes));
+    stats.set(statkeys::storageSpillBytes,
+              static_cast<double>(s.spillBytes));
+    stats.set(statkeys::storagePeakBytes,
+              static_cast<double>(s.peakHostBytes));
+    stats.set(statkeys::storageVerified,
+              static_cast<double>(s.verified));
+    stats.set(statkeys::storageRetries,
+              static_cast<double>(s.retries));
+    stats.set(statkeys::storageRawFallbacks,
+              static_cast<double>(s.rawFallbacks));
+    stats.set(statkeys::storageWorkingSet,
+              static_cast<double>(s.workingSet));
+}
 
 bool
 ExecOptions::defaultFastMath()
@@ -108,12 +156,14 @@ ExecutionEngine::run(const Circuit &circuit)
     result.totalTime = horizon;
     stats.set(statkeys::totalTime, result.totalTime);
 
-    // Mirror the per-run integrity counters into the process-wide
-    // registry so long-lived processes can watch corruption/recovery
-    // rates without keeping RunResults alive.
+    // Mirror the per-run integrity and storage counters into the
+    // process-wide registry so long-lived processes can watch
+    // corruption/recovery and working-set behavior without keeping
+    // RunResults alive.
     auto &registry = MetricsRegistry::global();
     for (const auto &name : stats.names()) {
-        if (name.rfind("integrity.", 0) == 0 &&
+        if ((name.rfind("integrity.", 0) == 0 ||
+             name.rfind("storage.", 0) == 0) &&
             stats.get(name) != 0.0) {
             registry.add(name, stats.get(name));
         }

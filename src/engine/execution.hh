@@ -23,10 +23,14 @@
 #include "reorder/reorder.hh"
 #include "sim/machine.hh"
 #include "sim/timeline.hh"
+#include "statevec/chunk_storage.hh"
 #include "statevec/state_vector.hh"
 
 namespace qgpu
 {
+
+class ChunkedStateVector;
+class FaultInjector;
 
 /** Canonical stat keys every engine reports (others may be added). */
 namespace statkeys
@@ -58,6 +62,36 @@ inline constexpr const char *exchangePhases = "exchange.phases";
 inline constexpr const char *exchangeBytes = "exchange.bytes";
 /** Chunk payloads moved over peer links. */
 inline constexpr const char *exchangeChunks = "exchange.chunks";
+/** Chunks held by the cold backend at the end of the run. */
+inline constexpr const char *storageCold = "storage.compressed_chunks";
+/** Working-set evictions performed. */
+inline constexpr const char *storageEvictions = "storage.evictions";
+/** Chunk accesses served by an already-resident slot. */
+inline constexpr const char *storageHits = "storage.decompress_hits";
+/** Chunk accesses that decoded from the cold backend. */
+inline constexpr const char *storageMisses =
+    "storage.decompress_misses";
+/** Refills served by zero-filling an elided chunk. */
+inline constexpr const char *storageZeroFills = "storage.zero_fills";
+/** Bytes of decompressed resident slots at the end of the run. */
+inline constexpr const char *storageResidentBytes =
+    "storage.resident_bytes";
+/** Host bytes of cold compressed streams at the end of the run. */
+inline constexpr const char *storageColdBytes = "storage.cold_bytes";
+/** Scratch-file bytes held by the spill backend. */
+inline constexpr const char *storageSpillBytes = "storage.spill_bytes";
+/** High-water mark of resident + cold host bytes. */
+inline constexpr const char *storagePeakBytes =
+    "storage.peak_host_bytes";
+/** Payload checksums verified after decodes. */
+inline constexpr const char *storageVerified = "storage.verified";
+/** Eviction-write verification retries (armed codec faults). */
+inline constexpr const char *storageRetries = "storage.retries";
+/** Evictions degraded to raw payloads (armed alloc faults). */
+inline constexpr const char *storageRawFallbacks =
+    "storage.fallback_raw";
+/** Configured working-set bound, in chunks. */
+inline constexpr const char *storageWorkingSet = "storage.working_set";
 } // namespace statkeys
 
 /** Tunables shared by the engines. */
@@ -178,10 +212,46 @@ struct ExecOptions
      */
     double adaptiveThreshold = 1e-6;
 
+    /**
+     * Chunk storage backend for the authoritative host state
+     * (statevec/chunk_storage.hh). Raw keeps every chunk
+     * decompressed (today's behavior); Compressed / Spill bound the
+     * decompressed working set and keep cold chunks GFC-encoded in
+     * host memory / paged to a scratch file — bit-identical results,
+     * several extra qubits at equal host RAM.
+     */
+    StorageKind storage = StorageKind::Raw;
+
+    /**
+     * Working-set bound in chunks for non-raw storage (0 = auto: a
+     * quarter of host RAM; see StorageConfig::workingSetChunks).
+     */
+    Index workingSetChunks = 0;
+
+    /** Scratch directory for the spill backend ("" = $TMPDIR, /tmp). */
+    std::string spillDir;
+
     /** True when QGPU_FAST_MATH is set to a non-empty, non-"0" value
      *  in the environment (read once per process). */
     static bool defaultFastMath();
 };
+
+/**
+ * The StorageConfig an engine's state should run under: the options'
+ * backend/bound plus the run's fault injector (codec/alloc points
+ * reach eviction and refill) and retry budget.
+ */
+StorageConfig makeStorageConfig(const ExecOptions &options,
+                                FaultInjector *injector);
+
+/**
+ * Export the state's storage.* counters into @p stats (no-op under
+ * raw storage). Engines call this right before flattening the final
+ * state; ExecutionEngine::run mirrors the family into the global
+ * MetricsRegistry.
+ */
+void exportStorageStats(const ChunkedStateVector &state,
+                        StatSet &stats);
 
 /** Outcome of one engine run. */
 struct RunResult

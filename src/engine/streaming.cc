@@ -103,17 +103,19 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
     int chunk_bits =
         dynamic ? mask.dynamicChunkBits(min_bits, base_bits)
                 : base_bits;
-    ChunkedStateVector state(n, chunk_bits);
-    if (options().precision != Precision::f64)
-        state.setPrecision(options().precision,
-                           options().adaptiveThreshold);
-
     // Fault injection + chunk integrity (fault/integrity.hh). The
     // compressed sidecar — a real GFC roundtrip per shipped chunk —
     // is only armed when payload faults are, so a fault-free
-    // --verify-chunks run pays for checksums alone.
+    // --verify-chunks run pays for checksums alone. Built before the
+    // state so bounded storage can route its codec/alloc faults
+    // through the same injector.
     FaultInjector injector(FaultSpec::resolve(options().faultSpec),
                            options().faultSeed);
+    ChunkedStateVector state(n, chunk_bits,
+                             makeStorageConfig(options(), &injector));
+    if (options().precision != Precision::f64)
+        state.setPrecision(options().precision,
+                           options().adaptiveThreshold);
     const bool payload_faults =
         injector.enabled(FaultPoint::Codec) ||
         injector.enabled(FaultPoint::Alloc);
@@ -557,6 +559,7 @@ StreamingEngine::execute(const Circuit &circuit, RunResult &result)
     if (state.precision() == Precision::adaptive)
         stats.set("precision.promoted_chunks",
                   static_cast<double>(state.promotedChunks()));
+    exportStorageStats(state, stats);
     return state.toFlat();
 }
 
@@ -574,17 +577,17 @@ StreamingEngine::executeResident(const Circuit &circuit,
     const double per_amp_bytes =
         2.0 * static_cast<double>(ampStoredBytes(narrow));
 
-    ChunkedStateVector state(n, chunk_bits);
-    if (options().precision != Precision::f64)
-        state.setPrecision(options().precision,
-                           options().adaptiveThreshold);
-    InvolvementMask mask(n, options().involvement);
-
     // The resident path moves the state across the bus exactly twice;
     // transfer faults still apply to both bulk transfers (per-chunk
     // integrity bookkeeping is a streaming-path concern).
     FaultInjector injector(FaultSpec::resolve(options().faultSpec),
                            options().faultSeed);
+    ChunkedStateVector state(n, chunk_bits,
+                             makeStorageConfig(options(), &injector));
+    if (options().precision != Precision::f64)
+        state.setPrecision(options().precision,
+                           options().adaptiveThreshold);
+    InvolvementMask mask(n, options().involvement);
     const int retries = options().transferRetries;
 
     // One bulk upload, kernels only, one bulk download. The bulk
@@ -682,6 +685,7 @@ StreamingEngine::executeResident(const Circuit &circuit,
     if (state.precision() == Precision::adaptive)
         stats.set("precision.promoted_chunks",
                   static_cast<double>(state.promotedChunks()));
+    exportStorageStats(state, stats);
     return state.toFlat();
 }
 
@@ -703,15 +707,18 @@ StreamingEngine::executeSharded(const Circuit &circuit,
     // base size (a rechunk would re-shard the whole state, costing the
     // very all-to-all the top-bit split avoids), and exchanges ship
     // raw chunks — at NVLink-class peer bandwidth the codec is a loss.
-    ChunkedStateVector state(n, chunk_bits);
+    FaultInjector injector(FaultSpec::resolve(options().faultSpec),
+                           options().faultSeed);
+    ChunkedStateVector state(n, chunk_bits,
+                             makeStorageConfig(options(), &injector));
     if (options().precision != Precision::f64)
         state.setPrecision(options().precision,
                            options().adaptiveThreshold);
     const ShardMap shard(state.numChunks(), num_devs);
+    // Shard-balanced eviction: the residency layer prefers victims
+    // from devices holding at least their balanced share.
+    state.setDeviceMap(shard.deviceTable());
     InvolvementMask mask(n, options().involvement);
-
-    FaultInjector injector(FaultSpec::resolve(options().faultSpec),
-                           options().faultSeed);
     const int retries = options().transferRetries;
     const bool payload_faults =
         injector.enabled(FaultPoint::Codec) ||
@@ -999,6 +1006,7 @@ StreamingEngine::executeSharded(const Circuit &circuit,
     if (state.precision() == Precision::adaptive)
         stats.set("precision.promoted_chunks",
                   static_cast<double>(state.promotedChunks()));
+    exportStorageStats(state, stats);
     return state.toFlat();
 }
 

@@ -95,6 +95,16 @@ ShardMap::device(Index c) const
     return static_cast<int>(it - begin_.begin()) - 1;
 }
 
+std::vector<int>
+ShardMap::deviceTable() const
+{
+    std::vector<int> table(numChunks_, kHost);
+    for (int d = 0; d < numDevices(); ++d)
+        for (Index c = begin_[d]; c < begin_[d + 1]; ++c)
+            table[c] = d;
+    return table;
+}
+
 bool
 ShardMap::bitIsCross(int bit) const
 {

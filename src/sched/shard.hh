@@ -95,6 +95,14 @@ class ShardMap
     /** Owner of chunk @p c: a device id, or kHost. */
     int device(Index c) const;
 
+    /**
+     * Dense per-chunk owner table (device(c) for every chunk; kHost
+     * entries for a capacity-limited remainder). The form the
+     * residency layer's shard-balanced eviction consumes
+     * (ChunkResidency::setDeviceMap).
+     */
+    std::vector<int> deviceTable() const;
+
     Index ownedBegin(int dev) const { return begin_[dev]; }
     Index ownedEnd(int dev) const { return begin_[dev + 1]; }
     Index ownedCount(int dev) const

@@ -303,6 +303,100 @@ buildSweepOps(std::span<const Gate> gates, const std::vector<int> &G,
     return ops;
 }
 
+/**
+ * Chunks the engine's predicate cannot prove zero. Under bounded
+ * storage these are exactly the chunks that must be materialized and
+ * processed: kernels may write -0.0 into a value-zero chunk, so
+ * skipping a chunk the raw path would touch could diverge by sign
+ * bits.
+ */
+std::vector<Index>
+liveChunks(const ChunkedStateVector &state, const ZeroPredicate &zero)
+{
+    std::vector<Index> live;
+    live.reserve(state.numChunks());
+    for (Index c = 0; c < state.numChunks(); ++c)
+        if (!(zero && zero(c)))
+            live.push_back(c);
+    return live;
+}
+
+/** Groups with at least one live member (all groups without a
+ *  predicate), matching the skip decision of the unbounded path. */
+std::vector<Index>
+liveGroups(const GatePlan &plan, const ZeroPredicate &zero)
+{
+    std::vector<Index> out;
+    out.reserve(plan.numGroups());
+    std::vector<Index> members;
+    for (Index g = 0; g < plan.numGroups(); ++g) {
+        if (zero) {
+            plan.membersInto(g, members);
+            if (std::all_of(members.begin(), members.end(),
+                            [&zero](Index c) { return zero(c); }))
+                continue;
+        }
+        out.push_back(g);
+    }
+    return out;
+}
+
+/**
+ * Pinned-block pipeline over @p items for bounded-storage states:
+ * each block's chunks (expand() appends an item's chunks) are pinned
+ * before processing, and the NEXT block's refills are issued
+ * asynchronously on the pool while the current block computes — the
+ * sweep-aware prefetch that overlaps decompression with kernel work.
+ * Pinned chunks are never evicted, so parallel workers only ever see
+ * stable resident slots. A block may transiently overshoot the
+ * working-set budget when a single item spans more chunks than the
+ * budget allows; correctness is unaffected (the overshoot drains as
+ * soon as the block unpins).
+ */
+template <typename Expand, typename Process>
+void
+runPinnedBlocks(ChunkResidency &res, std::span<const Index> items,
+                Index items_per_block, Expand &&expand,
+                Process &&process)
+{
+    if (items.empty())
+        return;
+    const auto block = static_cast<std::size_t>(items_per_block);
+    std::vector<Index> cur_chunks, next_chunks;
+    const auto collect = [&](std::size_t lo, std::size_t n,
+                             std::vector<Index> &out) {
+        out.clear();
+        for (std::size_t i = lo; i < lo + n; ++i)
+            expand(items[i], out);
+    };
+    std::size_t at = 0;
+    std::size_t cur_n = std::min(block, items.size());
+    collect(0, cur_n, cur_chunks);
+    res.pin(cur_chunks);
+    while (at < items.size()) {
+        const std::size_t next_n =
+            std::min(block, items.size() - at - cur_n);
+        if (next_n > 0) {
+            collect(at + cur_n, next_n, next_chunks);
+            res.pinAsync(next_chunks);
+        }
+        process(items.subspan(at, cur_n));
+        res.unpin(cur_chunks);
+        if (next_n > 0)
+            res.waitPins();
+        at += cur_n;
+        cur_n = next_n;
+        std::swap(cur_chunks, next_chunks);
+    }
+}
+
+/** expand() for items that are chunk indices themselves. */
+void
+expandChunk(Index c, std::vector<Index> &out)
+{
+    out.push_back(c);
+}
+
 } // namespace
 
 void
@@ -310,6 +404,7 @@ applyGroup(ChunkedStateVector &state, const Gate &gate,
            const GatePlan &plan, Index group)
 {
     if (plan.perChunk()) {
+        // state.chunk() materializes on demand (serial path).
         if (gate.isDiagonal())
             applyDiagToChunk(state, gate.matrix(), gate.qubits,
                              group);
@@ -319,9 +414,13 @@ applyGroup(ChunkedStateVector &state, const Gate &gate,
     }
     GroupScratch scratch;
     plan.membersInto(group, scratch.members);
+    if (state.boundedStorage())
+        state.residency()->pin(scratch.members);
     const Gate remapped = remapGateForGroup(gate, plan.globalBits(),
                                             state.chunkBits());
     applyGroupPrepared(state, makeKernelSpec(remapped), plan, scratch);
+    if (state.boundedStorage())
+        state.residency()->unpin(scratch.members);
 }
 
 void
@@ -331,6 +430,35 @@ applyGroups(ChunkedStateVector &state, const Gate &gate,
     if (groups.empty())
         return;
     const int threads = simThreads();
+    // Bounded storage: make every chunk this batch touches resident
+    // before fanning out (workers must never trigger a refill). The
+    // batch is caller-sized, so no block pipeline here — a batch
+    // larger than the working set transiently overshoots, which is
+    // safe (pinned chunks are never evicted).
+    std::vector<Index> pinned;
+    if (state.boundedStorage()) {
+        if (plan.perChunk()) {
+            pinned.assign(groups.begin(), groups.end());
+        } else {
+            std::vector<Index> members;
+            for (Index g : groups) {
+                plan.membersInto(g, members);
+                pinned.insert(pinned.end(), members.begin(),
+                              members.end());
+            }
+        }
+        state.residency()->pin(pinned);
+    }
+    struct Unpin
+    {
+        ChunkedStateVector &state;
+        const std::vector<Index> &chunks;
+        ~Unpin()
+        {
+            if (!chunks.empty())
+                state.residency()->unpin(chunks);
+        }
+    } unpin{state, pinned};
     if (plan.perChunk()) {
         if (gate.isDiagonal()) {
             const GateMatrix m = gate.matrix();
@@ -397,33 +525,51 @@ applyGateChunked(ChunkedStateVector &state, const Gate &gate,
                    plan.chunksPerGroup(), " chunks");
 
     const int threads = simThreads();
+    const bool bounded = state.boundedStorage();
+    // Run body(chunk) over every live chunk: the plain parallel
+    // fan-out, or (bounded storage) a pinned-block pipeline with
+    // asynchronous prefetch of the next block's refills.
+    const auto for_each_live_chunk = [&](double cost, auto &&body) {
+        if (!bounded) {
+            parallelFor(
+                0, plan.numGroups(), threads,
+                [&](std::uint64_t lo, std::uint64_t hi) {
+                    for (Index g = lo; g < hi; ++g) {
+                        if (zero && zero(g))
+                            continue;
+                        body(g);
+                    }
+                },
+                1, cost);
+            return;
+        }
+        ChunkResidency &res = *state.residency();
+        const std::vector<Index> live = liveChunks(state, zero);
+        runPinnedBlocks(
+            res, live, res.maxPinnedBlock(), expandChunk,
+            [&](std::span<const Index> blk) {
+                parallelFor(
+                    std::size_t{0}, blk.size(), threads,
+                    [&](std::uint64_t lo, std::uint64_t hi) {
+                        for (std::uint64_t i = lo; i < hi; ++i)
+                            body(blk[i]);
+                    },
+                    1, cost);
+            });
+    };
     if (gate.isDiagonal()) {
         const GateMatrix m = gate.matrix();
-        parallelFor(
-            0, plan.numGroups(), threads,
-            [&](std::uint64_t lo, std::uint64_t hi) {
-                for (Index g = lo; g < hi; ++g) {
-                    if (zero && zero(g))
-                        continue;
-                    applyDiagToChunk(state, m, gate.qubits, g);
-                }
-            },
-            1, static_cast<double>(state.chunkSize()));
+        for_each_live_chunk(
+            static_cast<double>(state.chunkSize()), [&](Index g) {
+                applyDiagToChunk(state, m, gate.qubits, g);
+            });
         recordKernelMetrics(diagKindOf(gate.numQubits()),
                             stateSize(state.numQubits()));
     } else if (plan.perChunk()) {
         const KernelSpec spec = makeKernelSpec(gate);
-        parallelFor(
-            0, plan.numGroups(), threads,
-            [&](std::uint64_t lo, std::uint64_t hi) {
-                for (Index g = lo; g < hi; ++g) {
-                    if (zero && zero(g))
-                        continue;
-                    applySpecToChunk(state, spec, g);
-                }
-            },
-            1,
-            static_cast<double>(specAmps(spec, state.chunkBits())));
+        for_each_live_chunk(
+            static_cast<double>(specAmps(spec, state.chunkBits())),
+            [&](Index g) { applySpecToChunk(state, spec, g); });
         recordKernelMetrics(spec.kind,
                             plan.numGroups() *
                                 specAmps(spec, state.chunkBits()));
@@ -434,26 +580,60 @@ applyGateChunked(ChunkedStateVector &state, const Gate &gate,
         const int sub_qubits =
             state.chunkBits() +
             static_cast<int>(plan.globalBits().size());
-        parallelFor(
-            0, plan.numGroups(), threads,
-            [&](std::uint64_t lo, std::uint64_t hi) {
-                GroupScratch scratch;
-                for (Index g = lo; g < hi; ++g) {
-                    // Compute the member list once per group; the
-                    // prune check and the apply below share it.
-                    plan.membersInto(g, scratch.members);
-                    if (zero) {
-                        const bool all_zero = std::all_of(
-                            scratch.members.begin(),
-                            scratch.members.end(),
-                            [&zero](Index c) { return zero(c); });
-                        if (all_zero)
-                            continue;
+        const double cost =
+            static_cast<double>(specAmps(spec, sub_qubits));
+        if (!bounded) {
+            parallelFor(
+                0, plan.numGroups(), threads,
+                [&](std::uint64_t lo, std::uint64_t hi) {
+                    GroupScratch scratch;
+                    for (Index g = lo; g < hi; ++g) {
+                        // Compute the member list once per group; the
+                        // prune check and the apply below share it.
+                        plan.membersInto(g, scratch.members);
+                        if (zero) {
+                            const bool all_zero = std::all_of(
+                                scratch.members.begin(),
+                                scratch.members.end(),
+                                [&zero](Index c) { return zero(c); });
+                            if (all_zero)
+                                continue;
+                        }
+                        applyGroupPrepared(state, spec, plan, scratch);
                     }
-                    applyGroupPrepared(state, spec, plan, scratch);
-                }
-            },
-            1, static_cast<double>(specAmps(spec, sub_qubits)));
+                },
+                1, cost);
+        } else {
+            // Gather/scatter touch every member, so whole groups are
+            // pinned per block (same skip decision as above via
+            // liveGroups).
+            ChunkResidency &res = *state.residency();
+            const std::vector<Index> lg = liveGroups(plan, zero);
+            const Index per_block = std::max<Index>(
+                1, res.maxPinnedBlock() / plan.chunksPerGroup());
+            std::vector<Index> members;
+            runPinnedBlocks(
+                res, lg, per_block,
+                [&](Index g, std::vector<Index> &out) {
+                    plan.membersInto(g, members);
+                    out.insert(out.end(), members.begin(),
+                               members.end());
+                },
+                [&](std::span<const Index> blk) {
+                    parallelFor(
+                        std::size_t{0}, blk.size(), threads,
+                        [&](std::uint64_t lo, std::uint64_t hi) {
+                            GroupScratch scratch;
+                            for (std::uint64_t i = lo; i < hi; ++i) {
+                                plan.membersInto(blk[i],
+                                                 scratch.members);
+                                applyGroupPrepared(state, spec, plan,
+                                                   scratch);
+                            }
+                        },
+                        1, cost);
+                });
+        }
         recordKernelMetrics(spec.kind,
                             plan.numGroups() *
                                 specAmps(spec, sub_qubits));
@@ -511,40 +691,61 @@ applySweepChunked(ChunkedStateVector &state,
                 op_tile_items[i] =
                     kernelWorkItems(ops[i].spec, chunk_bits) /
                     num_tiles;
-        parallelFor(
-            0, state.numChunks(), threads,
-            [&](std::uint64_t lo, std::uint64_t hi) {
-                for (Index c = lo; c < hi; ++c) {
-                    if (zero && zero(c))
+        const auto run_chunk = [&](Index c) {
+            Amp *data = state.chunk(c).data();
+            for (Index t = 0; t < num_tiles; ++t) {
+                const Index a0 = t << tile_bits;
+                for (std::size_t i = 0; i < ops.size(); ++i) {
+                    const SweepOp &op = ops[i];
+                    if (!op.diag) {
+                        const Index per = op_tile_items[i];
+                        applyKernel(op.spec, data, chunk_bits,
+                                    t * per, (t + 1) * per);
                         continue;
-                    Amp *data = state.chunk(c).data();
-                    for (Index t = 0; t < num_tiles; ++t) {
-                        const Index a0 = t << tile_bits;
-                        for (std::size_t i = 0; i < ops.size(); ++i) {
-                            const SweepOp &op = ops[i];
-                            if (!op.diag) {
-                                const Index per = op_tile_items[i];
-                                applyKernel(op.spec, data, chunk_bits,
-                                            t * per, (t + 1) * per);
-                                continue;
-                            }
-                            // op.low bits all fall below tile_bits, so
-                            // slice-local offsets select the same
-                            // diagonal entries as chunk offsets.
-                            int fixed = 0;
-                            for (const auto &[g, j] : op.groupSel)
-                                fixed |= static_cast<int>(
-                                             bits::testBit(c, g))
-                                         << j;
-                            applyDiagFolded(data + a0, tile_amps,
-                                            fixed, op.low, op.dm);
-                        }
                     }
+                    // op.low bits all fall below tile_bits, so
+                    // slice-local offsets select the same
+                    // diagonal entries as chunk offsets.
+                    int fixed = 0;
+                    for (const auto &[g, j] : op.groupSel)
+                        fixed |= static_cast<int>(bits::testBit(c, g))
+                                 << j;
+                    applyDiagFolded(data + a0, tile_amps, fixed,
+                                    op.low, op.dm);
                 }
-            },
-            1,
-            static_cast<double>(ops.size()) *
-                static_cast<double>(chunk_size));
+            }
+        };
+        const double chunk_cost = static_cast<double>(ops.size()) *
+                                  static_cast<double>(chunk_size);
+        if (!state.boundedStorage()) {
+            parallelFor(
+                0, state.numChunks(), threads,
+                [&](std::uint64_t lo, std::uint64_t hi) {
+                    for (Index c = lo; c < hi; ++c) {
+                        if (zero && zero(c))
+                            continue;
+                        run_chunk(c);
+                    }
+                },
+                1, chunk_cost);
+        } else {
+            // Bounded storage: pin a working-set-sized block of live
+            // chunks, compute it in parallel, and prefetch the next
+            // block's refills on the pool meanwhile.
+            ChunkResidency &res = *state.residency();
+            const std::vector<Index> live = liveChunks(state, zero);
+            runPinnedBlocks(
+                res, live, res.maxPinnedBlock(), expandChunk,
+                [&](std::span<const Index> blk) {
+                    parallelFor(
+                        std::size_t{0}, blk.size(), threads,
+                        [&](std::uint64_t lo, std::uint64_t hi) {
+                            for (std::uint64_t i = lo; i < hi; ++i)
+                                run_chunk(blk[i]);
+                        },
+                        1, chunk_cost);
+                });
+        }
     } else {
         const GatePlan plan(global_bits, num_qubits, chunk_bits);
         if (plan.numGroups() *
@@ -557,80 +758,109 @@ applySweepChunked(ChunkedStateVector &state,
         const int sub_qubits =
             chunk_bits + static_cast<int>(global_bits.size());
         const int span = plan.chunksPerGroup();
-        parallelFor(
-            0, plan.numGroups(), threads,
-            [&](std::uint64_t lo, std::uint64_t hi) {
-                GroupScratch scratch;
-                std::vector<char> live;
-                for (Index g = lo; g < hi; ++g) {
-                    plan.membersInto(g, scratch.members);
-                    // Per-member liveness, computed once: the mask
-                    // behind `zero` is constant across a sweep, and
-                    // skip decisions must match gate-by-gate exactly
-                    // (writing to a provably-zero chunk could flip
-                    // signed-zero bits).
-                    bool any_live = true;
-                    if (zero) {
-                        live.assign(span, 0);
-                        any_live = false;
-                        for (int m = 0; m < span; ++m)
-                            if (!zero(scratch.members[m])) {
-                                live[m] = 1;
-                                any_live = true;
-                            }
+        const auto run_group = [&](Index g, GroupScratch &scratch,
+                                   std::vector<char> &live) {
+            plan.membersInto(g, scratch.members);
+            // Per-member liveness, computed once: the mask
+            // behind `zero` is constant across a sweep, and
+            // skip decisions must match gate-by-gate exactly
+            // (writing to a provably-zero chunk could flip
+            // signed-zero bits).
+            bool any_live = true;
+            if (zero) {
+                live.assign(span, 0);
+                any_live = false;
+                for (int m = 0; m < span; ++m)
+                    if (!zero(scratch.members[m])) {
+                        live[m] = 1;
+                        any_live = true;
                     }
-                    if (!any_live)
-                        continue;
-                    prepareGathered(scratch, stateSize(sub_qubits));
-                    state.gatherChunks(scratch.members,
-                                       scratch.gathered.data());
-                    Amp *reg = scratch.gathered.data();
-                    for (const SweepOp &op : ops) {
-                        if (op.cross) {
-                            // Whole gathered register, exactly like
-                            // gate-by-gate's group apply (which runs
-                            // when any member is live).
-                            applyKernel(op.spec, reg, sub_qubits);
-                            continue;
-                        }
-                        if (!op.diag) {
-                            for (int m = 0; m < span; ++m) {
-                                if (zero && !live[m])
-                                    continue;
-                                applyKernel(op.spec,
-                                            reg + m * chunk_size,
-                                            chunk_bits);
-                            }
-                            continue;
-                        }
-                        int group_fixed = 0;
-                        for (const auto &[gb, j] : op.groupSel)
-                            group_fixed |= static_cast<int>(bits::testBit(
-                                               scratch.members[0], gb))
-                                           << j;
-                        for (int m = 0; m < span; ++m) {
-                            if (zero && !live[m])
-                                continue;
-                            int fixed = group_fixed;
-                            for (const auto &[p, j] : op.memberSel)
-                                fixed |= static_cast<int>(bits::testBit(
-                                             static_cast<std::uint64_t>(
-                                                 m),
-                                             p))
-                                         << j;
-                            applyDiagFolded(reg + m * chunk_size,
-                                            chunk_size, fixed, op.low,
-                                            op.dm);
-                        }
-                    }
-                    state.scatterChunks(scratch.members,
-                                        scratch.gathered.data());
+            }
+            if (!any_live)
+                return;
+            prepareGathered(scratch, stateSize(sub_qubits));
+            state.gatherChunks(scratch.members,
+                               scratch.gathered.data());
+            Amp *reg = scratch.gathered.data();
+            for (const SweepOp &op : ops) {
+                if (op.cross) {
+                    // Whole gathered register, exactly like
+                    // gate-by-gate's group apply (which runs
+                    // when any member is live).
+                    applyKernel(op.spec, reg, sub_qubits);
+                    continue;
                 }
-            },
-            1,
-            static_cast<double>(ops.size()) *
-                static_cast<double>(chunk_size) *
-                static_cast<double>(span));
+                if (!op.diag) {
+                    for (int m = 0; m < span; ++m) {
+                        if (zero && !live[m])
+                            continue;
+                        applyKernel(op.spec, reg + m * chunk_size,
+                                    chunk_bits);
+                    }
+                    continue;
+                }
+                int group_fixed = 0;
+                for (const auto &[gb, j] : op.groupSel)
+                    group_fixed |= static_cast<int>(bits::testBit(
+                                       scratch.members[0], gb))
+                                   << j;
+                for (int m = 0; m < span; ++m) {
+                    if (zero && !live[m])
+                        continue;
+                    int fixed = group_fixed;
+                    for (const auto &[p, j] : op.memberSel)
+                        fixed |= static_cast<int>(bits::testBit(
+                                     static_cast<std::uint64_t>(m), p))
+                                 << j;
+                    applyDiagFolded(reg + m * chunk_size, chunk_size,
+                                    fixed, op.low, op.dm);
+                }
+            }
+            state.scatterChunks(scratch.members,
+                                scratch.gathered.data());
+        };
+        const double group_cost = static_cast<double>(ops.size()) *
+                                  static_cast<double>(chunk_size) *
+                                  static_cast<double>(span);
+        if (!state.boundedStorage()) {
+            parallelFor(
+                0, plan.numGroups(), threads,
+                [&](std::uint64_t lo, std::uint64_t hi) {
+                    GroupScratch scratch;
+                    std::vector<char> live;
+                    for (Index g = lo; g < hi; ++g)
+                        run_group(g, scratch, live);
+                },
+                1, group_cost);
+        } else {
+            // Bounded storage: gather/scatter touch every member of a
+            // group, so whole groups are pinned per block (all
+            // members, dead ones included — a Zero chunk zero-fills
+            // to exactly the bytes the raw path holds).
+            ChunkResidency &res = *state.residency();
+            const std::vector<Index> lg = liveGroups(plan, zero);
+            const Index per_block =
+                std::max<Index>(1, res.maxPinnedBlock() / span);
+            std::vector<Index> members;
+            runPinnedBlocks(
+                res, lg, per_block,
+                [&](Index g, std::vector<Index> &out) {
+                    plan.membersInto(g, members);
+                    out.insert(out.end(), members.begin(),
+                               members.end());
+                },
+                [&](std::span<const Index> blk) {
+                    parallelFor(
+                        std::size_t{0}, blk.size(), threads,
+                        [&](std::uint64_t lo, std::uint64_t hi) {
+                            GroupScratch scratch;
+                            std::vector<char> live;
+                            for (std::uint64_t i = lo; i < hi; ++i)
+                                run_group(blk[i], scratch, live);
+                        },
+                        1, group_cost);
+                });
+        }
     }
 
     // Kernel counters once per gate per sweep, with the same modeled

@@ -20,6 +20,49 @@ ChunkedStateVector::ChunkedStateVector(int num_qubits, int chunk_bits)
     chunks_[0][0] = Amp{1, 0};
 }
 
+ChunkedStateVector::ChunkedStateVector(int num_qubits, int chunk_bits,
+                                       const StorageConfig &storage)
+    : numQubits_(num_qubits), chunkBits_(chunk_bits),
+      storageCfg_(storage)
+{
+    if (chunk_bits < 0 || chunk_bits > num_qubits)
+        QGPU_FATAL("chunk bits ", chunk_bits, " outside [0, ",
+                   num_qubits, "]");
+    if (storage.kind == StorageKind::Raw) {
+        chunks_.assign(numChunks(),
+                       std::vector<Amp>(chunkSize(), Amp{0, 0}));
+        chunks_[0][0] = Amp{1, 0};
+        return;
+    }
+    // Bounded storage: every chunk starts elided (known zero); only
+    // chunk 0 is materialized to hold the |0...0> amplitude. The full
+    // register is never allocated at once.
+    chunks_.assign(numChunks(), std::vector<Amp>{});
+    setupResidency();
+    residency_->ensure(0);
+    chunks_[0][0] = Amp{1, 0};
+}
+
+void
+ChunkedStateVector::setupResidency()
+{
+    residency_ = std::make_unique<ChunkResidency>(
+        storageCfg_, numChunks(), chunkSize(), chunks_);
+}
+
+void
+ChunkedStateVector::configureStorage(const StorageConfig &storage)
+{
+    if (residency_) {
+        residency_->materializeAll();
+        residency_.reset();
+    }
+    storageCfg_ = storage;
+    if (storage.kind == StorageKind::Raw)
+        return;
+    setupResidency();
+}
+
 void
 ChunkedStateVector::rechunk(int new_bits)
 {
@@ -28,6 +71,17 @@ ChunkedStateVector::rechunk(int new_bits)
     if (new_bits < 0 || new_bits > numQubits_)
         QGPU_FATAL("chunk bits ", new_bits, " outside [0, ",
                    numQubits_, "]");
+
+    // Re-partitioning permutes amplitudes across chunk boundaries;
+    // under bounded storage the simplest bit-identical route is to
+    // transiently materialize everything, re-partition raw, and
+    // re-scan into the new chunk geometry (enforcing the budget
+    // again at the end).
+    const bool bounded = residency_ != nullptr;
+    if (bounded) {
+        residency_->materializeAll();
+        residency_.reset();
+    }
 
     const Index new_count = Index{1} << (numQubits_ - new_bits);
     const Index new_size = Index{1} << new_bits;
@@ -41,11 +95,16 @@ ChunkedStateVector::rechunk(int new_bits)
     // Amplitudes in fp32 lanes are already rounded, so no re-quantize
     // is needed (rounding is idempotent).
     retagChunks();
+    if (bounded)
+        setupResidency();
 }
 
 bool
 ChunkedStateVector::chunkIsZero(Index c) const
 {
+    if (residency_ &&
+        residency_->stateOf(c) != ChunkResidency::State::Resident)
+        return residency_->knownZero(c);
     for (const Amp &a : chunks_[c])
         if (a != Amp{0, 0})
             return false;
@@ -77,6 +136,13 @@ StateVector
 ChunkedStateVector::toFlat() const
 {
     StateVector out(numQubits_);
+    if (residency_) {
+        // Chunk-wise, without residency churn: cold chunks decode
+        // straight into the flat buffer and stay cold.
+        for (Index c = 0; c < numChunks(); ++c)
+            residency_->readChunk(c, &out[c << chunkBits_]);
+        return out;
+    }
     for (Index i = 0; i < stateSize(numQubits_); ++i)
         out[i] = amp(i);
     return out;
@@ -88,6 +154,11 @@ ChunkedStateVector::fromFlat(const StateVector &state)
     if (state.numQubits() != numQubits_)
         QGPU_PANIC("flat state register ", state.numQubits(),
                    " != chunked register ", numQubits_);
+    if (residency_) {
+        for (Index c = 0; c < numChunks(); ++c)
+            residency_->writeChunk(c, &state[c << chunkBits_]);
+        return;
+    }
     for (Index i = 0; i < stateSize(numQubits_); ++i)
         amp(i) = state[i];
 }
@@ -96,6 +167,26 @@ double
 ChunkedStateVector::norm() const
 {
     double sum = 0.0;
+    if (residency_) {
+        std::vector<Amp> scratch;
+        for (Index c = 0; c < numChunks(); ++c) {
+            using State = ChunkResidency::State;
+            const State s = residency_->stateOf(c);
+            if (s == State::Zero)
+                continue;
+            const Amp *data;
+            if (s == State::Resident) {
+                data = chunks_[c].data();
+            } else {
+                scratch.resize(chunkSize());
+                residency_->readChunk(c, scratch.data());
+                data = scratch.data();
+            }
+            for (Index i = 0; i < chunkSize(); ++i)
+                sum += std::norm(data[i]);
+        }
+        return sum;
+    }
     for (const auto &c : chunks_)
         for (const Amp &a : c)
             sum += std::norm(a);
@@ -136,6 +227,40 @@ ChunkedStateVector::refreshPrecision()
 {
     if (precision_ == Precision::f64) {
         chunkF32_.clear();
+        return;
+    }
+    if (residency_) {
+        // Per chunk: materialize (cold chunks round-trip losslessly,
+        // so tags are still decided on pre-quantize values), re-tag,
+        // then round fp32-lane chunks in place. Interleaving chunks
+        // is bit-identical to the raw two-phase path because tag and
+        // rounding are pure per-chunk functions. Known-zero chunks
+        // skip materialization outright: their tag is what a zero
+        // scan yields and rounding zeros is the identity.
+        chunkF32_.assign(numChunks(), 1);
+        for (Index c = 0; c < numChunks(); ++c) {
+            if (residency_->stateOf(c) !=
+                    ChunkResidency::State::Resident &&
+                residency_->knownZero(c)) {
+                if (precision_ == Precision::adaptive)
+                    chunkF32_[c] = 0;
+                continue;
+            }
+            double *raw = reinterpret_cast<double *>(chunk(c).data());
+            const Index lanes = 2 * chunkSize();
+            if (precision_ == Precision::adaptive) {
+                double max_mag = 0.0;
+                for (Index i = 0; i < lanes; ++i)
+                    max_mag = std::max(max_mag, std::abs(raw[i]));
+                if (max_mag < promoteThreshold_) {
+                    chunkF32_[c] = 0;
+                    continue;
+                }
+            }
+            for (Index i = 0; i < lanes; ++i)
+                raw[i] =
+                    static_cast<double>(static_cast<float>(raw[i]));
+        }
         return;
     }
     retagChunks();

@@ -9,11 +9,13 @@
 #ifndef QGPU_STATEVEC_CHUNKED_HH
 #define QGPU_STATEVEC_CHUNKED_HH
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/bits.hh"
 #include "common/types.hh"
+#include "statevec/chunk_storage.hh"
 #include "statevec/state_vector.hh"
 
 namespace qgpu
@@ -28,6 +30,21 @@ class ChunkedStateVector
   public:
     /** Initialize to |0...0>. */
     ChunkedStateVector(int num_qubits, int chunk_bits);
+
+    /**
+     * Initialize to |0...0> under the given storage policy. Non-raw
+     * kinds never materialize the full register: all chunks start
+     * elided (known zero) and only the working set is ever
+     * decompressed at once — the memory headroom the compressed /
+     * spill backends exist for.
+     */
+    ChunkedStateVector(int num_qubits, int chunk_bits,
+                       const StorageConfig &storage);
+
+    // The residency manager points back at this object's chunk slots,
+    // so the state is pinned in place.
+    ChunkedStateVector(const ChunkedStateVector &) = delete;
+    ChunkedStateVector &operator=(const ChunkedStateVector &) = delete;
 
     int numQubits() const { return numQubits_; }
     int chunkBits() const { return chunkBits_; }
@@ -49,14 +66,34 @@ class ChunkedStateVector
                                   : ampBytes);
     }
 
-    std::vector<Amp> &chunk(Index c) { return chunks_[c]; }
-    const std::vector<Amp> &chunk(Index c) const { return chunks_[c]; }
+    /**
+     * Direct chunk access. Under bounded storage a non-resident chunk
+     * is made resident first (scheduling thread only — parallel
+     * workers must touch pinned chunks exclusively, which are always
+     * resident); the empty-slot check makes resident access free.
+     */
+    std::vector<Amp> &chunk(Index c)
+    {
+        if (residency_ && chunks_[c].empty())
+            residency_->ensure(c);
+        return chunks_[c];
+    }
+    const std::vector<Amp> &chunk(Index c) const
+    {
+        if (residency_ && chunks_[c].empty())
+            residency_->ensure(c);
+        return chunks_[c];
+    }
 
     /** Global amplitude accessor. */
     Amp &amp(Index i)
-    { return chunks_[i >> chunkBits_][i & bits::lowMask(chunkBits_)]; }
+    {
+        return chunk(i >> chunkBits_)[i & bits::lowMask(chunkBits_)];
+    }
     const Amp &amp(Index i) const
-    { return chunks_[i >> chunkBits_][i & bits::lowMask(chunkBits_)]; }
+    {
+        return chunk(i >> chunkBits_)[i & bits::lowMask(chunkBits_)];
+    }
 
     /**
      * Re-partition into chunks of @p new_bits amplitudes. Used by the
@@ -136,8 +173,38 @@ class ChunkedStateVector
      *  (0 outside adaptive mode). */
     Index promotedChunks() const;
 
+    /** True when a bounded (non-raw) storage backend is active. */
+    bool boundedStorage() const { return residency_ != nullptr; }
+
+    /** The residency manager (nullptr under raw storage). Sweep
+     *  executors use it to pin the chunk blocks they work on. */
+    ChunkResidency *residency() const { return residency_.get(); }
+
+    /**
+     * Switch the storage policy of an existing state. Leaving raw
+     * scans current chunks (byte-zero ones are elided) and evicts
+     * down to the working-set bound; returning to raw materializes
+     * everything.
+     */
+    void configureStorage(const StorageConfig &storage);
+
+    /** Per-chunk owning device for shard-balanced eviction
+     *  (no-op under raw storage). */
+    void setDeviceMap(std::vector<int> device_of)
+    {
+        if (residency_)
+            residency_->setDeviceMap(std::move(device_of));
+    }
+
+    /** Storage counters (all zero under raw storage). */
+    StorageStats storageStats() const
+    {
+        return residency_ ? residency_->stats() : StorageStats{};
+    }
+
   private:
     void retagChunks();
+    void setupResidency();
 
     int numQubits_;
     int chunkBits_;
@@ -146,6 +213,10 @@ class ChunkedStateVector
     double promoteThreshold_ = 1e-6;
     /** Per-chunk lane tag (1 = fp32); empty in f64 mode. */
     std::vector<std::uint8_t> chunkF32_;
+    StorageConfig storageCfg_;
+    /** Present only under bounded storage; declared last so it is
+     *  destroyed before the chunk slots it references. */
+    std::unique_ptr<ChunkResidency> residency_;
 };
 
 } // namespace qgpu

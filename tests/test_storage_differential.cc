@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Storage-backend differential harness — the bit-identity contract of
+ * the bounded working set. For every benchmark family and engine
+ * version, the same circuit runs under raw storage (reference) and
+ * under `compressed` storage with a working set far below the chunk
+ * count, across 1/2/4/8 devices and single/multi-threaded. Cold
+ * storage is a memory-layout concern only: every run must reproduce
+ * the raw state EXACTLY (maxAbsDiff == 0, not a tolerance), with
+ * measurement, sampling, and snapshot round trips indistinguishable.
+ * The spill backend runs the same contract on a reduced grid.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "harness/experiment.hh"
+#include "statevec/measure.hh"
+#include "statevec/snapshot.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+constexpr int kQubits = 9;
+constexpr int kDeviceCounts[] = {1, 2, 4, 8};
+constexpr Index kWorkingSet = 8; // well below the 32-chunk target
+
+ExecOptions
+baseOptions()
+{
+    ExecOptions o;
+    o.targetChunks = 32;
+    o.codecSampleChunks = 0;
+    o.faultSpec = "none";
+    return o;
+}
+
+class StorageDifferential
+    : public ::testing::TestWithParam<std::tuple<std::string, Version>>
+{
+  protected:
+    void TearDown() override { setSimThreads(1); }
+};
+
+TEST_P(StorageDifferential, CompressedBitIdenticalToRaw)
+{
+    const auto &[family, version] = GetParam();
+    const Circuit circuit = circuits::makeBenchmark(family, kQubits);
+
+    for (const int devices : kDeviceCounts) {
+        setSimThreads(1);
+        Machine ref_machine = machines::makeScaled(
+            kQubits, machines::v100Nvlink(), 1.0, devices);
+        const RunResult ref =
+            makeVersion(version, ref_machine, baseOptions())
+                ->run(circuit);
+        ASSERT_TRUE(ref.ok()) << devices << " devices";
+
+        for (const int threads : {1, 0}) {
+            setSimThreads(threads);
+            ExecOptions o = baseOptions();
+            o.storage = StorageKind::Compressed;
+            o.workingSetChunks = kWorkingSet;
+            Machine machine = machines::makeScaled(
+                kQubits, machines::v100Nvlink(), 1.0, devices);
+            const RunResult r =
+                makeVersion(version, machine, o)->run(circuit);
+            ASSERT_TRUE(r.ok()) << devices << " devices";
+            // The contract: tolerance ZERO. Eviction is lossless, so
+            // the bounded working set may never change a bit.
+            EXPECT_EQ(r.state.maxAbsDiff(ref.state), 0.0)
+                << versionName(version) << " diverged on " << family
+                << " at " << devices << " devices, threads="
+                << threads;
+            EXPECT_EQ(r.stats.get(statkeys::storageWorkingSet),
+                      static_cast<double>(kWorkingSet));
+            EXPECT_GT(r.stats.get(statkeys::storagePeakBytes), 0.0);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, StorageDifferential,
+    ::testing::Combine(
+        ::testing::ValuesIn(circuits::benchmarkNames()),
+        ::testing::ValuesIn(allVersions())),
+    [](const auto &info) {
+        std::string v = versionName(std::get<1>(info.param));
+        for (char &c : v)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return std::get<0>(info.param) + "_" + v;
+    });
+
+TEST(StorageDifferentialExtra, SpillBitIdenticalToRaw)
+{
+    // The spill backend shares the residency layer with compressed;
+    // a reduced grid (every family, flagship + baseline versions,
+    // 1 and 4 devices) keeps file traffic in budget while still
+    // crossing the backend with pruning and exchange paths.
+    for (const std::string &family : circuits::benchmarkNames()) {
+        const Circuit circuit =
+            circuits::makeBenchmark(family, kQubits);
+        for (const Version version :
+             {Version::Baseline, Version::QGpu}) {
+            for (const int devices : {1, 4}) {
+                setSimThreads(1);
+                Machine ref_machine = machines::makeScaled(
+                    kQubits, machines::v100Nvlink(), 1.0, devices);
+                const RunResult ref =
+                    makeVersion(version, ref_machine, baseOptions())
+                        ->run(circuit);
+                ASSERT_TRUE(ref.ok());
+
+                ExecOptions o = baseOptions();
+                o.storage = StorageKind::Spill;
+                o.workingSetChunks = kWorkingSet;
+                Machine machine = machines::makeScaled(
+                    kQubits, machines::v100Nvlink(), 1.0, devices);
+                const RunResult r =
+                    makeVersion(version, machine, o)->run(circuit);
+                ASSERT_TRUE(r.ok());
+                EXPECT_EQ(r.state.maxAbsDiff(ref.state), 0.0)
+                    << versionName(version) << "/" << family << " x"
+                    << devices << " (spill)";
+            }
+        }
+    }
+    setSimThreads(1);
+}
+
+TEST(StorageDifferentialExtra, EvictionsActuallyHappen)
+{
+    // QFT lights up every chunk, so a 32-chunk state with an 8-chunk
+    // working set must cycle chunks through the cold store; a sweep
+    // that never evicted would be testing nothing.
+    const Circuit circuit = circuits::makeBenchmark("qft", kQubits);
+    ExecOptions o = baseOptions();
+    o.storage = StorageKind::Compressed;
+    o.workingSetChunks = kWorkingSet;
+    Machine machine = machines::makeScaled(
+        kQubits, machines::v100Nvlink(), 1.0, 1);
+    const RunResult r =
+        makeVersion(Version::QGpu, machine, o)->run(circuit);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r.stats.get(statkeys::storageEvictions), 0.0);
+    EXPECT_GT(r.stats.get(statkeys::storageMisses), 0.0);
+    EXPECT_GT(r.stats.get(statkeys::storageVerified), 0.0);
+    EXPECT_GT(r.stats.get(statkeys::storageColdBytes), 0.0);
+}
+
+TEST(StorageDifferentialExtra, PeakHostBytesBeatRawOnCompressible)
+{
+    // The whole point of the backend: on a compressible state the
+    // peak host footprint (working set + cold streams) stays well
+    // below the raw register. BV keeps most chunks zero or uniform,
+    // the GFC codec's best case; dense random-phase states are its
+    // worst case and are covered by the bit-identity grid instead.
+    const Circuit circuit = circuits::makeBenchmark("bv", kQubits);
+    ExecOptions o = baseOptions();
+    o.storage = StorageKind::Compressed;
+    o.workingSetChunks = kWorkingSet;
+    Machine machine = machines::makeScaled(
+        kQubits, machines::v100Nvlink(), 1.0, 1);
+    const RunResult r =
+        makeVersion(Version::QGpu, machine, o)->run(circuit);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r.stats.get(statkeys::storagePeakBytes), 0.0);
+    EXPECT_LT(r.stats.get(statkeys::storagePeakBytes),
+              static_cast<double>(stateBytes(kQubits)) / 2);
+}
+
+TEST(StorageDifferentialExtra,
+     MeasurementSamplingAndSnapshotRoundTripsMatch)
+{
+    const Circuit circuit = circuits::makeBenchmark("qft", kQubits);
+    Machine ref_machine = machines::makeScaled(
+        kQubits, machines::v100Nvlink(), 1.0, 1);
+    const RunResult ref =
+        makeVersion(Version::QGpu, ref_machine, baseOptions())
+            ->run(circuit);
+    ASSERT_TRUE(ref.ok());
+
+    for (StorageKind kind :
+         {StorageKind::Compressed, StorageKind::Spill}) {
+        ExecOptions o = baseOptions();
+        o.storage = kind;
+        o.workingSetChunks = kWorkingSet;
+        Machine machine = machines::makeScaled(
+            kQubits, machines::v100Nvlink(), 1.0, 1);
+        const RunResult r =
+            makeVersion(Version::QGpu, machine, o)->run(circuit);
+        ASSERT_TRUE(r.ok());
+        ASSERT_EQ(r.state.maxAbsDiff(ref.state), 0.0)
+            << storageKindName(kind);
+
+        // Sampling and per-qubit probabilities bit-match.
+        Rng rng_a(1234), rng_b(1234);
+        EXPECT_EQ(sampleCounts(r.state, 500, rng_a),
+                  sampleCounts(ref.state, 500, rng_b))
+            << storageKindName(kind);
+        for (int q = 0; q < kQubits; ++q)
+            EXPECT_EQ(probabilityOfOne(r.state, q),
+                      probabilityOfOne(ref.state, q))
+                << storageKindName(kind);
+
+        // Snapshot save/restore round trip on the bounded-state run.
+        std::stringstream buf;
+        saveState(r.state, buf, /*compress=*/true);
+        const StateVector restored = loadState(buf);
+        EXPECT_EQ(restored.maxAbsDiff(ref.state), 0.0)
+            << storageKindName(kind);
+    }
+}
+
+TEST(StorageDifferentialExtra, ComposesWithPrecisionTiers)
+{
+    // Storage lanes (PR 7) and cold storage must commute: an adaptive
+    // -precision run under compressed storage matches its raw twin
+    // exactly (the cold round trip happens between quantize points
+    // and is lossless on the already-quantized values).
+    const Circuit circuit =
+        circuits::makeBenchmark("random", kQubits, 5);
+    for (const Precision p : {Precision::f32, Precision::adaptive}) {
+        ExecOptions ro = baseOptions();
+        ro.precision = p;
+        Machine ref_machine = machines::makeScaled(
+            kQubits, machines::v100Nvlink(), 1.0, 1);
+        const RunResult ref =
+            makeVersion(Version::QGpu, ref_machine, ro)->run(circuit);
+        ASSERT_TRUE(ref.ok());
+
+        ExecOptions o = ro;
+        o.storage = StorageKind::Compressed;
+        o.workingSetChunks = kWorkingSet;
+        Machine machine = machines::makeScaled(
+            kQubits, machines::v100Nvlink(), 1.0, 1);
+        const RunResult r =
+            makeVersion(Version::QGpu, machine, o)->run(circuit);
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(r.state.maxAbsDiff(ref.state), 0.0)
+            << precisionName(p);
+    }
+}
+
+} // namespace
+} // namespace qgpu
