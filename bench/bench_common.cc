@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/thread_pool.hh"
 #include "common/trace.hh"
 
 namespace qgpu
@@ -136,6 +137,30 @@ banner(const std::string &title, const std::string &paper_ref,
     std::printf("(sweep point n stands for the paper's n+%d qubits; "
                 "set QGPU_BENCH_QUBITS to rescale)\n\n",
                 34 - sweepMaxQubits());
+}
+
+int
+hardwareThreadsWithWarning(const std::string &tool)
+{
+    const int hw = ThreadPool::hardwareThreads();
+    if (hw == 1)
+        std::fprintf(
+            stderr,
+            "%s: warning: only one hardware thread; concurrent "
+            "work is oversubscribed (modeled virtual times are "
+            "unaffected, wall-clock numbers are not)\n",
+            tool.c_str());
+    return hw;
+}
+
+std::string
+hardwareThreadsJson(int hw)
+{
+    std::string out =
+        ", \"hardware_threads\": " + std::to_string(hw);
+    if (hw == 1)
+        out += ", \"warning\": \"oversubscribed\"";
+    return out;
 }
 
 } // namespace bench

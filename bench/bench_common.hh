@@ -81,6 +81,25 @@ std::string phaseCsvRow(const RunResult &result,
 void banner(const std::string &title, const std::string &paper_ref,
             const std::string &expectation);
 
+/**
+ * Hardware thread count, with the shared oversubscription warning:
+ * on a single-hardware-thread host a standard "<tool>: warning:
+ * only one hardware thread ..." note goes to stderr. Every
+ * JSON-emitting bench pairs this with emitHardwareThreadsJson so
+ * the files carry a uniform "hardware_threads" field and, on
+ * single-thread hosts, the top-level "warning": "oversubscribed"
+ * marker the analysis scripts key off.
+ */
+int hardwareThreadsWithWarning(const std::string &tool);
+
+/**
+ * The uniform JSON fragment behind the warning contract:
+ * `, "hardware_threads": N` plus `, "warning": "oversubscribed"`
+ * when @p hw is 1. Emit inside the top-level object, before the
+ * entries array.
+ */
+std::string hardwareThreadsJson(int hw);
+
 } // namespace bench
 } // namespace qgpu
 

@@ -51,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "circuits/circuits.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
@@ -184,6 +185,12 @@ main(int argc, char **argv)
     }
     if (qubits < 8 || budget < (1u << 16) || max_extra < 1)
         QGPU_FATAL("bad arguments");
+    // Wall-clock overhead rows compare single-threaded runs, so the
+    // warning here only flags that the host is minimal; the JSON
+    // carries the same uniform hardware_threads/warning block as the
+    // other bench files.
+    const int hw =
+        bench::hardwareThreadsWithWarning("bench_compression");
     setSimThreads(1);
 
     // Section 1: per-family footprint and overhead at equal qubits.
@@ -298,7 +305,7 @@ main(int argc, char **argv)
     out << "{\"bench\": \"compression\", \"engine\": \"qgpu\", "
         << "\"qubits\": " << qubits
         << ", \"working_set_chunks\": " << working_set
-        << ",\n \"families\": [";
+        << bench::hardwareThreadsJson(hw) << ",\n \"families\": [";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const FamilyRow &r = rows[i];
         out << (i == 0 ? "" : ",") << "\n  {\"family\": \""

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "common/logging.hh"
 #include "common/parallel.hh"
 #include "common/thread_pool.hh"
@@ -92,13 +93,7 @@ main(int argc, char **argv)
         {"nvlink", machines::v100Nvlink},
     };
     const int device_counts[] = {1, 2, 4, 8};
-    const int hw = ThreadPool::hardwareThreads();
-    if (hw == 1)
-        std::fprintf(
-            stderr,
-            "bench_devices: warning: only one hardware thread; "
-            "every multi-device row is oversubscribed (virtual "
-            "times are unaffected, wall_seconds is not)\n");
+    const int hw = bench::hardwareThreadsWithWarning("bench_devices");
     setSimThreads(0); // all cores for the functional work
 
     std::printf("bench_devices: %s engine, %d qubits, fraction 1.0 "
@@ -175,10 +170,8 @@ main(int argc, char **argv)
         QGPU_FATAL("cannot write '", out_path, "'");
     out.precision(9);
     out << "{\"bench\": \"devices\", \"engine\": \"" << engine
-        << "\", \"qubits\": " << qubits
-        << ", \"fraction\": 1.0, \"hardware_threads\": " << hw;
-    if (hw == 1)
-        out << ", \"warning\": \"oversubscribed\"";
+        << "\", \"qubits\": " << qubits << ", \"fraction\": 1.0"
+        << bench::hardwareThreadsJson(hw);
     out << ",\n \"entries\": [";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];

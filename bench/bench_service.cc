@@ -1,0 +1,252 @@
+/**
+ * @file
+ * bench_service - throughput and latency of the multi-tenant job
+ * service across request mixes and submission window sizes, emitted
+ * as JSON.
+ *
+ * Three mixes share one traffic seed so they differ only in repeat
+ * fraction: cold (every request unique), repeat50, and repeat90.
+ * Each mix runs closed-loop at several window sizes ("queue
+ * depths"): up to W submissions are outstanding; the submitter
+ * blocks on the oldest before issuing the next. Per (mix, depth)
+ * cell the service is constructed fresh (cold cache) and the JSON
+ * records jobs/sec, p50/p99 end-to-end latency, and the cache /
+ * single-flight counters.
+ *
+ * The headline is speedup_vs_cold of the repeat90 mix at the same
+ * depth: the content-addressed cache turns ~90% of submissions into
+ * O(1) lookups, so the acceptance bar is >= 5x.
+ *
+ * Wall-clock numbers, so the shared oversubscription warning block
+ * applies on single-hardware-thread hosts (throughput ratios between
+ * mixes remain meaningful there: every mix is slowed alike).
+ *
+ * Usage: bench_service [output.json] [--jobs n] [--engine name]
+ *                      [--min-qubits n] [--max-qubits n]
+ *                      [--depths 1,8,64] [--active n] [--seed s]
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "common/logging.hh"
+#include "common/metrics.hh"
+#include "service/scheduler.hh"
+#include "service/traffic.hh"
+
+using namespace qgpu;
+using namespace qgpu::service;
+
+namespace
+{
+
+struct Cell
+{
+    std::string mix;
+    double repeatFraction = 0.0;
+    int depth = 0;
+    int jobs = 0;
+    double wallSeconds = 0.0;
+    double jobsPerSec = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    double speedupVsCold = 1.0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t coalesced = 0;
+    std::uint64_t failed = 0;
+};
+
+double
+percentile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto rank = static_cast<std::size_t>(std::llround(
+        q * static_cast<double>(sorted.size() - 1)));
+    return sorted[rank];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out_path = "BENCH_service.json";
+    TrafficConfig traffic;
+    traffic.jobs = 60;
+    traffic.minQubits = 10;
+    traffic.maxQubits = 12;
+    std::vector<int> depths = {1, 8, 64};
+    int active = 2;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string flag = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                QGPU_FATAL("missing value for ", flag);
+            return argv[++i];
+        };
+        if (flag == "--jobs") {
+            traffic.jobs = std::atoi(value().c_str());
+        } else if (flag == "--engine") {
+            traffic.engine = value();
+        } else if (flag == "--min-qubits") {
+            traffic.minQubits = std::atoi(value().c_str());
+        } else if (flag == "--max-qubits") {
+            traffic.maxQubits = std::atoi(value().c_str());
+        } else if (flag == "--active") {
+            active = std::atoi(value().c_str());
+        } else if (flag == "--seed") {
+            traffic.seed = static_cast<std::uint64_t>(
+                std::atoll(value().c_str()));
+        } else if (flag == "--depths") {
+            depths.clear();
+            std::string list = value();
+            for (char *tok = std::strtok(list.data(), ",");
+                 tok != nullptr; tok = std::strtok(nullptr, ","))
+                depths.push_back(std::atoi(tok));
+        } else if (!flag.empty() && flag[0] != '-') {
+            out_path = flag;
+        } else {
+            QGPU_FATAL("unknown flag '", flag, "'");
+        }
+    }
+    if (traffic.jobs < 1 || depths.empty() || active < 1 ||
+        traffic.minQubits < 4 ||
+        traffic.minQubits > traffic.maxQubits)
+        QGPU_FATAL("bad arguments");
+
+    const int hw = bench::hardwareThreadsWithWarning("bench_service");
+    std::printf("bench_service: %d jobs, engine %s, qubits %d..%d, "
+                "%d active, hardware threads: %d\n",
+                traffic.jobs, traffic.engine.c_str(),
+                traffic.minQubits, traffic.maxQubits, active, hw);
+
+    struct Mix
+    {
+        const char *name;
+        double repeat;
+    };
+    const Mix mixes[] = {
+        {"cold", 0.0},
+        {"repeat50", 0.5},
+        {"repeat90", 0.9},
+    };
+
+    std::vector<Cell> cells;
+    for (const int depth : depths) {
+        double cold_rate = 0.0;
+        for (const Mix &mix : mixes) {
+            TrafficConfig t = traffic;
+            t.repeatFraction = mix.repeat;
+            const auto requests = generateTraffic(t);
+
+            ServiceConfig config;
+            config.maxActiveJobs = active;
+            config.maxQueueDepth = std::max(depth + 8, 256);
+            JobService svc(config);
+
+            const WallClock wall;
+            std::vector<std::uint64_t> ids;
+            ids.reserve(requests.size());
+            for (std::size_t i = 0; i < requests.size(); ++i) {
+                ids.push_back(svc.submit(requests[i]));
+                if (i + 1 >= static_cast<std::size_t>(depth))
+                    svc.wait(ids[i + 1 - depth]);
+            }
+            svc.drain();
+            const double wall_s = wall.seconds();
+
+            Cell cell;
+            cell.mix = mix.name;
+            cell.repeatFraction = mix.repeat;
+            cell.depth = depth;
+            cell.jobs = static_cast<int>(requests.size());
+            cell.wallSeconds = wall_s;
+            cell.jobsPerSec =
+                static_cast<double>(requests.size()) / wall_s;
+            std::vector<double> latencies;
+            latencies.reserve(ids.size());
+            for (const std::uint64_t id : ids) {
+                const JobResult r = svc.result(id);
+                if (r.status == JobStatus::Failed ||
+                    r.status == JobStatus::Rejected)
+                    ++cell.failed;
+                latencies.push_back(r.latencySeconds());
+            }
+            std::sort(latencies.begin(), latencies.end());
+            cell.p50 = percentile(latencies, 0.50);
+            cell.p99 = percentile(latencies, 0.99);
+            cell.cacheHits = svc.counter("service.cache.hit");
+            cell.coalesced =
+                svc.counter("service.singleflight.coalesced");
+            if (mix.repeat == 0.0)
+                cold_rate = cell.jobsPerSec;
+            cell.speedupVsCold =
+                cold_rate > 0.0 ? cell.jobsPerSec / cold_rate : 1.0;
+            std::printf("  %-8s depth %-3d: %8.2f jobs/s  "
+                        "p50 %8.4fs  p99 %8.4fs  hits %llu  "
+                        "coalesced %llu  (x%.2f vs cold)\n",
+                        cell.mix.c_str(), depth, cell.jobsPerSec,
+                        cell.p50, cell.p99,
+                        static_cast<unsigned long long>(
+                            cell.cacheHits),
+                        static_cast<unsigned long long>(
+                            cell.coalesced),
+                        cell.speedupVsCold);
+            cells.push_back(std::move(cell));
+        }
+    }
+
+    double headline = 0.0;
+    int headline_depth = 0;
+    for (const Cell &cell : cells) {
+        if (cell.mix == "repeat90" &&
+            cell.speedupVsCold > headline) {
+            headline = cell.speedupVsCold;
+            headline_depth = cell.depth;
+        }
+    }
+    std::printf("headline: repeat90 x%.2f vs cold (depth %d)\n",
+                headline, headline_depth);
+
+    std::ofstream out(out_path);
+    if (!out)
+        QGPU_FATAL("cannot write '", out_path, "'");
+    out.precision(9);
+    out << "{\"bench\": \"service\", \"engine\": \""
+        << traffic.engine << "\", \"jobs\": " << traffic.jobs
+        << ", \"min_qubits\": " << traffic.minQubits
+        << ", \"max_qubits\": " << traffic.maxQubits
+        << ", \"active\": " << active
+        << bench::hardwareThreadsJson(hw)
+        << ",\n \"headline\": {\"speedup_vs_cold_repeat90\": "
+        << headline << ", \"depth\": " << headline_depth << "}"
+        << ",\n \"entries\": [";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &c = cells[i];
+        out << (i == 0 ? "" : ",") << "\n  {\"mix\": \"" << c.mix
+            << "\", \"repeat_fraction\": " << c.repeatFraction
+            << ", \"depth\": " << c.depth
+            << ", \"jobs\": " << c.jobs
+            << ", \"wall_seconds\": " << c.wallSeconds
+            << ", \"jobs_per_sec\": " << c.jobsPerSec
+            << ", \"p50_latency_s\": " << c.p50
+            << ", \"p99_latency_s\": " << c.p99
+            << ", \"speedup_vs_cold\": " << c.speedupVsCold
+            << ", \"cache_hits\": " << c.cacheHits
+            << ", \"coalesced\": " << c.coalesced
+            << ", \"failed\": " << c.failed << "}";
+    }
+    out << "\n ]}\n";
+    std::printf("wrote %s (%zu cells)\n", out_path.c_str(),
+                cells.size());
+    return 0;
+}

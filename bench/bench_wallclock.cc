@@ -41,6 +41,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "circuits/circuits.hh"
 #include "common/logging.hh"
 #include "common/metrics.hh"
@@ -161,12 +162,7 @@ main(int argc, char **argv)
     if (qubits < 10 || repeats < 1 || threads.empty() ||
         tier_qubits < 10)
         QGPU_FATAL("bad arguments");
-    if (hw == 1)
-        std::fprintf(
-            stderr,
-            "bench_wallclock: warning: only one hardware thread; "
-            "every multi-thread entry is oversubscribed and the "
-            "scaling numbers are not meaningful on this host\n");
+    bench::hardwareThreadsWithWarning("bench_wallclock");
 
     const std::vector<std::string> families = {"qft", "gs", "hchain",
                                                "iqp"};
@@ -282,9 +278,7 @@ main(int argc, char **argv)
     out << "{\"bench\": \"wallclock\", \"qubits\": " << qubits
         << ", \"chunk_bits\": " << chunk_bits
         << ", \"repeats\": " << repeats
-        << ", \"hardware_threads\": " << hw;
-    if (hw == 1)
-        out << ", \"warning\": \"oversubscribed\"";
+        << bench::hardwareThreadsJson(hw);
     out << ",\n \"entries\": [";
     for (std::size_t i = 0; i < entries.size(); ++i) {
         const auto &e = entries[i];

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build (if needed) and run the multi-tenant job-service bench,
+# producing BENCH_service.json in the repo root: jobs/sec and p50/p99
+# end-to-end latency for the cold / 50%-repeat / 90%-repeat request
+# mixes at several closed-loop submission windows ("queue depths"),
+# each cell against a fresh service (cold cache). The headline
+# "speedup_vs_cold_repeat90" records how much throughput the
+# content-addressed result cache buys on the 90%-repeat mix; the
+# acceptance bar is >= 5x. See bench/bench_service.cc for the JSON
+# schema and flags. On a single-core host the JSON carries the shared
+# top-level "warning": "oversubscribed" block.
+#
+# Usage: scripts/bench_service.sh [extra bench_service args...]
+#   BUILD_DIR=...  override the build directory (default build)
+#   OUT=...        override the output path (default BENCH_service.json)
+#   Pass --jobs n / --depths 1,8,64 / --engine name to resize the run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+OUT="${OUT:-BENCH_service.json}"
+
+cmake -B "$BUILD_DIR" -S . >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_service \
+    >/dev/null
+
+"$BUILD_DIR/bench/bench_service" "$OUT" "$@"

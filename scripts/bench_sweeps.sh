@@ -20,6 +20,14 @@ OUT="${OUT:-BENCH_wallclock.json}"
 
 BUILD_DIR="$BUILD_DIR" OUT="$OUT" scripts/bench_wallclock.sh "$@"
 
+# Surface the shared oversubscription marker emitted by the bench
+# binaries so a rendered table is never mistaken for a scaling result
+# from a single-hardware-thread host.
+if grep -q '"warning": "oversubscribed"' "$OUT"; then
+    echo "bench_sweeps: warning: $OUT is marked oversubscribed" \
+         "(single hardware thread)" >&2
+fi
+
 echo
 echo "passes per circuit ($OUT):"
 printf '  %-8s %8s %14s %16s\n' family gates state_passes gates_per_sweep

@@ -136,15 +136,17 @@ if [ "$RUN_TSAN" -eq 1 ]; then
     cmake -B "$TSAN_DIR" -S . -DQGPU_SANITIZE=thread
     cmake --build "$TSAN_DIR" -j "$JOBS" --target test_common \
         test_statevec test_compress test_thread_determinism \
-        test_sweep_executor test_shard_differential
+        test_sweep_executor test_shard_differential test_service
     # The parallelism-focused suites: the pool itself, the pool-backed
     # parallelFor / threaded apply, the cross-thread determinism +
     # stress tests, the sweep executor (whose group fan-out chains
-    # several kernels per worker), and the shard differential (which
+    # several kernels per worker), the shard differential (which
     # sweeps the same circuits single- and multi-threaded per device
-    # count).
+    # count), and the job-service suite (concurrent submissions,
+    # cross-thread cache/single-flight traffic, and engine runs
+    # multiplexed onto the shared pool).
     ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-        -R 'ThreadPool|TaskGroup|SimThreads|ParallelFor|ThreadedApply|Determinism|Stress|Sweep|ShardDifferential'
+        -R 'ThreadPool|TaskGroup|SimThreads|ParallelFor|ThreadedApply|Determinism|Stress|Sweep|ShardDifferential|Service|ResultCache'
 fi
 
 if [ "$RUN_ASAN" -eq 1 ]; then

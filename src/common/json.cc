@@ -1,0 +1,551 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/trace.hh" // jsonEscape
+
+namespace qgpu
+{
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue{};
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double n)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.number_ = n;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> items)
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    v.array_ = std::move(items);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(std::map<std::string, JsonValue> m)
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    v.object_ = std::move(m);
+    return v;
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        QGPU_PANIC("JsonValue: not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (kind_ != Kind::Number)
+        QGPU_PANIC("JsonValue: not a number");
+    return number_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (kind_ != Kind::String)
+        QGPU_PANIC("JsonValue: not a string");
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    if (kind_ != Kind::Array)
+        QGPU_PANIC("JsonValue: not an array");
+    return array_;
+}
+
+const std::map<std::string, JsonValue> &
+JsonValue::asObject() const
+{
+    if (kind_ != Kind::Object)
+        QGPU_PANIC("JsonValue: not an object");
+    return object_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    const auto it = object_.find(key);
+    return it == object_.end() ? nullptr : &it->second;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double fallback) const
+{
+    const JsonValue *v = find(key);
+    return v != nullptr && v->isNumber() ? v->asNumber() : fallback;
+}
+
+bool
+JsonValue::boolOr(const std::string &key, bool fallback) const
+{
+    const JsonValue *v = find(key);
+    return v != nullptr && v->isBool() ? v->asBool() : fallback;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key,
+                    const std::string &fallback) const
+{
+    const JsonValue *v = find(key);
+    return v != nullptr && v->isString() ? v->asString() : fallback;
+}
+
+std::string
+jsonNumber(double value)
+{
+    // %.17g round-trips every finite double; integral values print
+    // without an exponent for readability.
+    char buf[40];
+    if (value == static_cast<double>(static_cast<long long>(value)) &&
+        std::fabs(value) < 1e15) {
+        std::snprintf(buf, sizeof buf, "%lld",
+                      static_cast<long long>(value));
+    } else {
+        std::snprintf(buf, sizeof buf, "%.17g", value);
+    }
+    return buf;
+}
+
+std::string
+JsonValue::toString() const
+{
+    std::ostringstream os;
+    switch (kind_) {
+      case Kind::Null:
+        os << "null";
+        break;
+      case Kind::Bool:
+        os << (bool_ ? "true" : "false");
+        break;
+      case Kind::Number:
+        os << jsonNumber(number_);
+        break;
+      case Kind::String:
+        os << '"' << jsonEscape(string_) << '"';
+        break;
+      case Kind::Array: {
+        os << '[';
+        bool first = true;
+        for (const JsonValue &v : array_) {
+            os << (first ? "" : ", ") << v.toString();
+            first = false;
+        }
+        os << ']';
+        break;
+      }
+      case Kind::Object: {
+        os << '{';
+        bool first = true;
+        for (const auto &[key, v] : object_) {
+            os << (first ? "" : ", ") << '"' << jsonEscape(key)
+               << "\": " << v.toString();
+            first = false;
+        }
+        os << '}';
+        break;
+      }
+    }
+    return os.str();
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a byte range. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    std::optional<JsonValue>
+    parse()
+    {
+        skipWs();
+        JsonValue v;
+        if (!parseValue(v))
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size()) {
+            fail("trailing characters");
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const std::string &what)
+    {
+        if (error_ != nullptr && error_->empty()) {
+            std::ostringstream os;
+            os << what << " at byte " << pos_;
+            *error_ = os.str();
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t len = std::string_view{word}.size();
+        if (text_.compare(pos_, len, word) != 0) {
+            fail("invalid literal");
+            return false;
+        }
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (depth_ > 64) {
+            fail("nesting too deep");
+            return false;
+        }
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return false;
+        }
+        switch (text_[pos_]) {
+          case 'n':
+            return literal("null") &&
+                   (out = JsonValue::makeNull(), true);
+          case 't':
+            return literal("true") &&
+                   (out = JsonValue::makeBool(true), true);
+          case 'f':
+            return literal("false") &&
+                   (out = JsonValue::makeBool(false), true);
+          case '"':
+            return parseString(out);
+          case '[':
+            return parseArray(out);
+          case '{':
+            return parseObject(out);
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        const auto digits = [&] {
+            std::size_t n = 0;
+            while (pos_ < text_.size() &&
+                   std::isdigit(
+                       static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+                ++n;
+            }
+            return n;
+        };
+        if (digits() == 0) {
+            fail("invalid number");
+            return false;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (digits() == 0) {
+                fail("invalid number");
+                return false;
+            }
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (digits() == 0) {
+                fail("invalid number");
+                return false;
+            }
+        }
+        const std::string token = text_.substr(start, pos_ - start);
+        out = JsonValue::makeNumber(std::strtod(token.c_str(), nullptr));
+        return true;
+    }
+
+    void
+    appendUtf8(std::string &s, unsigned cp)
+    {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xC0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            s += static_cast<char>(0xE0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            s += static_cast<char>(0xF0 | (cp >> 18));
+            s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            s += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    bool
+    parseHex4(unsigned &out)
+    {
+        if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+        }
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            out <<= 4;
+            if (c >= '0' && c <= '9')
+                out |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                out |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                out |= static_cast<unsigned>(c - 'A' + 10);
+            else {
+                fail("invalid \\u escape");
+                return false;
+            }
+        }
+        return true;
+    }
+
+    bool
+    parseString(JsonValue &out)
+    {
+        ++pos_; // opening quote
+        std::string s;
+        while (true) {
+            if (pos_ >= text_.size()) {
+                fail("unterminated string");
+                return false;
+            }
+            const char c = text_[pos_++];
+            if (c == '"')
+                break;
+            if (c != '\\') {
+                s += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) {
+                fail("truncated escape");
+                return false;
+            }
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"': s += '"'; break;
+              case '\\': s += '\\'; break;
+              case '/': s += '/'; break;
+              case 'b': s += '\b'; break;
+              case 'f': s += '\f'; break;
+              case 'n': s += '\n'; break;
+              case 'r': s += '\r'; break;
+              case 't': s += '\t'; break;
+              case 'u': {
+                  unsigned cp = 0;
+                  if (!parseHex4(cp))
+                      return false;
+                  if (cp >= 0xD800 && cp < 0xDC00) {
+                      // High surrogate: a low surrogate must follow.
+                      if (pos_ + 1 >= text_.size() ||
+                          text_[pos_] != '\\' ||
+                          text_[pos_ + 1] != 'u') {
+                          fail("unpaired surrogate");
+                          return false;
+                      }
+                      pos_ += 2;
+                      unsigned lo = 0;
+                      if (!parseHex4(lo))
+                          return false;
+                      if (lo < 0xDC00 || lo > 0xDFFF) {
+                          fail("unpaired surrogate");
+                          return false;
+                      }
+                      cp = 0x10000 + ((cp - 0xD800) << 10) +
+                           (lo - 0xDC00);
+                  } else if (cp >= 0xDC00 && cp < 0xE000) {
+                      fail("unpaired surrogate");
+                      return false;
+                  }
+                  appendUtf8(s, cp);
+                  break;
+              }
+              default:
+                fail("invalid escape");
+                return false;
+            }
+        }
+        out = JsonValue::makeString(std::move(s));
+        return true;
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        ++pos_; // '['
+        ++depth_;
+        std::vector<JsonValue> items;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            --depth_;
+            out = JsonValue::makeArray(std::move(items));
+            return true;
+        }
+        while (true) {
+            JsonValue v;
+            skipWs();
+            if (!parseValue(v))
+                return false;
+            items.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= text_.size()) {
+                fail("unterminated array");
+                return false;
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                --depth_;
+                out = JsonValue::makeArray(std::move(items));
+                return true;
+            }
+            fail("expected ',' or ']'");
+            return false;
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        ++pos_; // '{'
+        ++depth_;
+        std::map<std::string, JsonValue> members;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            --depth_;
+            out = JsonValue::makeObject(std::move(members));
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"') {
+                fail("expected object key");
+                return false;
+            }
+            JsonValue key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':') {
+                fail("expected ':'");
+                return false;
+            }
+            ++pos_;
+            skipWs();
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            members[key.asString()] = std::move(v);
+            skipWs();
+            if (pos_ >= text_.size()) {
+                fail("unterminated object");
+                return false;
+            }
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                --depth_;
+                out = JsonValue::makeObject(std::move(members));
+                return true;
+            }
+            fail("expected ',' or '}'");
+            return false;
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(const std::string &text, std::string *error)
+{
+    if (error != nullptr)
+        error->clear();
+    return Parser(text, error).parse();
+}
+
+} // namespace qgpu

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Minimal JSON value model, parser, and writer for the service layer:
+ * job requests arrive and results leave as single-line JSON objects
+ * (one per line in a .jsonl trace), so the parser favors strictness
+ * and smallness over speed. Complements the hand-rolled emitters in
+ * trace/harness, which only ever WRITE JSON; replay needs to read it
+ * back.
+ *
+ * Supported: objects, arrays, strings (with \uXXXX escapes decoded to
+ * UTF-8), finite numbers, booleans, null. Rejected: trailing commas,
+ * comments, NaN/Inf literals, unpaired surrogates.
+ */
+
+#ifndef QGPU_COMMON_JSON_HH
+#define QGPU_COMMON_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace qgpu
+{
+
+/**
+ * One parsed JSON value. Object member order is not preserved (keys
+ * are sorted by std::map); the service's schemas never rely on it.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    JsonValue() = default;
+
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double n);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> items);
+    static JsonValue makeObject(std::map<std::string, JsonValue> m);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; fatal on kind mismatch (programming error). */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+    const std::map<std::string, JsonValue> &asObject() const;
+
+    /** Object member, or nullptr when absent / not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /// @name Schema helpers: member lookup with a typed default.
+    /// @{
+    double numberOr(const std::string &key, double fallback) const;
+    bool boolOr(const std::string &key, bool fallback) const;
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+    /// @}
+
+    /** Serialize (compact, keys sorted, doubles at %.17g). */
+    std::string toString() const;
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::map<std::string, JsonValue> object_;
+};
+
+/**
+ * Parse @p text as exactly one JSON value (leading/trailing
+ * whitespace allowed). Returns nullopt on any syntax error; @p error,
+ * when non-null, receives a one-line description with the byte
+ * offset.
+ */
+std::optional<JsonValue> parseJson(const std::string &text,
+                                   std::string *error = nullptr);
+
+/** Double formatted so parseJson round-trips it exactly (%.17g). */
+std::string jsonNumber(double value);
+
+} // namespace qgpu
+
+#endif // QGPU_COMMON_JSON_HH

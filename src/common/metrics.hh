@@ -71,6 +71,29 @@
  *   storage.retries             eviction-write verification retries
  *   storage.fallback_raw        evictions degraded to raw payloads
  *   storage.working_set         configured resident-chunk bound
+ *
+ * Job-service counters (service/scheduler.hh; every JobService
+ * mirrors its internal counters here, so a process hosting one
+ * service reads them directly and a multi-service process reads
+ * process-wide totals):
+ *   service.submitted           jobs accepted past admission (any
+ *                               outcome, including instant cache hits
+ *                               and coalesced followers)
+ *   service.rejected            submissions refused at admission
+ *                               (invalid request, fast-math tier
+ *                               mismatch, or full queue)
+ *   service.completed           jobs that reached Done
+ *   service.failed              jobs that reached Failed (structured
+ *                               SimError; never takes the process
+ *                               down)
+ *   service.cancelled           queued jobs cancelled before dispatch
+ *   service.cache.hit           result-cache lookups that hit
+ *   service.cache.miss          result-cache lookups that missed
+ *   service.singleflight.coalesced
+ *                               submissions attached to an identical
+ *                               in-flight leader instead of running
+ *   service.queue_depth         gauge via +-1 deltas: jobs currently
+ *                               queued (not yet dispatched)
  */
 
 #ifndef QGPU_COMMON_METRICS_HH

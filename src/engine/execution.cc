@@ -89,9 +89,14 @@ ExecutionEngine::run(const Circuit &circuit)
 
     // The kernel tier is a process-global read by makeKernelSpec;
     // scope the opt-in to this run so interleaved exact runs (e.g.
-    // the differential reference) are unaffected.
-    const ScopedKernelTier tier(options_.fastMath ? KernelTier::Fast
-                                                  : kernelTier());
+    // the differential reference) are unaffected. Engaged only when
+    // the tier actually changes: concurrent runs that already match
+    // the ambient tier (the service layer's steady state) must not
+    // fight over the global. Runs without the opt-in inherit the
+    // ambient tier, as before.
+    std::optional<ScopedKernelTier> tier;
+    if (options_.fastMath && kernelTier() != KernelTier::Fast)
+        tier.emplace(KernelTier::Fast);
 
     StateVector state{circuit.numQubits()};
     try {

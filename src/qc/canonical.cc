@@ -1,0 +1,132 @@
+#include "qc/canonical.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace qgpu
+{
+
+HashStream &
+HashStream::f64(double v)
+{
+    if (v == 0.0)
+        v = 0.0; // collapse -0.0 onto +0.0
+    return u64(std::bit_cast<std::uint64_t>(v));
+}
+
+HashStream &
+HashStream::str(std::string_view s)
+{
+    u64(s.size());
+    for (const char c : s)
+        byte(static_cast<std::uint8_t>(c));
+    return *this;
+}
+
+namespace
+{
+
+/** -0.0 -> +0.0 bit pattern; everything else verbatim. */
+std::uint64_t
+normalBits(double v)
+{
+    if (v == 0.0)
+        v = 0.0;
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+/**
+ * Deterministic ordering for gates inside a commuting diagonal run:
+ * kind, then targets, then parameter bits, then custom-matrix bits.
+ * Total order on the fields that define the gate's action, so the
+ * sorted run is unique for a given multiset of diagonal gates.
+ */
+bool
+diagonalLess(const Gate &a, const Gate &b)
+{
+    if (a.kind != b.kind)
+        return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+    if (a.qubits != b.qubits)
+        return a.qubits < b.qubits;
+    const auto bits = [](const std::vector<double> &v) {
+        std::vector<std::uint64_t> out;
+        out.reserve(v.size());
+        for (const double d : v)
+            out.push_back(normalBits(d));
+        return out;
+    };
+    const auto ampBits = [](const std::vector<Amp> &v) {
+        std::vector<std::uint64_t> out;
+        out.reserve(v.size() * 2);
+        for (const Amp &a2 : v) {
+            out.push_back(normalBits(a2.real()));
+            out.push_back(normalBits(a2.imag()));
+        }
+        return out;
+    };
+    const auto pa = bits(a.params), pb = bits(b.params);
+    if (pa != pb)
+        return pa < pb;
+    return ampBits(a.custom) < ampBits(b.custom);
+}
+
+void
+hashGate(HashStream &h, const Gate &g)
+{
+    h.byte(0x47); // gate tag
+    h.i64(static_cast<std::int64_t>(g.kind));
+    h.u64(g.qubits.size());
+    for (const int q : g.qubits)
+        h.i64(q);
+    h.u64(g.params.size());
+    for (const double p : g.params)
+        h.f64(p);
+    h.u64(g.custom.size());
+    for (const Amp &a : g.custom) {
+        h.f64(a.real());
+        h.f64(a.imag());
+    }
+}
+
+} // namespace
+
+Circuit
+canonicalCircuit(const Circuit &circuit)
+{
+    Circuit out(circuit.numQubits(), circuit.name());
+    std::vector<Gate> run; // current consecutive diagonal run
+    const auto flush = [&] {
+        std::stable_sort(run.begin(), run.end(), diagonalLess);
+        for (Gate &g : run)
+            out.add(std::move(g));
+        run.clear();
+    };
+    for (const Gate &g : circuit.gates()) {
+        if (g.kind == GateKind::ID)
+            continue; // identity: no effect on any amplitude
+        if (g.isDiagonal()) {
+            run.push_back(g);
+            continue;
+        }
+        flush();
+        out.add(g);
+    }
+    flush();
+    return out;
+}
+
+std::uint64_t
+canonicalCircuitHash(const Circuit &circuit, std::uint64_t seed)
+{
+    const Circuit canon = canonicalCircuit(circuit);
+    HashStream h(seed);
+    h.byte(0x51); // circuit tag
+    h.i64(canon.numQubits());
+    h.u64(canon.numGates());
+    for (const Gate &g : canon.gates())
+        hashGate(h, g);
+    return h.digest();
+}
+
+} // namespace qgpu

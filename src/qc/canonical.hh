@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Canonical circuit form and content hash — the identity under which
+ * the service layer's result cache deduplicates simulations.
+ *
+ * Two submissions that differ only in ways that cannot change the
+ * final state (up to sign-of-zero) must map to the same canonical
+ * form, and therefore the same hash:
+ *
+ *  - identity gates (GateKind::ID) are dropped — they multiply every
+ *    amplitude by 1;
+ *  - within each maximal run of consecutive DIAGONAL gates the order
+ *    is normalized (all diagonal matrices commute in the
+ *    computational basis, regardless of target qubits), by a stable
+ *    sort on (kind, qubits, parameter bits, custom-matrix bits);
+ *  - gate parameters and custom-matrix entries are folded as their
+ *    IEEE-754 bit patterns with -0.0 normalized to +0.0 (cos/sin of
+ *    +/-0.0 differ only in zero signs).
+ *
+ * Crucially, canonicalization reorders floating-point work, and FP
+ * multiplication chains are not associative: simulating the
+ * canonical form can differ from simulating the submitted order in
+ * the last ulp. The cache contract is therefore "hash-equal implies
+ * bit-identical results" ONLY because the service always simulates
+ * canonicalCircuit(request) — the canonical form IS the executed
+ * circuit, so every hash-equal request runs the exact same gate
+ * stream. Anything order-sensitive (non-commuting gates) is left
+ * strictly in submission order.
+ *
+ * The hash covers the register size and the canonical gate stream.
+ * It deliberately does NOT cover execution options; the service
+ * folds the result-affecting option fields (engine version,
+ * precision, fast-math) on top via HashStream — see
+ * service/job.hh::simulationKey.
+ */
+
+#ifndef QGPU_QC_CANONICAL_HH
+#define QGPU_QC_CANONICAL_HH
+
+#include <cstdint>
+#include <string_view>
+
+#include "qc/circuit.hh"
+
+namespace qgpu
+{
+
+/**
+ * Incremental FNV-1a-64 over a logical byte stream. Values are
+ * length-prefixed / tagged by the callers so that concatenation
+ * ambiguities ("ab"+"c" vs "a"+"bc") cannot collide.
+ */
+class HashStream
+{
+  public:
+    static constexpr std::uint64_t kBasis = 0xcbf29ce484222325ull;
+    static constexpr std::uint64_t kPrime = 0x100000001b3ull;
+
+    explicit HashStream(std::uint64_t seed = kBasis) : state_(seed) {}
+
+    HashStream &
+    byte(std::uint8_t b)
+    {
+        state_ = (state_ ^ b) * kPrime;
+        return *this;
+    }
+
+    HashStream &
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            byte(static_cast<std::uint8_t>(v >> (8 * i)));
+        return *this;
+    }
+
+    HashStream &i64(std::int64_t v)
+    {
+        return u64(static_cast<std::uint64_t>(v));
+    }
+
+    /** Double as its bit pattern, -0.0 canonicalized to +0.0. */
+    HashStream &f64(double v);
+
+    /** Length-prefixed string bytes. */
+    HashStream &str(std::string_view s);
+
+    std::uint64_t digest() const { return state_; }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * The canonical form of @p circuit (see file comment): ID gates
+ * dropped, every maximal consecutive diagonal run stably sorted into
+ * a deterministic order. Semantically the identical operator; the
+ * service executes this form so hash-equal requests share bits.
+ */
+Circuit canonicalCircuit(const Circuit &circuit);
+
+/**
+ * Content hash of the canonical form of @p circuit, folded on top of
+ * @p seed. Equal for any two circuits with the same canonical form;
+ * the circuit's display name does not participate.
+ */
+std::uint64_t canonicalCircuitHash(const Circuit &circuit,
+                                   std::uint64_t seed =
+                                       HashStream::kBasis);
+
+} // namespace qgpu
+
+#endif // QGPU_QC_CANONICAL_HH

@@ -1,0 +1,206 @@
+#include "service/job.hh"
+
+#include <cstdio>
+
+#include "circuits/circuits.hh"
+#include "common/logging.hh"
+#include "qc/canonical.hh"
+#include "qc/qasm.hh"
+
+namespace qgpu
+{
+namespace service
+{
+
+const char *
+jobStatusName(JobStatus status)
+{
+    switch (status) {
+    case JobStatus::Queued: return "queued";
+    case JobStatus::Running: return "running";
+    case JobStatus::Done: return "done";
+    case JobStatus::Failed: return "failed";
+    case JobStatus::Cancelled: return "cancelled";
+    case JobStatus::Rejected: return "rejected";
+    }
+    QGPU_PANIC("unknown JobStatus ", static_cast<int>(status));
+}
+
+bool
+jobStatusTerminal(JobStatus status)
+{
+    return status != JobStatus::Queued && status != JobStatus::Running;
+}
+
+Circuit
+CircuitSpec::build() const
+{
+    if (!qasm.empty())
+        return fromQasm(qasm);
+    if (family.empty())
+        QGPU_FATAL("circuit spec needs a family or a qasm program");
+    return circuits::makeBenchmark(family, qubits, seed);
+}
+
+JsonValue
+CircuitSpec::toJson() const
+{
+    std::map<std::string, JsonValue> m;
+    if (!qasm.empty()) {
+        m.emplace("qasm", JsonValue::makeString(qasm));
+    } else {
+        m.emplace("family", JsonValue::makeString(family));
+        m.emplace("qubits",
+                  JsonValue::makeNumber(static_cast<double>(qubits)));
+        m.emplace("seed",
+                  JsonValue::makeNumber(static_cast<double>(seed)));
+    }
+    return JsonValue::makeObject(std::move(m));
+}
+
+std::optional<CircuitSpec>
+CircuitSpec::fromJson(const JsonValue &v)
+{
+    if (!v.isObject())
+        return std::nullopt;
+    CircuitSpec spec;
+    spec.qasm = v.stringOr("qasm", "");
+    spec.family = v.stringOr("family", "");
+    spec.qubits = static_cast<int>(v.numberOr("qubits", 0.0));
+    spec.seed = static_cast<std::uint64_t>(v.numberOr("seed", 0.0));
+    if (spec.qasm.empty() && spec.family.empty())
+        return std::nullopt;
+    if (spec.qasm.empty() && spec.qubits <= 0)
+        return std::nullopt;
+    return spec;
+}
+
+bool
+JobRequest::faultsArmed() const
+{
+    // "env" with no QGPU_FAULTS set resolves to no faults, but the
+    // resolution is environment-dependent; the service treats any
+    // non-empty spec other than the explicit "none" as armed so
+    // cacheability never depends on the environment.
+    return !faultSpec.empty() && faultSpec != "none";
+}
+
+JsonValue
+JobRequest::toJson() const
+{
+    std::map<std::string, JsonValue> m;
+    m.emplace("tenant", JsonValue::makeString(tenant));
+    m.emplace("circuit", circuit.toJson());
+    m.emplace("engine", JsonValue::makeString(engine));
+    m.emplace("shots",
+              JsonValue::makeNumber(static_cast<double>(shots)));
+    m.emplace("seed",
+              JsonValue::makeNumber(static_cast<double>(seed)));
+    m.emplace("precision",
+              JsonValue::makeString(precisionName(precision)));
+    if (precision == Precision::adaptive)
+        m.emplace("adaptive_threshold",
+                  JsonValue::makeNumber(adaptiveThreshold));
+    m.emplace("fast_math", JsonValue::makeBool(fastMath));
+    if (faultsArmed()) {
+        m.emplace("fault_spec", JsonValue::makeString(faultSpec));
+        m.emplace("fault_seed",
+                  JsonValue::makeNumber(
+                      static_cast<double>(faultSeed)));
+    }
+    m.emplace("arrival_ms", JsonValue::makeNumber(arrivalMs));
+    return JsonValue::makeObject(std::move(m));
+}
+
+std::optional<JobRequest>
+JobRequest::fromJson(const JsonValue &v)
+{
+    if (!v.isObject())
+        return std::nullopt;
+    JobRequest r;
+    r.tenant = v.stringOr("tenant", "default");
+    const JsonValue *circuit = v.find("circuit");
+    if (circuit == nullptr)
+        return std::nullopt;
+    const auto spec = CircuitSpec::fromJson(*circuit);
+    if (!spec)
+        return std::nullopt;
+    r.circuit = *spec;
+    r.engine = v.stringOr("engine", "qgpu");
+    r.shots = static_cast<std::uint64_t>(v.numberOr("shots", 0.0));
+    r.seed = static_cast<std::uint64_t>(v.numberOr("seed", 2026.0));
+    if (!parsePrecision(v.stringOr("precision", "f64"), r.precision))
+        return std::nullopt;
+    r.adaptiveThreshold = v.numberOr("adaptive_threshold", 1e-6);
+    r.fastMath = v.boolOr("fast_math", false);
+    r.faultSpec = v.stringOr("fault_spec", "");
+    r.faultSeed = static_cast<std::uint64_t>(
+        v.numberOr("fault_seed",
+                   static_cast<double>(0x517e57ull)));
+    r.arrivalMs = v.numberOr("arrival_ms", 0.0);
+    return r;
+}
+
+std::uint64_t
+simulationKey(const JobRequest &request, const Circuit &circuit)
+{
+    HashStream h;
+    h.byte(0x4b); // key tag
+    h.str(request.engine);
+    h.str(precisionName(request.precision));
+    // The promotion threshold only steers f32->f64 promotion in
+    // adaptive mode; under fixed precision it cannot affect any
+    // amplitude, so folding it in would needlessly split the cache.
+    if (request.precision == Precision::adaptive)
+        h.f64(request.adaptiveThreshold);
+    h.byte(request.fastMath ? 1 : 0);
+    return canonicalCircuitHash(circuit, h.digest());
+}
+
+namespace
+{
+
+std::string
+hexKey(std::uint64_t key)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(key));
+    return buf;
+}
+
+} // namespace
+
+JsonValue
+JobResult::toJson() const
+{
+    std::map<std::string, JsonValue> m;
+    m.emplace("id", JsonValue::makeNumber(static_cast<double>(id)));
+    m.emplace("tenant", JsonValue::makeString(tenant));
+    m.emplace("status",
+              JsonValue::makeString(jobStatusName(status)));
+    m.emplace("key", JsonValue::makeString(hexKey(key)));
+    m.emplace("engine", JsonValue::makeString(engine));
+    m.emplace("cache_hit", JsonValue::makeBool(cacheHit));
+    m.emplace("coalesced", JsonValue::makeBool(coalesced));
+    m.emplace("dispatch_index",
+              JsonValue::makeNumber(
+                  static_cast<double>(dispatchIndex)));
+    m.emplace("latency_s", JsonValue::makeNumber(latencySeconds()));
+    m.emplace("vtime", JsonValue::makeNumber(totalVTime));
+    m.emplace("norm", JsonValue::makeNumber(norm));
+    if (!counts.empty()) {
+        std::map<std::string, JsonValue> c;
+        for (const auto &[outcome, hits] : counts)
+            c.emplace(std::to_string(outcome),
+                      JsonValue::makeNumber(
+                          static_cast<double>(hits)));
+        m.emplace("counts", JsonValue::makeObject(std::move(c)));
+    }
+    if (error)
+        m.emplace("error", JsonValue::makeString(error->toString()));
+    return JsonValue::makeObject(std::move(m));
+}
+
+} // namespace service
+} // namespace qgpu

@@ -1,0 +1,125 @@
+#include "service/result_cache.hh"
+
+#include <algorithm>
+
+namespace qgpu
+{
+namespace service
+{
+
+namespace
+{
+
+/**
+ * Spread the (already well-mixed FNV) key across shards using the
+ * high bits: the low bits select nothing here because shard count is
+ * small and the multiplicative finalizer below decorrelates them.
+ */
+std::size_t
+shardIndex(std::uint64_t key, std::size_t shards)
+{
+    key ^= key >> 33;
+    key *= 0xff51afd7ed558ccdull;
+    key ^= key >> 33;
+    return static_cast<std::size_t>(key % shards);
+}
+
+} // namespace
+
+ResultCache::ResultCache(std::size_t capacity_bytes, int shards)
+    : capacity_(capacity_bytes)
+{
+    const int n = std::max(shards, 1);
+    shardCapacity_ = capacity_bytes / static_cast<std::size_t>(n);
+    shards_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+ResultCache::Shard &
+ResultCache::shardFor(std::uint64_t key)
+{
+    return *shards_[shardIndex(key, shards_.size())];
+}
+
+std::shared_ptr<const CachedSim>
+ResultCache::lookup(std::uint64_t key)
+{
+    Shard &shard = shardFor(key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+        ++shard.misses;
+        return nullptr;
+    }
+    ++shard.hits;
+    // Touch: move to the front of the LRU order.
+    shard.order.splice(shard.order.begin(), shard.order,
+                       it->second);
+    return *it->second;
+}
+
+bool
+ResultCache::insert(std::shared_ptr<const CachedSim> sim)
+{
+    if (!sim)
+        return false;
+    const std::size_t bytes = sim->bytes();
+    Shard &shard = shardFor(sim->key);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    if (bytes > shardCapacity_) {
+        ++shard.rejected;
+        return false;
+    }
+    const auto it = shard.map.find(sim->key);
+    if (it != shard.map.end()) {
+        shard.bytes -= (*it->second)->bytes();
+        shard.order.erase(it->second);
+        shard.map.erase(it);
+    }
+    while (shard.bytes + bytes > shardCapacity_ &&
+           !shard.order.empty()) {
+        const auto &victim = shard.order.back();
+        shard.bytes -= victim->bytes();
+        shard.map.erase(victim->key);
+        shard.order.pop_back();
+        ++shard.evictions;
+    }
+    shard.order.push_front(std::move(sim));
+    shard.map.emplace(shard.order.front()->key,
+                      shard.order.begin());
+    shard.bytes += bytes;
+    ++shard.insertions;
+    return true;
+}
+
+void
+ResultCache::clear()
+{
+    for (auto &shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->order.clear();
+        shard->map.clear();
+        shard->bytes = 0;
+    }
+}
+
+ResultCacheStats
+ResultCache::stats() const
+{
+    ResultCacheStats out;
+    for (const auto &shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard->mutex);
+        out.hits += shard->hits;
+        out.misses += shard->misses;
+        out.insertions += shard->insertions;
+        out.evictions += shard->evictions;
+        out.rejected += shard->rejected;
+        out.bytes += shard->bytes;
+        out.entries += shard->map.size();
+    }
+    return out;
+}
+
+} // namespace service
+} // namespace qgpu

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Content-addressed result cache for the job service. Keys are
+ * simulation keys (service/job.hh); values are the full final state
+ * of the producing run plus the metadata shared by every future hit.
+ * Entries are immutable and handed out as shared_ptr<const>, so a
+ * hit can outlive eviction and concurrent readers never copy the
+ * state.
+ *
+ * The cache is sharded by key to keep lock hold times short under
+ * concurrent submission, and bounded by total resident bytes with
+ * per-shard LRU eviction (each shard gets capacity/shards). An entry
+ * larger than a whole shard's budget is simply not admitted — the
+ * simulation still ran; the caller returns its result directly.
+ *
+ * Correctness contract (see qc/canonical.hh): two requests with the
+ * same simulation key execute the exact same canonical gate stream
+ * under the same result-affecting options, so a cached state is
+ * bit-identical (maxAbsDiff == 0) to what a fresh run would produce.
+ * Shots are NOT cached: sampling is post-hoc over the cached state
+ * with the requesting job's own seed.
+ */
+
+#ifndef QGPU_SERVICE_RESULT_CACHE_HH
+#define QGPU_SERVICE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "statevec/state_vector.hh"
+
+namespace qgpu
+{
+namespace service
+{
+
+/** One cached simulation: the final state plus shared metadata. */
+struct CachedSim
+{
+    std::uint64_t key = 0;
+    std::string engine; ///< display name of the producing engine
+    StateVector state{1};
+    double totalVTime = 0.0; ///< modeled time of the producing run
+    double norm = 0.0;
+
+    /** Resident footprint used for the byte budget. */
+    std::size_t bytes() const
+    {
+        return sizeof(CachedSim) + state.size() * sizeof(Amp);
+    }
+};
+
+/** Aggregate counters (monotonic except bytes/entries). */
+struct ResultCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t rejected = 0; ///< entries too large to admit
+    std::size_t bytes = 0;      ///< currently resident
+    std::uint64_t entries = 0;  ///< currently resident
+};
+
+/**
+ * Sharded, byte-bounded, content-addressed LRU cache. Thread-safe;
+ * all locking is per shard.
+ */
+class ResultCache
+{
+  public:
+    /**
+     * @param capacity_bytes total budget across all shards (0
+     *        disables caching entirely: every lookup misses, every
+     *        insert is rejected).
+     * @param shards lock shards (clamped to >= 1).
+     */
+    explicit ResultCache(std::size_t capacity_bytes,
+                         int shards = 8);
+
+    /** Entry for @p key, or nullptr (counts a hit or a miss). */
+    std::shared_ptr<const CachedSim> lookup(std::uint64_t key);
+
+    /**
+     * Insert @p sim under its own key, evicting least-recently-used
+     * entries of the shard as needed. Re-inserting an existing key
+     * refreshes the entry. Returns false when the entry exceeds the
+     * shard budget and was not admitted.
+     */
+    bool insert(std::shared_ptr<const CachedSim> sim);
+
+    /** Drop every entry (counters keep their history). */
+    void clear();
+
+    ResultCacheStats stats() const;
+
+    std::size_t capacityBytes() const { return capacity_; }
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        /** LRU order, most recent at front. */
+        std::list<std::shared_ptr<const CachedSim>> order;
+        std::unordered_map<std::uint64_t,
+                           std::list<std::shared_ptr<
+                               const CachedSim>>::iterator>
+            map;
+        std::size_t bytes = 0;
+        std::uint64_t hits = 0, misses = 0, insertions = 0,
+                      evictions = 0, rejected = 0;
+    };
+
+    Shard &shardFor(std::uint64_t key);
+
+    std::size_t capacity_;
+    std::size_t shardCapacity_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace service
+} // namespace qgpu
+
+#endif // QGPU_SERVICE_RESULT_CACHE_HH

@@ -1,0 +1,129 @@
+#include "service/traffic.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "circuits/circuits.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace qgpu
+{
+namespace service
+{
+
+std::vector<JobRequest>
+generateTraffic(const TrafficConfig &config)
+{
+    std::vector<std::string> families = config.families;
+    if (families.empty())
+        families = circuits::benchmarkNames();
+    Rng rng(config.seed);
+    std::vector<JobRequest> out;
+    std::vector<std::size_t> uniques; // indices of unique requests
+    out.reserve(static_cast<std::size_t>(config.jobs));
+    double arrival = 0.0;
+    for (int i = 0; i < config.jobs; ++i) {
+        // Exponential-ish inter-arrival gap; virtual only (replay
+        // submits as fast as the service admits).
+        arrival += -config.meanGapMs *
+                   std::log(1.0 - rng.nextDouble());
+        JobRequest r;
+        if (!uniques.empty() && rng.nextBool(config.repeatFraction)) {
+            r = out[uniques[rng.nextBelow(uniques.size())]];
+        } else {
+            r.circuit.family = families[rng.nextBelow(
+                families.size())];
+            r.circuit.qubits = static_cast<int>(rng.nextRange(
+                config.minQubits, config.maxQubits));
+            r.circuit.seed = rng.next() >> 8;
+            r.engine = config.engine;
+            r.shots = config.shots;
+            uniques.push_back(out.size());
+        }
+        // Per-submission fields: fresh even for repeats.
+        char tenant[24];
+        std::snprintf(tenant, sizeof tenant, "t%llu",
+                      static_cast<unsigned long long>(
+                          rng.nextBelow(static_cast<std::uint64_t>(
+                              std::max(config.tenants, 1)))));
+        r.tenant = tenant;
+        r.seed = rng.next() >> 8;
+        r.arrivalMs = arrival;
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+std::string
+trafficToJsonl(const std::vector<JobRequest> &requests)
+{
+    std::string out;
+    for (const JobRequest &r : requests) {
+        out += r.toJson().toString();
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+trafficFromJsonl(const std::string &text,
+                 std::vector<JobRequest> &out, std::string &error)
+{
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto start = line.find_first_not_of(" \t\r");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        std::string parseError;
+        const auto value = parseJson(line, &parseError);
+        if (!value) {
+            error = "line " + std::to_string(lineno) + ": " +
+                    parseError;
+            return false;
+        }
+        const auto request = JobRequest::fromJson(*value);
+        if (!request) {
+            error = "line " + std::to_string(lineno) +
+                    ": not a job request";
+            return false;
+        }
+        out.push_back(*request);
+    }
+    return true;
+}
+
+std::vector<JobRequest>
+loadTraffic(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        QGPU_FATAL("cannot read trace file '", path, "'");
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::vector<JobRequest> out;
+    std::string error;
+    if (!trafficFromJsonl(text.str(), out, error))
+        QGPU_FATAL("bad trace '", path, "': ", error);
+    return out;
+}
+
+void
+saveTraffic(const std::vector<JobRequest> &requests,
+            const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        QGPU_FATAL("cannot write trace file '", path, "'");
+    out << trafficToJsonl(requests);
+    if (!out)
+        QGPU_FATAL("failed writing trace file '", path, "'");
+}
+
+} // namespace service
+} // namespace qgpu

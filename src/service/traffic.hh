@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic synthetic traffic for the job service: a seeded
+ * generator that produces multi-tenant request mixes with a
+ * controllable repeat fraction (the knob behind the cold / 50% /
+ * 90%-repeat bench mixes), plus .jsonl trace read/write so any
+ * generated (or captured) workload replays byte-identically through
+ * `qgpu_serve --replay`.
+ */
+
+#ifndef QGPU_SERVICE_TRAFFIC_HH
+#define QGPU_SERVICE_TRAFFIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/job.hh"
+
+namespace qgpu
+{
+namespace service
+{
+
+/** Knobs of the synthetic workload. */
+struct TrafficConfig
+{
+    int jobs = 100;
+    /** Fraction of submissions that repeat an earlier request's
+     *  simulation (same circuit + options, fresh sampling seed). */
+    double repeatFraction = 0.0;
+    /** Tenants round-robin over this many names ("t0", "t1", ...). */
+    int tenants = 4;
+    /** Circuit families drawn from (default: all registry names). */
+    std::vector<std::string> families;
+    int minQubits = 10;
+    int maxQubits = 14;
+    std::string engine = "qgpu";
+    std::uint64_t shots = 0;
+    /** Mean inter-arrival gap recorded in arrivalMs (virtual). */
+    double meanGapMs = 5.0;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generate @p config.jobs requests. Deterministic in the seed: the
+ * same config always yields the same trace. Repeats pick a uniformly
+ * random earlier unique request; the first job is always unique.
+ */
+std::vector<JobRequest> generateTraffic(const TrafficConfig &config);
+
+/** Serialize one request per line (.jsonl). */
+std::string trafficToJsonl(const std::vector<JobRequest> &requests);
+
+/**
+ * Parse a .jsonl trace (blank lines and #-comment lines skipped).
+ * Returns false (with a message in @p error) on the first bad line.
+ */
+bool trafficFromJsonl(const std::string &text,
+                      std::vector<JobRequest> &out,
+                      std::string &error);
+
+/** Read + parse a trace file; fatal on I/O error. */
+std::vector<JobRequest> loadTraffic(const std::string &path);
+
+/** Write a trace file; fatal on I/O error. */
+void saveTraffic(const std::vector<JobRequest> &requests,
+                 const std::string &path);
+
+} // namespace service
+} // namespace qgpu
+
+#endif // QGPU_SERVICE_TRAFFIC_HH

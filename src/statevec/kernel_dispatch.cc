@@ -1,6 +1,7 @@
 #include "statevec/kernel_dispatch.hh"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/bits.hh"
 #include "common/logging.hh"
@@ -26,23 +27,28 @@ cmul(const Amp &a, const Amp &b)
                a.real() * b.imag() + a.imag() * b.real()};
 }
 
-// Written only from test/bench/engine setup code (setKernelTier is
-// documented as a serial-phase knob, like setSimThreads); read in
-// makeKernelSpec, which runs outside the parallel kernel loops.
-KernelTier g_kernel_tier = KernelTier::Exact;
+// Written from test/bench/engine setup code; read in makeKernelSpec,
+// which runs outside the parallel kernel loops. Atomic (relaxed)
+// because the service layer runs several engines concurrently:
+// ExecutionEngine::run only touches the tier when it actually has to
+// flip it, but a job opting in while another run is in flight must
+// not be a data race. Interleaved runs that NEED different tiers are
+// still a logical conflict — the service admits only jobs matching
+// its process-wide tier (see service/scheduler.hh).
+std::atomic<KernelTier> g_kernel_tier{KernelTier::Exact};
 
 } // namespace
 
 KernelTier
 kernelTier()
 {
-    return g_kernel_tier;
+    return g_kernel_tier.load(std::memory_order_relaxed);
 }
 
 void
 setKernelTier(KernelTier tier)
 {
-    g_kernel_tier = tier;
+    g_kernel_tier.store(tier, std::memory_order_relaxed);
 }
 
 const char *

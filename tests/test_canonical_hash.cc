@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Canonical circuit form and simulation-key contract
+ * (qc/canonical.hh, service/job.hh): gate streams that provably act
+ * identically hash equal, everything else hashes apart, and
+ * scheduling-only execution options never move the key. The
+ * cache-hit bit-identity half of the contract (hash-equal requests
+ * produce maxAbsDiff == 0 states because both execute the canonical
+ * form) is exercised end-to-end in test_service_differential.cc; the
+ * focused single-engine case lives here.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "qc/canonical.hh"
+#include "service/job.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+std::uint64_t
+hash(const Circuit &c)
+{
+    return canonicalCircuitHash(c);
+}
+
+TEST(CanonicalCircuit, DiagonalRunOrderIsNormalized)
+{
+    // z / t / cz / rzz all act diagonally in the computational
+    // basis, so any order of a consecutive run is the same operator.
+    Circuit a(3);
+    a.h(0).z(1).t(0).cz(0, 1).rzz(0.25, 1, 2).h(2);
+    Circuit b(3);
+    b.h(0).rzz(0.25, 1, 2).cz(0, 1).t(0).z(1).h(2);
+    EXPECT_EQ(hash(a), hash(b));
+
+    const Circuit ca = canonicalCircuit(a);
+    const Circuit cb = canonicalCircuit(b);
+    ASSERT_EQ(ca.numGates(), cb.numGates());
+    for (std::size_t i = 0; i < ca.numGates(); ++i)
+        EXPECT_EQ(ca.gates()[i].kind, cb.gates()[i].kind)
+            << "gate " << i;
+}
+
+TEST(CanonicalCircuit, NonDiagonalGatesAreBarriers)
+{
+    // The H between them puts z and t in different runs: swapping
+    // across it changes the operator and must change the hash.
+    Circuit a(1);
+    a.z(0).h(0).t(0);
+    Circuit b(1);
+    b.t(0).h(0).z(0);
+    EXPECT_NE(hash(a), hash(b));
+}
+
+TEST(CanonicalCircuit, NonDiagonalOrderIsPreserved)
+{
+    Circuit a(2);
+    a.h(0).x(1);
+    Circuit b(2);
+    b.x(1).h(0);
+    EXPECT_NE(hash(a), hash(b));
+}
+
+TEST(CanonicalCircuit, IdentityGatesAreDropped)
+{
+    Circuit a(2);
+    a.h(0).cx(0, 1);
+    Circuit b(2);
+    b.add(Gate(GateKind::ID, {0}));
+    b.h(0).add(Gate(GateKind::ID, {1}));
+    b.cx(0, 1);
+    EXPECT_EQ(hash(a), hash(b));
+    EXPECT_EQ(canonicalCircuit(b).numGates(), a.numGates());
+}
+
+TEST(CanonicalCircuit, NegativeZeroParameterFolds)
+{
+    Circuit a(1);
+    a.rz(0.0, 0);
+    Circuit b(1);
+    b.rz(-0.0, 0);
+    EXPECT_EQ(hash(a), hash(b));
+}
+
+TEST(CanonicalCircuit, DistinctParametersHashApart)
+{
+    Circuit a(1);
+    a.rz(0.5, 0);
+    Circuit b(1);
+    b.rz(0.25, 0);
+    EXPECT_NE(hash(a), hash(b));
+}
+
+TEST(CanonicalCircuit, DistinctTargetsHashApart)
+{
+    Circuit a(2);
+    a.z(0);
+    Circuit b(2);
+    b.z(1);
+    EXPECT_NE(hash(a), hash(b));
+}
+
+TEST(CanonicalCircuit, WidthMatters)
+{
+    Circuit a(2);
+    a.h(0);
+    Circuit b(3);
+    b.h(0);
+    EXPECT_NE(hash(a), hash(b));
+}
+
+TEST(CanonicalCircuit, SeedChangesDigest)
+{
+    Circuit a(2);
+    a.h(0).cz(0, 1);
+    EXPECT_NE(canonicalCircuitHash(a, 1), canonicalCircuitHash(a, 2));
+}
+
+TEST(CanonicalCircuit, CanonicalizationIsIdempotent)
+{
+    const Circuit c = circuits::makeBenchmark("iqp", 8);
+    const Circuit once = canonicalCircuit(c);
+    const Circuit twice = canonicalCircuit(once);
+    ASSERT_EQ(once.numGates(), twice.numGates());
+    EXPECT_EQ(hash(once), hash(twice));
+    EXPECT_EQ(hash(c), hash(once));
+}
+
+TEST(CanonicalCircuit, EveryFamilyHashesStably)
+{
+    // Same generator inputs -> same hash; guards against hidden
+    // nondeterminism in either the generators or the hasher.
+    for (const auto &family : circuits::benchmarkNames()) {
+        const std::uint64_t h1 =
+            hash(circuits::makeBenchmark(family, 10));
+        const std::uint64_t h2 =
+            hash(circuits::makeBenchmark(family, 10));
+        EXPECT_EQ(h1, h2) << family;
+        EXPECT_NE(h1, hash(circuits::makeBenchmark(family, 11)))
+            << family;
+    }
+}
+
+TEST(CanonicalCircuit, ExecutedCanonicalFormIsBitIdentical)
+{
+    // The service executes canonicalCircuit(request): two hash-equal
+    // circuits therefore run the same gate stream and their states
+    // match bitwise, even though running the PERMUTED originals
+    // could differ in final ULPs (diagonal chains reassociate).
+    Circuit a(4);
+    a.h(0).h(1).h(2).h(3);
+    a.t(0).cz(0, 1).rzz(0.3, 1, 2).p(0.7, 3).cp(0.2, 0, 3);
+    a.h(1);
+    Circuit b(4);
+    b.h(0).h(1).h(2).h(3);
+    b.cp(0.2, 0, 3).p(0.7, 3).rzz(0.3, 1, 2).cz(0, 1).t(0);
+    b.h(1);
+    ASSERT_EQ(hash(a), hash(b));
+
+    ExecOptions o;
+    o.keepState = true;
+    Machine ma = harness::benchMachine(4);
+    const RunResult ra =
+        harness::runOn("qgpu", ma, canonicalCircuit(a), o);
+    Machine mb = harness::benchMachine(4);
+    const RunResult rb =
+        harness::runOn("qgpu", mb, canonicalCircuit(b), o);
+    ASSERT_TRUE(ra.ok());
+    ASSERT_TRUE(rb.ok());
+    EXPECT_EQ(ra.state.maxAbsDiff(rb.state), 0.0);
+}
+
+service::JobRequest
+baseRequest()
+{
+    service::JobRequest r;
+    r.circuit.family = "qft";
+    r.circuit.qubits = 8;
+    r.engine = "qgpu";
+    return r;
+}
+
+std::uint64_t
+keyOf(const service::JobRequest &r)
+{
+    return service::simulationKey(r, r.circuit.build());
+}
+
+TEST(SimulationKey, SchedulingOnlyFieldsDoNotMoveTheKey)
+{
+    const std::uint64_t base = keyOf(baseRequest());
+
+    service::JobRequest r = baseRequest();
+    r.tenant = "someone-else";
+    r.shots = 1000;
+    r.seed = 99;
+    r.arrivalMs = 123.0;
+    EXPECT_EQ(keyOf(r), base)
+        << "tenant/shots/sampling-seed/arrival are not "
+           "result-affecting";
+
+    // Threshold is inert outside adaptive precision.
+    r = baseRequest();
+    r.adaptiveThreshold = 1e-3;
+    EXPECT_EQ(keyOf(r), base);
+}
+
+TEST(SimulationKey, ResultAffectingFieldsMoveTheKey)
+{
+    const std::uint64_t base = keyOf(baseRequest());
+
+    service::JobRequest r = baseRequest();
+    r.engine = "baseline";
+    EXPECT_NE(keyOf(r), base);
+
+    r = baseRequest();
+    r.precision = Precision::f32;
+    EXPECT_NE(keyOf(r), base);
+
+    r = baseRequest();
+    r.fastMath = true;
+    EXPECT_NE(keyOf(r), base);
+
+    r = baseRequest();
+    r.precision = Precision::adaptive;
+    const std::uint64_t adaptive = keyOf(r);
+    EXPECT_NE(adaptive, base);
+    r.adaptiveThreshold = 1e-3;
+    EXPECT_NE(keyOf(r), adaptive)
+        << "threshold is result-affecting under adaptive precision";
+
+    r = baseRequest();
+    r.circuit.qubits = 9;
+    EXPECT_NE(keyOf(r), base);
+}
+
+} // namespace
+} // namespace qgpu
