@@ -21,6 +21,7 @@
 #include "common/logging.hh"
 #include "common/metrics.hh"
 #include "common/parallel.hh"
+#include "engine/batched.hh"
 #include "harness/experiment.hh"
 #include "qc/qasm.hh"
 #include "statevec/kernel_dispatch.hh"
@@ -60,6 +61,9 @@ struct Args
     bool storage_stats = false;
     std::string fault_spec = "env";
     std::uint64_t fault_seed = 0x517e57ull;
+    std::string noise_spec;
+    std::uint64_t shot_seed = 0x5407ull;
+    std::string batch_mode = "shared";
     std::string trace_path;
 };
 
@@ -137,6 +141,21 @@ usage(const char *argv0)
         "                        d2h, peer, codec, alloc; default: "
         "$QGPU_FAULT_SPEC)\n"
         "  --fault-seed <s>      fault-injector seed\n"
+        "  --noise-spec <spec>   stochastic noise channels for "
+        "batched shots, e.g.\n"
+        "                        \"pauli1:0.01,damp:0.02,"
+        "readout:0.05\" or a JSON\n"
+        "                        object (noise/model.hh); needs "
+        "--shots > 0\n"
+        "  --shot-seed <s>       base seed of the noisy batch "
+        "(shot i draws from\n"
+        "                        splitSeed(s, i))\n"
+        "  --batch-mode <m>      shared (build the sweep schedule "
+        "once, replay per\n"
+        "                        shot) | pershot (expand each "
+        "shot's sampled errors\n"
+        "                        into its own circuit); default "
+        "shared\n"
         "  --trace <file>        write a JSON execution trace "
         "(per-phase totals + spans)\n",
         argv0);
@@ -225,6 +244,13 @@ parse(int argc, char **argv)
         else if (flag == "--fault-seed")
             args.fault_seed =
                 std::strtoull(value().c_str(), nullptr, 10);
+        else if (flag == "--noise-spec")
+            args.noise_spec = value();
+        else if (flag == "--shot-seed")
+            args.shot_seed =
+                std::strtoull(value().c_str(), nullptr, 10);
+        else if (flag == "--batch-mode")
+            args.batch_mode = value();
         else if (flag == "--trace")
             args.trace_path = value();
         else
@@ -309,6 +335,62 @@ main(int argc, char **argv)
                         : "exact",
                     precisionName(options.precision),
                     storageKindName(options.storage));
+
+    const bool noisy =
+        !args.noise_spec.empty() && args.noise_spec != "none";
+    if (noisy) {
+        // Stochastic batched path: N seeded shot trajectories over
+        // the build-once sweep schedule (engine/batched.hh).
+        if (args.shots == 0)
+            QGPU_FATAL("--noise-spec needs --shots > 0");
+        options.noiseSpec = args.noise_spec;
+        options.shotSeed = args.shot_seed;
+        if (args.batch_mode == "pershot")
+            options.batchMode = BatchMode::PerShot;
+        else if (args.batch_mode != "shared")
+            QGPU_FATAL("unknown batch mode '", args.batch_mode,
+                       "' (expected shared or pershot)");
+        const auto engine =
+            harness::makeEngine(args.engine, machine, options);
+        const BatchResult batch =
+            engine->runBatched(circuit, args.shots);
+        std::printf("engine:  %s (%s batch)\n",
+                    batch.engine.c_str(), args.batch_mode.c_str());
+        std::printf("wall time:    %.3f s (schedule %.3f s, %d "
+                    "host thread%s)\n",
+                    batch.wallSeconds, batch.scheduleSeconds,
+                    simThreads(), simThreads() == 1 ? "" : "s");
+        if (!batch.ok()) {
+            std::printf("\nSIM ERROR after %llu shots: %s\n",
+                        static_cast<unsigned long long>(
+                            batch.outcomes.size()),
+                        batch.error->toString().c_str());
+            return 2;
+        }
+        std::printf("\ncounts (%llu noisy shots):\n",
+                    static_cast<unsigned long long>(args.shots));
+        for (const auto &[outcome, count] : batch.counts) {
+            std::printf("  ");
+            for (int q = circuit.numQubits() - 1; q >= 0; --q)
+                std::printf("%d",
+                            static_cast<int>(outcome >> q) & 1);
+            std::printf(": %llu\n",
+                        static_cast<unsigned long long>(count));
+        }
+        std::printf("\nbatch counters:\n");
+        for (const auto &name : batch.stats.names()) {
+            if (name.rfind("shots.", 0) != 0 &&
+                name.rfind("noise.", 0) != 0)
+                continue;
+            std::printf("  %-28s %g\n", name.c_str(),
+                        batch.stats.get(name));
+        }
+        if (args.stats)
+            std::printf("\nstats:\n%s",
+                        batch.stats.toString().c_str());
+        return 0;
+    }
+
     const RunResult result =
         harness::runOn(args.engine, machine, circuit, options);
 

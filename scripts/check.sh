@@ -136,17 +136,20 @@ if [ "$RUN_TSAN" -eq 1 ]; then
     cmake -B "$TSAN_DIR" -S . -DQGPU_SANITIZE=thread
     cmake --build "$TSAN_DIR" -j "$JOBS" --target test_common \
         test_statevec test_compress test_thread_determinism \
-        test_sweep_executor test_shard_differential test_service
+        test_sweep_executor test_shard_differential test_service \
+        test_batched_differential
     # The parallelism-focused suites: the pool itself, the pool-backed
     # parallelFor / threaded apply, the cross-thread determinism +
     # stress tests, the sweep executor (whose group fan-out chains
     # several kernels per worker), the shard differential (which
     # sweeps the same circuits single- and multi-threaded per device
-    # count), and the job-service suite (concurrent submissions,
+    # count), the job-service suite (concurrent submissions,
     # cross-thread cache/single-flight traffic, and engine runs
-    # multiplexed onto the shared pool).
+    # multiplexed onto the shared pool), and the batched-shot
+    # differential (noisy shots replayed at 1 and 4 host threads must
+    # stay bit-identical while the apply path fans out).
     ctest --test-dir "$TSAN_DIR" --output-on-failure -j "$JOBS" \
-        -R 'ThreadPool|TaskGroup|SimThreads|ParallelFor|ThreadedApply|Determinism|Stress|Sweep|ShardDifferential|Service|ResultCache'
+        -R 'ThreadPool|TaskGroup|SimThreads|ParallelFor|ThreadedApply|Determinism|Stress|Sweep|ShardDifferential|Service|ResultCache|Batched'
 fi
 
 if [ "$RUN_ASAN" -eq 1 ]; then
@@ -156,7 +159,9 @@ if [ "$RUN_ASAN" -eq 1 ]; then
     cmake -B "$ASAN_DIR" -S . -DQGPU_SANITIZE=address
     cmake --build "$ASAN_DIR" -j "$JOBS" --target test_fault \
         test_fault_fuzz test_compress test_engines \
-        test_chunk_storage test_storage_differential test_storage_fuzz
+        test_chunk_storage test_storage_differential \
+        test_storage_fuzz test_noise test_noise_fuzz \
+        test_batched_differential
     # The fault-injection surface: the unit suite, the long tier2
     # differential fuzz sweep (50 seeds x every engine version x three
     # prune modes, recovery must be bit-identical or a structured
@@ -164,7 +169,11 @@ if [ "$RUN_ASAN" -eq 1 ]; then
     # the engine edge cases. The bounded-storage suites ride along:
     # eviction, spill-file I/O, codec retry, and the storage fuzz leg
     # (codec/alloc faults armed during eviction and refill) all
-    # shuffle heap buffers, which is exactly what ASan watches.
+    # shuffle heap buffers, which is exactly what ASan watches. The
+    # noise suites join for the same reason: shot batches allocate a
+    # fresh chunked state per shot and the tier2 noise fuzz sweeps
+    # every version x prune mode with sampled gate insertion (plus a
+    # fault-on-top-of-noise leg).
     ctest --test-dir "$ASAN_DIR" --output-on-failure -j "$JOBS" \
-        -R 'Checksum|FaultSpec|FaultInjector|SimError|GuardedTransfer|FaultSmoke|FaultFuzz|GfcProperties|EdgeCases|ColdStoreRoundTrip|BoundedState|StorageDifferential|StorageFuzz'
+        -R 'Checksum|FaultSpec|FaultInjector|SimError|GuardedTransfer|FaultSmoke|FaultFuzz|GfcProperties|EdgeCases|ColdStoreRoundTrip|BoundedState|StorageDifferential|StorageFuzz|Noise|Batched'
 fi

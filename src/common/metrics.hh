@@ -72,6 +72,21 @@
  *   storage.fallback_raw        evictions degraded to raw payloads
  *   storage.working_set         configured resident-chunk bound
  *
+ * Batched-shot counters (engine/batched.hh; accumulated per batch in
+ * BatchResult::stats and mirrored here by runBatched, nonzero entries
+ * only):
+ *   shots.total             shots executed across every batch
+ *   shots.schedule_builds   shared sweep schedules built (one per
+ *                           Shared-mode batch — the amortization)
+ *   shots.plan_sweeps       sweeps in the shared plan
+ *   shots.sweep_replays     sweep replays executed across all shots
+ *   shots.sweep_splits      replays split mid-sweep by a sampled
+ *                           error insertion
+ *   noise.events            sampled error gates inserted
+ *   noise.armed_sites       plan gate sites whose attached noise can
+ *                           involve a new qubit (union-mask arming)
+ *   noise.readout_flips     readout bit flips applied to outcomes
+ *
  * Job-service counters (service/scheduler.hh; every JobService
  * mirrors its internal counters here, so a process hosting one
  * service reads them directly and a multi-service process reads

@@ -82,4 +82,14 @@ Rng::nextBool(double p)
     return nextDouble() < p;
 }
 
+std::uint64_t
+splitSeed(std::uint64_t base, std::uint64_t index)
+{
+    // index+1 keeps splitSeed(base, 0) != splitmix64 state "base",
+    // so the batch driver's own draws never collide with shot 0.
+    std::uint64_t x =
+        base + (index + 1) * 0x9e3779b97f4a7c15ull;
+    return splitmix64(x);
+}
+
 } // namespace qgpu

@@ -42,6 +42,19 @@ class Rng
     std::uint64_t state_[4];
 };
 
+/**
+ * Stateless stream split: the deterministic sub-seed of stream
+ * @p index under @p base. Used to derive per-shot RNG seeds for
+ * batched execution (engine/batched.hh): shot i of a batch seeded
+ * with `base` runs on Rng(splitSeed(base, i)), so shots are
+ * independent streams yet reproducible individually. The mapping is
+ * a fixed bit-mixing function (splitmix64 finalizer over
+ * base + (index+1)·φ64) with cross-platform goldens in
+ * tests/test_rng.cc — a refactor can never silently reshuffle shot
+ * outcomes.
+ */
+std::uint64_t splitSeed(std::uint64_t base, std::uint64_t index);
+
 } // namespace qgpu
 
 #endif // QGPU_COMMON_RNG_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Shot-batched execution: classify / prune / reorder / sweep-schedule
+ * ONCE, then execute N seeded shots over the cached schedule. This is
+ * the stochastic workload class real simulators spend their cycles on
+ * (noisy multi-shot jobs); batching lets every Q-GPU optimization
+ * amortize across shots.
+ *
+ * ## Determinism contract
+ *
+ * Shot i runs on its own RNG, seeded with splitSeed(base, i). Every
+ * stochastic draw — error sampling, the outcome draw, readout flips —
+ * happens on the single-threaded driver path in the documented order
+ * (noise/model.hh), so a (circuit, options, noise spec, seed) tuple
+ * reproduces outcomes bit-identically across host thread counts,
+ * device counts, and chunk storage backends. Per-shot states obey
+ * the repo-wide bit-identity contract: a noisy shot equals a flat
+ * gate-by-gate replay of its expanded circuit at tolerance 0.
+ *
+ * ## Noise × pruning
+ *
+ * A sampled X/Y on a not-yet-involved qubit invalidates the
+ * involvement mask: the pruner would keep skipping chunks that now
+ * hold weight. The two batch modes resolve this differently:
+ *
+ *   Shared   the plan is built under a CONSERVATIVE UNION mask —
+ *            ideal involvement ∪ every qubit any shot's noise could
+ *            touch non-diagonally (NoiseModel::touchableBits). The
+ *            noise-aware sweep rule (sched/sweep.hh) closes a sweep
+ *            at each gate whose attached noise can arm a new qubit,
+ *            so arming only changes the zero predicate at sweep
+ *            boundaries and the predicate stays sweep-constant, as
+ *            applySweepChunked requires. All shots replay one
+ *            partition; shots where the error did not fire simply
+ *            carry zero weight in the extra live chunks (exactness
+ *            of pruning is preserved — it is merely less tight).
+ *
+ *   PerShot  each shot materializes its sampled errors into an
+ *            expanded circuit and runs the engine's normal path, so
+ *            the mask is rebuilt from the EXACT per-shot
+ *            touched-by-noise set. No schedule reuse — the
+ *            correctness reference and the path for noise models
+ *            whose pruning loss under the union mask matters.
+ */
+
+#ifndef QGPU_ENGINE_BATCHED_HH
+#define QGPU_ENGINE_BATCHED_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "engine/execution.hh"
+#include "fault/sim_error.hh"
+#include "noise/model.hh"
+#include "sched/sweep.hh"
+#include "statevec/state_vector.hh"
+
+namespace qgpu
+{
+
+/** Outcome of one runBatched call. */
+struct BatchResult
+{
+    std::string engine;
+    std::uint64_t shots = 0;
+
+    /** Post-readout measurement outcome of every shot, in order. */
+    std::vector<Index> outcomes;
+
+    /** Aggregated outcome -> count over all shots. */
+    std::map<Index, std::uint64_t> counts;
+
+    /** Per-shot final states (ExecOptions::keepShotStates only). */
+    std::vector<StateVector> states;
+
+    /** Real host seconds inside runBatched. */
+    double wallSeconds = 0.0;
+
+    /** Host seconds spent building the shared plan (Shared mode). */
+    double scheduleSeconds = 0.0;
+
+    /** shots.* / noise.* counters (statkeys). */
+    StatSet stats;
+
+    /**
+     * Structured failure: the batch stops at the first shot whose
+     * execution exhausts a fault-recovery policy; earlier shots'
+     * outcomes are kept.
+     */
+    std::optional<SimError> error;
+
+    bool ok() const { return !error.has_value(); }
+};
+
+/**
+ * One sweep of the shared plan: the gate range and signature (as in
+ * sched/sweep.hh) plus the union-mask liveness before and after the
+ * sweep. liveBits gates the zero predicate while the sweep's gates
+ * replay; postBits (liveBits ∪ the sweep's gate involvement ∪ its
+ * boundary noise arming) gates error gates inserted at the sweep
+ * boundary and becomes the next sweep's liveBits. All-ones when
+ * pruning is off.
+ */
+struct PlanSweep
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::vector<int> globalBits;
+    std::uint64_t liveBits = ~std::uint64_t{0};
+    std::uint64_t postBits = ~std::uint64_t{0};
+};
+
+/**
+ * The build-once artifact Shared mode replays per shot: the executed
+ * gate order (reordering and fusion applied), a fixed chunk
+ * geometry, the noise-aware sweep partition, and each gate's
+ * armable-noise mask.
+ */
+struct ShotPlan
+{
+    Circuit ordered{1};
+    int chunkBits = 0;
+    bool prune = false;
+    std::vector<PlanSweep> sweeps;
+    /** Per executed gate: NoiseModel::touchableBits. */
+    std::vector<std::uint64_t> noiseBits;
+    /** Gate sites whose noise closes a sweep (armed sites). */
+    std::uint64_t armedSites = 0;
+};
+
+/**
+ * Build the shared plan for @p circuit under @p options and
+ * @p model. Exposed for the scheduler tests; runBatched calls it
+ * internally.
+ */
+ShotPlan buildShotPlan(const Circuit &circuit,
+                       const ExecOptions &options, int chunk_bits,
+                       const noise::NoiseModel &model);
+
+} // namespace qgpu
+
+#endif // QGPU_ENGINE_BATCHED_HH

@@ -11,8 +11,10 @@
 #ifndef QGPU_ENGINE_EXECUTION_HH
 #define QGPU_ENGINE_EXECUTION_HH
 
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "common/stats.hh"
@@ -31,6 +33,7 @@ namespace qgpu
 
 class ChunkedStateVector;
 class FaultInjector;
+struct BatchResult;
 
 /** Canonical stat keys every engine reports (others may be added). */
 namespace statkeys
@@ -54,6 +57,25 @@ inline constexpr const char *chunksPruned = "chunks.pruned";
 inline constexpr const char *compressIn = "compress.in_bytes";
 inline constexpr const char *compressOut = "compress.out_bytes";
 inline constexpr const char *gatesApplied = "gates.applied";
+/** Shots executed by runBatched. */
+inline constexpr const char *shotsTotal = "shots.total";
+/** Shared sweep schedules built (1 per shared-mode batch). */
+inline constexpr const char *shotsPlans = "shots.schedule_builds";
+/** Sweeps in the shared plan (per batch). */
+inline constexpr const char *shotsPlanSweeps = "shots.plan_sweeps";
+/** Sweep replays executed across every shot of the batch. */
+inline constexpr const char *shotsSweepReplays =
+    "shots.sweep_replays";
+/** Sweep replays split mid-sweep by a sampled error insertion. */
+inline constexpr const char *shotsSweepSplits =
+    "shots.sweep_splits";
+/** Sampled error gates inserted across the batch. */
+inline constexpr const char *noiseEvents = "noise.events";
+/** Gate sites whose attached noise could arm a new qubit (plan). */
+inline constexpr const char *noiseArmedSites = "noise.armed_sites";
+/** Readout bit flips applied to sampled outcomes. */
+inline constexpr const char *noiseReadoutFlips =
+    "noise.readout_flips";
 /** Busy time summed over every device's peer (GPU-to-GPU) engine. */
 inline constexpr const char *peerTime = "time.peer";
 /** Cross-device exchange phases paid (at most one per sweep). */
@@ -93,6 +115,23 @@ inline constexpr const char *storageRawFallbacks =
 /** Configured working-set bound, in chunks. */
 inline constexpr const char *storageWorkingSet = "storage.working_set";
 } // namespace statkeys
+
+/**
+ * How runBatched executes a multi-shot job (engine/batched.hh).
+ *
+ * Shared builds the sweep schedule once under a conservative union
+ * involvement mask (ideal involvement ∪ every armable noise qubit)
+ * and replays it per shot — the amortized fast path. PerShot
+ * materializes each shot's sampled errors into an expanded circuit
+ * and runs it through the engine's normal path, so pruning uses the
+ * exact per-shot "touched-by-noise" set. Both are bit-identical per
+ * shot (the stochastic-differential contract).
+ */
+enum class BatchMode
+{
+    Shared,
+    PerShot,
+};
 
 /** Tunables shared by the engines. */
 struct ExecOptions
@@ -231,6 +270,35 @@ struct ExecOptions
     /** Scratch directory for the spill backend ("" = $TMPDIR, /tmp). */
     std::string spillDir;
 
+    /**
+     * Default shot count for the runBatched(circuit) overload
+     * (0 = caller must pass shots explicitly).
+     */
+    std::uint64_t shots = 0;
+
+    /**
+     * Noise-model spec for batched execution (noise/model.hh):
+     * "" or "none" runs ideal shots, "env" reads $QGPU_NOISE_SPEC,
+     * anything else is a spec string or JSON object.
+     */
+    std::string noiseSpec;
+
+    /**
+     * Base seed of the batch; shot i draws from
+     * Rng(splitSeed(shotSeed, i)) (common/rng.hh).
+     */
+    std::uint64_t shotSeed = 0x5407ull;
+
+    /** Shared-schedule replay vs per-shot expanded runs. */
+    BatchMode batchMode = BatchMode::Shared;
+
+    /**
+     * Keep every per-shot final state in BatchResult::states (the
+     * differential harness needs them; production batches should
+     * leave this off — it is shots × the full state).
+     */
+    bool keepShotStates = false;
+
     /** True when QGPU_FAST_MATH is set to a non-empty, non-"0" value
      *  in the environment (read once per process). */
     static bool defaultFastMath();
@@ -294,6 +362,23 @@ class ExecutionEngine
 
     /** Simulate @p circuit from |0...0>. */
     RunResult run(const Circuit &circuit);
+
+    /**
+     * Execute @p shots seeded measurement shots of @p circuit under
+     * the options' noise model and batch mode (engine/batched.hh).
+     * @p shot_seeds, when non-empty, supplies one RNG seed per shot
+     * (size must equal @p shots); otherwise shot i is seeded with
+     * splitSeed(options().shotSeed, i). Implemented once here —
+     * every engine version batches identically; in Shared mode the
+     * per-shot results are engine-version-independent by
+     * construction.
+     */
+    BatchResult runBatched(
+        const Circuit &circuit, std::uint64_t shots,
+        std::span<const std::uint64_t> shot_seeds = {});
+
+    /** runBatched with the options' default shot count. */
+    BatchResult runBatched(const Circuit &circuit);
 
   protected:
     /**

@@ -1,0 +1,35 @@
+#include "noise/channel.hh"
+
+#include "common/logging.hh"
+
+namespace qgpu
+{
+namespace noise
+{
+
+Gate
+pauliGate(int which, int qubit)
+{
+    switch (which) {
+    case 1: return Gate(GateKind::X, {qubit});
+    case 2: return Gate(GateKind::Y, {qubit});
+    case 3: return Gate(GateKind::Z, {qubit});
+    }
+    QGPU_PANIC("pauliGate branch out of range: ", which);
+}
+
+int
+samplePauli1(const PauliProbs &p, Rng &rng)
+{
+    const double u = rng.nextDouble();
+    if (u < p.px)
+        return 1;
+    if (u < p.px + p.py)
+        return 2;
+    if (u < p.px + p.py + p.pz)
+        return 3;
+    return 0;
+}
+
+} // namespace noise
+} // namespace qgpu

@@ -1,0 +1,68 @@
+#include "noise/damping.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace qgpu
+{
+namespace noise
+{
+
+PauliProbs
+twirledDamping(double gamma)
+{
+    if (gamma < 0.0 || gamma > 1.0)
+        QGPU_FATAL("damping rate out of [0,1]: ", gamma);
+    const double s = std::sqrt(1.0 - gamma);
+    PauliProbs p;
+    p.px = gamma / 4.0;
+    p.py = gamma / 4.0;
+    p.pz = (1.0 - gamma / 2.0 - s) / 2.0;
+    return p;
+}
+
+void
+DampingChannel::setDefault(double gamma)
+{
+    default_ = twirledDamping(gamma);
+}
+
+void
+DampingChannel::setQubit(int q, double gamma)
+{
+    overrides_[q] = twirledDamping(gamma);
+}
+
+bool
+DampingChannel::enabled() const
+{
+    if (default_.enabled())
+        return true;
+    for (const auto &[q, p] : overrides_)
+        if (p.enabled())
+            return true;
+    return false;
+}
+
+const PauliProbs &
+DampingChannel::probsFor(int qubit) const
+{
+    const auto it = overrides_.find(qubit);
+    return it == overrides_.end() ? default_ : it->second;
+}
+
+void
+DampingChannel::sample(int qubit, std::size_t gate_index, Rng &rng,
+                       std::vector<NoiseEvent> &out) const
+{
+    const PauliProbs &p = probsFor(qubit);
+    if (!p.enabled())
+        return;
+    const int which = samplePauli1(p, rng);
+    if (which != 0)
+        out.push_back({gate_index, pauliGate(which, qubit)});
+}
+
+} // namespace noise
+} // namespace qgpu

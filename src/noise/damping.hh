@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Amplitude damping, implemented as its Pauli twirl. The exact
+ * damping channel is NOT a mixed-unitary channel — its jump
+ * probability depends on the state — which would break every
+ * tolerance-0 trajectory contract this subsystem is built on
+ * (channel.hh). The twirled channel is the closest Pauli mixture:
+ * conjugating the damping map by uniformly-random Paulis leaves the
+ * Pauli transfer matrix diag(1, s, s, 1-γ) with s = sqrt(1-γ), which
+ * is exactly the Pauli mixture
+ *
+ *     px = py = γ/4,     pz = (1 - γ/2 - sqrt(1-γ)) / 2,
+ *
+ * (pI carries the rest). It preserves the channel's fidelity decay
+ * rates while staying unitary-mixture — the standard approximation
+ * used by stochastic (trajectory) simulators for T1 noise.
+ */
+
+#ifndef QGPU_NOISE_DAMPING_HH
+#define QGPU_NOISE_DAMPING_HH
+
+#include <map>
+#include <vector>
+
+#include "noise/channel.hh"
+
+namespace qgpu
+{
+namespace noise
+{
+
+/** The Pauli-twirl mixture of amplitude damping with rate @p gamma.
+ *  Fatal unless 0 <= gamma <= 1. */
+PauliProbs twirledDamping(double gamma);
+
+/**
+ * Gate-attached damping: after every gate, each acted-on qubit
+ * suffers the twirled mixture for its configured γ.
+ */
+class DampingChannel
+{
+  public:
+    DampingChannel() = default;
+
+    void setDefault(double gamma);
+    void setQubit(int q, double gamma);
+
+    bool enabled() const;
+
+    /** Effective mixture for @p qubit (override, else default). */
+    const PauliProbs &probsFor(int qubit) const;
+
+    bool nonDiagonalOn(int qubit) const
+    {
+        return probsFor(qubit).nonDiagonal();
+    }
+
+    /** One draw per call when @p qubit's mixture is enabled. */
+    void sample(int qubit, std::size_t gate_index, Rng &rng,
+                std::vector<NoiseEvent> &out) const;
+
+  private:
+    PauliProbs default_;
+    std::map<int, PauliProbs> overrides_;
+};
+
+} // namespace noise
+} // namespace qgpu
+
+#endif // QGPU_NOISE_DAMPING_HH

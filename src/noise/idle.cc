@@ -1,0 +1,41 @@
+#include "noise/idle.hh"
+
+namespace qgpu
+{
+namespace noise
+{
+
+bool
+IdleChannel::enabled() const
+{
+    for (const auto &[q, p] : qubits_)
+        if (p.enabled())
+            return true;
+    return false;
+}
+
+std::uint64_t
+IdleChannel::nonDiagonalBits() const
+{
+    std::uint64_t mask = 0;
+    for (const auto &[q, p] : qubits_)
+        if (p.nonDiagonal())
+            mask |= std::uint64_t{1} << q;
+    return mask;
+}
+
+void
+IdleChannel::sample(std::size_t gate_index, Rng &rng,
+                    std::vector<NoiseEvent> &out) const
+{
+    for (const auto &[q, p] : qubits_) {
+        if (!p.enabled())
+            continue;
+        const int which = samplePauli1(p, rng);
+        if (which != 0)
+            out.push_back({gate_index, pauliGate(which, q)});
+    }
+}
+
+} // namespace noise
+} // namespace qgpu

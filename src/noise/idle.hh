@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Idle (spectator) noise: configured qubits suffer a Pauli mixture
+ * after EVERY executed gate, whether or not the gate touches them —
+ * decoherence of qubits sitting idle while their neighbors are
+ * driven. This is the channel that makes the noise × pruning
+ * interaction unavoidable: a sampled X on a qubit no gate ever
+ * touches must still invalidate the involvement mask, or the pruner
+ * silently zeroes the error away (see engine/batched.hh and the
+ * regression in tests/test_noise.cc).
+ */
+
+#ifndef QGPU_NOISE_IDLE_HH
+#define QGPU_NOISE_IDLE_HH
+
+#include <map>
+#include <vector>
+
+#include "noise/channel.hh"
+
+namespace qgpu
+{
+namespace noise
+{
+
+class IdleChannel
+{
+  public:
+    IdleChannel() = default;
+
+    void setQubit(int q, PauliProbs p) { qubits_[q] = p; }
+
+    bool enabled() const;
+
+    const std::map<int, PauliProbs> &qubits() const
+    {
+        return qubits_;
+    }
+
+    /** Qubit-space mask of qubits that can suffer X/Y here. */
+    std::uint64_t nonDiagonalBits() const;
+
+    /**
+     * Draw the idle errors fired by one executed gate. Draw order:
+     * ascending qubit, one draw per configured (enabled) qubit.
+     */
+    void sample(std::size_t gate_index, Rng &rng,
+                std::vector<NoiseEvent> &out) const;
+
+  private:
+    std::map<int, PauliProbs> qubits_;
+};
+
+} // namespace noise
+} // namespace qgpu
+
+#endif // QGPU_NOISE_IDLE_HH

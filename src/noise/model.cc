@@ -1,0 +1,424 @@
+#include "noise/model.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace qgpu
+{
+namespace noise
+{
+
+NoiseModel &
+NoiseModel::pauli1(PauliProbs p)
+{
+    pauli1_.setDefault(p);
+    return *this;
+}
+
+NoiseModel &
+NoiseModel::pauli1On(int q, PauliProbs p)
+{
+    pauli1_.setQubit(q, p);
+    return *this;
+}
+
+NoiseModel &
+NoiseModel::pauli2(double p)
+{
+    if (p < 0.0 || p > 1.0)
+        QGPU_FATAL("pauli2 probability out of [0,1]: ", p);
+    pauli2_.setProbability(p);
+    return *this;
+}
+
+NoiseModel &
+NoiseModel::damping(double gamma)
+{
+    damp_.setDefault(gamma);
+    return *this;
+}
+
+NoiseModel &
+NoiseModel::dampingOn(int q, double gamma)
+{
+    damp_.setQubit(q, gamma);
+    return *this;
+}
+
+NoiseModel &
+NoiseModel::readout(double p)
+{
+    readout_.setDefault(p);
+    return *this;
+}
+
+NoiseModel &
+NoiseModel::readoutOn(int q, double p)
+{
+    readout_.setQubit(q, p);
+    return *this;
+}
+
+NoiseModel &
+NoiseModel::idle(int q, PauliProbs p)
+{
+    idle_.setQubit(q, p);
+    return *this;
+}
+
+bool
+NoiseModel::gateNoiseArmed() const
+{
+    return pauli1_.enabled() || pauli2_.enabled() ||
+           damp_.enabled() || idle_.enabled();
+}
+
+std::vector<NoiseEvent>
+NoiseModel::sample(std::span<const Gate> gates, Rng &rng) const
+{
+    std::vector<NoiseEvent> events;
+    if (!gateNoiseArmed())
+        return events;
+    const bool p1 = pauli1_.enabled();
+    const bool p2 = pauli2_.enabled();
+    const bool dmp = damp_.enabled();
+    const bool idl = idle_.enabled();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const Gate &g = gates[i];
+        if (p1 && g.numQubits() == 1)
+            pauli1_.sample(g.qubits[0], i, rng, events);
+        if (p2 && g.numQubits() >= 2)
+            pauli2_.sample(g.qubits[0], g.qubits[1], i, rng, events);
+        if (dmp)
+            for (int q : g.qubits)
+                damp_.sample(q, i, rng, events);
+        if (idl)
+            idle_.sample(i, rng, events);
+    }
+    return events;
+}
+
+Index
+NoiseModel::sampleReadoutFlips(int num_qubits, Rng &rng) const
+{
+    if (!readout_.enabled())
+        return 0;
+    return readout_.sampleFlips(num_qubits, rng);
+}
+
+std::uint64_t
+NoiseModel::touchableBits(const Gate &gate) const
+{
+    std::uint64_t mask = 0;
+    if (gate.numQubits() == 1 && pauli1_.enabled() &&
+        pauli1_.nonDiagonalOn(gate.qubits[0]))
+        mask |= std::uint64_t{1} << gate.qubits[0];
+    if (gate.numQubits() >= 2 && pauli2_.enabled()) {
+        mask |= std::uint64_t{1} << gate.qubits[0];
+        mask |= std::uint64_t{1} << gate.qubits[1];
+    }
+    if (damp_.enabled())
+        for (int q : gate.qubits)
+            if (damp_.nonDiagonalOn(q))
+                mask |= std::uint64_t{1} << q;
+    if (idle_.enabled())
+        mask |= idle_.nonDiagonalBits();
+    return mask;
+}
+
+namespace
+{
+
+// ---- spec-string parsing ------------------------------------------
+
+std::vector<std::string>
+splitOn(const std::string &text, char sep)
+{
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (;;) {
+        const std::size_t at = text.find(sep, start);
+        if (at == std::string::npos) {
+            parts.push_back(text.substr(start));
+            return parts;
+        }
+        parts.push_back(text.substr(start, at - start));
+        start = at + 1;
+    }
+}
+
+double
+parseProb(const std::string &spec, const std::string &token)
+{
+    char *end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0' || v < 0.0 || v > 1.0)
+        QGPU_FATAL("noise spec '", spec,
+                   "': bad probability '", token, "'");
+    return v;
+}
+
+// "p" -> depolarizing(p); "px:py:pz" (as the 1..3 value tokens).
+PauliProbs
+parseMixture(const std::string &spec,
+             const std::vector<std::string> &values)
+{
+    if (values.size() == 1)
+        return PauliProbs::depolarizing(parseProb(spec, values[0]));
+    if (values.size() != 3)
+        QGPU_FATAL("noise spec '", spec,
+                   "': expected p or px:py:pz");
+    PauliProbs p{parseProb(spec, values[0]),
+                 parseProb(spec, values[1]),
+                 parseProb(spec, values[2])};
+    if (p.total() > 1.0)
+        QGPU_FATAL("noise spec '", spec,
+                   "': mixture probabilities sum over 1");
+    return p;
+}
+
+NoiseModel
+parseSpecString(const std::string &spec)
+{
+    NoiseModel model;
+    for (const std::string &entry : splitOn(spec, ',')) {
+        if (entry.empty())
+            QGPU_FATAL("noise spec '", spec, "': empty entry");
+        auto fields = splitOn(entry, ':');
+        std::string name = fields[0];
+        fields.erase(fields.begin());
+        if (fields.empty())
+            QGPU_FATAL("noise spec '", spec, "': entry '", entry,
+                       "' has no value");
+        int qubit = -1;
+        const std::size_t at = name.find('@');
+        if (at != std::string::npos) {
+            char *end = nullptr;
+            const long q =
+                std::strtol(name.c_str() + at + 1, &end, 10);
+            if (end == name.c_str() + at + 1 || *end != '\0' ||
+                q < 0 || q > 63)
+                QGPU_FATAL("noise spec '", spec,
+                           "': bad qubit in '", entry, "'");
+            qubit = static_cast<int>(q);
+            name = name.substr(0, at);
+        }
+        if (name == "pauli1") {
+            const PauliProbs p = parseMixture(spec, fields);
+            if (qubit < 0)
+                model.pauli1(p);
+            else
+                model.pauli1On(qubit, p);
+        } else if (name == "pauli2") {
+            if (qubit >= 0 || fields.size() != 1)
+                QGPU_FATAL("noise spec '", spec,
+                           "': pauli2 takes a single probability");
+            model.pauli2(parseProb(spec, fields[0]));
+        } else if (name == "damp") {
+            if (fields.size() != 1)
+                QGPU_FATAL("noise spec '", spec,
+                           "': damp takes a single rate");
+            const double g = parseProb(spec, fields[0]);
+            if (qubit < 0)
+                model.damping(g);
+            else
+                model.dampingOn(qubit, g);
+        } else if (name == "readout") {
+            if (fields.size() != 1)
+                QGPU_FATAL("noise spec '", spec,
+                           "': readout takes a single probability");
+            const double p = parseProb(spec, fields[0]);
+            if (qubit < 0)
+                model.readout(p);
+            else
+                model.readoutOn(qubit, p);
+        } else if (name == "idle") {
+            if (qubit < 0)
+                QGPU_FATAL("noise spec '", spec,
+                           "': idle needs a qubit (idle@q:p)");
+            model.idle(qubit, parseMixture(spec, fields));
+        } else {
+            QGPU_FATAL("noise spec '", spec,
+                       "': unknown channel '", name, "'");
+        }
+    }
+    return model;
+}
+
+// ---- JSON parsing -------------------------------------------------
+
+PauliProbs
+jsonMixture(const std::string &spec, const JsonValue &v)
+{
+    if (v.isNumber()) {
+        const double p = v.asNumber();
+        if (p < 0.0 || p > 1.0)
+            QGPU_FATAL("noise spec '", spec,
+                       "': probability out of [0,1]");
+        return PauliProbs::depolarizing(p);
+    }
+    if (v.isArray() && v.asArray().size() == 3) {
+        const auto &a = v.asArray();
+        for (const JsonValue &e : a)
+            if (!e.isNumber() || e.asNumber() < 0.0 ||
+                e.asNumber() > 1.0)
+                QGPU_FATAL("noise spec '", spec,
+                           "': bad mixture element");
+        PauliProbs p{a[0].asNumber(), a[1].asNumber(),
+                     a[2].asNumber()};
+        if (p.total() > 1.0)
+            QGPU_FATAL("noise spec '", spec,
+                       "': mixture probabilities sum over 1");
+        return p;
+    }
+    QGPU_FATAL("noise spec '", spec,
+               "': expected a probability or [px,py,pz]");
+}
+
+double
+jsonProb(const std::string &spec, const JsonValue &v)
+{
+    if (!v.isNumber() || v.asNumber() < 0.0 || v.asNumber() > 1.0)
+        QGPU_FATAL("noise spec '", spec,
+                   "': expected a probability in [0,1]");
+    return v.asNumber();
+}
+
+int
+jsonQubit(const std::string &spec, const std::string &key)
+{
+    char *end = nullptr;
+    const long q = std::strtol(key.c_str(), &end, 10);
+    if (end == key.c_str() || *end != '\0' || q < 0 || q > 63)
+        QGPU_FATAL("noise spec '", spec, "': bad qubit key '", key,
+                   "'");
+    return static_cast<int>(q);
+}
+
+// Walk a channel value that may be scalar (default) or an object of
+// per-qubit entries with an optional "default" key.
+template <typename DefaultFn, typename QubitFn>
+void
+jsonChannel(const std::string &spec, const JsonValue &v,
+            bool allow_default, DefaultFn on_default,
+            QubitFn on_qubit)
+{
+    if (!v.isObject()) {
+        if (!allow_default)
+            QGPU_FATAL("noise spec '", spec,
+                       "': this channel needs per-qubit entries");
+        on_default(v);
+        return;
+    }
+    for (const auto &[key, value] : v.asObject()) {
+        if (key == "default") {
+            if (!allow_default)
+                QGPU_FATAL("noise spec '", spec,
+                           "': 'default' not allowed here");
+            on_default(value);
+        } else {
+            on_qubit(jsonQubit(spec, key), value);
+        }
+    }
+}
+
+NoiseModel
+parseJsonSpec(const std::string &spec)
+{
+    std::string err;
+    const auto parsed = parseJson(spec, &err);
+    if (!parsed || !parsed->isObject())
+        QGPU_FATAL("noise spec is not a JSON object: ", err);
+    NoiseModel model;
+    for (const auto &[name, v] : parsed->asObject()) {
+        if (name == "pauli1") {
+            jsonChannel(
+                spec, v, true,
+                [&](const JsonValue &d) {
+                    model.pauli1(jsonMixture(spec, d));
+                },
+                [&](int q, const JsonValue &d) {
+                    model.pauli1On(q, jsonMixture(spec, d));
+                });
+        } else if (name == "pauli2") {
+            model.pauli2(jsonProb(spec, v));
+        } else if (name == "damp") {
+            jsonChannel(
+                spec, v, true,
+                [&](const JsonValue &d) {
+                    model.damping(jsonProb(spec, d));
+                },
+                [&](int q, const JsonValue &d) {
+                    model.dampingOn(q, jsonProb(spec, d));
+                });
+        } else if (name == "readout") {
+            jsonChannel(
+                spec, v, true,
+                [&](const JsonValue &d) {
+                    model.readout(jsonProb(spec, d));
+                },
+                [&](int q, const JsonValue &d) {
+                    model.readoutOn(q, jsonProb(spec, d));
+                });
+        } else if (name == "idle") {
+            jsonChannel(
+                spec, v, false, [&](const JsonValue &) {},
+                [&](int q, const JsonValue &d) {
+                    model.idle(q, jsonMixture(spec, d));
+                });
+        } else {
+            QGPU_FATAL("noise spec: unknown channel '", name, "'");
+        }
+    }
+    return model;
+}
+
+} // namespace
+
+NoiseModel
+NoiseModel::parse(const std::string &spec)
+{
+    if (spec.empty())
+        return NoiseModel{};
+    NoiseModel model = spec.front() == '{' ? parseJsonSpec(spec)
+                                           : parseSpecString(spec);
+    model.spec_ = spec;
+    return model;
+}
+
+NoiseModel
+NoiseModel::resolve(const std::string &option)
+{
+    if (option.empty() || option == "none")
+        return NoiseModel{};
+    if (option == "env") {
+        const char *env = std::getenv("QGPU_NOISE_SPEC");
+        return parse(env == nullptr ? "" : env);
+    }
+    return parse(option);
+}
+
+Circuit
+expandCircuit(const Circuit &ordered,
+              std::span<const NoiseEvent> events)
+{
+    Circuit out(ordered.numQubits(), ordered.name() + "+noise");
+    std::size_t ev = 0;
+    const auto &gates = ordered.gates();
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        out.add(gates[i]);
+        while (ev < events.size() && events[ev].gateIndex == i) {
+            out.add(events[ev].gate);
+            ++ev;
+        }
+    }
+    if (ev != events.size())
+        QGPU_PANIC("noise events past the end of the circuit");
+    return out;
+}
+
+} // namespace noise
+} // namespace qgpu

@@ -1,0 +1,39 @@
+#include "noise/pauli1q.hh"
+
+namespace qgpu
+{
+namespace noise
+{
+
+const PauliProbs &
+Pauli1qChannel::probsFor(int qubit) const
+{
+    const auto it = overrides_.find(qubit);
+    return it == overrides_.end() ? default_ : it->second;
+}
+
+bool
+Pauli1qChannel::enabled() const
+{
+    if (default_.enabled())
+        return true;
+    for (const auto &[q, p] : overrides_)
+        if (p.enabled())
+            return true;
+    return false;
+}
+
+void
+Pauli1qChannel::sample(int qubit, std::size_t gate_index, Rng &rng,
+                       std::vector<NoiseEvent> &out) const
+{
+    const PauliProbs &p = probsFor(qubit);
+    if (!p.enabled())
+        return;
+    const int which = samplePauli1(p, rng);
+    if (which != 0)
+        out.push_back({gate_index, pauliGate(which, qubit)});
+}
+
+} // namespace noise
+} // namespace qgpu

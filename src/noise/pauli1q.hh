@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Single-qubit Pauli channel: after every 1-qubit gate, the acted-on
+ * qubit suffers X / Y / Z with probabilities (px, py, pz). The
+ * per-qubit override map lets a NoiseModel give individual qubits
+ * their own error rates (calibration-style heterogeneous noise).
+ */
+
+#ifndef QGPU_NOISE_PAULI1Q_HH
+#define QGPU_NOISE_PAULI1Q_HH
+
+#include <map>
+#include <vector>
+
+#include "noise/channel.hh"
+
+namespace qgpu
+{
+namespace noise
+{
+
+class Pauli1qChannel
+{
+  public:
+    Pauli1qChannel() = default;
+
+    void setDefault(PauliProbs p) { default_ = p; }
+    void setQubit(int q, PauliProbs p) { overrides_[q] = p; }
+
+    /** Effective mixture for @p qubit (override, else default). */
+    const PauliProbs &probsFor(int qubit) const;
+
+    /** Any qubit with a non-zero mixture? */
+    bool enabled() const;
+
+    /** Can this channel emit a non-diagonal error on @p qubit? */
+    bool nonDiagonalOn(int qubit) const
+    {
+        return probsFor(qubit).nonDiagonal();
+    }
+
+    /**
+     * Draw the error for a 1q gate on @p qubit (exactly one rng draw
+     * when the qubit's mixture is enabled, zero otherwise) and append
+     * the sampled gate, if any, to @p out.
+     */
+    void sample(int qubit, std::size_t gate_index, Rng &rng,
+                std::vector<NoiseEvent> &out) const;
+
+  private:
+    PauliProbs default_;
+    std::map<int, PauliProbs> overrides_;
+};
+
+} // namespace noise
+} // namespace qgpu
+
+#endif // QGPU_NOISE_PAULI1Q_HH

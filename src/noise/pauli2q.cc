@@ -1,0 +1,28 @@
+#include "noise/pauli2q.hh"
+
+namespace qgpu
+{
+namespace noise
+{
+
+void
+Pauli2qChannel::sample(int q0, int q1, std::size_t gate_index,
+                       Rng &rng, std::vector<NoiseEvent> &out) const
+{
+    if (!enabled())
+        return;
+    if (rng.nextDouble() >= p_)
+        return;
+    // Branch 1..15 encodes (P on q0, Q on q1) = (k & 3, k >> 2) over
+    // {I, X, Y, Z}^2 minus I⊗I.
+    const int k = static_cast<int>(rng.nextBelow(15)) + 1;
+    const int a = k & 3;
+    const int b = k >> 2;
+    if (a != 0)
+        out.push_back({gate_index, pauliGate(a, q0)});
+    if (b != 0)
+        out.push_back({gate_index, pauliGate(b, q1)});
+}
+
+} // namespace noise
+} // namespace qgpu

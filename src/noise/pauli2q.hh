@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Two-qubit Pauli channel: after every gate acting on two or more
+ * qubits, the first two acted-on qubits suffer a uniformly-chosen
+ * non-identity Pauli pair P⊗Q (15 branches) with total probability
+ * p — the standard symmetric two-qubit depolarizing error attached
+ * to entangling gates. The sampled pair materializes as up to two
+ * 1-qubit Pauli gates (the identity factor of a pair like X⊗I is
+ * dropped), keeping every inserted error a plain registry gate.
+ */
+
+#ifndef QGPU_NOISE_PAULI2Q_HH
+#define QGPU_NOISE_PAULI2Q_HH
+
+#include <vector>
+
+#include "noise/channel.hh"
+
+namespace qgpu
+{
+namespace noise
+{
+
+class Pauli2qChannel
+{
+  public:
+    Pauli2qChannel() = default;
+
+    void setProbability(double p) { p_ = p; }
+    double probability() const { return p_; }
+    bool enabled() const { return p_ > 0.0; }
+
+    /**
+     * Draw the error pair for a multi-qubit gate on (@p q0, @p q1).
+     * One rng draw always; a second draw picks the pair only when
+     * the error fires (the branch count is outcome-dependent, which
+     * is fine: determinism needs a fixed draw ORDER, not a fixed
+     * draw count).
+     */
+    void sample(int q0, int q1, std::size_t gate_index, Rng &rng,
+                std::vector<NoiseEvent> &out) const;
+
+  private:
+    double p_ = 0.0;
+};
+
+} // namespace noise
+} // namespace qgpu
+
+#endif // QGPU_NOISE_PAULI2Q_HH

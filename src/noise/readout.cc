@@ -1,0 +1,68 @@
+#include "noise/readout.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace qgpu
+{
+namespace noise
+{
+
+namespace
+{
+
+void
+checkProb(double p)
+{
+    if (p < 0.0 || p > 1.0)
+        QGPU_FATAL("readout flip probability out of [0,1]: ", p);
+}
+
+} // namespace
+
+void
+ReadoutChannel::setDefault(double p)
+{
+    checkProb(p);
+    default_ = p;
+}
+
+void
+ReadoutChannel::setQubit(int q, double p)
+{
+    checkProb(p);
+    overrides_[q] = p;
+}
+
+bool
+ReadoutChannel::enabled() const
+{
+    if (default_ > 0.0)
+        return true;
+    for (const auto &[q, p] : overrides_)
+        if (p > 0.0)
+            return true;
+    return false;
+}
+
+double
+ReadoutChannel::probFor(int qubit) const
+{
+    const auto it = overrides_.find(qubit);
+    return it == overrides_.end() ? default_ : it->second;
+}
+
+Index
+ReadoutChannel::sampleFlips(int num_qubits, Rng &rng) const
+{
+    Index mask = 0;
+    for (int q = 0; q < num_qubits; ++q) {
+        const double p = probFor(q);
+        if (p > 0.0 && rng.nextBool(p))
+            mask = bits::setBit(mask, q);
+    }
+    return mask;
+}
+
+} // namespace noise
+} // namespace qgpu

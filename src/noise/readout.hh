@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Measurement (readout) noise: each qubit's classical measurement
+ * outcome flips with probability p, independently per shot. Readout
+ * errors act on sampled OUTCOMES, not on the state — they are applied
+ * after the end-of-circuit sample draw, so they never interact with
+ * pruning or the sweep schedule.
+ */
+
+#ifndef QGPU_NOISE_READOUT_HH
+#define QGPU_NOISE_READOUT_HH
+
+#include <map>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace qgpu
+{
+namespace noise
+{
+
+class ReadoutChannel
+{
+  public:
+    ReadoutChannel() = default;
+
+    void setDefault(double p);
+    void setQubit(int q, double p);
+
+    bool enabled() const;
+
+    /** Effective flip probability for @p qubit. */
+    double probFor(int qubit) const;
+
+    /**
+     * Draw the per-shot flip mask over @p num_qubits qubits. Draw
+     * order: ascending qubit, one draw per qubit whose probability
+     * is non-zero (disabled qubits consume no draw).
+     */
+    Index sampleFlips(int num_qubits, Rng &rng) const;
+
+  private:
+    double default_ = 0.0;
+    std::map<int, double> overrides_;
+};
+
+} // namespace noise
+} // namespace qgpu
+
+#endif // QGPU_NOISE_READOUT_HH

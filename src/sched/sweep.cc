@@ -55,6 +55,41 @@ nextSweep(std::span<const Gate> gates, std::size_t begin,
     return sweep;
 }
 
+Sweep
+nextSweep(std::span<const Gate> gates, std::size_t begin,
+          int chunk_bits, const InvolvementMask *mask,
+          std::span<const std::uint64_t> noise_bits)
+{
+    Sweep sweep = nextSweep(gates, begin, chunk_bits, mask);
+    if (mask == nullptr || noise_bits.empty())
+        return sweep;
+    if (noise_bits.size() < gates.size())
+        QGPU_PANIC("noise_bits covers ", noise_bits.size(),
+                   " of ", gates.size(), " gates");
+    for (std::size_t i = sweep.begin; i < sweep.end; ++i) {
+        if ((noise_bits[i] & ~mask->bits()) == 0)
+            continue;
+        // Gate i's attached noise can arm a new qubit: close the
+        // sweep here (gate i stays its last gate).
+        if (i + 1 < sweep.end) {
+            sweep.end = i + 1;
+            // The truncated range may have lost every cross-chunk
+            // gate; recompute the signature from what remains (all
+            // cross-chunk gates of a sweep share it).
+            sweep.globalBits.clear();
+            for (std::size_t j = sweep.begin; j < sweep.end; ++j) {
+                auto bits = gateGlobalBits(gates[j], chunk_bits);
+                if (!bits.empty()) {
+                    sweep.globalBits = std::move(bits);
+                    break;
+                }
+            }
+        }
+        break;
+    }
+    return sweep;
+}
+
 std::vector<Sweep>
 scheduleSweeps(std::span<const Gate> gates, int chunk_bits,
                InvolvementMask *mask)

@@ -85,6 +85,28 @@ Sweep nextSweep(std::span<const Gate> gates, std::size_t begin,
                 const InvolvementMask *mask = nullptr);
 
 /**
+ * Noise-aware variant for the batched-shot planner (engine/batched.hh):
+ * @p noise_bits[i] is the qubit-space mask of qubits a stochastic
+ * error attached after gate i may touch non-diagonally
+ * (noise::NoiseModel::touchableBits). Rule 3 extends to these
+ * *potential* involvement additions — a gate whose attached noise can
+ * arm a not-yet-involved qubit is the LAST gate of its sweep, so
+ * sampled error gates only ever take effect at sweep boundaries,
+ * where the shared schedule's conservative union mask (and with it
+ * the sweep-constant zero predicate) is advanced. Errors whose
+ * qubits are already involved need no boundary: they split a sweep
+ * into sub-spans at replay time, which remains valid because a
+ * sub-span of a sweep executed with the sweep's globalBits satisfies
+ * every applySweepChunked precondition. Without @p mask (pruning
+ * off) noise never invalidates anything and the rule is inert.
+ *
+ * @p noise_bits must cover gates.size() entries when non-empty.
+ */
+Sweep nextSweep(std::span<const Gate> gates, std::size_t begin,
+                int chunk_bits, const InvolvementMask *mask,
+                std::span<const std::uint64_t> noise_bits);
+
+/**
  * Partition the whole gate sequence into consecutive maximal sweeps.
  * When @p mask is given it is advanced through every gate (rule 3),
  * ending in the post-circuit involvement state. The sweeps exactly

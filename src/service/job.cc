@@ -85,6 +85,12 @@ JobRequest::faultsArmed() const
     return !faultSpec.empty() && faultSpec != "none";
 }
 
+bool
+JobRequest::noiseArmed() const
+{
+    return !noiseSpec.empty() && noiseSpec != "none";
+}
+
 JsonValue
 JobRequest::toJson() const
 {
@@ -107,6 +113,12 @@ JobRequest::toJson() const
         m.emplace("fault_seed",
                   JsonValue::makeNumber(
                       static_cast<double>(faultSeed)));
+    }
+    if (noiseArmed()) {
+        m.emplace("noise_spec", JsonValue::makeString(noiseSpec));
+        m.emplace("shot_seed",
+                  JsonValue::makeNumber(
+                      static_cast<double>(shotSeed)));
     }
     m.emplace("arrival_ms", JsonValue::makeNumber(arrivalMs));
     return JsonValue::makeObject(std::move(m));
@@ -137,6 +149,9 @@ JobRequest::fromJson(const JsonValue &v)
     r.faultSeed = static_cast<std::uint64_t>(
         v.numberOr("fault_seed",
                    static_cast<double>(0x517e57ull)));
+    r.noiseSpec = v.stringOr("noise_spec", "");
+    r.shotSeed = static_cast<std::uint64_t>(
+        v.numberOr("shot_seed", static_cast<double>(0x5407ull)));
     r.arrivalMs = v.numberOr("arrival_ms", 0.0);
     return r;
 }
@@ -154,6 +169,16 @@ simulationKey(const JobRequest &request, const Circuit &circuit)
     if (request.precision == Precision::adaptive)
         h.f64(request.adaptiveThreshold);
     h.byte(request.fastMath ? 1 : 0);
+    // Noise trajectories are part of the result: the spec, the shot
+    // count, and the batch seed all change what comes back. Fold
+    // them only when armed so ideal jobs keep their existing keys
+    // (and the sampling seed stays scheduling-only for them).
+    if (request.noiseArmed()) {
+        h.byte(1);
+        h.str(request.noiseSpec);
+        h.u64(request.shots);
+        h.u64(request.shotSeed);
+    }
     return canonicalCircuitHash(circuit, h.digest());
 }
 

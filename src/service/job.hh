@@ -107,11 +107,29 @@ struct JobRequest
     /** Fault-injection spec ("" = none). Armed jobs bypass caching. */
     std::string faultSpec;
     std::uint64_t faultSeed = 0x517e57ull;
+    /**
+     * Noise-model spec for batched stochastic execution
+     * (noise/model.hh; "" = ideal). Noisy jobs run through
+     * runBatched and require shots > 0. Unlike the sampling seed,
+     * the noise spec, shot count, and shot seed ARE result-affecting
+     * (they change the trajectories), so they fold into the
+     * simulation key — but only when armed, keeping every ideal
+     * job's key unchanged. "env" is rejected at admission: a key
+     * must not depend on the service's environment.
+     */
+    std::string noiseSpec;
+    /** Base seed of the noisy batch (splitSeed(shotSeed, i) per
+     *  shot); result-affecting, unlike the ideal sampling seed. */
+    std::uint64_t shotSeed = 0x5407ull;
     /** Virtual arrival time in the generating trace (replay order). */
     double arrivalMs = 0.0;
 
     /** True when faultSpec arms injection ("" and "none" do not). */
     bool faultsArmed() const;
+
+    /** True when noiseSpec arms stochastic noise ("" / "none" do
+     *  not; "env" counts as armed and is rejected at admission). */
+    bool noiseArmed() const;
 
     JsonValue toJson() const;
     static std::optional<JobRequest> fromJson(const JsonValue &v);

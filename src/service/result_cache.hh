@@ -17,8 +17,12 @@
  * same simulation key execute the exact same canonical gate stream
  * under the same result-affecting options, so a cached state is
  * bit-identical (maxAbsDiff == 0) to what a fresh run would produce.
- * Shots are NOT cached: sampling is post-hoc over the cached state
- * with the requesting job's own seed.
+ * Shots are NOT cached for ideal jobs: sampling is post-hoc over the
+ * cached state with the requesting job's own seed. Noisy batched
+ * jobs are the exception — their key folds the noise spec, shot
+ * count, and shot seed (service/job.hh), the trajectories are
+ * deterministic in that key, and what is cached is the aggregated
+ * counts themselves (there is no single final state to resample).
  */
 
 #ifndef QGPU_SERVICE_RESULT_CACHE_HH
@@ -26,6 +30,7 @@
 
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -47,11 +52,21 @@ struct CachedSim
     StateVector state{1};
     double totalVTime = 0.0; ///< modeled time of the producing run
     double norm = 0.0;
+    /**
+     * Entry holds a noisy batch: counts are the batch's aggregated
+     * outcomes and MUST be returned verbatim (never resampled from
+     * state, which is the trivial |0> placeholder for these).
+     */
+    bool noisy = false;
+    std::map<Index, std::uint64_t> counts;
 
     /** Resident footprint used for the byte budget. */
     std::size_t bytes() const
     {
-        return sizeof(CachedSim) + state.size() * sizeof(Amp);
+        return sizeof(CachedSim) + state.size() * sizeof(Amp) +
+               counts.size() *
+                   (sizeof(Index) + sizeof(std::uint64_t) +
+                    4 * sizeof(void *));
     }
 };
 

@@ -7,6 +7,7 @@
 
 #include "circuits/circuits.hh"
 #include "common/logging.hh"
+#include "engine/batched.hh"
 #include "common/metrics.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
@@ -142,6 +143,16 @@ JobService::submit(const JobRequest &request)
         reject = "fast-math tier mismatch (service runs the " +
                  std::string(config_.fastMath ? "fast" : "exact") +
                  " tier process-wide)";
+    // Noise admission: the spec folds into the simulation key, so it
+    // must be self-contained ("env" would make identity depend on
+    // the service's environment), and a noisy job with no shots has
+    // nothing to sample.
+    if (reject.empty() && request.noiseSpec == "env")
+        reject = "noise spec 'env' is environment-dependent; "
+                 "submit the resolved spec string";
+    if (reject.empty() && request.noiseArmed() &&
+        request.shots == 0)
+        reject = "noisy jobs need shots > 0";
 
     std::lock_guard<std::mutex> lock(mutex_);
     job->id = nextId_++;
@@ -308,6 +319,38 @@ JobService::execute(const JobPtr &job)
     Machine machine = machines::makeScaled(
         job->circuit.numQubits(), *presetByName(config_.gpu),
         config_.deviceFraction, config_.devices);
+
+    if (request.noiseArmed()) {
+        // Noisy batched job: run shot trajectories through
+        // runBatched. The simulation key pins (canonical circuit,
+        // noise spec, shots, shot seed), and the draw-path
+        // determinism contract (engine/batched.hh) makes the counts
+        // a pure function of that key — so the aggregated counts
+        // are what gets cached, returned verbatim on every hit.
+        options.keepState = false;
+        options.noiseSpec = request.noiseSpec;
+        options.shotSeed = request.shotSeed;
+        options.shots = request.shots;
+        const auto engine = harness::makeEngine(
+            request.engine, machine, options);
+        BatchResult batch = engine->runBatched(job->circuit);
+        std::shared_ptr<const CachedSim> sim;
+        if (batch.ok()) {
+            auto owned = std::make_shared<CachedSim>();
+            owned->key = job->key;
+            owned->engine = batch.engine;
+            owned->noisy = true;
+            owned->counts = std::move(batch.counts);
+            owned->norm = 1.0;
+            sim = std::move(owned);
+        } else {
+            job->result.error = batch.error;
+            job->result.engine = batch.engine;
+        }
+        complete(job, std::move(sim));
+        return;
+    }
+
     // The canonical form IS what runs: hash-equal jobs execute the
     // exact same gate stream, which is what makes cached states
     // bit-identical to fresh runs (see qc/canonical.hh).
@@ -391,7 +434,12 @@ JobService::fillFromSim(const JobRequest &request,
     result.engine = sim.engine;
     result.totalVTime = sim.totalVTime;
     result.norm = sim.norm;
-    if (request.shots > 0) {
+    if (sim.noisy) {
+        // The cached counts ARE the result of a noisy batch — the
+        // shot seed is part of the key, so every hit must see the
+        // exact same counts, never a resample.
+        result.counts = sim.counts;
+    } else if (request.shots > 0) {
         Rng rng(request.seed);
         result.counts = sampleCounts(sim.state, request.shots, rng);
     }

@@ -5,6 +5,7 @@
 
 #include "common/bits.hh"
 #include "common/logging.hh"
+#include "statevec/chunked.hh"
 
 namespace qgpu
 {
@@ -55,6 +56,71 @@ sampleCounts(const StateVector &state, std::uint64_t shots, Rng &rng)
         ++counts[std::min<Index>(outcome, state.size() - 1)];
     }
     return counts;
+}
+
+namespace
+{
+
+// Shared inverse-CDF core: `accumulate` must invoke its callback
+// with every |a_i|^2 in ascending index order, identically on both
+// passes. Pass 1 totals the norm with the same summation order
+// sampleCounts uses; pass 2 replays it and stops at the first index
+// whose running sum reaches u (== lower_bound on the CDF array).
+template <typename Accumulate>
+Index
+inverseCdfDraw(Index size, Rng &rng, Accumulate &&accumulate)
+{
+    double acc = 0.0;
+    accumulate([&](double p, Index) { acc += p; return true; });
+    const double u = rng.nextDouble() * acc;
+    double running = 0.0;
+    Index outcome = size == 0 ? 0 : size - 1;
+    accumulate([&](double p, Index i) {
+        running += p;
+        if (running >= u) {
+            outcome = i;
+            return false;
+        }
+        return true;
+    });
+    return std::min<Index>(outcome, size - 1);
+}
+
+} // namespace
+
+Index
+sampleOutcome(const StateVector &state, Rng &rng)
+{
+    return inverseCdfDraw(
+        state.size(), rng, [&](auto &&visit) {
+            for (Index i = 0; i < state.size(); ++i)
+                if (!visit(std::norm(state[i]), i))
+                    return;
+        });
+}
+
+Index
+sampleOutcome(const ChunkedStateVector &state, Rng &rng)
+{
+    const Index chunk_size = state.chunkSize();
+    return inverseCdfDraw(
+        state.numChunks() * chunk_size, rng, [&](auto &&visit) {
+            for (Index c = 0; c < state.numChunks(); ++c) {
+                const auto &amps = state.chunk(c);
+                const Index base = c * chunk_size;
+                for (Index i = 0; i < chunk_size; ++i)
+                    if (!visit(std::norm(amps[i]), base + i))
+                        return;
+            }
+        });
+}
+
+void
+mergeCounts(std::map<Index, std::uint64_t> &into,
+            const std::map<Index, std::uint64_t> &from)
+{
+    for (const auto &[outcome, hits] : from)
+        into[outcome] += hits;
 }
 
 double

@@ -38,6 +38,36 @@ std::map<Index, std::uint64_t> sampleCounts(const StateVector &state,
 /** Probability that qubit @p q reads 1. */
 double probabilityOfOne(const StateVector &state, int q);
 
+class ChunkedStateVector;
+
+/**
+ * Draw ONE measurement outcome with exactly one rng draw,
+ * bit-compatible with `sampleCounts(state, 1, rng)`: the total norm
+ * accumulates in ascending index order, the draw is
+ * `rng.nextDouble() * acc`, and the outcome is the first index whose
+ * running CDF reaches it (what lower_bound finds on the
+ * non-decreasing CDF). The per-shot sampler of batched execution
+ * (engine/batched.hh) — bit-compatibility is what makes noiseless
+ * batched shots outcome-identical to N single runs.
+ */
+Index sampleOutcome(const StateVector &state, Rng &rng);
+
+/**
+ * Chunked overload: accumulates chunk-by-chunk in global index order
+ * — the SAME floating-point sequence as the flat overload, so the
+ * outcome is identical to flattening first (and therefore chunk-
+ * geometry- and storage-backend-independent) without materializing
+ * the flat state.
+ */
+Index sampleOutcome(const ChunkedStateVector &state, Rng &rng);
+
+/**
+ * Fold @p from into @p into (per-shot counts aggregation for
+ * batched execution and the service layer).
+ */
+void mergeCounts(std::map<Index, std::uint64_t> &into,
+                 const std::map<Index, std::uint64_t> &from);
+
 } // namespace qgpu
 
 #endif // QGPU_STATEVEC_MEASURE_HH

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * The pluggable noise layer (src/noise/): spec-string and JSON
+ * parsing, the amplitude-damping Pauli twirl, the touchable-bits
+ * contract feeding the batched planner's union involvement mask,
+ * draw-path determinism, trajectory materialization (expandCircuit),
+ * and the noise x pruning regression: a sampled error on a qubit the
+ * ideal circuit NEVER touches must still flip measurement outcomes
+ * under every pruning mode and both batch modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "engine/batched.hh"
+#include "harness/experiment.hh"
+#include "noise/model.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+using noise::NoiseModel;
+using noise::PauliProbs;
+
+std::vector<noise::NoiseEvent>
+sampleOnce(const NoiseModel &model, const Circuit &circuit,
+           std::uint64_t seed)
+{
+    Rng rng(seed);
+    return model.sample(std::span<const Gate>(circuit.gates()), rng);
+}
+
+TEST(NoiseSpec, EmptyAndNoneAreDisarmed)
+{
+    EXPECT_FALSE(NoiseModel::parse("").armed());
+    EXPECT_FALSE(NoiseModel::resolve("").armed());
+    EXPECT_FALSE(NoiseModel::resolve("none").armed());
+}
+
+TEST(NoiseSpec, SpecStringArmsTheNamedChannels)
+{
+    const NoiseModel m =
+        NoiseModel::parse("pauli1:0.1,pauli2:0.05,readout:0.02");
+    EXPECT_TRUE(m.gateNoiseArmed());
+    EXPECT_TRUE(m.readoutArmed());
+    EXPECT_EQ(m.spec(), "pauli1:0.1,pauli2:0.05,readout:0.02");
+
+    const NoiseModel readout_only = NoiseModel::parse("readout:0.5");
+    EXPECT_FALSE(readout_only.gateNoiseArmed());
+    EXPECT_TRUE(readout_only.readoutArmed());
+    EXPECT_TRUE(readout_only.armed());
+}
+
+TEST(NoiseSpec, JsonAndSpecStringSampleIdentically)
+{
+    // The same physical model through both front ends must produce
+    // the same trajectories: equality of every sampled event for a
+    // shared seed is the strongest observable equivalence.
+    const NoiseModel a = NoiseModel::parse(
+        "pauli1:0.2,pauli1@1:0.3:0.1:0,damp:0.1,readout:0.05,"
+        "idle@2:0.3");
+    const NoiseModel b = NoiseModel::parse(
+        "{\"pauli1\": {\"default\": 0.2, \"1\": [0.3, 0.1, 0]}, "
+        "\"damp\": 0.1, \"readout\": 0.05, \"idle\": {\"2\": 0.3}}");
+    const Circuit circuit = circuits::makeBenchmark("random", 4, 11);
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+        const auto ea = sampleOnce(a, circuit, seed);
+        const auto eb = sampleOnce(b, circuit, seed);
+        ASSERT_EQ(ea.size(), eb.size()) << "seed " << seed;
+        for (std::size_t i = 0; i < ea.size(); ++i) {
+            EXPECT_EQ(ea[i].gateIndex, eb[i].gateIndex);
+            EXPECT_EQ(ea[i].gate.kind, eb[i].gate.kind);
+            EXPECT_EQ(ea[i].gate.qubits, eb[i].gate.qubits);
+        }
+        Rng ra(seed), rb(seed);
+        EXPECT_EQ(a.sampleReadoutFlips(4, ra),
+                  b.sampleReadoutFlips(4, rb));
+    }
+}
+
+TEST(NoiseSpec, MalformedSpecsDie)
+{
+    EXPECT_DEATH(NoiseModel::parse("pauli1"), "");
+    EXPECT_DEATH(NoiseModel::parse("bogus:0.1"), "");
+    EXPECT_DEATH(NoiseModel::parse("idle:0.1"), ""); // @q required
+    EXPECT_DEATH(NoiseModel::parse("pauli1:1.5"), "");
+    EXPECT_DEATH(NoiseModel::parse("{\"pauli1\": "), ""); // bad JSON
+}
+
+TEST(NoiseTwirl, DampingMatchesTheAnalyticTwirl)
+{
+    // Pauli twirl of amplitude damping gamma: px = py = gamma/4,
+    // pz = (1 - gamma/2 - sqrt(1-gamma)) / 2 (the diagonal PTM
+    // (1, s, s, 1-gamma) with s = sqrt(1-gamma), averaged over Pauli
+    // conjugations). The twirl is what keeps the channel
+    // mixed-unitary, so trajectories stay exact gate insertions.
+    for (const double gamma : {0.0, 0.1, 0.5, 1.0}) {
+        const PauliProbs p = noise::twirledDamping(gamma);
+        const double s = std::sqrt(1.0 - gamma);
+        EXPECT_DOUBLE_EQ(p.px, gamma / 4.0);
+        EXPECT_DOUBLE_EQ(p.py, gamma / 4.0);
+        EXPECT_NEAR(p.pz, (1.0 - gamma / 2.0 - s) / 2.0, 1e-15);
+        EXPECT_GE(p.pz, 0.0);
+        EXPECT_LE(p.total(), 1.0);
+    }
+    EXPECT_FALSE(noise::twirledDamping(0.0).enabled());
+}
+
+TEST(NoiseModel, TouchableBitsTracksNonDiagonalErrorsOnly)
+{
+    const Gate h0(GateKind::H, {0});
+    const Gate h2(GateKind::H, {2});
+    const Gate cx(GateKind::CX, {1, 3});
+
+    NoiseModel depol;
+    depol.pauli1(PauliProbs::depolarizing(0.1));
+    EXPECT_EQ(depol.touchableBits(h0), 1ull << 0);
+    EXPECT_EQ(depol.touchableBits(h2), 1ull << 2);
+    EXPECT_EQ(depol.touchableBits(cx), 0ull); // 1q channel only
+
+    // Pure-Z mixtures are diagonal: they can never move weight out
+    // of the pruned subspace, so they must NOT arm the mask.
+    NoiseModel dephase;
+    dephase.pauli1(PauliProbs{0.0, 0.0, 0.3});
+    EXPECT_EQ(dephase.touchableBits(h0), 0ull);
+
+    NoiseModel two;
+    two.pauli2(0.1);
+    EXPECT_EQ(two.touchableBits(h0), 0ull);
+    EXPECT_EQ(two.touchableBits(cx), (1ull << 1) | (1ull << 3));
+
+    NoiseModel damp;
+    damp.dampingOn(3, 0.2);
+    EXPECT_EQ(damp.touchableBits(cx), 1ull << 3);
+    EXPECT_EQ(damp.touchableBits(h0), 0ull);
+
+    // Idle errors fire after EVERY gate on their configured qubits.
+    NoiseModel idle;
+    idle.idle(5, PauliProbs::depolarizing(0.3));
+    EXPECT_EQ(idle.touchableBits(h0), 1ull << 5);
+    EXPECT_EQ(idle.touchableBits(cx), 1ull << 5);
+
+    // Readout is post-measurement: never part of gate arming.
+    NoiseModel ro;
+    ro.readout(0.5);
+    EXPECT_EQ(ro.touchableBits(h0), 0ull);
+}
+
+TEST(NoiseModel, SamplingIsDeterministicAndOrdered)
+{
+    const NoiseModel m = NoiseModel::parse(
+        "pauli1:0.3,pauli2:0.3,damp:0.2,idle@3:0.4");
+    const Circuit circuit = circuits::makeBenchmark("random", 4, 3);
+    const auto a = sampleOnce(m, circuit, 99);
+    const auto b = sampleOnce(m, circuit, 99);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].gateIndex, b[i].gateIndex);
+        EXPECT_EQ(a[i].gate.kind, b[i].gate.kind);
+        EXPECT_EQ(a[i].gate.qubits, b[i].gate.qubits);
+    }
+    // Events come back sorted by attachment gate.
+    for (std::size_t i = 1; i < a.size(); ++i)
+        EXPECT_GE(a[i].gateIndex, a[i - 1].gateIndex);
+    // Different seeds must eventually differ.
+    const auto c = sampleOnce(m, circuit, 100);
+    bool same = a.size() == c.size();
+    for (std::size_t i = 0; same && i < a.size(); ++i)
+        same = a[i].gateIndex == c[i].gateIndex &&
+               a[i].gate.kind == c[i].gate.kind;
+    EXPECT_FALSE(same);
+}
+
+TEST(NoiseModel, ExpandCircuitInterleavesEventsAfterTheirGate)
+{
+    Circuit circuit(3, "toy");
+    circuit.h(0);
+    circuit.cx(0, 1);
+    circuit.h(2);
+
+    std::vector<noise::NoiseEvent> events;
+    events.push_back({0, noise::pauliGate(1, 0)}); // X0 after gate 0
+    events.push_back({1, noise::pauliGate(3, 1)}); // Z1 after gate 1
+    events.push_back({1, noise::pauliGate(2, 0)}); // then Y0
+    const Circuit expanded = noise::expandCircuit(
+        circuit, std::span<const noise::NoiseEvent>(events));
+
+    ASSERT_EQ(expanded.numGates(), 6u);
+    EXPECT_EQ(expanded.gates()[0].kind, GateKind::H);
+    EXPECT_EQ(expanded.gates()[1].kind, GateKind::X);
+    EXPECT_EQ(expanded.gates()[2].kind, GateKind::CX);
+    EXPECT_EQ(expanded.gates()[3].kind, GateKind::Z);
+    EXPECT_EQ(expanded.gates()[4].kind, GateKind::Y);
+    EXPECT_EQ(expanded.gates()[5].kind, GateKind::H);
+    EXPECT_EQ(expanded.numQubits(), 3);
+
+    EXPECT_EQ(noise::expandCircuit(circuit, {}).numGates(), 3u);
+}
+
+/**
+ * The noise x pruning regression (the tentpole's core correctness
+ * problem). Circuit: a single X on qubit 0 of a 6-qubit register;
+ * qubit 5 is never touched by any ideal gate, so every pruning mode
+ * keeps the involvement mask clear of it and skips the chunks where
+ * bit 5 is set. The noise model fires an X on qubit 5 after every
+ * gate with probability 1 (idle@5:1:0:0). A pruner that ignores the
+ * noise would apply that X into chunks it still considers dead --
+ * and the sampled error would silently vanish from the outcome.
+ * Every shot must measure bit 5 set, under all three pruning modes
+ * and both batch modes.
+ */
+struct PruneMode
+{
+    const char *name;
+    bool dynamicChunks;
+    InvolvementPolicy involvement;
+};
+
+constexpr PruneMode kModes[] = {
+    {"dynamic_perop", true, InvolvementPolicy::PerOp},
+    {"static_perop", false, InvolvementPolicy::PerOp},
+    {"dynamic_nondiag", true, InvolvementPolicy::NonDiagonal},
+};
+
+TEST(NoisePruning, ErrorOnNeverTouchedQubitFlipsOutcomes)
+{
+    constexpr int kN = 6;
+    Circuit circuit(kN, "lonely_x");
+    circuit.x(0);
+
+    for (const PruneMode &mode : kModes) {
+        for (const BatchMode batch :
+             {BatchMode::Shared, BatchMode::PerShot}) {
+            ExecOptions o;
+            o.targetChunks = 32;
+            o.prune = true;
+            o.dynamicChunks = mode.dynamicChunks;
+            o.involvement = mode.involvement;
+            o.faultSpec = "none";
+            o.noiseSpec = "idle@5:1:0:0";
+            o.batchMode = batch;
+            Machine machine = harness::benchMachine(kN);
+            const auto engine =
+                harness::makeEngine("pruning", machine, o);
+            const BatchResult br = engine->runBatched(circuit, 4);
+            ASSERT_TRUE(br.ok()) << mode.name;
+            ASSERT_EQ(br.outcomes.size(), 4u) << mode.name;
+            for (const Index outcome : br.outcomes)
+                EXPECT_EQ(outcome, (Index{1} << 5) | 1)
+                    << mode.name << ", batch mode "
+                    << (batch == BatchMode::Shared ? "shared"
+                                                  : "pershot");
+        }
+    }
+}
+
+/** Same shape through the full Q-GPU version (reorder + fusion +
+ *  compression riding on top of pruning). */
+TEST(NoisePruning, NeverTouchedQubitSurvivesTheFullPipeline)
+{
+    // Three gates: the always-firing idle X lands three times on
+    // qubit 5 (an even count would cancel, X.X = I).
+    constexpr int kN = 6;
+    Circuit circuit(kN, "lonely_h");
+    circuit.h(0);
+    circuit.cx(0, 1);
+    circuit.h(1);
+
+    ExecOptions o;
+    o.targetChunks = 32;
+    o.faultSpec = "none";
+    o.noiseSpec = "idle@5:1:0:0";
+    Machine machine = harness::benchMachine(kN);
+    const auto engine = harness::makeEngine("qgpu", machine, o);
+    const BatchResult br = engine->runBatched(circuit, 8);
+    ASSERT_TRUE(br.ok());
+    for (const Index outcome : br.outcomes)
+        EXPECT_TRUE((outcome >> 5) & 1)
+            << "sampled X on the untouched qubit was pruned away";
+    EXPECT_GT(br.stats.get(statkeys::noiseEvents), 0.0);
+}
+
+TEST(NoiseModel, BatchCountersAreReported)
+{
+    constexpr int kN = 6;
+    const Circuit circuit = circuits::makeBenchmark("qft", kN);
+    ExecOptions o;
+    o.faultSpec = "none";
+    o.noiseSpec = "pauli1:0.2,readout:0.5";
+    Machine machine = harness::benchMachine(kN);
+    const auto engine = harness::makeEngine("qgpu", machine, o);
+    const BatchResult br = engine->runBatched(circuit, 16);
+    ASSERT_TRUE(br.ok());
+    EXPECT_EQ(br.stats.get(statkeys::shotsTotal), 16.0);
+    EXPECT_EQ(br.stats.get(statkeys::shotsPlans), 1.0);
+    EXPECT_GT(br.stats.get(statkeys::shotsPlanSweeps), 0.0);
+    EXPECT_GT(br.stats.get(statkeys::shotsSweepReplays), 0.0);
+    EXPECT_GT(br.stats.get(statkeys::noiseEvents), 0.0);
+    EXPECT_GT(br.stats.get(statkeys::noiseReadoutFlips), 0.0);
+    std::uint64_t total = 0;
+    for (const auto &[outcome, hits] : br.counts)
+        total += hits;
+    EXPECT_EQ(total, 16u);
+    EXPECT_EQ(br.outcomes.size(), 16u);
+}
+
+} // namespace
+} // namespace qgpu

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Differential fuzz harness for batched-shot noise execution (tier2:
+ * excluded from the pre-commit gate, run via `ctest -L tier2`, e.g. by
+ * `scripts/check.sh --asan`). For every engine version and pruning
+ * mode, a sweep of seeded random circuits runs noisy batches three
+ * ways -- the shared-schedule replay, the per-shot materialized path,
+ * and an independently reconstructed expanded-circuit reference --
+ * rotating register size, host thread count, and noise mix per
+ * iteration. The contract under test: every shot of a noisy batch is
+ * BIT-identical to its materialized-circuit twin (noise is exact gate
+ * insertion, never an approximation), and when storage faults are
+ * armed on top of noise the batch either completes bit-identically or
+ * surfaces a structured SimError -- never a silently corrupt shot.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hh"
+#include "engine/batched.hh"
+#include "fault/integrity.hh"
+#include "harness/experiment.hh"
+#include "noise/model.hh"
+#include "reorder/reorder.hh"
+
+namespace qgpu
+{
+namespace
+{
+
+constexpr int kSeeds = 40;
+constexpr std::uint64_t kShots = 3;
+
+struct PruneMode
+{
+    const char *name;
+    bool dynamicChunks;
+    InvolvementPolicy involvement;
+};
+
+constexpr PruneMode kModes[] = {
+    {"dynamic_perop", true, InvolvementPolicy::PerOp},
+    {"static_perop", false, InvolvementPolicy::PerOp},
+    {"dynamic_nondiag", true, InvolvementPolicy::NonDiagonal},
+};
+
+// Pauli-only, correlated two-qubit, amplitude-damping + readout, and
+// a kitchen-sink mix with idle noise on a qubit the circuits rarely
+// entangle (the pruning-mask hazard).
+constexpr const char *kMixes[] = {
+    "pauli1:0.1",
+    "pauli1:0.02:0.03:0.05,pauli2:0.1",
+    "damp:0.1,readout:0.05",
+    "pauli1:0.05,damp:0.05,idle@5:0.3,readout:0.1",
+};
+
+class NoiseFuzz
+    : public ::testing::TestWithParam<std::tuple<Version, int>>
+{
+  protected:
+    void TearDown() override { setSimThreads(1); }
+};
+
+TEST_P(NoiseFuzz, ShotsMatchMaterializedTwinsBitIdentically)
+{
+    const auto &[version, mode_idx] = GetParam();
+    const PruneMode &mode = kModes[mode_idx];
+
+    int noisy_shots = 0;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+        const int n = 6 + seed % 3;
+        const Circuit circuit =
+            circuits::makeBenchmark("random", n, seed + 1);
+        setSimThreads(1 + seed % 3);
+
+        ExecOptions o;
+        o.targetChunks = 32;
+        o.codecSampleChunks = 0;
+        o.dynamicChunks = mode.dynamicChunks;
+        o.involvement = mode.involvement;
+        o.faultSpec = "none";
+        o.noiseSpec = kMixes[seed % std::size(kMixes)];
+        o.shotSeed = 0x5407ull + static_cast<std::uint64_t>(seed);
+        o.keepShotStates = true;
+
+        Machine machine = harness::benchMachine(n);
+        const auto shared = makeVersion(version, machine, o);
+        const BatchResult sb = shared->runBatched(circuit, kShots);
+        ASSERT_TRUE(sb.ok())
+            << versionName(version) << "/" << mode.name << " seed "
+            << seed << ": " << sb.error->detail;
+        ASSERT_EQ(sb.states.size(), kShots);
+
+        // Twin 1: the per-shot materialized path of the SAME version
+        // must reproduce every shot bit-identically -- two completely
+        // different execution strategies over one draw stream.
+        ExecOptions po = o;
+        po.batchMode = BatchMode::PerShot;
+        Machine per_machine = harness::benchMachine(n);
+        const BatchResult pb =
+            makeVersion(version, per_machine, po)
+                ->runBatched(circuit, kShots);
+        ASSERT_TRUE(pb.ok()) << versionName(version) << "/"
+                             << mode.name << " seed " << seed;
+        for (std::uint64_t s = 0; s < kShots; ++s) {
+            EXPECT_EQ(sb.outcomes[s], pb.outcomes[s])
+                << versionName(version) << "/" << mode.name
+                << " shared vs per-shot outcome, seed " << seed
+                << " shot " << s;
+            EXPECT_EQ(sb.states[s].maxAbsDiff(pb.states[s]), 0.0)
+                << versionName(version) << "/" << mode.name
+                << " shared vs per-shot state, seed " << seed
+                << " shot " << s;
+        }
+
+        // Twin 2: reconstruct each trajectory from scratch. Noise is
+        // sampled over the engine's executed (reordered) gate
+        // sequence, which we rebuild from the version's forced
+        // options; the expanded circuit through the flat reference
+        // simulator bounds the engine at numeric tolerance.
+        const Circuit ordered =
+            reorderCircuit(circuit, shared->options().reorder);
+        const noise::NoiseModel model =
+            noise::NoiseModel::parse(o.noiseSpec);
+        for (std::uint64_t s = 0; s < kShots; ++s) {
+            Rng rng(splitSeed(o.shotSeed, s));
+            const auto events = model.sample(
+                std::span<const Gate>(ordered.gates()), rng);
+            noisy_shots += !events.empty();
+            const Circuit expanded = noise::expandCircuit(
+                ordered,
+                std::span<const noise::NoiseEvent>(events));
+            EXPECT_LT(sb.states[s].maxAbsDiff(
+                          simulateReference(expanded)),
+                      1e-12)
+                << versionName(version) << "/" << mode.name
+                << " diverged from the expanded reference, seed "
+                << seed << " shot " << s;
+        }
+    }
+    // The sweep must actually inject errors; mixes that never fire
+    // would reduce this to a noiseless identity test.
+    EXPECT_GT(noisy_shots, 0)
+        << versionName(version) << "/" << mode.name;
+}
+
+// Storage faults armed on top of noise: every shot still either
+// matches its fault-free twin bit-identically or the batch stops with
+// a structured, localized SimError recording how far it got.
+TEST_P(NoiseFuzz, FaultedBatchesRecoverOrErrorStructurally)
+{
+    const auto &[version, mode_idx] = GetParam();
+    const PruneMode &mode = kModes[mode_idx];
+    constexpr int kFaultSeeds = 20;
+    constexpr const char *kFaultSpecs[] = {
+        "h2d:0.02,d2h:0.02,codec:0.05,alloc:0.02",
+        "d2h:0.5,codec:0.1",
+    };
+
+    int recovered = 0;
+    int errored = 0;
+    for (int seed = 0; seed < kFaultSeeds; ++seed) {
+        const int n = 6 + seed % 3;
+        const Circuit circuit =
+            circuits::makeBenchmark("random", n, seed + 1);
+        setSimThreads(1 + seed % 3);
+
+        ExecOptions o;
+        o.targetChunks = 32;
+        o.codecSampleChunks = 0;
+        o.dynamicChunks = mode.dynamicChunks;
+        o.involvement = mode.involvement;
+        o.faultSpec = "none";
+        o.noiseSpec = kMixes[seed % std::size(kMixes)];
+        o.keepShotStates = true;
+
+        Machine ref_machine = harness::benchMachine(n);
+        const BatchResult ref =
+            makeVersion(version, ref_machine, o)
+                ->runBatched(circuit, kShots);
+        ASSERT_TRUE(ref.ok()) << "fault-free batch failed, seed "
+                              << seed;
+
+        ExecOptions fo = o;
+        fo.verifyChunks = true;
+        fo.faultSpec = kFaultSpecs[seed % std::size(kFaultSpecs)];
+        fo.faultSeed = 0x9e3779b97f4a7c15ull *
+                       static_cast<std::uint64_t>(seed + 1);
+        Machine machine = harness::benchMachine(n);
+        const BatchResult fb = makeVersion(version, machine, fo)
+                                   ->runBatched(circuit, kShots);
+
+        if (!fb.ok()) {
+            ++errored;
+            EXPECT_EQ(fb.error->code, SimErrorCode::TransferFailed)
+                << "seed " << seed;
+            EXPECT_FALSE(fb.error->point.empty());
+            EXPECT_EQ(fb.stats.get(intkeys::simErrors), 1.0);
+            // Completed shots stay valid: everything before the
+            // failing shot must already match the fault-free twin.
+            ASSERT_LE(fb.outcomes.size(), kShots);
+            for (std::uint64_t s = 0; s < fb.outcomes.size(); ++s)
+                EXPECT_EQ(fb.outcomes[s], ref.outcomes[s])
+                    << "completed shot " << s << " of errored batch,"
+                    << " seed " << seed;
+            continue;
+        }
+        ++recovered;
+        for (std::uint64_t s = 0; s < kShots; ++s) {
+            EXPECT_EQ(fb.outcomes[s], ref.outcomes[s])
+                << versionName(version) << "/" << mode.name
+                << " seed " << seed << " shot " << s;
+            EXPECT_EQ(fb.states[s].maxAbsDiff(ref.states[s]), 0.0)
+                << versionName(version) << "/" << mode.name
+                << " seed " << seed << " shot " << s;
+        }
+    }
+    EXPECT_GT(recovered, 0)
+        << versionName(version) << "/" << mode.name;
+    EXPECT_EQ(recovered + errored, kFaultSeeds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVersions, NoiseFuzz,
+    ::testing::Combine(::testing::ValuesIn(allVersions()),
+                       ::testing::Range(0, 3)),
+    [](const auto &info) {
+        std::string name = versionName(std::get<0>(info.param));
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_'; // "Q-GPU" is not a valid gtest name
+        return name + "_" + kModes[std::get<1>(info.param)].name;
+    });
+
+} // namespace
+} // namespace qgpu

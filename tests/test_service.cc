@@ -154,6 +154,105 @@ TEST(JobService, CacheHitSharesTheSimulation)
     EXPECT_EQ(svc.counter("service.cache.miss"), 1u);
 }
 
+TEST(JobJson, NoiseFieldsRoundTripOnlyWhenArmed)
+{
+    JobRequest r = smallJob(3);
+    r.shots = 32;
+    r.noiseSpec = "pauli1:0.05,readout:0.02";
+    r.shotSeed = 0xabcdull;
+    const std::string line = r.toJson().toString();
+    EXPECT_NE(line.find("noise_spec"), std::string::npos);
+    const auto back = JobRequest::fromJson(*parseJson(line));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->noiseSpec, r.noiseSpec);
+    EXPECT_EQ(back->shotSeed, r.shotSeed);
+    EXPECT_EQ(back->toJson().toString(), line);
+
+    // Ideal jobs keep their wire format unchanged: no noise keys.
+    JobRequest ideal = smallJob(3);
+    ideal.shotSeed = 0xabcdull; // scheduling-only without a spec
+    EXPECT_EQ(ideal.toJson().toString().find("noise_spec"),
+              std::string::npos);
+    EXPECT_EQ(ideal.toJson().toString().find("shot_seed"),
+              std::string::npos);
+}
+
+TEST(JobService, NoisyJobsKeyOnSpecShotsAndSeed)
+{
+    JobService svc(testConfig());
+    JobRequest r = smallJob(4);
+    r.shots = 16;
+    r.noiseSpec = "pauli1:0.1";
+    const JobResult first = svc.wait(svc.submit(r));
+    ASSERT_EQ(first.status, JobStatus::Done);
+    EXPECT_FALSE(first.cacheHit);
+    std::uint64_t shots = 0;
+    for (const auto &[outcome, hits] : first.counts)
+        shots += hits;
+    EXPECT_EQ(shots, 16u);
+
+    // A different shot seed is result-affecting for noisy jobs:
+    // different key, cache miss.
+    JobRequest reseeded = r;
+    reseeded.shotSeed = 0x1234ull;
+    const JobResult second = svc.wait(svc.submit(reseeded));
+    ASSERT_EQ(second.status, JobStatus::Done);
+    EXPECT_NE(second.key, first.key);
+    EXPECT_FALSE(second.cacheHit);
+
+    // So are the spec and the shot count.
+    JobRequest respecced = r;
+    respecced.noiseSpec = "pauli1:0.2";
+    EXPECT_NE(svc.wait(svc.submit(respecced)).key, first.key);
+    JobRequest reshot = r;
+    reshot.shots = 32;
+    EXPECT_NE(svc.wait(svc.submit(reshot)).key, first.key);
+
+    // The identical request hits the cache and returns the cached
+    // counts verbatim -- noisy results are never resampled.
+    const JobResult replay = svc.wait(svc.submit(r));
+    ASSERT_EQ(replay.status, JobStatus::Done);
+    EXPECT_TRUE(replay.cacheHit);
+    EXPECT_EQ(replay.key, first.key);
+    EXPECT_EQ(replay.counts, first.counts);
+    EXPECT_EQ(svc.counter("service.cache.hit"), 1u);
+    EXPECT_EQ(svc.counter("service.cache.miss"), 4u);
+}
+
+TEST(JobService, IdealJobsIgnoreTheShotSeedInTheKey)
+{
+    // Without a noise spec the shot seed stays scheduling-only, so
+    // the ideal cache keeps deduplicating across it.
+    JobService svc(testConfig());
+    JobRequest r = smallJob(5);
+    r.shots = 8;
+    const JobResult first = svc.wait(svc.submit(r));
+    r.shotSeed = 0x9999ull;
+    const JobResult second = svc.wait(svc.submit(r));
+    EXPECT_EQ(second.key, first.key);
+    EXPECT_TRUE(second.cacheHit);
+}
+
+TEST(JobService, NoiseAdmissionRejectsEnvAndShotlessJobs)
+{
+    JobService svc(testConfig());
+    JobRequest env = smallJob(6);
+    env.shots = 8;
+    env.noiseSpec = "env"; // environment-dependent: not admissible
+    const JobResult r1 = svc.wait(svc.submit(env));
+    EXPECT_EQ(r1.status, JobStatus::Rejected);
+    ASSERT_TRUE(r1.error.has_value());
+    EXPECT_NE(r1.error->detail.find("env"), std::string::npos);
+
+    JobRequest shotless = smallJob(7);
+    shotless.noiseSpec = "pauli1:0.1"; // armed but shots == 0
+    const JobResult r2 = svc.wait(svc.submit(shotless));
+    EXPECT_EQ(r2.status, JobStatus::Rejected);
+    ASSERT_TRUE(r2.error.has_value());
+    EXPECT_NE(r2.error->detail.find("shots"), std::string::npos);
+    EXPECT_EQ(svc.counter("service.rejected"), 2u);
+}
+
 TEST(JobService, AdmissionControlRejectsStructurally)
 {
     ServiceConfig cfg = testConfig();
